@@ -1,0 +1,67 @@
+"""Concluding remarks 2–3 — what the algebra deliberately cannot do.
+
+Regenerates the paper's incompleteness observations as measurements:
+the canonical counterexamples (negation-like inversion, addition,
+multiplication, time reversal) each fail a specific defining property,
+and s-t functions are a vanishing fraction of all functions on a window
+— "complete only with respect to s-t functions".
+"""
+
+import random
+
+from repro.core.completeness import (
+    NON_IMPLEMENTABLE,
+    classify_function,
+    implementable_fraction,
+)
+from repro.core.synthesis import max_from_min_lt
+
+
+def report() -> str:
+    lines = ["Concluding remarks — incompleteness, made executable"]
+    lines.append(f"\n{'function':<16} {'verdict':>10} {'failed property':>16}")
+    lines.append(
+        f"{'max (Lemma 2)':<16} {'s-t':>10} {'-':>16}"
+    )
+    for func in NON_IMPLEMENTABLE:
+        verdict = classify_function(func)
+        lines.append(
+            f"{func.name:<16} {'NOT s-t':>10} {verdict.failed_property:>16}"
+        )
+    assert classify_function(max_from_min_lt().as_function()).is_space_time
+
+    lines.append("\nhow rare are s-t functions among all functions?")
+    lines.append(f"{'arity':>6} {'window':>7} {'s-t / total':>16} {'fraction':>9}")
+    hits, total = implementable_fraction(arity=1, window=1)
+    lines.append(f"{1:>6} {1:>7} {f'{hits} / {total}':>16} {hits / total:>9.3%}")
+    hits, total = implementable_fraction(arity=1, window=2)
+    lines.append(f"{1:>6} {2:>7} {f'{hits} / {total}':>16} {hits / total:>9.3%}")
+    hits, total = implementable_fraction(
+        arity=2, window=1, samples=4000, rng=random.Random(0)
+    )
+    lines.append(
+        f"{2:>6} {1:>7} {f'{hits} / {total} (sampled)':>16} {hits / total:>9.3%}"
+    )
+    lines.append(
+        "\nshape: addition/multiplication break invariance, inversion and "
+        "anticipation break causality; the implementable fraction "
+        "collapses as the window grows — the algebra is complete only "
+        "for its own (causal, invariant) world, by design."
+    )
+    return "\n".join(lines)
+
+
+def bench_classification(benchmark):
+    from repro.core.completeness import ADDITION
+
+    verdict = benchmark(classify_function, ADDITION)
+    assert not verdict.is_space_time
+
+
+def bench_fraction_enumeration(benchmark):
+    hits, total = benchmark(implementable_fraction, arity=1, window=1)
+    assert 0 < hits < total
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,92 @@
+"""§VI — energy: the minimal-transition property and sparse coding.
+
+Regenerates the paper's two energy arguments on compiled GRL circuits:
+
+* every data wire switches at most once per computation (activity factor
+  ≈ 1, vs ~0.5·bits for an equivalent binary datapath wire *per value*),
+* sparse volleys leave most wires untouched — transitions scale with
+  input activity, not circuit size,
+
+plus the §V.C direct-vs-indirect communication trade-off table, and the
+paper's caveat: clocked DFFs pay clock energy every cycle regardless.
+"""
+
+import random
+
+from repro.core.synthesis import synthesize
+from repro.core.table import NormalizedTable
+from repro.core.value import INF
+from repro.racelogic.energy import communication_sweep, measure_energy
+
+
+def _volley(n, sparsity, rng):
+    return {
+        f"x{i + 1}": (INF if rng.random() < sparsity else rng.randint(0, 3))
+        for i in range(n)
+    }
+
+
+def report() -> str:
+    lines = ["§VI — transition-count energy on compiled GRL"]
+    table = NormalizedTable.random(4, window=3, n_rows=12, rng=random.Random(0))
+    net = synthesize(table)
+    rng = random.Random(1)
+
+    lines.append(f"\nnetwork: {net.size} blocks -> compiled circuit")
+    lines.append(f"{'sparsity':>9} {'transitions/run':>16} {'activity factor':>16}")
+    for sparsity in (0.0, 0.25, 0.5, 0.75, 1.0):
+        inputs = [_volley(4, sparsity, rng) for _ in range(20)]
+        energy = measure_energy(net, inputs)
+        lines.append(
+            f"{sparsity:>9.2f} {energy.transitions_per_run:>16.1f} "
+            f"{energy.activity_factor:>16.3f}"
+        )
+    lines.append(
+        "\nshape: transitions fall monotonically with sparsity, to zero "
+        "for silent volleys; activity stays near or below ~1 per gate — "
+        "the minimal-transition property."
+    )
+
+    inputs = [_volley(4, 0.0, rng) for _ in range(5)]
+    energy = measure_energy(net, inputs)
+    lines.append(
+        f"\nDFF caveat: {energy.flipflop_count} flip-flops x "
+        f"{energy.total_cycles} cycles = {energy.dff_clock_events} clock "
+        "loads (paid even when idle — the paper's noted cost of shift-"
+        "register delays)."
+    )
+
+    lines.append("\n§V.C direct (unary) vs indirect (binary) communication:")
+    lines.append(f"{'bits':>5} {'direct toggles':>15} {'indirect toggles':>17} {'direct time':>12}")
+    for cost in communication_sweep(8):
+        lines.append(
+            f"{cost.resolution_bits:>5} {cost.direct_transitions:>15} "
+            f"{cost.indirect_transitions:>17.1f} {cost.direct_message_time:>12}"
+        )
+    lines.append(
+        "\nshape: direct wins energy linearly but loses time exponentially "
+        "— practical only at the paper's 3-4 bit resolutions."
+    )
+    return "\n".join(lines)
+
+
+def bench_energy_measurement_dense(benchmark):
+    table = NormalizedTable.random(4, window=3, n_rows=8, rng=random.Random(2))
+    net = synthesize(table)
+    rng = random.Random(3)
+    inputs = [_volley(4, 0.0, rng) for _ in range(5)]
+    energy = benchmark(measure_energy, net, inputs)
+    assert energy.total_transitions > 0
+
+
+def bench_energy_measurement_sparse(benchmark):
+    table = NormalizedTable.random(4, window=3, n_rows=8, rng=random.Random(2))
+    net = synthesize(table)
+    rng = random.Random(3)
+    inputs = [_volley(4, 0.9, rng) for _ in range(5)]
+    energy = benchmark(measure_energy, net, inputs)
+    assert energy.activity_factor <= 2.0
+
+
+if __name__ == "__main__":
+    print(report())

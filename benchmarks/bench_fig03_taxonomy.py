@@ -1,0 +1,56 @@
+"""Fig. 3 — the neural network taxonomy, applied mechanically.
+
+The paper's informal RNN/TNN test: count spikes per line per computation.
+Regenerates the classification for (a) our own s-t networks (always TNN,
+by construction), and (b) synthetic Poisson rate-coded traffic (RNN), and
+times the classifier.
+"""
+
+from repro.analysis.taxonomy import (
+    classify_counts,
+    classify_simulation,
+    synthetic_rate_trace,
+)
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE
+from repro.network.events import simulate
+
+
+def report() -> str:
+    lines = ["Fig. 3 — taxonomy by the spike-count test"]
+    net = synthesize(FIG7_TABLE)
+    result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+    tnn = classify_simulation(result)
+    lines.append(
+        f"\nspace-time network ({net.size} blocks): "
+        f"{tnn.classification.name} — max {tnn.max_spikes_per_line} "
+        f"spike/line over {tnn.active_lines} active lines"
+    )
+    for rate in (2.0, 4.0, 8.0):
+        rnn = classify_counts(synthetic_rate_trace(64, mean_rate=rate, seed=1))
+        lines.append(
+            f"rate-coded trace (mean rate {rate}): {rnn.classification.name} "
+            f"— mean {rnn.mean_spikes_per_active_line:.1f} spikes/line"
+        )
+    lines.append(
+        "\nshape: temporal networks sit at <=1 spike/line, rate networks "
+        ">=2 — the paper's separation criterion."
+    )
+    return "\n".join(lines)
+
+
+def bench_classify_simulation(benchmark):
+    net = synthesize(FIG7_TABLE)
+    result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+    report_ = benchmark(classify_simulation, result)
+    assert report_.classification.name == "TNN"
+
+
+def bench_classify_rate_trace(benchmark):
+    counts = synthetic_rate_trace(512, mean_rate=4.0, seed=3)
+    report_ = benchmark(classify_counts, counts)
+    assert report_.classification.name == "RNN"
+
+
+if __name__ == "__main__":
+    print(report())

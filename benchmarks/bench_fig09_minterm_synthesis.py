@@ -1,0 +1,85 @@
+"""Fig. 9 / Theorem 1 — minterm canonical form synthesis.
+
+Regenerates the paper's worked example (synthesizing the Fig. 7 table and
+applying input [0,1,2]), verifies synthesized networks against the
+causal table semantics over exhaustive windows, and measures how network
+size scales with rows × arity (the temporal analogue of two-level logic
+cost).
+"""
+
+import random
+
+from repro.core.function import enumerate_domain
+from repro.core.synthesis import synthesis_cost, synthesize
+from repro.core.table import FIG7_TABLE, NormalizedTable
+from repro.network.simulator import evaluate_vector
+
+
+def report() -> str:
+    lines = ["Fig. 9 / Theorem 1 — minterm canonical form"]
+    net = synthesize(FIG7_TABLE)
+    lines.append(f"\nsynthesized Fig. 7 table: {net.counts_by_kind()}")
+    lines.append("paper's walkthrough, input [0, 1, 2]:")
+    lines.append(f"  output = {evaluate_vector(net, (0, 1, 2))['y']} (expected 3)")
+    lines.append(f"  shifted input [3, 4, 5] -> {evaluate_vector(net, (3, 4, 5))['y']} (expected 6)")
+
+    f = net.as_function()
+    mismatches = sum(
+        1
+        for vec in enumerate_domain(3, 5)
+        if f(*vec) != FIG7_TABLE.evaluate_causal(vec)
+    )
+    lines.append(f"  exhaustive window-5 check: {mismatches} mismatches")
+
+    rng = random.Random(0)
+    lines.append(f"\nscaling (random canonical tables):")
+    lines.append(f"{'arity':>6} {'rows':>5} {'blocks':>7} {'lt':>4} {'inc':>5} {'exact?':>7}")
+    for arity, rows in [(2, 4), (3, 8), (4, 16), (3, 32)]:
+        table = NormalizedTable.random(arity, window=3, n_rows=rows, rng=rng)
+        network = synthesize(table)
+        func = network.as_function()
+        ok = all(
+            func(*vec) == table.evaluate_causal(vec)
+            for vec in enumerate_domain(arity, table.max_entry() + 1)
+        )
+        kinds = network.counts_by_kind()
+        lines.append(
+            f"{arity:>6} {len(table):>5} {network.size:>7} "
+            f"{kinds.get('lt', 0):>4} {kinds.get('inc', 0):>5} "
+            f"{'yes' if ok else 'NO':>7}"
+        )
+    lines.append(
+        "\nshape: blocks grow linearly in rows x arity; every synthesized "
+        "network reproduces its table exactly (Theorem 1)."
+    )
+    return "\n".join(lines)
+
+
+def bench_synthesize_fig7(benchmark):
+    net = benchmark(synthesize, FIG7_TABLE)
+    assert net.size > 0
+
+
+def bench_synthesize_large_table(benchmark):
+    table = NormalizedTable.random(4, window=4, n_rows=40, rng=random.Random(3))
+    net = benchmark(synthesize, table)
+    predicted = synthesis_cost(table)
+    assert net.counts_by_kind().get("lt", 0) == predicted["lt"]
+
+
+def bench_synthesized_network_evaluation(benchmark):
+    table = NormalizedTable.random(3, window=3, n_rows=16, rng=random.Random(4))
+    f = synthesize(table).as_function()
+    result = benchmark(f, 1, 0, 2)
+    assert result == table.evaluate_causal((1, 0, 2))
+
+
+def bench_pure_primitive_synthesis(benchmark):
+    # The strict min/lt/inc-only variant (max expanded via Lemma 2).
+    table = NormalizedTable.random(3, window=3, n_rows=8, rng=random.Random(5))
+    net = benchmark(synthesize, table, use_max_primitive=False)
+    assert net.counts_by_kind().get("max", 0) == 0
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,74 @@
+"""Fig. 10 — bitonic sorting networks from min/max comparators.
+
+Regenerates comparator counts against the closed form, the ablation
+against Batcher's odd-even merge sort, and times construction and
+evaluation at growing widths.
+"""
+
+import random
+
+from repro.core.value import INF
+from repro.network.simulator import evaluate_vector
+from repro.neuron.sorting import (
+    comparator_count,
+    sort_network,
+    theoretical_bitonic_comparators,
+)
+
+
+def report() -> str:
+    lines = ["Fig. 10 — bitonic sorting networks"]
+    lines.append(
+        f"\n{'n':>4} {'bitonic cmps':>13} {'theory':>7} {'odd-even cmps':>14} {'depth':>6}"
+    )
+    for n in (2, 4, 8, 16, 32, 64):
+        bitonic = sort_network(n, algorithm="bitonic")
+        odd_even = sort_network(n, algorithm="odd-even")
+        lines.append(
+            f"{n:>4} {comparator_count(bitonic):>13} "
+            f"{theoretical_bitonic_comparators(n):>7} "
+            f"{comparator_count(odd_even):>14} {bitonic.depth():>6}"
+        )
+    lines.append(
+        "\nshape: bitonic matches (n/4)·log2(n)·(log2(n)+1) exactly; "
+        "odd-even merge sort is the cheaper ablation at every width."
+    )
+
+    lines.append("\nnon-power-of-two widths (virtual ∞ padding, comparators folded):")
+    lines.append(f"{'n':>4} {'bitonic cmps':>13} {'vs full 2^k':>12}")
+    for n in (5, 9, 24):
+        full = 1 << (n - 1).bit_length()
+        lines.append(
+            f"{n:>4} {comparator_count(sort_network(n)):>13} "
+            f"{comparator_count(sort_network(full)):>12}"
+        )
+    return "\n".join(lines)
+
+
+def bench_build_sort32(benchmark):
+    net = benchmark(sort_network, 32)
+    assert comparator_count(net) == theoretical_bitonic_comparators(32)
+
+
+def bench_evaluate_sort16(benchmark):
+    net = sort_network(16)
+    rng = random.Random(0)
+    vec = tuple(
+        INF if rng.random() < 0.2 else rng.randint(0, 30) for _ in range(16)
+    )
+    expected = sorted(vec, key=lambda v: float("inf") if v is INF else v)
+
+    def run():
+        out = evaluate_vector(net, vec)
+        return [out[f"s{i}"] for i in range(16)]
+
+    assert benchmark(run) == expected
+
+
+def bench_odd_even_vs_bitonic_build(benchmark):
+    net = benchmark(sort_network, 32, algorithm="odd-even")
+    assert comparator_count(net) < theoretical_bitonic_comparators(32)
+
+
+if __name__ == "__main__":
+    print(report())

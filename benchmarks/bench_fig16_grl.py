@@ -1,0 +1,99 @@
+"""Fig. 16 — generalized race logic gate implementations.
+
+Regenerates the gate-by-gate correspondence (AND=min, OR=max, DFF
+chain=inc, latched gate=lt) exhaustively, demonstrates the latch glitch
+the figure's latch exists to suppress, and verifies/times compiled
+networks against the algebra on the cycle-accurate digital simulator.
+"""
+
+import random
+
+from repro.core.algebra import lt as lt_ref
+from repro.core.algebra import maximum, minimum
+from repro.core.function import enumerate_domain
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE, NormalizedTable
+from repro.core.value import INF
+from repro.network.simulator import evaluate
+from repro.racelogic.compile import GRLExecutor
+from repro.racelogic.gates import and_gate, dff_chain, lt_latch, lt_unlatched_waveform, or_gate
+
+
+def report() -> str:
+    lines = ["Fig. 16 — GRL primitives in off-the-shelf CMOS"]
+    checks = {
+        "AND = min": all(
+            and_gate(a, b) == minimum(a, b) for a, b in enumerate_domain(2, 8)
+        ),
+        "OR = max": all(
+            or_gate(a, b) == maximum(a, b) for a, b in enumerate_domain(2, 8)
+        ),
+        "latched gate = lt": all(
+            lt_latch(a, b) == lt_ref(a, b) for a, b in enumerate_domain(2, 8)
+        ),
+        "DFF chain = inc": all(
+            dff_chain(t, n) == (INF if t is INF else t + n)
+            for t in [0, 1, 5, INF]
+            for n in (1, 2, 5)
+        ),
+    }
+    lines.append("\ngate-by-gate exhaustive correspondence:")
+    for name, ok in checks.items():
+        lines.append(f"  {name:<18} {'verified' if ok else 'FAILED'}")
+
+    lines.append("\nwhy the lt needs its latch (a=2, b=5, unlatched a OR NOT b):")
+    levels = lt_unlatched_waveform(2, 5, horizon=7)
+    lines.append("  cycle : " + " ".join(str(c) for c in range(8)))
+    lines.append("  level : " + " ".join(str(v) for v in levels))
+    lines.append("  -> falls correctly at 2 but glitches back at 5; the latch holds the 0.")
+
+    net = synthesize(FIG7_TABLE)
+    executor = GRLExecutor(net)
+    mismatches = sum(
+        1
+        for vec in enumerate_domain(3, 4)
+        if executor.outputs(dict(zip(net.input_names, vec)))
+        != evaluate(net, dict(zip(net.input_names, vec)))
+    )
+    lines.append(
+        f"\ncompiled Fig. 7 network, cycle-accurate vs denotational over "
+        f"window 4: {mismatches} mismatches"
+    )
+    lines.append(
+        "\nshape: the whole s-t algebra runs on AND/OR/latch/DFF — TNNs "
+        "are implementable with off-the-shelf digital CMOS."
+    )
+    return "\n".join(lines)
+
+
+def bench_gate_correspondence_exhaustive(benchmark):
+    def verify():
+        return all(
+            and_gate(a, b) == minimum(a, b)
+            and or_gate(a, b) == maximum(a, b)
+            and lt_latch(a, b) == lt_ref(a, b)
+            for a, b in enumerate_domain(2, 10)
+        )
+
+    assert benchmark(verify)
+
+
+def bench_digital_simulation(benchmark):
+    net = synthesize(FIG7_TABLE)
+    executor = GRLExecutor(net)
+    bound = dict(zip(net.input_names, (0, 1, 2)))
+    want = evaluate(net, bound)
+    assert benchmark(executor.outputs, bound) == want
+
+
+def bench_compile_network(benchmark):
+    table = NormalizedTable.random(3, window=3, n_rows=12, rng=random.Random(1))
+    net = synthesize(table)
+    from repro.racelogic.compile import compile_network
+
+    circuit = benchmark(compile_network, net)
+    assert len(circuit) > 0
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,88 @@
+"""§II.C — supervised latency learning (SpikeProp direction).
+
+Bohte et al. trained temporally coded networks toward *target spike
+times*.  Regenerates the single-layer integer version: a latency neuron
+learns to fire at prescribed offsets from its input volley, and a bank
+of them regresses whole target volleys.  Reports timing error before and
+after training across target offsets.
+"""
+
+import random
+
+from repro.learning.spikeprop import LatencyNeuron, LatencyRegressor, SpikePropConfig
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.piecewise_linear(amplitude=3, rise=2, fall=6)
+
+
+def _task(offset, seed):
+    rng = random.Random(seed)
+    volleys = [
+        tuple(rng.randint(0, 3) for _ in range(8)) for _ in range(6)
+    ]
+    targets = [min(v) + offset for v in volleys]
+    neuron = LatencyNeuron(
+        8,
+        threshold=12,
+        base_response=BASE,
+        config=SpikePropConfig(tolerance=1),
+        rng=random.Random(seed),
+    )
+    before = neuron.mean_absolute_error(volleys, targets)
+    neuron.train(volleys, targets, epochs=40, rng=random.Random(seed + 1))
+    after = neuron.mean_absolute_error(volleys, targets)
+    return before, after
+
+
+def report() -> str:
+    lines = ["§II.C — SpikeProp-style latency regression"]
+    lines.append(f"\n{'target offset':>14} {'MAE before':>11} {'MAE after':>10}")
+    for offset in (2, 3, 4):
+        befores, afters = [], []
+        for seed in (1, 2, 3):
+            before, after = _task(offset, seed)
+            befores.append(before)
+            afters.append(after)
+        lines.append(
+            f"{offset:>14} {sum(befores) / 3:>11.2f} {sum(afters) / 3:>10.2f}"
+        )
+
+    rng = random.Random(9)
+    volleys = [tuple(rng.randint(0, 3) for _ in range(6)) for _ in range(4)]
+    targets = [tuple(min(v) + j + 2 for j in range(2)) for v in volleys]
+    bank = LatencyRegressor(
+        6, 2, threshold=10, base_response=BASE,
+        config=SpikePropConfig(tolerance=1), seed=9,
+    )
+    history = bank.train(volleys, targets, epochs=50, rng=random.Random(10))
+    lines.append(
+        f"\nvolley regression (2 outputs): within-tolerance fraction "
+        f"{history[0]:.0%} -> {history[-1]:.0%} over {len(history)} epochs"
+    )
+    lines.append(
+        "\nshape: timing error shrinks under the supervised rule for every "
+        "target offset — latency is a trainable quantity, per Bohte et "
+        "al., in 4-bit integer weights."
+    )
+    return "\n".join(lines)
+
+
+def bench_latency_training(benchmark):
+    def train():
+        before, after = _task(3, seed=5)
+        return before, after
+
+    before, after = benchmark(train)
+    assert after <= before
+
+
+def bench_latency_inference(benchmark):
+    rng = random.Random(2)
+    neuron = LatencyNeuron(8, threshold=12, base_response=BASE)
+    volley = tuple(rng.randint(0, 3) for _ in range(8))
+    result = benchmark(neuron.fire_time, volley)
+    assert result is not None
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,150 @@
+"""§II.A / §IV.B — STDP convergence and the quantization claim.
+
+Regenerates two learning results the paper leans on:
+
+* STDP convergence (Guyonneau/Masquelier): after unsupervised training on
+  noisy presentations of fixed patterns, neurons fire *earlier* on
+  learned patterns than on novel ones, and distinct neurons claim
+  distinct patterns — comparing the classic pairwise rule against the
+  first-spike rule (the ablation DESIGN.md calls out);
+* the Pfeil et al. weight-resolution claim: ~4 bits of synaptic weight
+  suffice (WTA winner agreement with an 8-bit reference).
+"""
+
+import random
+
+import numpy as np
+
+from repro.apps.datasets import embedded_patterns
+from repro.coding.volley import Volley
+from repro.core.value import Infinity
+from repro.learning.quantize import compare_quantized
+from repro.learning.stdp import FirstSpikeSTDP, STDPRule, STDPTrainer
+from repro.neuron.column import Column
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.step(amplitude=1, width=8)
+
+
+def _convergence(rule, seed):
+    bases, data = embedded_patterns(
+        n_lines=24, n_patterns=3, presentations=60, active_lines=10,
+        jitter=1, dropout=0.05, noise_lines=1, seed=seed,
+    )
+    rng = random.Random(seed)
+    weights = np.array(
+        [[rng.randint(1, 3) for _ in range(24)] for _ in range(6)]
+    )
+    column = Column(weights, threshold=8, base_response=BASE)
+    trainer = STDPTrainer(column, rule, rng=random.Random(seed + 1))
+    trainer.train([item.volley for item in data], epochs=3)
+    # Which neurons respond first to each base pattern?  Several neurons
+    # may tie (redundant coverage); what matters is that every pattern
+    # gets a response and different patterns get different responders.
+    from repro.neuron.wta import winners
+
+    winner_sets = [frozenset(winners(column.excitation(b))) for b in bases]
+    responded = sum(1 for s in winner_sets if s)
+    distinct = len({s for s in winner_sets if s})
+    # Early-firing check: latency on learned vs novel patterns.
+    novel, _ = embedded_patterns(
+        n_lines=24, n_patterns=1, presentations=1, active_lines=10, seed=seed + 500,
+    )
+    learned_latency = []
+    novel_latency = []
+    for base in bases:
+        t = min(
+            (x for x in column.excitation(base) if not isinstance(x, Infinity)),
+            default=None,
+        )
+        if t is not None:
+            learned_latency.append(t)
+    t = min(
+        (x for x in column.excitation(novel[0]) if not isinstance(x, Infinity)),
+        default=None,
+    )
+    if t is not None:
+        novel_latency.append(t)
+    return responded, distinct, learned_latency, novel_latency
+
+
+def report() -> str:
+    lines = ["STDP convergence (embedded-pattern workload, 3 patterns)"]
+    lines.append(
+        f"\n{'rule':<22} {'responded':>10} {'distinct':>9} "
+        f"{'learned latency':>16} {'novel latency':>14}"
+    )
+    for label, rule in [
+        ("pairwise STDP", STDPRule(a_plus=2, a_minus=1)),
+        ("first-spike STDP", FirstSpikeSTDP(a_plus=1, a_minus=1)),
+    ]:
+        responded, distinct, learned, novel = _convergence(rule, seed=2)
+        learned_str = f"{sum(learned) / len(learned):.1f}" if learned else "-"
+        novel_str = f"{sum(novel) / len(novel):.1f}" if novel else "silent"
+        lines.append(
+            f"{label:<22} {responded:>8}/3 {distinct:>7}/3 "
+            f"{learned_str:>16} {novel_str:>14}"
+        )
+    lines.append(
+        "\nshape: every pattern elicits a response, different patterns "
+        "from different neuron groups; learned patterns fire earlier than "
+        "novel ones — the §II.A story."
+    )
+
+    lines.append("\nweight resolution (Pfeil et al. claim — WTA winner agreement vs 8-bit):")
+    rng = np.random.default_rng(0)
+    reference = rng.random((6, 24))
+    volley_rng = random.Random(1)
+    volleys = [
+        Volley([volley_rng.randint(0, 7) for _ in range(24)]) for _ in range(40)
+    ]
+    lines.append(f"{'bits':>5} {'winner agreement':>17} {'mean |dt|':>10}")
+    for bits in (1, 2, 3, 4, 6, 8):
+        quant = compare_quantized(
+            reference, volleys, bits=bits, threshold_fraction=0.35
+        )
+        lines.append(
+            f"{bits:>5} {quant.winner_agreement:>17.1%} "
+            f"{quant.mean_time_error:>10.2f}"
+        )
+    lines.append(
+        "\nshape: agreement saturates by ~4 bits — higher weight resolution "
+        "buys nothing at spike-time resolution, matching Pfeil et al."
+    )
+    return "\n".join(lines)
+
+
+def bench_stdp_training_epoch(benchmark):
+    _, data = embedded_patterns(
+        n_lines=24, n_patterns=3, presentations=30, active_lines=10, seed=4
+    )
+    volleys = [item.volley for item in data]
+    rng = random.Random(4)
+    weights = np.array(
+        [[rng.randint(1, 3) for _ in range(24)] for _ in range(6)]
+    )
+
+    def train():
+        column = Column(weights.copy(), threshold=8, base_response=BASE)
+        trainer = STDPTrainer(column, STDPRule(), rng=random.Random(5))
+        trainer.train(volleys, epochs=1)
+        return trainer.steps_taken
+
+    assert benchmark(train) > 0
+
+
+def bench_quantization_comparison(benchmark):
+    rng = np.random.default_rng(1)
+    reference = rng.random((4, 16))
+    volley_rng = random.Random(2)
+    volleys = [
+        Volley([volley_rng.randint(0, 7) for _ in range(16)]) for _ in range(20)
+    ]
+    result = benchmark(
+        compare_quantized, reference, volleys, bits=4, threshold_fraction=0.35
+    )
+    assert result.volleys_tested == 20
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,76 @@
+"""§II.C — tempotron learning (Gütig & Sompolinsky).
+
+Regenerates the supervised spike-timing classification result: a single
+SRM0 neuron learns to fire on one class of volleys and stay silent on the
+other, with integer low-resolution weights.  Sweeps jitter to show the
+robustness/shape and times training and inference.
+"""
+
+import random
+
+from repro.apps.datasets import two_class_latency
+from repro.learning.tempotron import Tempotron
+
+
+def _train_once(jitter, seed):
+    volleys, labels = two_class_latency(
+        n_lines=16, per_class=12, window=8, jitter=jitter, seed=seed
+    )
+    tuples = [tuple(v) for v in volleys]
+    tempotron = Tempotron(16, threshold=50, rng=random.Random(seed))
+    history = tempotron.train(
+        tuples, labels, epochs=30, rng=random.Random(seed + 1)
+    )
+    return tempotron.accuracy(tuples, labels), len(history)
+
+
+def report() -> str:
+    lines = ["§II.C — tempotron classification"]
+    lines.append(f"\n{'jitter':>7} {'final accuracy':>15} {'epochs used':>12}")
+    for jitter in (0, 1, 2):
+        accuracies = []
+        epochs = []
+        for seed in (1, 2, 3):
+            accuracy, n_epochs = _train_once(jitter, seed)
+            accuracies.append(accuracy)
+            epochs.append(n_epochs)
+        lines.append(
+            f"{jitter:>7} {sum(accuracies) / 3:>15.1%} "
+            f"{sum(epochs) / 3:>12.1f}"
+        )
+    lines.append(
+        "\nshape: perfect separation on clean patterns, graceful "
+        "degradation with timing jitter — the tempotron paper's "
+        "qualitative result, in 3-bit integer weights."
+    )
+    return "\n".join(lines)
+
+
+def bench_tempotron_training(benchmark):
+    volleys, labels = two_class_latency(
+        n_lines=16, per_class=10, window=8, jitter=1, seed=5
+    )
+    tuples = [tuple(v) for v in volleys]
+
+    def train():
+        tempotron = Tempotron(16, threshold=50, rng=random.Random(5))
+        tempotron.train(tuples, labels, epochs=10, rng=random.Random(6))
+        return tempotron
+
+    trained = benchmark(train)
+    assert trained.accuracy(tuples, labels) > 0.7
+
+
+def bench_tempotron_inference(benchmark):
+    volleys, labels = two_class_latency(
+        n_lines=16, per_class=10, window=8, jitter=1, seed=5
+    )
+    tuples = [tuple(v) for v in volleys]
+    tempotron = Tempotron(16, threshold=50, rng=random.Random(5))
+    tempotron.train(tuples, labels, epochs=10, rng=random.Random(6))
+    accuracy = benchmark(tempotron.accuracy, tuples, labels)
+    assert accuracy > 0.7
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,70 @@
+"""§II.C — emergent orientation selectivity (Masquelier/Thorpe-style).
+
+The flagship qualitative result of the STDP-TNN systems the paper
+surveys: oriented receptive fields emerge from unsupervised STDP on
+latency-coded images.  Regenerates the experiment on the oriented-bar
+workload and reports coverage, selectivity, and receptive-field/stimulus
+agreement.
+"""
+
+from repro.apps.vision import (
+    ORIENTATIONS,
+    OrientationExperiment,
+    bar_dataset,
+)
+
+
+def report() -> str:
+    lines = ["§II.C — emergent orientation selectivity"]
+    lines.append(
+        f"\n{'seed':>5} {'purity':>7} {'orientations claimed':>21} "
+        f"{'RF matches pref.':>17}"
+    )
+    for seed in (0, 3, 7):
+        samples = bar_dataset(presentations=80, seed=seed)
+        experiment = OrientationExperiment(seed=seed)
+        experiment.train(samples, epochs=3)
+        fresh = bar_dataset(presentations=40, seed=seed + 999)
+        purity, claimed = experiment.selectivity_report(fresh)
+        preferences = experiment.preferred_orientations()
+        matches = sum(
+            1
+            for neuron, preferred in preferences.items()
+            if experiment.field_orientation_match(neuron) == preferred
+        )
+        lines.append(
+            f"{seed:>5} {purity:>7.1%} {claimed:>14}/{len(ORIENTATIONS)} "
+            f"{matches:>12}/{len(preferences)}"
+        )
+    lines.append(
+        "\nshape: all orientations get dedicated neurons (chance purity "
+        "25%), and the learned weight vectors *are* oriented bars — the "
+        "emergent receptive fields of the surveyed systems, with zero "
+        "labels used."
+    )
+    return "\n".join(lines)
+
+
+def bench_orientation_training(benchmark):
+    samples = bar_dataset(presentations=40, seed=1)
+
+    def train():
+        experiment = OrientationExperiment(seed=1)
+        experiment.train(samples, epochs=1)
+        return experiment
+
+    experiment = benchmark(train)
+    assert experiment.column.n_neurons == 8
+
+
+def bench_orientation_inference(benchmark):
+    samples = bar_dataset(presentations=40, seed=1)
+    experiment = OrientationExperiment(seed=1)
+    experiment.train(samples, epochs=2)
+    fresh = bar_dataset(presentations=20, seed=2)
+    purity, _ = benchmark(experiment.selectivity_report, fresh)
+    assert 0.0 <= purity <= 1.0
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,24 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every ``bench_figXX_*.py`` module contains
+
+* a ``report()`` function that regenerates the figure's quantity — the
+  rows/series the paper presents — as a printable string, and is also run
+  standalone: ``python benchmarks/bench_figXX_....py``;
+* ``bench_*`` functions timed by pytest-benchmark
+  (``pytest benchmarks/ --benchmark-only``), which assert the
+  correctness property the figure illustrates before timing it.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print through pytest's capture so -s shows reports during benches."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _show

@@ -1,0 +1,67 @@
+"""Quickstart: the space-time algebra in five minutes.
+
+Walks the paper's core pipeline end to end:
+
+1. values in N0∞ and the four primitives,
+2. a normalized function table (the paper's Fig. 7 example),
+3. Theorem 1 — synthesizing the table into a min/lt/inc network,
+4. three execution semantics of the same network: denotational,
+   event-driven spikes, and cycle-accurate CMOS (generalized race logic).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    FIG7_TABLE,
+    INF,
+    inc,
+    lt,
+    maximum,
+    minimum,
+    synthesize,
+    verify,
+)
+from repro.network import evaluate_vector, simulate
+from repro.racelogic import GRLExecutor
+
+
+def main() -> None:
+    print("=== 1. The algebra ===")
+    print(f"min(3, 7)  = {minimum(3, 7)}   (first arrival)")
+    print(f"max(3, 7)  = {maximum(3, 7)}   (last arrival)")
+    print(f"lt(3, 7)   = {lt(3, 7)}   (3 passes: it is strictly earlier)")
+    print(f"lt(7, 3)   = {lt(7, 3)}   (no spike: 7 lost the race)")
+    print(f"inc(3)     = {inc(3)}   (one unit of delay)")
+    print(f"min(INF,5) = {minimum(INF, 5)}   (INF = no spike, the identity of min)")
+
+    print("\n=== 2. A normalized function table (paper Fig. 7) ===")
+    print(FIG7_TABLE.pretty())
+    print(f"\nevaluate([3,4,5]): normalize -> [0,1,2] -> 3, shift back -> "
+          f"{FIG7_TABLE.evaluate((3, 4, 5))}")
+
+    print("\n=== 3. Theorem 1: compile the table to primitives ===")
+    net = synthesize(FIG7_TABLE)
+    print(f"built {net}")
+    print(f"blocks by kind: {net.counts_by_kind()}")
+    report = verify(net.as_function(), window=4)
+    print(f"s-t properties (causality, invariance, totality): {report}")
+
+    print("\n=== 4. Three ways to run the same network ===")
+    vec = (3, 4, 5)
+    print(f"denotational   : {evaluate_vector(net, vec)}")
+
+    spikes = simulate(net, dict(zip(net.input_names, vec)))
+    print(f"event-driven   : {spikes.outputs}  "
+          f"({spikes.total_spikes} spikes, makespan {spikes.makespan})")
+
+    grl = GRLExecutor(net)
+    result = grl.run(dict(zip(net.input_names, vec)))
+    print(f"CMOS race logic: {result.outputs}  "
+          f"({result.transition_count} signal transitions, "
+          f"{grl.circuit.flipflop_count} flip-flops)")
+
+    print("\nAll three agree — the paper's §V claim in action.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Spiking neurons from digital primitives (paper §IV, Figs. 10–12).
+
+Builds an SRM0 neuron three ways and shows they are the same function:
+
+* the behavioral model a neuroscience simulator would use,
+* the paper's Fig. 12 construction — response-function fanout, bitonic
+  sorting networks, lt races against the threshold, a final min,
+* the same construction compiled to CMOS gates (generalized race logic).
+
+Also prints the biexponential response function and its up/down step
+decomposition (Fig. 11).
+
+Run:  python examples/srm0_neuron.py
+"""
+
+from repro.core import INF
+from repro.core.function import enumerate_domain
+from repro.neuron import (
+    ResponseFunction,
+    SRM0Neuron,
+    build_srm0_network,
+)
+from repro.network import structure
+from repro.racelogic import GRLExecutor
+
+
+def ascii_plot(response: ResponseFunction) -> str:
+    lines = []
+    for level in range(response.r_max, 0, -1):
+        row = "".join("#" if response(t) >= level else " " for t in range(response.t_max + 1))
+        lines.append(f"{level:>2} |{row}")
+    lines.append("   +" + "-" * (response.t_max + 1))
+    lines.append("    " + "".join(str(t % 10) for t in range(response.t_max + 1)))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("=== The biexponential response function (Fig. 11) ===")
+    response = ResponseFunction.biexponential(amplitude=5, t_max=12)
+    print(ascii_plot(response))
+    train = response.steps()
+    print(f"\nup steps at offsets   {train.ups}")
+    print(f"down steps at offsets {train.downs}")
+    print("(each step becomes one 'inc' block in the fanout network)")
+
+    print("\n=== An SRM0 neuron, three ways ===")
+    weights = [3, 2, 1]
+    threshold = 8
+    neuron = SRM0Neuron.homogeneous(
+        3, weights, base_response=ResponseFunction.biexponential(amplitude=3, t_max=8),
+        threshold=threshold,
+    )
+    print(f"weights {weights}, threshold {threshold}")
+
+    net = build_srm0_network(neuron)
+    print(f"\nFig. 12 construction: {structure(net)}")
+
+    grl = GRLExecutor(net)
+    print(f"compiled to CMOS: {grl.circuit}")
+
+    print("\ninput volley       behavioral  st-network  race-logic")
+    for vec in [(0, 0, 0), (0, 1, 2), (0, 4, 8), (2, 0, INF), (INF, 0, 1)]:
+        behavioral = neuron.fire_time(vec)
+        network = net.as_function()(*vec)
+        silicon = grl.outputs(dict(zip(net.input_names, vec)))["y"]
+        print(f"{str(vec):<18} {str(behavioral):>10}  {str(network):>10}  {str(silicon):>10}")
+
+    print("\nexhaustive check over the [0..4, INF]^3 window...")
+    f = net.as_function()
+    mismatches = sum(
+        1 for vec in enumerate_domain(3, 4) if f(*vec) != neuron.fire_time(vec)
+    )
+    print(f"mismatches: {mismatches} (the Fig. 12 construction is exact)")
+
+    print("\nNote how the neuron fires *earlier* for coincident inputs")
+    print("(0,0,0) than for dispersed ones (0,4,8) — temporal coincidence")
+    print("detection is the basic TNN computation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Supervised spike-timing classification with the tempotron (§II.C).
+
+Gütig & Sompolinsky's tempotron is an SRM0 neuron trained to fire on one
+class of spike volleys and stay silent on another.  This example trains a
+binary tempotron on jittered latency patterns, then a one-per-class bank
+on a three-class problem (Zhao et al.'s AER categorization scheme:
+earliest spike decides).
+
+Run:  python examples/tempotron_classifier.py
+"""
+
+import random
+
+from repro.apps.datasets import random_pattern, two_class_latency
+from repro.coding.volley import Volley
+from repro.learning import MultiClassTempotron, Tempotron
+
+
+def main() -> None:
+    print("=== Binary tempotron ===")
+    volleys, labels = two_class_latency(
+        n_lines=16, per_class=15, window=8, jitter=1, seed=11
+    )
+    volley_tuples = [tuple(v) for v in volleys]
+    tempotron = Tempotron(16, threshold=50, rng=random.Random(11))
+    print(f"before training: accuracy {tempotron.accuracy(volley_tuples, labels):.1%}")
+    history = tempotron.train(
+        volley_tuples, labels, epochs=25, rng=random.Random(12)
+    )
+    print(f"training epochs: {len(history)}, "
+          f"accuracy history: {[f'{h:.0%}' for h in history]}")
+    print(f"after training : accuracy {tempotron.accuracy(volley_tuples, labels):.1%}")
+    print(f"learned weights: {tempotron.weights.tolist()}")
+
+    print("\n=== Three-class bank (earliest spike decides) ===")
+    rng = random.Random(21)
+    patterns = [
+        random_pattern(20, active_lines=10, window=8, rng=rng) for _ in range(3)
+    ]
+    from repro.core import INF, Infinity
+
+    data = []
+    for label, pattern in enumerate(patterns):
+        for _ in range(10):
+            jittered = tuple(
+                INF if isinstance(t, Infinity)
+                else max(0, int(t) + rng.randint(-1, 1))
+                for t in pattern
+            )
+            data.append((jittered, label))
+    rng.shuffle(data)
+    volley_list = [Volley(v).times for v, _ in data]
+    label_list = [label for _, label in data]
+
+    bank = MultiClassTempotron.create(3, 20, threshold=45, rng=random.Random(3))
+    history = bank.train(volley_list, label_list, epochs=30, rng=random.Random(4))
+    print(f"multi-class accuracy history: {[f'{h:.0%}' for h in history]}")
+
+    hits = sum(
+        1 for v, label in zip(volley_list, label_list) if bank.predict(v) == label
+    )
+    print(f"final accuracy: {hits / len(label_list):.1%} on {len(label_list)} volleys")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduction of the paper's Fig. 4 example: trajectory tracking.
+
+Bichler et al. trained a TNN on DVS/AER recordings of freeway traffic;
+after unsupervised STDP, individual neurons specialized to individual
+lanes.  The original recordings are unavailable, so this reproduction
+synthesizes the workload — blobs sweeping across lanes of a pixel grid,
+difference-encoded into AER events — and runs the same architecture:
+AER sensor -> spike volleys -> excitatory neurons -> WTA inhibition,
+trained with STDP.
+
+Run:  python examples/trajectory_tracking.py
+"""
+
+from repro.apps.trajectory import (
+    TrafficConfig,
+    TrajectoryTracker,
+    synthesize_traffic,
+    windows_with_labels,
+)
+
+
+def main() -> None:
+    config = TrafficConfig(width=16, height=8, n_lanes=2, seed=42)
+    print(f"sensor: {config.width}x{config.height}, {config.n_lanes} lanes")
+
+    print("\n=== Synthesizing AER traffic ===")
+    stream, schedule = synthesize_traffic(config, n_vehicles=14)
+    print(f"{len(stream)} AER events over {stream.duration} ticks "
+          f"({len(schedule)} vehicles)")
+    train_data = windows_with_labels(stream, schedule, window=4)
+    print(f"{len(train_data)} labeled spike volleys "
+          f"({train_data[0].volley.spike_count} spikes in the first)")
+
+    print("\n=== Unsupervised STDP training ===")
+    tracker = TrajectoryTracker(config, seed=42)
+    tracker.train(train_data, epochs=3)
+    print(f"column: {tracker.column}")
+
+    print("\n=== Evaluation on fresh traffic ===")
+    test_stream, test_schedule = synthesize_traffic(
+        TrafficConfig(width=16, height=8, n_lanes=2, seed=4242), n_vehicles=8
+    )
+    test_data = windows_with_labels(test_stream, test_schedule, window=4)
+    result = tracker.evaluate(test_data)
+
+    print(f"lane purity          : {result.lane_purity:.1%}")
+    print(f"window coverage      : {result.coverage:.1%}")
+    print(f"distinct lanes found : {result.distinct_lanes_claimed} "
+          f"of {config.n_lanes}")
+    print("\nneuron -> lane specialization:")
+    for neuron, lane in sorted(result.lane_of_neuron.items()):
+        print(f"  neuron {neuron} tracks lane {lane}")
+
+    print("\nNo labels were used in training: lane specialization emerged")
+    print("from STDP + WTA alone, as in Bichler et al.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Emergent orientation-selective receptive fields (§II.C's V1 story).
+
+The classic STDP-TNN demonstration: latency-coded images of oriented
+bars drive a WTA column; after unsupervised STDP with homeostasis, each
+neuron's weight vector has *become* an oriented filter — printed here as
+ASCII receptive fields next to the stimuli that drive them.
+
+Run:  python examples/visual_features.py
+"""
+
+from repro.apps.vision import (
+    ORIENTATIONS,
+    OrientationExperiment,
+    bar_dataset,
+    oriented_bar,
+)
+
+
+def ascii_image(image, *, shades=" .:-=+*#%@") -> list[str]:
+    top = max(float(image.max()), 1.0)
+    rows = []
+    for row in image:
+        rows.append(
+            "".join(
+                shades[min(len(shades) - 1, int(v / top * (len(shades) - 1)))]
+                for v in row
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    print("=== Stimuli: latency-coded oriented bars ===")
+    blocks = [ascii_image(oriented_bar(7, o)) for o in ORIENTATIONS]
+    print("   " + "   ".join(f"{o}°".center(7) for o in ORIENTATIONS))
+    for row in range(7):
+        print("   " + "   ".join(block[row] for block in blocks))
+
+    print("\n=== Unsupervised STDP training (no labels) ===")
+    samples = bar_dataset(presentations=80, seed=7)
+    experiment = OrientationExperiment(seed=7)
+    experiment.train(samples, epochs=3)
+    print(f"trained on {len(samples)} jittered, noisy presentations")
+
+    fresh = bar_dataset(presentations=40, seed=1234)
+    purity, claimed = experiment.selectivity_report(fresh)
+    print(f"selectivity on fresh data: purity {purity:.0%} "
+          f"(chance 25%), {claimed}/{len(ORIENTATIONS)} orientations claimed")
+
+    print("\n=== Learned receptive fields (weight vectors as images) ===")
+    preferences = experiment.preferred_orientations()
+    for neuron in range(experiment.column.n_neurons):
+        field = experiment.receptive_field(neuron)
+        preferred = preferences.get(neuron)
+        match = experiment.field_orientation_match(neuron)
+        print(f"\nneuron {neuron}: prefers {preferred}°, "
+              f"field looks like {match}°")
+        for row in ascii_image(field):
+            print(f"   {row}")
+
+    print("\nThe filters were never told what a bar is — orientation")
+    print("selectivity emerged from spike timing + STDP + WTA alone.")
+
+
+if __name__ == "__main__":
+    main()

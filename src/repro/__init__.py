@@ -1,0 +1,35 @@
+"""repro — Space-Time Algebra: A Model for Neocortical Computation.
+
+A full reimplementation of the computing model of J. E. Smith's ISCA 2018
+paper: the space-time algebra over ``N0∞``, feedforward space-time
+computing networks, constructive functional completeness (min/lt/inc),
+temporal neural network components (SRM0 neurons via sorting networks,
+micro-weight synapses, winner-take-all inhibition), STDP and tempotron
+learning, temporal coding, and generalized race logic with a gate-level
+digital simulator.
+
+Quickstart::
+
+    from repro.core import INF, NormalizedTable, synthesize
+    from repro.network import evaluate_vector
+
+    table = NormalizedTable({(0, 1, 2): 3, (1, 0, INF): 2, (2, 2, 0): 2})
+    net = synthesize(table)
+    evaluate_vector(net, (3, 4, 5))   # {'y': 6}
+"""
+
+from . import analysis, apps, coding, core, learning, network, neuron, racelogic
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "coding",
+    "core",
+    "learning",
+    "network",
+    "neuron",
+    "racelogic",
+    "__version__",
+]

@@ -1,0 +1,130 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``selfcheck`` — run the library's core equivalence and property checks
+  (the paper's headline claims) and print a pass/fail summary.  Useful
+  after installation or porting to a new Python.
+* ``info`` — version and package inventory.
+
+Exit status is non-zero when a selfcheck fails.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _selfcheck() -> int:
+    import random
+
+    from .analysis.equivalence import check_network
+    from .core.algebra import maximum
+    from .core.function import enumerate_domain
+    from .core.lattice import check_lattice_laws, standard_domain
+    from .core.properties import verify
+    from .core.synthesis import max_from_min_lt, synthesize
+    from .core.table import FIG7_TABLE, NormalizedTable
+    from .neuron.response import ResponseFunction
+    from .neuron.srm0 import SRM0Neuron
+    from .neuron.srm0_network import build_srm0_network
+
+    failures = 0
+
+    def check(label: str, ok: bool) -> None:
+        nonlocal failures
+        print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+        if not ok:
+            failures += 1
+
+    print("repro selfcheck — Space-Time Algebra (Smith, ISCA 2018)")
+
+    check(
+        "lattice laws (bounded distributive lattice, §III.D)",
+        not check_lattice_laws(standard_domain(5)),
+    )
+
+    lemma2 = max_from_min_lt().as_function()
+    check(
+        "Lemma 2: max from min+lt, exhaustive window 8",
+        all(lemma2(a, b) == maximum(a, b) for a, b in enumerate_domain(2, 8)),
+    )
+
+    net = synthesize(FIG7_TABLE)
+    check(
+        "Theorem 1: Fig. 7 table synthesis ([3,4,5] -> 6)",
+        net.as_function()(3, 4, 5) == 6,
+    )
+    check(
+        "s-t properties of the synthesized network",
+        verify(net.as_function(), window=4).ok,
+    )
+    check(
+        "three execution semantics agree (denotational/event/CMOS)",
+        check_network(net, window=3).ok,
+    )
+
+    table = NormalizedTable.random(3, window=3, n_rows=5, rng=random.Random(1))
+    synthesized = synthesize(table).as_function()
+    check(
+        "Theorem 1 on a random table (exhaustive)",
+        all(
+            synthesized(*vec) == table.evaluate_causal(vec)
+            for vec in enumerate_domain(3, table.max_entry() + 1)
+        ),
+    )
+
+    base = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=3)
+    neuron = SRM0Neuron.homogeneous(2, [2, 1], base_response=base, threshold=3)
+    fig12 = build_srm0_network(neuron).as_function()
+    check(
+        "Fig. 12 SRM0 construction == behavioral neuron (exhaustive)",
+        all(
+            fig12(*vec) == neuron.fire_time(vec)
+            for vec in enumerate_domain(2, 5)
+        ),
+    )
+
+    from .racelogic.shortest_path import dijkstra, race_shortest_paths, random_dag
+
+    graph = random_dag(12, edge_probability=0.35, rng=random.Random(2))
+    check(
+        "race-logic shortest paths == Dijkstra",
+        race_shortest_paths(graph, 0) == dijkstra(graph, 0),
+    )
+
+    print(
+        f"\n{'ALL CHECKS PASSED' if not failures else f'{failures} CHECK(S) FAILED'}"
+    )
+    return 1 if failures else 0
+
+
+def _info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print("Space-Time Algebra: A Model for Neocortical Computation")
+    print("(J. E. Smith, ISCA 2018) — full Python reproduction")
+    print("\npackages:")
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        module = getattr(repro, name)
+        doc = (module.__doc__ or "").strip().splitlines()
+        print(f"  repro.{name:<10} {doc[0] if doc else ''}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    command = args[0] if args else "info"
+    if command == "selfcheck":
+        return _selfcheck()
+    if command == "info":
+        return _info()
+    print(f"unknown command {command!r}; try: info, selfcheck")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

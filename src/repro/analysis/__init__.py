@@ -1,0 +1,46 @@
+"""Analysis tools: taxonomy testing and cross-implementation equivalence."""
+
+from .equivalence import (
+    Disagreement,
+    EquivalenceReport,
+    check_network,
+    compare,
+    network_implementations,
+)
+from .robustness import (
+    RobustnessReport,
+    column_evaluator,
+    jitter_input,
+    measure_robustness,
+    network_evaluator,
+)
+from .viz import raster, response_plot, trace_raster, waveforms
+from .taxonomy import (
+    NetworkClass,
+    TaxonomyReport,
+    classify_counts,
+    classify_simulation,
+    synthetic_rate_trace,
+)
+
+__all__ = [
+    "Disagreement",
+    "EquivalenceReport",
+    "NetworkClass",
+    "RobustnessReport",
+    "TaxonomyReport",
+    "check_network",
+    "classify_counts",
+    "column_evaluator",
+    "jitter_input",
+    "measure_robustness",
+    "network_evaluator",
+    "classify_simulation",
+    "raster",
+    "response_plot",
+    "compare",
+    "network_implementations",
+    "synthetic_rate_trace",
+    "trace_raster",
+    "waveforms",
+]

@@ -1,0 +1,128 @@
+"""Cross-implementation equivalence checking.
+
+The reproduction's central experimental method: the same s-t function has
+up to four independent implementations —
+
+1. a behavioral model (e.g. :class:`~repro.neuron.srm0.SRM0Neuron`),
+2. denotational network evaluation (:func:`repro.network.simulator.evaluate`),
+3. operational event simulation (:class:`~repro.network.events.EventSimulator`),
+4. cycle-accurate GRL hardware (:class:`~repro.racelogic.compile.GRLExecutor`),
+
+and the paper's claims are exactly that these all agree.  This module
+drives the comparisons over exhaustive or sampled domains and reports the
+first disagreements found.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.function import enumerate_domain
+from ..core.value import Time
+from ..network.events import EventSimulator
+from ..network.graph import Network
+from ..network.simulator import evaluate
+from ..racelogic.compile import GRLExecutor
+
+Implementation = Callable[[tuple[Time, ...]], dict[str, Time]]
+
+
+@dataclass
+class Disagreement:
+    """One input where two implementations diverge."""
+
+    inputs: tuple[Time, ...]
+    results: dict[str, dict[str, Time]]
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{name}={out}" for name, out in self.results.items())
+        return f"at {self.inputs}: {parts}"
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of comparing implementations over a domain."""
+
+    implementations: list[str]
+    vectors_checked: int = 0
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def __str__(self) -> str:
+        verdict = (
+            "all agree"
+            if self.ok
+            else f"{len(self.disagreements)} disagreement(s)"
+        )
+        return (
+            f"{' vs '.join(self.implementations)}: {verdict} over "
+            f"{self.vectors_checked} vectors"
+        )
+
+
+def compare(
+    implementations: dict[str, Implementation],
+    vectors: Iterable[tuple[Time, ...]],
+    *,
+    max_disagreements: int = 10,
+) -> EquivalenceReport:
+    """Run every implementation on every vector; collect mismatches."""
+    if len(implementations) < 2:
+        raise ValueError("need at least two implementations to compare")
+    report = EquivalenceReport(list(implementations))
+    for vec in vectors:
+        report.vectors_checked += 1
+        results = {name: impl(vec) for name, impl in implementations.items()}
+        baseline = next(iter(results.values()))
+        if any(out != baseline for out in results.values()):
+            report.disagreements.append(Disagreement(vec, results))
+            if len(report.disagreements) >= max_disagreements:
+                break
+    return report
+
+
+def network_implementations(network: Network, *, include_grl: bool = True) -> dict[str, Implementation]:
+    """The standard trio for a (parameter-free) network."""
+    names = network.input_names
+    if network.param_ids:
+        raise ValueError("bind parameters before comparing implementations")
+    event_sim = EventSimulator(network)
+    impls: dict[str, Implementation] = {
+        "denotational": lambda vec: evaluate(network, dict(zip(names, vec))),
+        "event-driven": lambda vec: event_sim.run(dict(zip(names, vec))).outputs,
+    }
+    if include_grl:
+        executor = GRLExecutor(network)
+        impls["grl-digital"] = lambda vec: executor.outputs(dict(zip(names, vec)))
+    return impls
+
+
+def check_network(
+    network: Network,
+    *,
+    window: int = 4,
+    include_grl: bool = True,
+    sample: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> EquivalenceReport:
+    """Compare a network's three execution semantics.
+
+    Exhaustive over ``[0..window, ∞]^arity`` by default; pass *sample* to
+    draw that many random vectors instead (for wide networks).
+    """
+    arity = len(network.input_names)
+    if sample is None:
+        vectors: Iterable[tuple[Time, ...]] = enumerate_domain(arity, window)
+    else:
+        from ..core.properties import sample_vectors
+
+        vectors = sample_vectors(
+            arity, count=sample, max_time=window, rng=rng or random.Random(0)
+        )
+    return compare(network_implementations(network, include_grl=include_grl), vectors)

@@ -1,0 +1,105 @@
+"""The RNN-vs-TNN taxonomy test (paper §II.B, Fig. 3).
+
+The paper's informal test for classifying a spiking network: if every
+interconnection line carries at most one spike during a feedforward
+computation it is most likely a TNN; if lines must carry at least two
+spikes (the minimum to establish a rate) it is most likely an RNN.
+
+This module applies the test mechanically to spike traces — either traces
+recorded from our own event simulator (always TNN, by construction) or
+externally supplied per-line spike counts (e.g. synthetic rate-coded
+traffic, used in tests and the Fig. 3 benchmark).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+from ..network.events import SimulationResult
+
+
+class NetworkClass(Enum):
+    """Fig. 3's leaf categories, as decidable from spike traffic."""
+
+    TNN = "temporal (at most one spike per line)"
+    RNN = "rate-based (every active line spikes repeatedly)"
+    MIXED = "indeterminate (some lines singular, some repeating)"
+    SILENT = "no spikes observed"
+
+
+@dataclass(frozen=True)
+class TaxonomyReport:
+    """Outcome of the spike-count test on one computation."""
+
+    classification: NetworkClass
+    lines_observed: int
+    active_lines: int
+    max_spikes_per_line: int
+    mean_spikes_per_active_line: float
+
+
+def classify_counts(spikes_per_line: Sequence[int]) -> TaxonomyReport:
+    """Apply the paper's test to per-line spike counts of one computation."""
+    active = [c for c in spikes_per_line if c > 0]
+    if not active:
+        return TaxonomyReport(
+            NetworkClass.SILENT, len(spikes_per_line), 0, 0, 0.0
+        )
+    peak = max(active)
+    if peak <= 1:
+        cls = NetworkClass.TNN
+    elif min(active) >= 2:
+        cls = NetworkClass.RNN
+    else:
+        cls = NetworkClass.MIXED
+    return TaxonomyReport(
+        classification=cls,
+        lines_observed=len(spikes_per_line),
+        active_lines=len(active),
+        max_spikes_per_line=peak,
+        mean_spikes_per_active_line=sum(active) / len(active),
+    )
+
+
+def classify_simulation(result: SimulationResult) -> TaxonomyReport:
+    """Classify a run of our event simulator (lines = node outputs)."""
+    counts = [0] * len(result.fire_times)
+    for event in result.trace:
+        counts[event.node_id] += 1
+    return classify_counts(counts)
+
+
+def synthetic_rate_trace(
+    n_lines: int,
+    *,
+    mean_rate: float = 4.0,
+    duration: int = 16,
+    seed: int = 0,
+) -> list[int]:
+    """Per-line spike counts of a Poisson rate-coded computation.
+
+    The counterpoint workload for the Fig. 3 benchmark: every line carries
+    multiple spikes because the *rate* is the message.  Lines are
+    guaranteed at least 2 spikes (the paper's minimum to establish a
+    rate) by resampling.
+    """
+    rng = random.Random(seed)
+    counts = []
+    for _ in range(n_lines):
+        # Poisson via inversion, floored at 2 spikes.
+        lam = mean_rate * duration / 16
+        count = 0
+        threshold = rng.random()
+        cumulative = 0.0
+        probability = 2.718281828459045 ** (-lam)
+        k = 0
+        while cumulative + probability < threshold and k < 10 * lam + 10:
+            cumulative += probability
+            k += 1
+            probability *= lam / k
+        count = max(2, k)
+        counts.append(count)
+    return counts

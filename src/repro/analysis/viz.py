@@ -1,0 +1,139 @@
+"""ASCII visualization of temporal data.
+
+Spike timing is inherently visual — the paper communicates through
+timelines (Fig. 5), response curves (Fig. 2), and waveforms (Fig. 16).
+These renderers produce terminal-friendly views used by the examples and
+handy in a REPL:
+
+* :func:`raster` — a spike raster of one or more volleys,
+* :func:`response_plot` — a response function as a filled bar chart,
+* :func:`waveforms` — GRL logic levels over cycles,
+* :func:`trace_raster` — the spike trace of an event-driven run.
+
+Pure string-building; no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..core.value import Infinity, Time
+from ..coding.volley import Volley
+from ..network.events import SimulationResult
+from ..neuron.response import ResponseFunction
+
+
+def raster(
+    volleys: Sequence[Volley | Sequence[Time]],
+    *,
+    labels: Sequence[str] | None = None,
+    width: int | None = None,
+    mark: str = "|",
+) -> str:
+    """Spike raster: one row per line, time running left to right.
+
+    Multiple volleys render stacked with blank separators (useful for
+    before/after-WTA comparisons).  ``∞`` lines stay empty.
+    """
+    groups = [tuple(v) for v in volleys]
+    if not groups:
+        return "(no volleys)"
+    finite = [
+        int(t) for group in groups for t in group if not isinstance(t, Infinity)
+    ]
+    horizon = width if width is not None else (max(finite) + 1 if finite else 1)
+    lines: list[str] = []
+    lines.append("time  " + "".join(str(t % 10) for t in range(horizon)))
+    for index, group in enumerate(groups):
+        if index:
+            lines.append("")
+        label = labels[index] if labels and index < len(labels) else f"volley {index}"
+        lines.append(f"-- {label}")
+        for line_index, t in enumerate(group):
+            row = [" "] * horizon
+            if not isinstance(t, Infinity) and int(t) < horizon:
+                row[int(t)] = mark
+            suffix = "" if not isinstance(t, Infinity) else "  (no spike)"
+            lines.append(f"x{line_index:<3} |" + "".join(row) + f"|{suffix}")
+    return "\n".join(lines)
+
+
+def response_plot(response: ResponseFunction, *, fill: str = "#") -> str:
+    """A response function as a vertical bar chart (like Fig. 2/11)."""
+    top = max(response.r_max, 0)
+    bottom = min(response.r_min, 0)
+    lines: list[str] = []
+    for level in range(top, 0, -1):
+        row = "".join(
+            fill if response(t) >= level else " "
+            for t in range(response.t_max + 1)
+        )
+        lines.append(f"{level:>3} |{row}")
+    lines.append("  0 +" + "-" * (response.t_max + 1))
+    for level in range(-1, bottom - 1, -1):
+        row = "".join(
+            fill if response(t) <= level else " "
+            for t in range(response.t_max + 1)
+        )
+        lines.append(f"{level:>3} |{row}")
+    lines.append("     " + "".join(str(t % 10) for t in range(response.t_max + 1)))
+    return "\n".join(lines)
+
+
+def waveforms(
+    signals: Mapping[str, Sequence[int]],
+    *,
+    high: str = "¯",
+    low: str = "_",
+) -> str:
+    """GRL logic levels over cycles, one labeled row per signal.
+
+    *signals* maps a name to its level trace (``EdgeSignal.trace`` or the
+    raw lists from :func:`repro.racelogic.gates.lt_unlatched_waveform`).
+    """
+    if not signals:
+        return "(no signals)"
+    horizon = max(len(levels) for levels in signals.values())
+    pad = max(len(name) for name in signals)
+    lines = [" " * (pad + 2) + "".join(str(c % 10) for c in range(horizon))]
+    for name, levels in signals.items():
+        row = "".join(
+            (high if level else low) for level in levels
+        ).ljust(horizon)
+        lines.append(f"{name:>{pad}}  {row}")
+    return "\n".join(lines)
+
+
+def trace_raster(
+    result: SimulationResult,
+    *,
+    node_names: Mapping[int, str] | None = None,
+    max_nodes: int = 40,
+) -> str:
+    """Raster of an event-driven run: which node spiked when.
+
+    Nodes that never fire are omitted; at most *max_nodes* rows render
+    (earliest firing first) to keep large networks readable.
+    """
+    fired = sorted(
+        (int(t), node_id)
+        for node_id, t in enumerate(result.fire_times)
+        if not isinstance(t, Infinity)
+    )
+    if not fired:
+        return "(silent computation)"
+    horizon = fired[-1][0] + 1
+    shown = fired[:max_nodes]
+    lines = ["time  " + "".join(str(t % 10) for t in range(horizon))]
+    for t, node_id in shown:
+        name = (
+            node_names.get(node_id, f"n{node_id}")
+            if node_names
+            else f"n{node_id}"
+        )
+        row = [" "] * horizon
+        row[t] = "|"
+        lines.append(f"{name:>5} |" + "".join(row) + "|")
+    if len(fired) > max_nodes:
+        lines.append(f"... {len(fired) - max_nodes} more node(s) elided")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""End-to-end TNN applications built on the library.
+
+The workloads the paper's survey motivates: unsupervised pattern
+classification (Masquelier/Thorpe-style), Bichler-style AER trajectory
+tracking (Fig. 4), and RBF-like temporal clustering with compound
+synapses — plus the synthetic dataset generators standing in for the
+original (unavailable) recordings.
+"""
+
+from .classifier import ClassifierConfig, TNNClassifier
+from .clustering import CompoundSynapseNeuron, TemporalClusterer, purity
+from .vision import (
+    ORIENTATIONS,
+    OrientationExperiment,
+    bar_dataset,
+    oriented_bar,
+    run_orientation_experiment,
+)
+from .liquid import LiquidStateMachine, Readout, sequence_classification_experiment
+from .datasets import (
+    LabeledVolley,
+    embedded_patterns,
+    latency_clusters,
+    random_pattern,
+    two_class_latency,
+)
+from .trajectory import (
+    TrackerResult,
+    TrafficConfig,
+    TrajectoryTracker,
+    run_experiment,
+    synthesize_traffic,
+    windows_with_labels,
+)
+
+__all__ = [
+    "ClassifierConfig",
+    "CompoundSynapseNeuron",
+    "LabeledVolley",
+    "LiquidStateMachine",
+    "ORIENTATIONS",
+    "OrientationExperiment",
+    "Readout",
+    "TNNClassifier",
+    "TemporalClusterer",
+    "TrackerResult",
+    "TrafficConfig",
+    "TrajectoryTracker",
+    "bar_dataset",
+    "embedded_patterns",
+    "oriented_bar",
+    "latency_clusters",
+    "purity",
+    "random_pattern",
+    "run_experiment",
+    "run_orientation_experiment",
+    "sequence_classification_experiment",
+    "synthesize_traffic",
+    "two_class_latency",
+    "windows_with_labels",
+]

@@ -1,0 +1,127 @@
+"""An end-to-end TNN pattern classifier (§II.C's common architecture).
+
+Encoder → excitatory column → WTA readout, trained with unsupervised
+STDP: the pipeline shared by Masquelier/Thorpe, Kheradpisheh et al., and
+the paper's Fig. 4 example.  Because training is unsupervised, class
+labels are attached afterwards by majority vote over a labeled calibration
+set (the standard evaluation protocol for STDP-trained TNNs).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..coding.volley import Volley
+from ..learning.stdp import LearningRule, STDPRule, STDPTrainer
+from ..neuron.column import Column
+from ..neuron.response import ResponseFunction
+from ..neuron.wta import first_winner
+from .datasets import LabeledVolley
+
+
+@dataclass
+class ClassifierConfig:
+    """Knobs of the TNN classifier."""
+
+    n_neurons: int = 6
+    threshold_fraction: float = 0.5
+    max_weight: int = 7
+    wta_window: int = 1
+    epochs: int = 4
+    seed: int = 0
+
+
+class TNNClassifier:
+    """Unsupervised-STDP column with majority-vote label assignment."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        *,
+        config: Optional[ClassifierConfig] = None,
+        rule: Optional[LearningRule] = None,
+        base_response: Optional[ResponseFunction] = None,
+    ):
+        self.config = config or ClassifierConfig()
+        self.rule = rule or STDPRule(w_max=self.config.max_weight)
+        base = base_response or ResponseFunction.step(amplitude=1, width=8)
+        rng = random.Random(self.config.seed)
+        initial = np.array(
+            [
+                [
+                    rng.randint(1, max(1, self.config.max_weight // 2))
+                    for _ in range(n_inputs)
+                ]
+                for _ in range(self.config.n_neurons)
+            ],
+            dtype=np.int64,
+        )
+        # Threshold as a fraction of a typical pattern's maximum drive.
+        drive = base.r_max * self.config.max_weight * n_inputs
+        threshold = max(1, round(drive * self.config.threshold_fraction * 0.25))
+        self.column = Column(
+            initial,
+            threshold=threshold,
+            base_response=base,
+            wta_window=self.config.wta_window,
+        )
+        self.neuron_labels: dict[int, int] = {}
+        self._rng = rng
+
+    # -- training --------------------------------------------------------------
+    def fit(self, data: Sequence[LabeledVolley]) -> None:
+        """Unsupervised STDP training followed by label calibration."""
+        trainer = STDPTrainer(
+            self.column, self.rule, rng=random.Random(self.config.seed + 1)
+        )
+        trainer.train(
+            [item.volley for item in data], epochs=self.config.epochs
+        )
+        self.calibrate(data)
+
+    def calibrate(self, data: Sequence[LabeledVolley]) -> None:
+        """Assign each neuron the majority label of the volleys it wins."""
+        votes: dict[int, Counter] = {
+            i: Counter() for i in range(self.column.n_neurons)
+        }
+        for item in data:
+            winner = first_winner(self.column.excitation(tuple(item.volley)))
+            if winner is not None:
+                votes[winner][item.label] += 1
+        self.neuron_labels = {
+            neuron: counts.most_common(1)[0][0]
+            for neuron, counts in votes.items()
+            if counts
+        }
+
+    # -- inference --------------------------------------------------------------
+    def predict(self, volley: Volley) -> Optional[int]:
+        """Predicted class, or None when the column is silent/tied."""
+        winner = first_winner(self.column.excitation(tuple(volley)))
+        if winner is None:
+            return None
+        return self.neuron_labels.get(winner)
+
+    def accuracy(self, data: Sequence[LabeledVolley]) -> float:
+        """Fraction of volleys classified correctly (None counts as wrong)."""
+        if not data:
+            return 1.0
+        hits = sum(
+            1 for item in data if self.predict(item.volley) == item.label
+        )
+        return hits / len(data)
+
+    def coverage(self, data: Sequence[LabeledVolley]) -> float:
+        """Fraction of volleys on which the column makes *any* decision."""
+        if not data:
+            return 1.0
+        decided = sum(
+            1 for item in data if self.predict(item.volley) is not None
+        )
+        return decided / len(data)

@@ -1,0 +1,219 @@
+"""RBF-like temporal clustering with compound synapses (§II.C).
+
+Hopfield's 1995 observation, developed by Natschläger & Ruf and Bohte et
+al.: multiple synaptic paths with different delays between the same two
+neurons act as a tapped delay line.  A neuron with one synapse per
+(input, delay) pair responds maximally when each input's spike arrives at
+the delay its strong synapse selects — i.e. it matches a *latency
+pattern*, like a radial basis function centred on that pattern.
+
+:class:`CompoundSynapseNeuron` implements the tapped-delay neuron on top
+of the behavioral SRM0 model; :class:`TemporalClusterer` trains a bank of
+them with winner-take-all STDP on the delay weights and reads clusters
+off the winners.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..core.value import Infinity, Time
+from ..coding.volley import Volley
+from ..neuron.response import ResponseFunction
+from ..neuron.srm0 import SRM0Neuron
+from ..neuron.wta import winners
+
+
+class CompoundSynapseNeuron:
+    """An SRM0 neuron with ``n_delays`` parallel paths per input.
+
+    ``weights[input][delay]`` selects how strongly the path with that
+    delay drives the neuron; the effective response of input *i* is
+    ``Σ_d weights[i][d] * base.delayed(d)``.  The neuron fires earliest
+    when each input spikes such that its strongest path's delay lands the
+    response peaks together — a temporal RBF.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        *,
+        threshold: int,
+        base_response: Optional[ResponseFunction] = None,
+    ):
+        matrix = np.asarray(weights, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError("weights must be (n_inputs, n_delays)")
+        self.weights = matrix
+        self.threshold = threshold
+        self.base = base_response or ResponseFunction.piecewise_linear(
+            amplitude=2, rise=1, fall=2
+        )
+        self._neuron = self._build()
+
+    def _build(self) -> SRM0Neuron:
+        responses = []
+        horizon = self.base.t_max + self.n_delays
+        for row in self.weights:
+            combined = [0] * (horizon + 1)
+            for delay, weight in enumerate(row):
+                if weight:
+                    shifted = self.base.delayed(delay)
+                    for t in range(horizon + 1):
+                        combined[t] += int(weight) * shifted(t)
+            responses.append(ResponseFunction(combined, name="compound"))
+        return SRM0Neuron(responses, self.threshold, name="rbf")
+
+    @property
+    def n_inputs(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def n_delays(self) -> int:
+        return self.weights.shape[1]
+
+    def fire_time(self, volley: Sequence[Time]) -> Time:
+        return self._neuron.fire_time(tuple(volley))
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        matrix = np.asarray(weights, dtype=np.int64)
+        if matrix.shape != self.weights.shape:
+            raise ValueError("weight shape cannot change")
+        self.weights = matrix
+        self._neuron = self._build()
+
+    @classmethod
+    def for_center(
+        cls,
+        center: Sequence[int],
+        *,
+        n_delays: int,
+        weight: int = 4,
+        threshold: Optional[int] = None,
+        base_response: Optional[ResponseFunction] = None,
+    ) -> "CompoundSynapseNeuron":
+        """A neuron hand-tuned to a latency pattern.
+
+        Input *i* gets its strong synapse at delay ``max(center) -
+        center[i]``, so all paths peak together when the exact pattern is
+        applied — the RBF center.
+        """
+        top = max(center)
+        if top - min(center) >= n_delays:
+            raise ValueError("center span exceeds the delay line length")
+        matrix = np.zeros((len(center), n_delays), dtype=np.int64)
+        for i, latency in enumerate(center):
+            matrix[i][top - latency] = weight
+        theta = threshold if threshold is not None else weight * len(center)
+        return cls(matrix, threshold=theta, base_response=base_response)
+
+
+class TemporalClusterer:
+    """A WTA bank of compound-synapse neurons, trained by delay STDP."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_clusters: int,
+        *,
+        n_delays: int = 8,
+        w_max: int = 4,
+        threshold_fraction: float = 0.55,
+        seed: int = 0,
+        base_response: Optional[ResponseFunction] = None,
+    ):
+        self.n_delays = n_delays
+        self.w_max = w_max
+        self.rng = random.Random(seed)
+        base = base_response or ResponseFunction.piecewise_linear(
+            amplitude=2, rise=1, fall=2
+        )
+        threshold = max(1, round(w_max * base.r_max * n_inputs * threshold_fraction))
+        self.neurons = [
+            CompoundSynapseNeuron(
+                np.array(
+                    [
+                        [self.rng.randint(0, 2) for _ in range(n_delays)]
+                        for _ in range(n_inputs)
+                    ],
+                    dtype=np.int64,
+                ),
+                threshold=threshold,
+                base_response=base,
+            )
+            for _ in range(n_clusters)
+        ]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.neurons)
+
+    # -- inference ------------------------------------------------------------
+    def assign(self, volley: Volley | Sequence[Time]) -> Optional[int]:
+        """Cluster index: the earliest-firing neuron (None if silent/tied)."""
+        times = tuple(volley)
+        raw = tuple(n.fire_time(times) for n in self.neurons)
+        tied = winners(raw)
+        return tied[0] if len(tied) == 1 else None
+
+    # -- learning ------------------------------------------------------------
+    def train_step(self, volley: Volley | Sequence[Time]) -> Optional[int]:
+        """Delay-selective STDP on the winning neuron.
+
+        For each input that spiked, the delay slot that would have landed
+        the response at the winner's fire time is potentiated; all other
+        slots of that input decay.  This is Natschläger & Ruf's rule in
+        integer form: delay selection by reinforcement.
+        """
+        times = tuple(volley)
+        raw = tuple(n.fire_time(times) for n in self.neurons)
+        tied = winners(raw)
+        if not tied:
+            return None
+        winner = tied[0] if len(tied) == 1 else self.rng.choice(tied)
+        t_out = raw[winner]
+        assert not isinstance(t_out, Infinity)
+        neuron = self.neurons[winner]
+        matrix = neuron.weights.copy()
+        peak_offset = neuron.base.values.index(neuron.base.r_max)
+        for i, t_in in enumerate(times):
+            if isinstance(t_in, Infinity):
+                continue
+            ideal = int(t_out) - int(t_in) - peak_offset
+            for d in range(neuron.n_delays):
+                if d == ideal:
+                    matrix[i][d] = min(self.w_max, matrix[i][d] + 2)
+                elif matrix[i][d] > 0 and abs(d - ideal) > 1:
+                    matrix[i][d] -= 1
+        neuron.set_weights(matrix)
+        return winner
+
+    def train(
+        self, volleys: Sequence[Volley | Sequence[Time]], *, epochs: int = 3
+    ) -> None:
+        for _ in range(epochs):
+            order = list(range(len(volleys)))
+            self.rng.shuffle(order)
+            for i in order:
+                self.train_step(volleys[i])
+
+
+def purity(assignments: Sequence[Optional[int]], labels: Sequence[int]) -> float:
+    """Cluster purity: majority-label mass over decided assignments."""
+    if len(assignments) != len(labels):
+        raise ValueError("one label per assignment required")
+    buckets: dict[int, dict[int, int]] = {}
+    decided = 0
+    for cluster, label in zip(assignments, labels):
+        if cluster is None:
+            continue
+        decided += 1
+        buckets.setdefault(cluster, {}).setdefault(label, 0)
+        buckets[cluster][label] += 1
+    if not decided:
+        return 0.0
+    return sum(max(counts.values()) for counts in buckets.values()) / decided

@@ -1,0 +1,166 @@
+"""Synthetic temporal datasets for the applications and benchmarks.
+
+The paper's applications consume precisely timed spike volleys; these
+generators produce controlled workloads with ground truth:
+
+* :func:`embedded_patterns` — the Guyonneau/Masquelier setting: a few
+  fixed latency patterns, presented with timing jitter, line dropout, and
+  background noise.  The classic STDP convergence workload.
+* :func:`latency_clusters` — cluster centers in latency space with
+  per-presentation jitter, for RBF-like clustering.
+* :func:`two_class_latency` — linearly separable ⊕/⊖ volley sets for the
+  tempotron.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.value import INF, Infinity, Time
+from ..coding.volley import Volley
+
+
+@dataclass(frozen=True)
+class LabeledVolley:
+    """A volley with its generating class index."""
+
+    volley: Volley
+    label: int
+
+
+def _jittered(
+    base: tuple[Time, ...],
+    rng: random.Random,
+    *,
+    jitter: int,
+    dropout: float,
+    noise_lines: int,
+    window: int,
+) -> Volley:
+    times: list[Time] = []
+    for t in base:
+        if isinstance(t, Infinity):
+            times.append(INF)
+        elif rng.random() < dropout:
+            times.append(INF)
+        else:
+            moved = int(t) + rng.randint(-jitter, jitter)
+            times.append(max(0, min(window - 1, moved)))
+    silent = [i for i, t in enumerate(times) if isinstance(t, Infinity)]
+    rng.shuffle(silent)
+    for i in silent[:noise_lines]:
+        times[i] = rng.randint(0, window - 1)
+    return Volley(times)
+
+
+def random_pattern(
+    n_lines: int,
+    *,
+    active_lines: int,
+    window: int,
+    rng: random.Random,
+) -> tuple[Time, ...]:
+    """A base pattern: *active_lines* random lines spiking in the window."""
+    if not 0 <= active_lines <= n_lines:
+        raise ValueError("active_lines must be within the line count")
+    chosen = rng.sample(range(n_lines), active_lines)
+    times: list[Time] = [INF] * n_lines
+    for line in chosen:
+        times[line] = rng.randint(0, window - 1)
+    return tuple(times)
+
+
+def embedded_patterns(
+    *,
+    n_lines: int = 32,
+    n_patterns: int = 3,
+    presentations: int = 60,
+    active_lines: int = 12,
+    window: int = 8,
+    jitter: int = 1,
+    dropout: float = 0.1,
+    noise_lines: int = 2,
+    seed: int = 0,
+) -> tuple[list[tuple[Time, ...]], list[LabeledVolley]]:
+    """Fixed patterns presented noisily — the STDP convergence workload.
+
+    Returns ``(base_patterns, labeled_presentations)``.  Each
+    presentation is a jittered/dropped/noise-polluted copy of one base
+    pattern, labeled with the pattern index.
+    """
+    rng = random.Random(seed)
+    bases = [
+        random_pattern(n_lines, active_lines=active_lines, window=window, rng=rng)
+        for _ in range(n_patterns)
+    ]
+    data = []
+    for _ in range(presentations):
+        label = rng.randrange(n_patterns)
+        volley = _jittered(
+            bases[label],
+            rng,
+            jitter=jitter,
+            dropout=dropout,
+            noise_lines=noise_lines,
+            window=window,
+        )
+        data.append(LabeledVolley(volley, label))
+    return bases, data
+
+
+def latency_clusters(
+    *,
+    n_lines: int = 8,
+    n_clusters: int = 3,
+    presentations: int = 90,
+    window: int = 8,
+    jitter: int = 1,
+    seed: int = 0,
+) -> tuple[list[tuple[int, ...]], list[LabeledVolley]]:
+    """Dense latency vectors around cluster centers (all lines spike).
+
+    The RBF-like setting of Natschläger & Ruf / Bohte: each center is a
+    full latency vector; presentations jitter every line independently.
+    """
+    rng = random.Random(seed)
+    centers = [
+        tuple(rng.randint(0, window - 1) for _ in range(n_lines))
+        for _ in range(n_clusters)
+    ]
+    data = []
+    for _ in range(presentations):
+        label = rng.randrange(n_clusters)
+        times = [
+            max(0, min(window - 1, t + rng.randint(-jitter, jitter)))
+            for t in centers[label]
+        ]
+        data.append(LabeledVolley(Volley(times), label))
+    return centers, data
+
+
+def two_class_latency(
+    *,
+    n_lines: int = 16,
+    per_class: int = 20,
+    window: int = 8,
+    active_lines: int = 8,
+    jitter: int = 1,
+    seed: int = 0,
+) -> tuple[list[Volley], list[bool]]:
+    """⊕/⊖ volleys from two distinct base patterns (tempotron workload)."""
+    rng = random.Random(seed)
+    plus = random_pattern(n_lines, active_lines=active_lines, window=window, rng=rng)
+    minus = random_pattern(n_lines, active_lines=active_lines, window=window, rng=rng)
+    volleys: list[Volley] = []
+    labels: list[bool] = []
+    for _ in range(per_class):
+        volleys.append(
+            _jittered(plus, rng, jitter=jitter, dropout=0.0, noise_lines=0, window=window)
+        )
+        labels.append(True)
+        volleys.append(
+            _jittered(minus, rng, jitter=jitter, dropout=0.0, noise_lines=0, window=window)
+        )
+        labels.append(False)
+    return volleys, labels

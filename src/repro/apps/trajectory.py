@@ -1,0 +1,207 @@
+"""Bichler-style trajectory tracking TNN (paper Fig. 4).
+
+The paper's scale example: a TNN fed by AER sensors that learns, without
+supervision, to track car trajectories on a freeway.  The original DVS
+recordings are proprietary; per the reproduction's substitution policy we
+synthesize the equivalent workload — moving bright blobs traversing lanes
+of a pixel grid — difference-encode it into AER events, and run the same
+architecture: AER → volleys → excitatory layer with STDP → WTA lateral
+inhibition.
+
+Ground truth (which lane each window's motion belongs to) lets us measure
+what Bichler et al. showed qualitatively: after unsupervised training,
+individual neurons specialize to individual lanes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..coding.aer import AERStream
+from ..coding.volley import Volley
+from ..learning.stdp import Homeostasis, STDPRule, STDPTrainer
+from ..neuron.column import Column
+from ..neuron.response import ResponseFunction
+from ..neuron.wta import first_winner
+from .datasets import LabeledVolley
+
+
+@dataclass
+class TrafficConfig:
+    """Geometry and dynamics of the synthetic freeway."""
+
+    width: int = 16
+    height: int = 8
+    n_lanes: int = 2
+    blob_size: int = 2
+    ticks_per_step: int = 1
+    seed: int = 0
+
+    def lane_rows(self, lane: int) -> range:
+        """Pixel rows belonging to *lane*."""
+        band = self.height // self.n_lanes
+        return range(lane * band, lane * band + self.blob_size)
+
+
+def synthesize_traffic(
+    config: TrafficConfig,
+    n_vehicles: int,
+) -> tuple[AERStream, list[tuple[int, int, int]]]:
+    """Generate an AER stream of vehicles crossing the sensor.
+
+    Each vehicle is a bright blob sweeping left→right along one lane, one
+    pixel per step.  Returns the stream and the ground-truth schedule:
+    ``(start_tick, end_tick, lane)`` per vehicle.  Vehicles are serialized
+    (one on screen at a time) so windows have unambiguous labels.
+    """
+    rng = random.Random(config.seed)
+    frames: list[list[list[float]]] = []
+    schedule: list[tuple[int, int, int]] = []
+
+    def blank() -> list[list[float]]:
+        return [[0.0] * config.width for _ in range(config.height)]
+
+    frames.append(blank())
+    tick = 0
+    for _ in range(n_vehicles):
+        lane = rng.randrange(config.n_lanes)
+        start_tick = tick + 1
+        for x in range(config.width):
+            frame = blank()
+            for row in config.lane_rows(lane):
+                for dx in range(config.blob_size):
+                    col = x + dx
+                    if col < config.width:
+                        frame[row][col] = 1.0
+            frames.append(frame)
+            tick += 1
+        frames.append(blank())  # vehicle leaves the sensor
+        tick += 1
+        schedule.append((start_tick, tick, lane))
+    stream = AERStream.from_frames(
+        frames, delta=0.5, ticks_per_frame=config.ticks_per_step
+    )
+    return stream, schedule
+
+
+def windows_with_labels(
+    stream: AERStream,
+    schedule: Sequence[tuple[int, int, int]],
+    *,
+    window: int = 4,
+) -> list[LabeledVolley]:
+    """Slice the stream into volleys labeled with the active lane."""
+    labeled: list[LabeledVolley] = []
+    for start, volley in stream.volleys(window):
+        lane = _lane_at(schedule, start)
+        if lane is not None:
+            labeled.append(LabeledVolley(volley, lane))
+    return labeled
+
+
+def _lane_at(schedule: Sequence[tuple[int, int, int]], tick: int) -> Optional[int]:
+    for start, end, lane in schedule:
+        if start <= tick < end:
+            return lane
+    return None
+
+
+@dataclass
+class TrackerResult:
+    """Evaluation of a trained trajectory tracker."""
+
+    lane_of_neuron: dict[int, int]
+    lane_purity: float
+    coverage: float
+    distinct_lanes_claimed: int
+
+
+class TrajectoryTracker:
+    """The Fig. 4 architecture on the synthetic freeway."""
+
+    def __init__(
+        self,
+        config: Optional[TrafficConfig] = None,
+        *,
+        n_neurons: Optional[int] = None,
+        seed: int = 0,
+    ):
+        self.config = config or TrafficConfig()
+        neurons = n_neurons if n_neurons is not None else self.config.n_lanes * 2
+        n_inputs = self.config.width * self.config.height * 2  # ON + OFF
+        rng = random.Random(seed)
+        initial = np.array(
+            [[rng.randint(1, 3) for _ in range(n_inputs)] for _ in range(neurons)],
+            dtype=np.int64,
+        )
+        # Leaky (LIF-like) response, per Bichler's neuron model.
+        base = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=6)
+        active_per_window = self.config.blob_size**2 * 2  # ON+OFF edges
+        threshold = max(1, active_per_window * 2)
+        self.column = Column(initial, threshold=threshold, base_response=base)
+        self.rule = STDPRule(a_plus=2, a_minus=1, ltp_window=6, w_max=7)
+        self._seed = seed
+
+    def train(self, data: Sequence[LabeledVolley], *, epochs: int = 3) -> None:
+        homeostasis = Homeostasis(self.column, step=4, decay=1)
+        trainer = STDPTrainer(
+            self.column,
+            self.rule,
+            rng=random.Random(self._seed + 1),
+            homeostasis=homeostasis,
+        )
+        trainer.train([item.volley for item in data], epochs=epochs)
+        homeostasis.reset(self.column)
+
+    def evaluate(self, data: Sequence[LabeledVolley]) -> TrackerResult:
+        """Lane purity: do individual neurons claim individual lanes?"""
+        wins: dict[int, dict[int, int]] = {}
+        decided = 0
+        for item in data:
+            winner = first_winner(self.column.excitation(tuple(item.volley)))
+            if winner is None:
+                continue
+            decided += 1
+            wins.setdefault(winner, {}).setdefault(item.label, 0)
+            wins[winner][item.label] += 1
+        lane_of_neuron = {
+            neuron: max(counts, key=counts.get) for neuron, counts in wins.items()
+        }
+        pure = sum(
+            counts[lane_of_neuron[neuron]]
+            for neuron, counts in wins.items()
+        )
+        total = sum(sum(counts.values()) for counts in wins.values())
+        return TrackerResult(
+            lane_of_neuron=lane_of_neuron,
+            lane_purity=pure / total if total else 0.0,
+            coverage=decided / len(data) if data else 0.0,
+            distinct_lanes_claimed=len(set(lane_of_neuron.values())),
+        )
+
+
+def run_experiment(
+    *,
+    n_lanes: int = 2,
+    n_vehicles_train: int = 12,
+    n_vehicles_test: int = 6,
+    window: int = 4,
+    seed: int = 0,
+) -> TrackerResult:
+    """End-to-end: synthesize traffic, train, evaluate on fresh traffic."""
+    config = TrafficConfig(n_lanes=n_lanes, seed=seed)
+    stream, schedule = synthesize_traffic(config, n_vehicles_train)
+    train_data = windows_with_labels(stream, schedule, window=window)
+    test_stream, test_schedule = synthesize_traffic(
+        TrafficConfig(n_lanes=n_lanes, seed=seed + 999), n_vehicles_test
+    )
+    test_data = windows_with_labels(test_stream, test_schedule, window=window)
+
+    tracker = TrajectoryTracker(config, seed=seed)
+    tracker.train(train_data)
+    return tracker.evaluate(test_data)

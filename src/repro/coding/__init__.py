@@ -1,0 +1,32 @@
+"""Temporal coding: volleys, encoders, AER streams, and coding metrics.
+
+The communication side of the space-time model (§III.A, Fig. 5): how
+vectors of values become volleys of precisely timed spikes, how sensors
+produce them (AER), and how efficient the code is.
+"""
+
+from .aer import AEREvent, AERStream
+from .encoders import LatencyEncoder, OnOffEncoder, RankOrderEncoder
+from .metrics import (
+    CodingEfficiency,
+    coding_efficiency,
+    coincidence,
+    mean_spikes_per_bit,
+    temporal_distance,
+)
+from .volley import FIG5_VOLLEY, Volley
+
+__all__ = [
+    "AEREvent",
+    "AERStream",
+    "CodingEfficiency",
+    "FIG5_VOLLEY",
+    "LatencyEncoder",
+    "OnOffEncoder",
+    "RankOrderEncoder",
+    "Volley",
+    "coding_efficiency",
+    "coincidence",
+    "mean_spikes_per_bit",
+    "temporal_distance",
+]

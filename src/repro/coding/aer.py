@@ -1,0 +1,153 @@
+"""Address-Event Representation streams (paper §II.C, Fig. 4).
+
+AER transmits sparse spike data as a stream of (timestamp, address)
+events — the convention used by DVS sensors and by the Bichler et al.
+trajectory system the paper presents as its scale example.  Since the
+paper's original freeway recordings are unavailable, the application
+layer (:mod:`repro.apps.trajectory`) synthesizes AER streams; this module
+provides the stream container and the windowing that turns a stream into
+the per-computation volleys a feedforward TNN consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+from ..core.value import INF, Time
+from .volley import Volley
+
+
+@dataclass(frozen=True, order=True)
+class AEREvent:
+    """One address-event: a spike at *timestamp* from pixel (x, y).
+
+    *polarity* follows the DVS convention: +1 for a brightness increase
+    (ON), -1 for a decrease (OFF).
+    """
+
+    timestamp: int
+    x: int
+    y: int
+    polarity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise ValueError("timestamps must be non-negative")
+        if self.polarity not in (-1, 1):
+            raise ValueError("polarity must be +1 or -1")
+
+
+class AERStream:
+    """An ordered stream of AER events over a fixed sensor geometry."""
+
+    def __init__(self, width: int, height: int, events: Iterable[AEREvent] = ()):
+        if width < 1 or height < 1:
+            raise ValueError("sensor must have positive dimensions")
+        self.width = width
+        self.height = height
+        self.events: list[AEREvent] = sorted(events)
+        for e in self.events:
+            self._check_bounds(e)
+
+    def _check_bounds(self, event: AEREvent) -> None:
+        if not (0 <= event.x < self.width and 0 <= event.y < self.height):
+            raise ValueError(
+                f"event at ({event.x}, {event.y}) outside "
+                f"{self.width}x{self.height} sensor"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        """Address space size: one line per pixel per polarity."""
+        return self.width * self.height * 2
+
+    def address(self, event: AEREvent) -> int:
+        """Flat line index of an event (ON lines first, then OFF)."""
+        base = event.y * self.width + event.x
+        return base if event.polarity == 1 else base + self.width * self.height
+
+    def append(self, event: AEREvent) -> None:
+        self._check_bounds(event)
+        if self.events and event.timestamp < self.events[-1].timestamp:
+            raise ValueError("events must be appended in time order")
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AEREvent]:
+        return iter(self.events)
+
+    @property
+    def duration(self) -> int:
+        return self.events[-1].timestamp + 1 if self.events else 0
+
+    # -- windowing into volleys ---------------------------------------------
+    def window_volley(self, start: int, length: int) -> Volley:
+        """The volley of the time window ``[start, start + length)``.
+
+        Each line's spike is its *first* event in the window (TNN rule:
+        at most one spike per line per computation), timed relative to the
+        window start.
+        """
+        if length < 1:
+            raise ValueError("window length must be at least 1")
+        times: list[Time] = [INF] * self.n_lines
+        for event in self.events:
+            if event.timestamp < start:
+                continue
+            if event.timestamp >= start + length:
+                break
+            line = self.address(event)
+            if times[line] is INF:
+                times[line] = event.timestamp - start
+        return Volley(times)
+
+    def volleys(self, window: int, *, stride: int | None = None) -> Iterator[tuple[int, Volley]]:
+        """Slice the stream into (window_start, volley) pairs.
+
+        *stride* defaults to *window* (non-overlapping gamma-cycle-like
+        frames, per Hopfield's 5–20 ms processing intervals).
+        Empty windows are skipped — no volley, no computation.
+        """
+        step = stride or window
+        if step < 1:
+            raise ValueError("stride must be at least 1")
+        start = 0
+        while start < self.duration:
+            volley = self.window_volley(start, window)
+            if not volley.is_silent:
+                yield start, volley
+            start += step
+
+    @classmethod
+    def from_frames(
+        cls,
+        frames: Sequence[Sequence[Sequence[float]]],
+        *,
+        delta: float = 0.1,
+        ticks_per_frame: int = 1,
+    ) -> "AERStream":
+        """Difference-encode a sequence of 2-D intensity frames.
+
+        A pixel whose intensity rises (falls) by at least *delta* between
+        consecutive frames emits an ON (OFF) event at the later frame's
+        tick.  This is the standard way to synthesize DVS-like data from
+        conventional frames.
+        """
+        if len(frames) < 2:
+            raise ValueError("need at least two frames to difference")
+        height = len(frames[0])
+        width = len(frames[0][0])
+        stream = cls(width, height)
+        for index in range(1, len(frames)):
+            tick = index * ticks_per_frame
+            for y in range(height):
+                for x in range(width):
+                    change = frames[index][y][x] - frames[index - 1][y][x]
+                    if change >= delta:
+                        stream.append(AEREvent(tick, x, y, polarity=1))
+                    elif change <= -delta:
+                        stream.append(AEREvent(tick, x, y, polarity=-1))
+        return stream

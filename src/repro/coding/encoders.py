@@ -1,0 +1,130 @@
+"""Encoders: real-world values → spike volleys.
+
+TNNs consume temporally coded volleys; these encoders produce them from
+intensity vectors (images, feature maps) and the test suite's synthetic
+data:
+
+* :class:`LatencyEncoder` — the standard temporal code (Thorpe/Guyonneau):
+  stronger input ⇒ earlier spike.  Linear mapping onto a ``2^n``-interval
+  window with optional silence threshold.
+* :class:`RankOrderEncoder` — only the rank of each line matters: the
+  strongest line spikes at 0, the next at 1, … (ties share a slot).
+* :class:`OnOffEncoder` — difference encoder producing two lines per
+  input (ON for increases, OFF for decreases), the DVS-camera convention
+  feeding AER systems like the paper's Fig. 4 example.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.value import INF, Time
+from .volley import Volley
+
+
+@dataclass(frozen=True)
+class LatencyEncoder:
+    """Intensity → latency: strong inputs spike early.
+
+    *resolution_bits* fixes the time window to ``2^bits`` intervals
+    (the paper's low-resolution regime: 3–4 bits).  Intensities are
+    clamped to ``[0, max_intensity]``; anything at or below
+    *silence_threshold* emits no spike.
+    """
+
+    resolution_bits: int = 3
+    max_intensity: float = 1.0
+    silence_threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1:
+            raise ValueError("resolution_bits must be at least 1")
+        if self.max_intensity <= 0:
+            raise ValueError("max_intensity must be positive")
+
+    @property
+    def window(self) -> int:
+        """Number of discrete time slots (``2^bits``)."""
+        return 1 << self.resolution_bits
+
+    def encode_one(self, intensity: float) -> Time:
+        if intensity <= self.silence_threshold:
+            return INF
+        clamped = min(max(intensity, 0.0), self.max_intensity)
+        fraction = clamped / self.max_intensity
+        # Strongest intensity -> time 0; weakest surviving -> window - 1.
+        slot = round((1.0 - fraction) * (self.window - 1))
+        return int(slot)
+
+    def encode(self, intensities: Sequence[float]) -> Volley:
+        return Volley(self.encode_one(v) for v in intensities)
+
+    def decode_one(self, t: Time) -> float:
+        """Approximate inverse (mid-slot intensity); ∞ decodes to 0."""
+        if t is INF or t == INF:
+            return 0.0
+        fraction = 1.0 - int(t) / (self.window - 1) if self.window > 1 else 1.0
+        return max(0.0, fraction) * self.max_intensity
+
+    def decode(self, volley: Volley) -> list[float]:
+        return [self.decode_one(t) for t in volley]
+
+
+@dataclass(frozen=True)
+class RankOrderEncoder:
+    """Rank-order code: line rank by intensity becomes its spike time.
+
+    Ties share the same time slot; inputs at or below *silence_threshold*
+    stay silent.  The output volley is always normalized (the strongest
+    line spikes at 0).
+    """
+
+    silence_threshold: float = 0.0
+
+    def encode(self, intensities: Sequence[float]) -> Volley:
+        active = [
+            (v, i)
+            for i, v in enumerate(intensities)
+            if v > self.silence_threshold
+        ]
+        times: list[Time] = [INF] * len(intensities)
+        rank = 0
+        previous: float | None = None
+        for value, index in sorted(active, key=lambda pair: -pair[0]):
+            if previous is not None and value < previous:
+                rank += 1
+            times[index] = rank
+            previous = value
+        return Volley(times)
+
+
+@dataclass(frozen=True)
+class OnOffEncoder:
+    """Temporal-contrast encoder: changes become ON/OFF spikes.
+
+    Compares a frame against the previous one; each input line yields an
+    ON line (spike when the value rose by at least *delta*) and an OFF
+    line (fell by at least *delta*).  Spike latency encodes the magnitude
+    of the change via the inner :class:`LatencyEncoder`.  This mimics the
+    DVS sensors feeding AER pipelines (paper Fig. 4).
+    """
+
+    delta: float = 0.1
+    latency: LatencyEncoder = LatencyEncoder(resolution_bits=3)
+
+    def encode(
+        self, previous: Sequence[float], current: Sequence[float]
+    ) -> Volley:
+        if len(previous) != len(current):
+            raise ValueError("frames must have equal length")
+        times: list[Time] = []
+        for before, after in zip(previous, current):
+            change = after - before
+            times.append(
+                self.latency.encode_one(change) if change >= self.delta else INF
+            )
+            times.append(
+                self.latency.encode_one(-change) if -change >= self.delta else INF
+            )
+        return Volley(times)

@@ -1,0 +1,155 @@
+"""Spike volleys: vectors of information as spike timing (paper Fig. 5).
+
+A *volley* is one spike per line (or no spike, ``∞``), with values encoded
+as times relative to the first spike.  The paper's example encodes
+``[0, 3, ∞, 1]`` as spikes at those relative offsets.
+
+:class:`Volley` wraps a tuple of times with the operations the paper's
+communication model needs: normalization to the local frame of reference,
+time-shifting, decoding to values, sparsity and information metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Optional
+
+from ..core.value import (
+    INF,
+    Infinity,
+    Time,
+    check_vector,
+    is_normalized,
+    normalize,
+    shift,
+    t_min,
+)
+
+
+class Volley:
+    """An immutable spike volley.
+
+    Construct from raw times; use :meth:`from_values` to encode a value
+    vector per Fig. 5 (value = relative spike time, ``None`` = no spike).
+    """
+
+    __slots__ = ("times",)
+
+    def __init__(self, times: Iterable[Time]):
+        object.__setattr__(self, "times", check_vector(times))
+
+    def __setattr__(self, name, value):  # noqa: ANN001
+        raise AttributeError("Volley is immutable")
+
+    # -- container protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Time]:
+        return iter(self.times)
+
+    def __getitem__(self, index: int) -> Time:
+        return self.times[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Volley):
+            return self.times == other.times
+        if isinstance(other, tuple):
+            return self.times == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.times)
+
+    def __repr__(self) -> str:
+        cells = ", ".join(str(t) for t in self.times)
+        return f"Volley([{cells}])"
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Sequence[Optional[int]]) -> "Volley":
+        """Encode a value vector: value = spike offset, None = no spike.
+
+        This is the identity encoding of Fig. 5 — the volley carries the
+        values directly as relative times.
+        """
+        return cls(INF if v is None else v for v in values)
+
+    @classmethod
+    def silent(cls, n_lines: int) -> "Volley":
+        """An all-∞ volley (no spikes at all)."""
+        return cls([INF] * n_lines)
+
+    # -- frame of reference -----------------------------------------------------
+    @property
+    def first_spike(self) -> Time:
+        """``t_min`` — the anchor of the volley's frame of reference."""
+        return t_min(self.times)
+
+    @property
+    def is_silent(self) -> bool:
+        return isinstance(self.first_spike, Infinity)
+
+    def normalized(self) -> "Volley":
+        """Shift so the first spike is at 0 (silent volleys unchanged)."""
+        vec, _ = normalize(self.times)
+        return Volley(vec)
+
+    def is_normal(self) -> bool:
+        return self.is_silent or is_normalized(self.times)
+
+    def shifted(self, amount: int) -> "Volley":
+        """Uniformly delayed (or advanced) copy."""
+        return Volley(shift(self.times, amount))
+
+    def decode(self) -> list[Optional[int]]:
+        """Back to values: relative offsets, None for absent spikes.
+
+        Inverse of :meth:`from_values` after normalization.
+        """
+        vec, lo = normalize(self.times)
+        return [None if isinstance(v, Infinity) else int(v) for v in vec]
+
+    # -- metrics -------------------------------------------------------------
+    @property
+    def spike_count(self) -> int:
+        return sum(1 for t in self.times if not isinstance(t, Infinity))
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of silent lines."""
+        if not self.times:
+            return 0.0
+        return 1.0 - self.spike_count / len(self.times)
+
+    @property
+    def span(self) -> int:
+        """Time from first to last spike (0 for <=1 spikes)."""
+        finite = [t for t in self.times if not isinstance(t, Infinity)]
+        if len(finite) < 2:
+            return 0
+        return max(finite) - min(finite)
+
+    def bits_conveyed(self, resolution_bits: int) -> float:
+        """Information upper bound for the Fig. 5 efficiency argument.
+
+        With n-bit time resolution each line conveys up to n bits (plus
+        the absent-spike symbol, ignored here as the paper does).  One
+        line of the volley is the 0 reference, so a volley of ``s`` spikes
+        conveys about ``(s - 1) * n`` bits — "slightly less than one spike
+        per n bits".
+        """
+        if resolution_bits < 1:
+            raise ValueError("resolution must be at least 1 bit")
+        return max(0, self.spike_count - 1) * resolution_bits
+
+    def spikes_per_bit(self, resolution_bits: int) -> float:
+        """Communication cost: spikes per conveyed bit (lower is better)."""
+        bits = self.bits_conveyed(resolution_bits)
+        if bits == 0:
+            return float("inf")
+        return self.spike_count / bits
+
+
+#: The paper's Fig. 5 example volley, encoding the vector [0, 3, ∞, 1].
+FIG5_VOLLEY = Volley.from_values([0, 3, None, 1])

@@ -1,0 +1,134 @@
+"""Primitive operations of the space-time algebra.
+
+The paper's §III.C and §III.D define four primitive functions over
+``N0∞``:
+
+* ``inc`` (+1) — emit a spike one time unit after the input spike.
+* ``min`` (∧, *first arrival*) — emit at the time of the earliest input.
+* ``max`` (∨, *last arrival*) — emit at the time of the latest input.
+* ``lt`` (≺) — emit at time ``a`` iff ``a`` strictly precedes ``b``;
+  otherwise emit nothing (``∞``).
+
+``{min, lt, inc}`` are functionally complete for bounded s-t functions
+(Theorem 1); ``max`` is derivable (Lemma 2) but is provided as a primitive
+for convenience, mirroring its direct GRL implementation (an AND gate).
+
+All functions here are *pure semantics*: they map times to times.  The
+structural/network counterparts live in :mod:`repro.network.blocks`, and
+the digital-circuit counterparts in :mod:`repro.racelogic.gates`.
+"""
+
+from __future__ import annotations
+
+from .value import INF, Infinity, Time, check_time, t_max, t_min
+
+
+def inc(x: Time, amount: int = 1) -> Time:
+    """Increment: delay a spike by *amount* (default 1) time units.
+
+    ``inc(∞) = ∞`` — a spike that never happens is never delayed into
+    existence.  Generalizes the paper's unit increment to any non-negative
+    constant (a chain of ``amount`` unit increments).
+    """
+    if amount < 0:
+        raise ValueError(f"increment amount must be non-negative, got {amount}")
+    x = check_time(x, name="x")
+    if isinstance(x, Infinity):
+        return INF
+    return x + amount
+
+
+def delay(x: Time, amount: int) -> Time:
+    """Alias of :func:`inc` with a mandatory amount, for circuit-flavoured code."""
+    return inc(x, amount)
+
+
+def minimum(*xs: Time) -> Time:
+    """First arrival (∧): the meet of the lattice.
+
+    Emits a spike at the time of the earliest input spike; ``∞`` if no
+    input ever spikes.  Variadic; the empty meet is ``∞`` (top).
+    """
+    return t_min(check_time(x, name="x") for x in xs)
+
+
+def maximum(*xs: Time) -> Time:
+    """Last arrival (∨): the join of the lattice.
+
+    Emits a spike at the time of the latest input spike — it must wait for
+    *all* inputs, so a single ``∞`` input makes the output ``∞``.
+    Variadic; the empty join is ``0`` (bottom).
+    """
+    return t_max(check_time(x, name="x") for x in xs)
+
+
+def lt(a: Time, b: Time) -> Time:
+    """Strictly-earlier-than (≺): ``a`` if ``a < b``, else ``∞``.
+
+    This is the algebra's only *conditional* primitive: it passes the ``a``
+    spike through only when ``a`` wins the race against ``b``.
+    """
+    a = check_time(a, name="a")
+    b = check_time(b, name="b")
+    return a if a < b else INF
+
+
+def le(a: Time, b: Time) -> Time:
+    """Earlier-or-simultaneous: ``a`` if ``a <= b``, else ``∞``.
+
+    Derived: ``le(a, b) = lt(a, inc(b))``.
+    """
+    return lt(a, inc(b))
+
+
+def eq(a: Time, b: Time) -> Time:
+    """Simultaneity: ``a`` if ``a == b`` (both finite), else ``∞``.
+
+    Derived: ``eq(a, b) = min(le(a, b), le(b, a))`` restricted to finite
+    agreement — two absent spikes are not "simultaneous" because there is
+    no event to time-stamp, so ``eq(∞, ∞) = ∞``.
+    """
+    a = check_time(a, name="a")
+    b = check_time(b, name="b")
+    if isinstance(a, Infinity) or isinstance(b, Infinity):
+        return INF
+    return a if a == b else INF
+
+
+def first_n(values: tuple[Time, ...], n: int) -> Time:
+    """Time of the *n*-th earliest spike (1-indexed); ``∞`` if fewer spikes.
+
+    ``first_n(v, 1)`` equals ``minimum(*v)``.  This is the semantics a
+    sorting network's *n*-th output wire computes, and is the core of the
+    SRM0 threshold construction (the θ-th up step).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    ordered = sorted(check_time(v) for v in values)
+    if n > len(ordered):
+        return INF
+    return ordered[n - 1]
+
+
+def add(a: Time, b: Time) -> Time:
+    """Addition on ``N0∞`` (the algebra is closed under addition).
+
+    Note: unlike the four primitives, two-operand addition is *not* an s-t
+    function — it is not invariant (``(a+1)+(b+1) != (a+b)+1``), as the
+    paper's concluding remarks emphasize.  It is provided for metric and
+    bookkeeping code, not for building networks.
+    """
+    a = check_time(a, name="a")
+    b = check_time(b, name="b")
+    if isinstance(a, Infinity) or isinstance(b, Infinity):
+        return INF
+    return a + b
+
+
+#: The paper's primitive set, keyed by the names used in Fig. 6 / Fig. 16.
+PRIMITIVES = {
+    "inc": inc,
+    "min": minimum,
+    "max": maximum,
+    "lt": lt,
+}

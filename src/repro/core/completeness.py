@@ -1,0 +1,183 @@
+"""Executable versions of the paper's completeness remarks.
+
+Concluding remarks 2–3: the s-t primitives are complete *only* for s-t
+functions, not for all multi-valued functions — complementation-like
+operations "are tantamount to time flowing backwards", and the preferred
+arithmetic primitives (addition, multiplication) are not invariant.
+
+This module makes those statements checkable:
+
+* :func:`classify_function` — decide whether a black-box function over a
+  finite window is implementable (causal + invariant + total), and if not,
+  return the property it breaks with a witness;
+* canonical non-implementable examples (:data:`NEGATION_LIKE`,
+  :data:`ADDITION`, :data:`MULTIPLICATION`, :data:`TIME_REVERSAL`) used
+  by tests and the documentation;
+* :func:`implementable_fraction` — measure how sparse s-t functions are
+  among all functions on a window, quantifying "a proper subset of
+  possible functions".
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .function import SpaceTimeFunction, enumerate_domain
+from .properties import (
+    Counterexample,
+    check_causality,
+    check_invariance,
+    check_totality,
+)
+from .value import INF, Infinity, Time
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Verdict on whether a function is a space-time function."""
+
+    is_space_time: bool
+    failed_property: Optional[str] = None
+    witness: Optional[Counterexample] = None
+
+    def __str__(self) -> str:
+        if self.is_space_time:
+            return "space-time function (causal, invariant, total)"
+        return f"NOT a space-time function: {self.witness}"
+
+
+def classify_function(
+    func: SpaceTimeFunction, *, window: int = 4
+) -> Classification:
+    """Check the defining properties over an exhaustive window.
+
+    A pass is evidence (exhaustive up to *window*), a failure is a proof:
+    the returned witness is a concrete violation.
+    """
+    vectors = list(enumerate_domain(func.arity, window))
+    for name, check in (
+        ("totality", check_totality),
+        ("causality", check_causality),
+        ("invariance", check_invariance),
+    ):
+        report = check(func, vectors)
+        if not report.ok:
+            return Classification(
+                is_space_time=False,
+                failed_property=name,
+                witness=report.violations[0],
+            )
+    return Classification(is_space_time=True)
+
+
+def _negation_like(x: Time) -> Time:
+    """"Invert" a spike within an 8-slot frame: t -> 7 - t.
+
+    The temporal analogue of logical NOT.  It is invariant-breaking —
+    shifting the input forward shifts the output *backward*, i.e. time
+    flows the wrong way (the paper's remark 3).
+    """
+    if isinstance(x, Infinity):
+        return 0  # "no spike" must become "spike" for a true complement
+    return max(0, 7 - int(x))
+
+
+def _addition(a: Time, b: Time) -> Time:
+    if isinstance(a, Infinity) or isinstance(b, Infinity):
+        return INF
+    return int(a) + int(b)
+
+
+def _multiplication(a: Time, b: Time) -> Time:
+    if isinstance(a, Infinity) or isinstance(b, Infinity):
+        return INF
+    return int(a) * int(b)
+
+
+def _time_reversal(a: Time, b: Time) -> Time:
+    """Emit the earlier input at the *later* input's original time slot
+    reflected — pure anticipation; breaks causality outright."""
+    if isinstance(a, Infinity) or isinstance(b, Infinity):
+        return INF
+    return min(int(a), int(b)) if a != b else 0
+
+
+NEGATION_LIKE = SpaceTimeFunction(_negation_like, 1, name="negation-like")
+ADDITION = SpaceTimeFunction(_addition, 2, name="addition")
+MULTIPLICATION = SpaceTimeFunction(_multiplication, 2, name="multiplication")
+TIME_REVERSAL = SpaceTimeFunction(_time_reversal, 2, name="time-reversal")
+
+#: The canonical non-implementable functions of the concluding remarks.
+NON_IMPLEMENTABLE = (NEGATION_LIKE, ADDITION, MULTIPLICATION, TIME_REVERSAL)
+
+
+def implementable_fraction(
+    *,
+    arity: int = 1,
+    window: int = 2,
+    samples: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> tuple[int, int]:
+    """Count s-t functions among all functions on a finite window.
+
+    Enumerates (or samples) total functions
+    ``f : {0..window, ∞}^arity -> {0..2*window, ∞}`` and classifies each.
+    Returns ``(space_time_count, total_count)``.  Even on tiny windows
+    the fraction is small — the paper's remark that the algebra is
+    deliberately complete only for a proper subset.
+    """
+    domain = list(enumerate_domain(arity, window))
+    codomain: list[Time] = [*range(2 * window + 1), INF]
+    total_functions = len(codomain) ** len(domain)
+
+    def classify_assignment(values) -> bool:
+        # Enumerated functions exist only on the window, so check the
+        # causality/invariance constraints *restricted to it* (shifted or
+        # masked vectors must themselves stay inside the window).  This
+        # over-counts slightly — a window-consistent function might admit
+        # no total extension — so the returned fraction is an upper bound
+        # on the true share of s-t functions.
+        table = dict(zip(domain, values))
+        for vec, z in table.items():
+            finite = [v for v in vec if not isinstance(v, Infinity)]
+            if not isinstance(z, Infinity):
+                if not finite or z < min(finite):
+                    return False  # spontaneous spike
+            for h, xh in enumerate(vec):
+                if xh > z:
+                    masked = vec[:h] + (INF,) + vec[h + 1:]
+                    if table[masked] != z:
+                        return False  # sees the future
+            if not finite:
+                continue  # the all-∞ vector is fixed under shifting
+            shift = 1
+            while True:
+                shifted = tuple(
+                    INF if isinstance(v, Infinity) else v + shift for v in vec
+                )
+                if shifted not in table:
+                    break
+                expected = INF if isinstance(z, Infinity) else z + shift
+                expressible = isinstance(expected, Infinity) or expected <= 2 * window
+                if expressible and table[shifted] != expected:
+                    return False  # not invariant
+                shift += 1
+        return True
+
+    if samples is None:
+        hits = sum(
+            1
+            for values in itertools.product(codomain, repeat=len(domain))
+            if classify_assignment(values)
+        )
+        return hits, total_functions
+    rng = rng or random.Random(0)
+    hits = 0
+    for _ in range(samples):
+        values = tuple(rng.choice(codomain) for _ in domain)
+        if classify_assignment(values):
+            hits += 1
+    return hits, samples

@@ -1,0 +1,138 @@
+"""Space-time functions: the paper's §III.C definitions as code.
+
+A function ``z = F(x1…xq)`` over ``N0∞`` is a *space-time function* when it
+is
+
+1. **computable** — a total function (always produces a value in ``N0∞``),
+2. **causal** — for every input ``x_h > z``, replacing ``x_h`` with ``∞``
+   leaves the output unchanged; and a finite output never precedes the
+   earliest input (``z >= x_min``), so there are no spontaneous spikes,
+3. **invariant** — shifting every input by one unit shifts the output by
+   one unit.
+
+A *bounded* s-t function additionally forgets inputs more than ``k`` units
+older than the latest input.
+
+:class:`SpaceTimeFunction` wraps a Python callable with an arity and gives
+it vector-call, composition, and equality-on-domain utilities.  The
+property *checkers* for causality/invariance/boundedness live in
+:mod:`repro.core.properties`; this module holds the function model itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Iterable, Iterator
+from typing import Optional
+
+from .value import INF, Time, check_time, check_vector
+
+RawFunction = Callable[..., Time]
+
+
+class SpaceTimeFunction:
+    """A named, fixed-arity function over ``N0∞``.
+
+    Wraps *func* (a callable taking ``arity`` positional time arguments)
+    and validates inputs and output on every call, so property checkers
+    and synthesized networks can trust the values they see.
+
+    The wrapper makes no attempt to *enforce* causality or invariance —
+    arbitrary callables may violate them.  Use
+    :func:`repro.core.properties.verify` to check; the constructors in
+    :mod:`repro.core.synthesis` only ever build conforming functions.
+    """
+
+    def __init__(self, func: RawFunction, arity: int, name: Optional[str] = None):
+        if arity < 1:
+            raise ValueError(f"arity must be >= 1, got {arity}")
+        self._func = func
+        self.arity = arity
+        self.name = name or getattr(func, "__name__", "anonymous")
+
+    def __call__(self, *xs: Time) -> Time:
+        if len(xs) != self.arity:
+            raise TypeError(
+                f"{self.name} takes {self.arity} inputs, got {len(xs)}"
+            )
+        inputs = check_vector(xs)
+        result = self._func(*inputs)
+        return check_time(result, name=f"{self.name} output")
+
+    def on_vector(self, xs: Iterable[Time]) -> Time:
+        """Apply to an iterable of inputs (convenience for table code)."""
+        return self(*xs)
+
+    def __repr__(self) -> str:
+        return f"SpaceTimeFunction({self.name!r}, arity={self.arity})"
+
+    # -- structural operations ------------------------------------------------
+    def compose(self, *inners: "SpaceTimeFunction") -> "SpaceTimeFunction":
+        """Feedforward composition: ``self(g1(xs1), g2(xs2), …)``.
+
+        There must be exactly ``self.arity`` inner functions; the result's
+        inputs are the concatenation of the inner functions' inputs.  By
+        Lemma 1, composing s-t functions yields an s-t function.
+        """
+        if len(inners) != self.arity:
+            raise ValueError(
+                f"compose needs {self.arity} inner functions, got {len(inners)}"
+            )
+        spans: list[tuple[int, int]] = []
+        offset = 0
+        for g in inners:
+            spans.append((offset, offset + g.arity))
+            offset += g.arity
+
+        outer = self
+
+        def composed(*xs: Time) -> Time:
+            mids = [g(*xs[lo:hi]) for g, (lo, hi) in zip(inners, spans)]
+            return outer(*mids)
+
+        name = f"{self.name}∘({', '.join(g.name for g in inners)})"
+        return SpaceTimeFunction(composed, offset, name=name)
+
+    def equal_on(self, other: "SpaceTimeFunction", domain: Iterable[tuple[Time, ...]]) -> bool:
+        """True if self and *other* agree on every vector in *domain*."""
+        if other.arity != self.arity:
+            return False
+        return all(self(*v) == other(*v) for v in domain)
+
+
+def st_function(arity: int, name: Optional[str] = None):
+    """Decorator form: ``@st_function(2)`` wraps a callable."""
+
+    def wrap(func: RawFunction) -> SpaceTimeFunction:
+        return SpaceTimeFunction(func, arity, name=name or func.__name__)
+
+    return wrap
+
+
+# ---------------------------------------------------------------------------
+# Domain enumeration
+# ---------------------------------------------------------------------------
+
+def enumerate_domain(arity: int, window: int, *, include_inf: bool = True) -> Iterator[tuple[Time, ...]]:
+    """Yield every input vector with finite entries in ``[0, window]``.
+
+    With *include_inf*, ``∞`` is also a possible coordinate.  The count is
+    ``(window + 2) ** arity`` vectors, so keep ``arity`` and ``window``
+    small for exhaustive checks (the paper's plausible neurons need windows
+    of only 8–16 units).
+    """
+    values: list[Time] = list(range(window + 1))
+    if include_inf:
+        values.append(INF)
+    yield from itertools.product(values, repeat=arity)
+
+
+def enumerate_normalized_domain(arity: int, window: int, *, include_inf: bool = True) -> Iterator[tuple[Time, ...]]:
+    """Yield only *normalized* vectors (at least one coordinate is 0).
+
+    These are exactly the rows a normalized function table may contain;
+    every other vector's output follows from invariance.
+    """
+    for vec in enumerate_domain(arity, window, include_inf=include_inf):
+        if any(v == 0 for v in vec):
+            yield vec

@@ -1,0 +1,128 @@
+"""The space-time algebra as a bounded distributive lattice.
+
+§III.D: the s-t algebra is ``S = (N0∞, ∧, ∨, 0, ∞)`` — a bounded
+distributive lattice with bottom 0 and top ∞, well-ordered and closed
+under addition, and *not* complemented.
+
+This module packages the lattice structure (meet/join/order/bounds) and
+machine-checkable statements of its laws.  The law checkers exist so that
+the test suite (and the Fig. 6 benchmark) can verify the algebraic claims
+over exhaustive finite windows and hypothesis-generated samples instead of
+taking them on faith.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from .value import INF, Time, check_time, t_max, t_min
+
+BOTTOM: Time = 0
+TOP: Time = INF
+
+
+def meet(*xs: Time) -> Time:
+    """Lattice meet (∧) = first arrival = min.  Empty meet is the top."""
+    return t_min(check_time(x) for x in xs)
+
+
+def join(*xs: Time) -> Time:
+    """Lattice join (∨) = last arrival = max.  Empty join is the bottom."""
+    return t_max(check_time(x) for x in xs)
+
+
+def leq(a: Time, b: Time) -> bool:
+    """The lattice partial order (here a total order: S is a chain)."""
+    return check_time(a) <= check_time(b)
+
+
+# ---------------------------------------------------------------------------
+# Law checking
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class LawViolation:
+    """A witness that a lattice law failed on specific elements."""
+
+    law: str
+    elements: tuple[Time, ...]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.law} violated at {self.elements}: {self.detail}"
+
+
+def _pairs(domain: list[Time]) -> Iterable[tuple[Time, Time]]:
+    for a in domain:
+        for b in domain:
+            yield a, b
+
+
+def _triples(domain: list[Time]) -> Iterable[tuple[Time, Time, Time]]:
+    for a in domain:
+        for b in domain:
+            for c in domain:
+                yield a, b, c
+
+
+def check_lattice_laws(domain: Iterable[Time]) -> list[LawViolation]:
+    """Check every bounded-distributive-lattice law over *domain*.
+
+    Returns a list of violations (empty when all laws hold).  Intended for
+    exhaustive verification over small windows such as ``[0..k] + [∞]``.
+    """
+    elems = [check_time(x) for x in domain]
+    bad: list[LawViolation] = []
+
+    for a in elems:
+        if meet(a, a) != a:
+            bad.append(LawViolation("idempotence(∧)", (a,), f"a∧a={meet(a, a)}"))
+        if join(a, a) != a:
+            bad.append(LawViolation("idempotence(∨)", (a,), f"a∨a={join(a, a)}"))
+        if meet(a, TOP) != a:
+            bad.append(LawViolation("top-identity", (a,), f"a∧∞={meet(a, TOP)}"))
+        if join(a, BOTTOM) != a:
+            bad.append(LawViolation("bottom-identity", (a,), f"a∨0={join(a, BOTTOM)}"))
+
+    for a, b in _pairs(elems):
+        if meet(a, b) != meet(b, a):
+            bad.append(LawViolation("commutativity(∧)", (a, b), "a∧b != b∧a"))
+        if join(a, b) != join(b, a):
+            bad.append(LawViolation("commutativity(∨)", (a, b), "a∨b != b∨a"))
+        if meet(a, join(a, b)) != a:
+            bad.append(LawViolation("absorption(∧∨)", (a, b), "a∧(a∨b) != a"))
+        if join(a, meet(a, b)) != a:
+            bad.append(LawViolation("absorption(∨∧)", (a, b), "a∨(a∧b) != a"))
+
+    for a, b, c in _triples(elems):
+        if meet(a, meet(b, c)) != meet(meet(a, b), c):
+            bad.append(LawViolation("associativity(∧)", (a, b, c), ""))
+        if join(a, join(b, c)) != join(join(a, b), c):
+            bad.append(LawViolation("associativity(∨)", (a, b, c), ""))
+        if meet(a, join(b, c)) != join(meet(a, b), meet(a, c)):
+            bad.append(LawViolation("distributivity(∧ over ∨)", (a, b, c), ""))
+        if join(a, meet(b, c)) != meet(join(a, b), join(a, c)):
+            bad.append(LawViolation("distributivity(∨ over ∧)", (a, b, c), ""))
+
+    return bad
+
+
+def has_complement(a: Time, domain: Iterable[Time]) -> bool:
+    """True if some ``b`` in *domain* satisfies ``a∧b = 0`` and ``a∨b = ∞``.
+
+    The paper notes S is not complemented: only 0 and ∞ complement each
+    other; every interior element has no complement (complementation would
+    amount to time flowing backwards).
+    """
+    a = check_time(a)
+    return any(
+        meet(a, b) == BOTTOM and join(a, b) == TOP for b in domain
+    )
+
+
+def standard_domain(k: int) -> list[Time]:
+    """The canonical finite test window ``[0, 1, …, k, ∞]``."""
+    if k < 0:
+        raise ValueError(f"window size must be non-negative, got {k}")
+    return [*range(k + 1), INF]

@@ -1,0 +1,125 @@
+"""Normalized-table minimization.
+
+The minterm canonical form costs one minterm per table row, so fewer rows
+mean smaller synthesized networks (and smaller compiled circuits).  Two
+reductions preserve the causal semantics exactly:
+
+* **redundant-row removal** — a row is redundant when deleting it leaves
+  :meth:`~repro.core.table.NormalizedTable.evaluate_causal` unchanged on
+  every input: some other row matches every input it matched, with an
+  output no later (the final ``min`` then never needs it).
+* **coordinate generalization** — rewriting a finite coordinate ``v_i``
+  to ∞ *widens* what a row matches; when the widened row stays consistent
+  with the function (checked over the relevant window), the more general
+  row can subsume siblings which then drop out as redundant.
+
+:func:`minimize` applies removal alone (always safe, semantics exactly
+preserved); :func:`minimize_with_generalization` additionally tries
+widening and verifies exact equivalence over the table's window before
+accepting each rewrite.
+"""
+
+from __future__ import annotations
+
+from .function import enumerate_normalized_domain
+from .table import NormalizedTable
+from .value import INF, Infinity, Time
+
+
+def _covers(
+    covering: tuple[tuple[Time, ...], Time],
+    covered: tuple[tuple[Time, ...], Time],
+) -> bool:
+    """Does row A match everything row B matches, no later?
+
+    Coordinate-wise: A's finite coordinates must equal B's; A's ∞
+    coordinates match B's coordinate when B's is also ∞, or when B's is
+    finite but strictly later than A's output (then any input B matches
+    there is > y_b >= ... must also be > y_a; requiring y_a <= y_b makes
+    it sufficient).
+    """
+    vec_a, y_a = covering
+    vec_b, y_b = covered
+    if y_a > y_b:
+        return False
+    for a, b in zip(vec_a, vec_b):
+        if isinstance(a, Infinity):
+            # The covering row tolerates ∞ or anything later than y_a
+            # here; a finite requirement b of the covered row is matched
+            # only when it lands in that window.
+            if not isinstance(b, Infinity) and b <= y_a:
+                return False
+        else:
+            if isinstance(b, Infinity) or a != b:
+                return False
+    return True
+
+
+def minimize(table: NormalizedTable) -> NormalizedTable:
+    """Drop rows whose removal provably never changes the causal output.
+
+    Coverage is a strict partial order on distinct rows (mutual coverage
+    would force identical rows, which the table cannot hold), so its
+    maximal rows survive and every dropped row stays matched — no later —
+    by a survivor.  Sound and exact: the result's ``evaluate_causal``
+    equals the original's on every input (a verified property in the
+    test suite).
+    """
+    rows = list(table)
+    kept: dict[tuple[Time, ...], Time] = {
+        vec: y
+        for i, (vec, y) in enumerate(rows)
+        if not any(
+            _covers(other, (vec, y))
+            for j, other in enumerate(rows)
+            if j != i
+        )
+    }
+    return NormalizedTable(kept)
+
+
+def minimize_with_generalization(
+    table: NormalizedTable, *, window: int | None = None
+) -> NormalizedTable:
+    """Try widening finite coordinates to ∞, keeping exact equivalence.
+
+    Each candidate rewrite is validated by exhaustively comparing causal
+    semantics over the normalized window before being accepted, so the
+    result is always exactly equivalent (at the cost of enumeration —
+    use on the small tables of the low-resolution regime).
+    """
+    window = window if window is not None else table.max_entry() + 1
+    reference = table
+
+    def equivalent(candidate: NormalizedTable) -> bool:
+        for vec in enumerate_normalized_domain(table.arity, window):
+            if candidate.evaluate_causal(vec) != reference.evaluate_causal(vec):
+                return False
+        return True
+
+    current = minimize(table)
+    improved = True
+    while improved:
+        improved = False
+        for vec, y in list(current):
+            for i, coordinate in enumerate(vec):
+                if isinstance(coordinate, Infinity):
+                    continue
+                widened_vec = vec[:i] + (INF,) + vec[i + 1:]
+                if not any(not isinstance(v, Infinity) for v in widened_vec):
+                    continue  # a row needs a finite coordinate
+                if not any(v == 0 for v in widened_vec):
+                    continue  # must stay normalized
+                rows = current.rows
+                del rows[vec]
+                if widened_vec in rows and rows[widened_vec] != y:
+                    continue
+                rows[widened_vec] = y
+                candidate = NormalizedTable(rows)
+                if equivalent(candidate):
+                    current = minimize(candidate)
+                    improved = True
+                    break
+            if improved:
+                break
+    return current

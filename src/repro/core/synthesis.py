@@ -1,0 +1,178 @@
+"""Constructive completeness: Lemma 2 and Theorem 1 as code.
+
+Two constructions from the paper's §III.G:
+
+* :func:`max_from_min_lt` — Lemma 2 (Fig. 8): the ``max`` function built
+  from ``min`` and ``lt`` only.  The construction here,
+
+  ``max(a, b) = min( lt(b, lt(b, a)), lt(a, lt(a, b)) )``,
+
+  passes each input through gated by "the other input has already
+  arrived or never arrives": ``lt(b, a)`` fires (at ``b``) only when ``b``
+  strictly precedes ``a``, so ``lt(b, lt(b, a))`` re-emits ``b`` exactly
+  when ``b`` does *not* precede ``a`` — i.e. when ``b`` is the later (or
+  simultaneous) input.  Symmetrically for ``a``; the final ``min`` merges
+  the two cases (at most one is finite except on ties, where both carry
+  the same value).
+
+* :func:`synthesize` — Theorem 1 (Fig. 9): the minterm canonical form.
+  Every row ``(v -> y)`` of a canonical normalized table becomes one
+  minterm: a ``max`` over the row's finite coordinates delayed by
+  ``δ_i = y - v_i``, raced (``lt``) against a ``min`` over the same
+  coordinates delayed by ``δ_i + 1`` together with the row's ∞
+  coordinates fed in directly.  The ``lt`` passes the value ``y`` iff the
+  applied input matches the row; a final ``min`` merges all minterms.
+
+  The synthesized network implements the table's *causal* semantics
+  (:meth:`~repro.core.table.NormalizedTable.evaluate_causal`); for
+  canonical tables without ∞ coordinates this equals the literal lookup
+  semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..network.builder import NetworkBuilder, Ref, Source
+from ..network.graph import Network
+from .table import NormalizedTable, TableError
+from .value import Infinity
+
+
+def max_into(builder: NetworkBuilder, a: Source, b: Source) -> Ref:
+    """Emit the Lemma 2 max construction into an existing builder.
+
+    Uses one ``min`` and four ``lt`` blocks; no ``inc`` and no ``max``
+    primitive.  Returns the ref of the output wire.
+    """
+    b_not_before_a = builder.lt(b, builder.lt(b, a), tag="lemma2")
+    a_not_before_b = builder.lt(a, builder.lt(a, b), tag="lemma2")
+    return builder.min(b_not_before_a, a_not_before_b, tag="lemma2")
+
+
+def max_from_min_lt(name: str = "lemma2-max") -> Network:
+    """Build the standalone two-input Lemma 2 network (Fig. 8)."""
+    builder = NetworkBuilder(name)
+    a = builder.input("a")
+    b = builder.input("b")
+    builder.output("c", max_into(builder, a, b))
+    return builder.build()
+
+
+def max_tree(builder: NetworkBuilder, sources: list[Source]) -> Ref:
+    """A multi-input max as a balanced tree of Lemma 2 constructions."""
+    if not sources:
+        raise ValueError("max_tree needs at least one source")
+    level = list(sources)
+    while len(level) > 1:
+        merged: list[Source] = []
+        for i in range(0, len(level) - 1, 2):
+            merged.append(max_into(builder, level[i], level[i + 1]))
+        if len(level) % 2:
+            merged.append(level[-1])
+        level = merged
+    head = level[0]
+    return head if isinstance(head, Ref) else builder.min(head)
+
+
+def synthesize(
+    table: NormalizedTable,
+    *,
+    name: Optional[str] = None,
+    use_max_primitive: bool = True,
+    strict: bool = True,
+) -> Network:
+    """Theorem 1: compile a canonical normalized table into a network.
+
+    With *use_max_primitive* the minterm's last-arrival stage uses the
+    ``max`` node directly (as drawn in Fig. 9); without it, Lemma 2
+    expansions are used so the result contains only ``min``/``lt``/``inc``
+    — the strict primitive set of Theorem 1.
+
+    With *strict* (default) a non-canonical table raises
+    :class:`TableError`; pass ``strict=False`` to canonicalize
+    automatically.
+    """
+    if not table.is_canonical():
+        if strict:
+            raise TableError(
+                "table is not canonical (a finite coordinate exceeds its "
+                "row output); call .canonicalize() or pass strict=False"
+            )
+        table = table.canonicalize()
+
+    builder = NetworkBuilder(name or f"minterm[{len(table)} rows]")
+    inputs = [builder.input(f"x{i + 1}") for i in range(table.arity)]
+
+    minterms: list[Ref] = []
+    for row_index, (vec, y) in enumerate(table):
+        tag = f"minterm{row_index}"
+        late_terms: list[Source] = []
+        early_terms: list[Source] = []
+        for x, v in zip(inputs, vec):
+            if isinstance(v, Infinity):
+                # Absent coordinate: feeds the min directly; any applied
+                # spike at or before the row's output suppresses the match.
+                early_terms.append(x)
+            else:
+                delta = y - v
+                late_terms.append(builder.inc(x, delta, tag=tag))
+                early_terms.append(builder.inc(x, delta + 1, tag=tag))
+        if not late_terms:
+            raise TableError(f"row {vec} has no finite coordinate")
+        if use_max_primitive:
+            last_arrival = builder.max(*late_terms, tag=tag)
+        else:
+            last_arrival = max_tree(builder, late_terms)
+        first_suppressor = builder.min(*early_terms, tag=tag)
+        minterms.append(builder.lt(last_arrival, first_suppressor, tag=tag))
+
+    builder.output("y", builder.min(*minterms))
+    return builder.build()
+
+
+def synthesis_cost(table: NormalizedTable, *, use_max_primitive: bool = True) -> dict[str, int]:
+    """Predicted block counts of :func:`synthesize` without building it.
+
+    Useful for scaling studies: the canonical form is linear in
+    ``rows × arity``, the temporal analogue of two-level logic.
+    """
+    n_rows = len(table)
+    arity = table.arity
+    finite_coords = sum(
+        sum(1 for v in vec if not isinstance(v, Infinity)) for vec, _ in table
+    )
+    # inc nodes: two per finite coordinate, minus those with zero delta
+    # (builder elides +0 increments).
+    zero_deltas = sum(
+        sum(1 for v in vec if not isinstance(v, Infinity) and y - v == 0)
+        for vec, y in table
+    )
+    incs = 2 * finite_coords - zero_deltas
+    lts = n_rows
+    mins = n_rows + (1 if n_rows > 1 else 0)
+    if use_max_primitive:
+        maxes = sum(
+            1
+            for vec, _ in table
+            if sum(1 for v in vec if not isinstance(v, Infinity)) > 1
+        )
+        lemma2_blocks = 0
+    else:
+        maxes = 0
+        pairings = sum(
+            max(0, sum(1 for v in vec if not isinstance(v, Infinity)) - 1)
+            for vec, _ in table
+        )
+        lemma2_blocks = 5 * pairings
+        lts += 4 * pairings
+        mins += pairings
+    return {
+        "rows": n_rows,
+        "arity": arity,
+        "inc": incs,
+        "min": mins,
+        "max": maxes,
+        "lt": lts,
+        "lemma2_blocks": lemma2_blocks,
+    }

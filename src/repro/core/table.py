@@ -1,0 +1,360 @@
+"""Normalized function tables (§III.F).
+
+A bounded s-t function can be specified the way a Boolean function is
+specified by a truth table: a *normalized function table* lists the input
+vectors with at least one 0 coordinate that produce a finite output,
+together with that output.  Thanks to invariance, this finite table
+defines a total function over all of ``N0∞``:
+
+* to evaluate an arbitrary vector, subtract ``x_min`` (normalize), look up
+  the row, and add ``x_min`` back to the row's output;
+* vectors whose normalization is not in the table map to ``∞``.
+
+This module provides the table data structure, its normal-form validation,
+evaluation, inference of a table from a black-box function, and random
+table generation for tests and benchmarks.  Table → network synthesis
+(Theorem 1) lives in :mod:`repro.core.synthesis`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping
+from typing import Optional
+
+from .function import SpaceTimeFunction, enumerate_normalized_domain
+from .value import (
+    INF,
+    Infinity,
+    Time,
+    check_time,
+    check_vector,
+    is_normalized,
+    normalize,
+    shift,
+    t_min,
+)
+
+
+class TableError(ValueError):
+    """Raised when rows violate the paper's normal-form rules."""
+
+
+class NormalizedTable:
+    """A normalized function table: finite spec of a bounded s-t function.
+
+    Normal form (paper rules): every row's input vector contains at least
+    one 0, and every row's output is finite.  Rows whose output would be
+    ``∞`` are simply absent.  Causality additionally requires each row's
+    output to be ``>= 0`` (which ``N0∞`` guarantees) — and for the table to
+    describe a *causal* function, the output must not precede the earliest
+    input, which for a normalized row means ``y >= 0``; always true.  The
+    stronger constraint that each non-∞ input later than the output be
+    irrelevant is a cross-row property checked by
+    :meth:`causality_violations`.
+    """
+
+    def __init__(self, rows: Mapping[tuple[Time, ...], Time] | Iterable[tuple[Iterable[Time], Time]]):
+        items = rows.items() if isinstance(rows, Mapping) else rows
+        parsed: dict[tuple[Time, ...], Time] = {}
+        arity: Optional[int] = None
+        for inputs, output in items:
+            vec = check_vector(inputs, name="row input")
+            out = check_time(output, name="row output")
+            if arity is None:
+                arity = len(vec)
+            elif len(vec) != arity:
+                raise TableError(
+                    f"inconsistent row arity: expected {arity}, got {len(vec)}"
+                )
+            if not is_normalized(vec):
+                raise TableError(f"row {vec} has no 0 entry (not normalized)")
+            if isinstance(out, Infinity):
+                raise TableError(
+                    f"row {vec} maps to ∞; such rows must be omitted"
+                )
+            if vec in parsed and parsed[vec] != out:
+                raise TableError(
+                    f"row {vec} listed twice with different outputs "
+                    f"({parsed[vec]} and {out})"
+                )
+            parsed[vec] = out
+        if arity is None:
+            raise TableError("a table needs at least one row (or use arity=)")
+        self._rows = parsed
+        self.arity = arity
+
+    # -- basic container behaviour -------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(sorted(self._rows.items(), key=_row_sort_key))
+
+    def __contains__(self, vec: tuple[Time, ...]) -> bool:
+        return tuple(vec) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NormalizedTable):
+            return NotImplemented
+        return self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._rows.items()))
+
+    def __repr__(self) -> str:
+        return f"NormalizedTable(arity={self.arity}, rows={len(self)})"
+
+    @property
+    def rows(self) -> dict[tuple[Time, ...], Time]:
+        """A copy of the row mapping (normalized inputs → finite output)."""
+        return dict(self._rows)
+
+    # -- semantics -------------------------------------------------------------
+    def evaluate(self, inputs: Iterable[Time]) -> Time:
+        """Evaluate the specified function on an arbitrary input vector.
+
+        The paper's recipe: normalize by subtracting ``x_min``; if the
+        normalized vector has a table row, add ``x_min`` back to the row's
+        output; otherwise the output is ``∞``.
+        """
+        vec = check_vector(inputs)
+        if len(vec) != self.arity:
+            raise TypeError(f"expected {self.arity} inputs, got {len(vec)}")
+        normalized, lo = normalize(vec)
+        if isinstance(lo, Infinity):
+            return INF
+        out = self._rows.get(normalized)
+        if out is None:
+            return INF
+        return out + lo
+
+    def as_function(self, name: Optional[str] = None) -> SpaceTimeFunction:
+        """Wrap the table as a callable :class:`SpaceTimeFunction`."""
+        return SpaceTimeFunction(
+            lambda *xs: self.evaluate(xs),
+            self.arity,
+            name=name or f"table[{len(self)} rows]",
+        )
+
+    # -- diagnostics -------------------------------------------------------------
+    def max_entry(self) -> int:
+        """Largest finite value appearing anywhere in the table.
+
+        An upper bound on the history window ``k`` of the specified
+        function, used to size exhaustive verification domains.
+        """
+        values = [v for row in self._rows for v in row if not isinstance(v, Infinity)]
+        values.extend(self._rows.values())
+        return max(values, default=0)
+
+    def causality_violations(self) -> list[tuple[tuple[Time, ...], str]]:
+        """Rows that make the specified function non-causal.
+
+        For a row with output ``y``, any input coordinate ``x_h > y`` must
+        be irrelevant: the row obtained by setting ``x_h = ∞`` must exist
+        and have the same output.  (And since rows are normalized with
+        ``x_min = 0``, ``y >= x_min`` always holds.)
+        """
+        problems: list[tuple[tuple[Time, ...], str]] = []
+        for vec, y in self._rows.items():
+            for h, xh in enumerate(vec):
+                if xh > y:
+                    masked = vec[:h] + (INF,) + vec[h + 1:]
+                    if self._rows.get(masked) != y:
+                        problems.append(
+                            (
+                                vec,
+                                f"input #{h}={xh} exceeds output {y} but row "
+                                f"{masked} is missing or differs",
+                            )
+                        )
+        return problems
+
+    def is_causal(self) -> bool:
+        """True if the table specifies a causal function."""
+        return not self.causality_violations()
+
+    # -- causal (realizable) semantics ---------------------------------------
+    #
+    # A physical device cannot distinguish "input i never spikes" from
+    # "input i spikes later than my own output" — at firing time the two
+    # histories are identical.  The paper's minterm construction (Fig. 9)
+    # therefore treats a row coordinate of ∞ as matching any applied value
+    # *strictly later than the row's output* ("if a value applied to x3 is
+    # greater than the minterm's output, it has no effect").  The methods
+    # below implement that interpretation.
+
+    def is_canonical(self) -> bool:
+        """True if every finite row coordinate is <= the row's output.
+
+        A finite coordinate later than the output is physically
+        unobservable before the device fires, so a *canonical* causal table
+        writes such coordinates as ∞.  Canonical tables are exactly the
+        ones the Theorem 1 synthesis reproduces.
+        """
+        return all(
+            all(isinstance(v, Infinity) or v <= y for v in vec)
+            for vec, y in self._rows.items()
+        )
+
+    def canonicalize(self) -> "NormalizedTable":
+        """Rewrite finite coordinates later than the output as ∞.
+
+        Merges rows that become identical; conflicting merged outputs raise
+        :class:`TableError` (such a table described a physically
+        unrealizable function).
+        """
+        rows: dict[tuple[Time, ...], Time] = {}
+        for vec, y in self._rows.items():
+            fixed = tuple(INF if v > y else v for v in vec)
+            if fixed in rows and rows[fixed] != y:
+                raise TableError(
+                    f"rows collapsing to {fixed} disagree "
+                    f"({rows[fixed]} vs {y}); table is not realizable"
+                )
+            rows[fixed] = y
+        return NormalizedTable(rows)
+
+    @staticmethod
+    def _row_matches(vec: tuple[Time, ...], y: Time, w: tuple[Time, ...]) -> bool:
+        """Does normalized input *w* causally match row ``vec -> y``?
+
+        Finite coordinates must match exactly; ∞ coordinates match ∞ or
+        any value strictly later than *y* (a spike the device fires before
+        seeing).
+        """
+        for v, x in zip(vec, w):
+            if isinstance(v, Infinity):
+                if not (isinstance(x, Infinity) or x > y):
+                    return False
+            elif x != v:
+                return False
+        return True
+
+    def evaluate_causal(self, inputs: Iterable[Time]) -> Time:
+        """Evaluate under the causal (physically realizable) semantics.
+
+        Matching rows contribute their (shift-adjusted) outputs and the
+        result is their minimum — exactly what the final ``min`` of the
+        minterm canonical form computes.  For tables without ∞ row
+        coordinates this coincides with :meth:`evaluate`.
+        """
+        vec = check_vector(inputs)
+        if len(vec) != self.arity:
+            raise TypeError(f"expected {self.arity} inputs, got {len(vec)}")
+        normalized, lo = normalize(vec)
+        if isinstance(lo, Infinity):
+            return INF
+        outputs = [
+            y
+            for row, y in self._rows.items()
+            if self._row_matches(row, y, normalized)
+        ]
+        if not outputs:
+            return INF
+        return min(outputs) + lo
+
+    def as_causal_function(self, name: Optional[str] = None) -> SpaceTimeFunction:
+        """Wrap :meth:`evaluate_causal` as a :class:`SpaceTimeFunction`."""
+        return SpaceTimeFunction(
+            lambda *xs: self.evaluate_causal(xs),
+            self.arity,
+            name=name or f"causal-table[{len(self)} rows]",
+        )
+
+    # -- construction -------------------------------------------------------------
+    @classmethod
+    def from_function(
+        cls,
+        func: SpaceTimeFunction,
+        *,
+        window: int,
+        include_inf: bool = True,
+    ) -> "NormalizedTable":
+        """Infer the table of a bounded s-t function by enumeration.
+
+        Evaluates *func* on every normalized vector whose finite entries
+        lie in ``[0, window]`` and records the rows with finite output.
+        *window* must be at least the function's history bound ``k`` for
+        the table to be exact.
+        """
+        rows: dict[tuple[Time, ...], Time] = {}
+        for vec in enumerate_normalized_domain(func.arity, window, include_inf=include_inf):
+            out = func(*vec)
+            if not isinstance(out, Infinity):
+                rows[vec] = out
+        return cls(rows)
+
+    @classmethod
+    def random(
+        cls,
+        arity: int,
+        *,
+        window: int,
+        n_rows: int,
+        max_extra_delay: int = 3,
+        inf_probability: float = 0.25,
+        rng: Optional[random.Random] = None,
+    ) -> "NormalizedTable":
+        """Generate a random canonical table (for tests and benchmarks).
+
+        Each row's output is its largest finite input plus a random extra
+        delay up to *max_extra_delay*, which makes every finite coordinate
+        ``<= y`` — the generated table is always canonical, hence it
+        specifies a physically realizable bounded s-t function under
+        :meth:`evaluate_causal`.
+        """
+        rng = rng or random.Random(0)
+        rows: dict[tuple[Time, ...], Time] = {}
+        attempts = 0
+        while len(rows) < n_rows and attempts < n_rows * 50:
+            attempts += 1
+            vec: list[Time] = []
+            for _ in range(arity):
+                if rng.random() < inf_probability:
+                    vec.append(INF)
+                else:
+                    vec.append(rng.randint(0, window))
+            if not any(v == 0 for v in vec):
+                if all(isinstance(v, Infinity) for v in vec):
+                    continue
+                lo = t_min(vec)
+                vec = list(shift(vec, -int(lo)))
+            finite = [v for v in vec if not isinstance(v, Infinity)]
+            if not finite:
+                continue
+            base = max(finite)
+            key = tuple(vec)
+            if key not in rows:
+                rows[key] = base + rng.randint(0, max_extra_delay)
+        return cls(rows)
+
+    def pretty(self) -> str:
+        """Human-readable rendering in the style of the paper's Fig. 7."""
+        header = " | ".join(f"x{i + 1}" for i in range(self.arity)) + " | y"
+        lines = [header, "-" * len(header)]
+        for vec, y in self:
+            cells = " | ".join(f"{v!s:>2}" for v in vec)
+            lines.append(f"{cells} | {y!s:>2}")
+        return "\n".join(lines)
+
+
+def _row_sort_key(item: tuple[tuple[Time, ...], Time]):
+    vec, _ = item
+    return tuple(
+        (1, 0) if isinstance(v, Infinity) else (0, v) for v in vec
+    )
+
+
+#: The example table from the paper's Fig. 7: three inputs, three rows.
+#: (Note the second row of the printed figure shows "8" where the
+#: surrounding text implies "∞"; the minterm walkthrough in Fig. 9 treats
+#: x3 of minterm 2 as absent, so the row is (1, 0, ∞) -> 2.)
+FIG7_TABLE = NormalizedTable(
+    {
+        (0, 1, 2): 3,
+        (1, 0, INF): 2,
+        (2, 2, 0): 2,
+    }
+)

@@ -1,0 +1,36 @@
+"""Learning rules for TNNs: STDP variants, the tempotron, quantization.
+
+All rules operate in the paper's low-resolution regime — integer weights
+of a few bits — and are local: every update uses only the spike times one
+synapse can observe.
+"""
+
+from .quantize import QuantizationReport, compare_quantized, quantize_weights
+from .stdp import (
+    Homeostasis,
+    FirstSpikeSTDP,
+    STDPRule,
+    STDPTrainer,
+    TrainingStep,
+    selectivity,
+)
+from .spikeprop import LatencyNeuron, LatencyRegressor, SpikePropConfig
+from .tempotron import MultiClassTempotron, Tempotron, TempotronConfig
+
+__all__ = [
+    "Homeostasis",
+    "FirstSpikeSTDP",
+    "LatencyNeuron",
+    "LatencyRegressor",
+    "MultiClassTempotron",
+    "QuantizationReport",
+    "STDPRule",
+    "STDPTrainer",
+    "SpikePropConfig",
+    "Tempotron",
+    "TempotronConfig",
+    "TrainingStep",
+    "compare_quantized",
+    "quantize_weights",
+    "selectivity",
+]

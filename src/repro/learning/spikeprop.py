@@ -1,0 +1,226 @@
+"""Supervised latency learning (SpikeProp-style, §II.C).
+
+Bohte et al. trained temporally coded networks by error backpropagation
+on *spike times*: the supervision signal is "fire at time T", not just
+"fire / don't fire".  This module implements the single-neuron integer
+version of that idea — temporal regression under the paper's
+low-resolution constraints:
+
+* if the neuron fires **later** than the target (or not at all), weights
+  of inputs that would contribute at the target time are potentiated;
+* if it fires **earlier**, contributors at the premature firing time are
+  depressed;
+
+a signed, timing-targeted variant of the tempotron update.  With a bank
+of such neurons an output *volley* can be trained toward a target volley
+(:class:`LatencyRegressor`), which is what a SpikeProp output layer does.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.value import INF, Infinity, Time, check_vector
+from ..neuron.response import ResponseFunction
+from ..neuron.srm0 import SRM0Neuron
+
+
+@dataclass
+class SpikePropConfig:
+    """Hyper-parameters of the latency-learning rule."""
+
+    w_min: int = 0
+    w_max: int = 15  # 4-bit weights
+    tolerance: int = 0  # acceptable |t_actual - t_target|
+
+
+class LatencyNeuron:
+    """One neuron trained to fire at target latencies."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        *,
+        threshold: int,
+        base_response: Optional[ResponseFunction] = None,
+        config: Optional[SpikePropConfig] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        if n_inputs < 1:
+            raise ValueError("need at least one input")
+        self.n_inputs = n_inputs
+        self.threshold = threshold
+        self.base_response = base_response or ResponseFunction.piecewise_linear(
+            amplitude=3, rise=2, fall=6
+        )
+        self.config = config or SpikePropConfig()
+        rng = rng or random.Random(0)
+        mid = (self.config.w_min + self.config.w_max) // 2
+        self.weights = np.array(
+            [mid + rng.randint(-1, 1) for _ in range(n_inputs)], dtype=np.int64
+        )
+
+    def _neuron(self) -> SRM0Neuron:
+        return SRM0Neuron.homogeneous(
+            self.n_inputs,
+            self.weights.tolist(),
+            base_response=self.base_response,
+            threshold=self.threshold,
+        )
+
+    def fire_time(self, volley: Sequence[Time]) -> Time:
+        return self._neuron().fire_time(tuple(volley))
+
+    def error(self, volley: Sequence[Time], target: Time) -> Optional[int]:
+        """Signed timing error (actual - target); None when incomparable.
+
+        A silent neuron with a finite target (or vice versa) has no
+        finite error — callers treat it as "maximally late/early".
+        """
+        actual = self.fire_time(volley)
+        if isinstance(actual, Infinity) or isinstance(target, Infinity):
+            return None
+        return int(actual) - int(target)
+
+    def train_one(self, volley: Sequence[Time], target: Time) -> bool:
+        """One update toward firing at *target*; True when within tolerance."""
+        vec = check_vector(tuple(volley))
+        target = INF if isinstance(target, Infinity) else int(target)
+        actual = self.fire_time(vec)
+        cfg = self.config
+
+        if isinstance(target, Infinity):
+            if isinstance(actual, Infinity):
+                return True
+            self._nudge(vec, int(actual), -1)  # should not fire: depress
+            return False
+
+        if isinstance(actual, Infinity):
+            self._nudge(vec, target, +1)  # should fire: potentiate at target
+            return False
+
+        delta = int(actual) - target
+        if abs(delta) <= cfg.tolerance:
+            return True
+        if delta > 0:
+            # Too late: more drive at (and before) the target time.
+            self._nudge(vec, target, +1)
+        else:
+            # Too early: less drive at the premature firing time.
+            self._nudge(vec, int(actual), -1)
+        return False
+
+    def _nudge(self, vec: tuple[Time, ...], at_time: int, sign: int) -> None:
+        cfg = self.config
+        for i, t_in in enumerate(vec):
+            if isinstance(t_in, Infinity):
+                continue
+            contribution = self.base_response(at_time - t_in)
+            if contribution > 0:
+                self.weights[i] = int(
+                    np.clip(self.weights[i] + sign, cfg.w_min, cfg.w_max)
+                )
+
+    def train(
+        self,
+        volleys: Sequence[Sequence[Time]],
+        targets: Sequence[Time],
+        *,
+        epochs: int = 30,
+        rng: Optional[random.Random] = None,
+    ) -> list[float]:
+        """Per-epoch fraction of examples within tolerance."""
+        if len(volleys) != len(targets):
+            raise ValueError("one target per volley required")
+        rng = rng or random.Random(1)
+        history: list[float] = []
+        for _ in range(epochs):
+            order = list(range(len(volleys)))
+            rng.shuffle(order)
+            hits = sum(
+                1 for i in order if self.train_one(volleys[i], targets[i])
+            )
+            history.append(hits / len(volleys) if volleys else 1.0)
+            if history[-1] == 1.0:
+                break
+        return history
+
+    def mean_absolute_error(
+        self, volleys: Sequence[Sequence[Time]], targets: Sequence[Time]
+    ) -> float:
+        """Mean |timing error| over comparable examples (∞ mismatch = max)."""
+        errors: list[float] = []
+        horizon = self.base_response.t_max + 1
+        for volley, target in zip(volleys, targets):
+            err = self.error(volley, target)
+            if err is None:
+                actual = self.fire_time(volley)
+                both_silent = isinstance(actual, Infinity) and isinstance(
+                    target, Infinity
+                )
+                errors.append(0.0 if both_silent else float(horizon))
+            else:
+                errors.append(abs(err))
+        return sum(errors) / len(errors) if errors else 0.0
+
+
+class LatencyRegressor:
+    """A bank of latency neurons trained toward target volleys."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_outputs: int,
+        *,
+        threshold: int,
+        base_response: Optional[ResponseFunction] = None,
+        config: Optional[SpikePropConfig] = None,
+        seed: int = 0,
+    ):
+        rng = random.Random(seed)
+        self.neurons = [
+            LatencyNeuron(
+                n_inputs,
+                threshold=threshold,
+                base_response=base_response,
+                config=config,
+                rng=random.Random(rng.randint(0, 2**31)),
+            )
+            for _ in range(n_outputs)
+        ]
+
+    def forward(self, volley: Sequence[Time]) -> tuple[Time, ...]:
+        return tuple(neuron.fire_time(volley) for neuron in self.neurons)
+
+    def train(
+        self,
+        volleys: Sequence[Sequence[Time]],
+        target_volleys: Sequence[Sequence[Time]],
+        *,
+        epochs: int = 30,
+        rng: Optional[random.Random] = None,
+    ) -> list[float]:
+        """Per-epoch fraction of (example, output) pairs within tolerance."""
+        if len(volleys) != len(target_volleys):
+            raise ValueError("one target volley per input volley required")
+        rng = rng or random.Random(2)
+        history: list[float] = []
+        total = len(volleys) * len(self.neurons)
+        for _ in range(epochs):
+            order = list(range(len(volleys)))
+            rng.shuffle(order)
+            hits = 0
+            for i in order:
+                targets = tuple(target_volleys[i])
+                for neuron, target in zip(self.neurons, targets):
+                    if neuron.train_one(volleys[i], target):
+                        hits += 1
+            history.append(hits / total if total else 1.0)
+            if history[-1] == 1.0:
+                break
+        return history

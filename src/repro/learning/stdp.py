@@ -1,0 +1,233 @@
+"""Spike Timing Dependent Plasticity (paper §II.A, §IV.B).
+
+The paper's training story: commonly occurring temporal patterns are
+learned as synaptic weight patterns via STDP — inputs that spike before
+(and so contribute to) the neuron's output spike are strengthened; inputs
+spiking after it are weakened.  After convergence the neuron fires early
+on familiar patterns and late or never on unfamiliar ones.
+
+Implemented rules (all integer-weight, low-resolution per §II.A):
+
+* :class:`STDPRule` — classic additive pairwise STDP with an LTP window.
+* :class:`FirstSpikeSTDP` — the Guyonneau et al. variant: potentiation
+  depends only on spike *order* (earliest inputs win), which drives
+  neurons to tune to the earliest spikes of a pattern.
+
+:class:`STDPTrainer` applies a rule to a WTA column with winner-take-all
+learning: only the earliest-firing neuron updates, which decorrelates the
+neurons and makes them specialize to distinct patterns (Masquelier &
+Thorpe's recipe, used by the Fig. 4 system).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from ..core.value import Infinity, Time
+from ..coding.volley import Volley
+from ..neuron.column import Column
+from ..neuron.wta import winners
+
+
+class LearningRule(Protocol):
+    """Anything that can update one neuron's weight row."""
+
+    def update_row(
+        self, weights: np.ndarray, inputs: Sequence[Time], t_out: int
+    ) -> np.ndarray:
+        """Return the updated weight row (must not mutate the input)."""
+        ...  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class STDPRule:
+    """Classic additive pairwise STDP, integer weights.
+
+    An input spiking within *ltp_window* before (or at) the output spike
+    is potentiated by *a_plus*; an input spiking after the output — or
+    not at all — is depressed by *a_minus* (depressing silent synapses is
+    the standard simplification that bounds weights of never-active
+    inputs; disable with ``depress_silent=False``).  Weights clamp to
+    ``[w_min, w_max]`` — 3 bits by default, per the paper's resolution
+    argument.
+    """
+
+    a_plus: int = 1
+    a_minus: int = 1
+    ltp_window: int = 8
+    w_min: int = 0
+    w_max: int = 7
+    depress_silent: bool = True
+
+    def update_row(
+        self, weights: np.ndarray, inputs: Sequence[Time], t_out: int
+    ) -> np.ndarray:
+        updated = weights.copy()
+        for i, t_in in enumerate(inputs):
+            if isinstance(t_in, Infinity):
+                if self.depress_silent:
+                    updated[i] -= self.a_minus
+            elif t_out - self.ltp_window <= t_in <= t_out:
+                updated[i] += self.a_plus
+            elif t_in > t_out:
+                updated[i] -= self.a_minus
+            # Inputs older than the LTP window neither help nor hurt.
+        return np.clip(updated, self.w_min, self.w_max)
+
+
+@dataclass(frozen=True)
+class FirstSpikeSTDP:
+    """Order-based STDP (Guyonneau, VanRullen & Thorpe 2005).
+
+    Potentiation is independent of the exact latency: every input that
+    spikes no later than the output is potentiated, with the *earliest*
+    ``n_strongest`` inputs getting a double update.  The result (their
+    theorem) is that the neuron becomes selective to the earliest spikes
+    of the pattern regardless of its overall latency.
+    """
+
+    a_plus: int = 1
+    a_minus: int = 1
+    n_strongest: int = 4
+    w_min: int = 0
+    w_max: int = 7
+
+    def update_row(
+        self, weights: np.ndarray, inputs: Sequence[Time], t_out: int
+    ) -> np.ndarray:
+        updated = weights.copy()
+        contributors = [
+            (t_in, i)
+            for i, t_in in enumerate(inputs)
+            if not isinstance(t_in, Infinity) and t_in <= t_out
+        ]
+        contributors.sort()
+        for rank, (_, i) in enumerate(contributors):
+            updated[i] += self.a_plus * (2 if rank < self.n_strongest else 1)
+        for i, t_in in enumerate(inputs):
+            if isinstance(t_in, Infinity) or t_in > t_out:
+                updated[i] -= self.a_minus
+        return np.clip(updated, self.w_min, self.w_max)
+
+
+@dataclass
+class TrainingStep:
+    """What happened on one training volley."""
+
+    winner: Optional[int]
+    fire_times: tuple[Time, ...]
+
+
+class Homeostasis:
+    """Adaptive per-neuron thresholds (intrinsic plasticity).
+
+    Plain WTA learning has a failure mode: one neuron wins everything and
+    the rest never learn (Bichler et al. and Diehl & Cook counter it with
+    adaptive thresholds).  After each win the winner's threshold rises by
+    *step*; every neuron's threshold simultaneously relaxes toward its
+    base by *decay*.  Frequent winners become harder to excite, giving
+    other neurons a chance to claim the remaining patterns.
+    """
+
+    def __init__(self, column: Column, *, step: int = 2, decay: int = 1):
+        if step < 0 or decay < 0:
+            raise ValueError("step and decay must be non-negative")
+        self.base = list(column.thresholds)
+        self.step = step
+        self.decay = decay
+
+    def on_win(self, column: Column, winner: int) -> None:
+        for i in range(column.n_neurons):
+            current = column.thresholds[i]
+            target = current
+            if i == winner:
+                target = current + self.step
+            elif current > self.base[i]:
+                target = max(self.base[i], current - self.decay)
+            if target != current:
+                column.set_threshold(i, target)
+
+    def reset(self, column: Column) -> None:
+        """Restore base thresholds (call after training, before inference).
+
+        The adaptive component is a *training-time* decorrelation
+        mechanism; evaluating with the inflated thresholds of recent
+        winners would just suppress the best-trained neurons.
+        """
+        for i, base in enumerate(self.base):
+            if column.thresholds[i] != base:
+                column.set_threshold(i, base)
+
+
+class STDPTrainer:
+    """Unsupervised winner-take-all STDP training of a column."""
+
+    def __init__(
+        self,
+        column: Column,
+        rule: LearningRule | None = None,
+        *,
+        rng: Optional[random.Random] = None,
+        homeostasis: Optional[Homeostasis] = None,
+    ):
+        self.column = column
+        self.rule = rule or STDPRule()
+        self.rng = rng or random.Random(0)
+        self.homeostasis = homeostasis
+        self.steps_taken = 0
+
+    def train_step(self, volley: Volley | Sequence[Time]) -> TrainingStep:
+        """Present one volley; the earliest-firing neuron learns.
+
+        Ties are broken randomly (the biological tie-breaker is noise);
+        a silent column learns nothing.
+        """
+        times = tuple(volley)
+        raw = self.column.excitation(times)
+        tied = winners(raw)
+        if not tied:
+            return TrainingStep(winner=None, fire_times=raw)
+        winner = tied[0] if len(tied) == 1 else self.rng.choice(tied)
+        t_out = raw[winner]
+        assert not isinstance(t_out, Infinity)
+        matrix = self.column.weights.copy()
+        matrix[winner] = self.rule.update_row(matrix[winner], times, int(t_out))
+        self.column.set_weights(matrix)
+        if self.homeostasis is not None:
+            self.homeostasis.on_win(self.column, winner)
+        self.steps_taken += 1
+        return TrainingStep(winner=winner, fire_times=raw)
+
+    def train(
+        self, volleys: Sequence[Volley | Sequence[Time]], *, epochs: int = 1, shuffle: bool = True
+    ) -> list[TrainingStep]:
+        """Present a dataset for several epochs; returns the step log."""
+        log: list[TrainingStep] = []
+        for _ in range(epochs):
+            order = list(range(len(volleys)))
+            if shuffle:
+                self.rng.shuffle(order)
+            for index in order:
+                log.append(self.train_step(volleys[index]))
+        return log
+
+
+def selectivity(column: Column, volleys: Sequence[Volley | Sequence[Time]]) -> dict[int, list[int]]:
+    """Which patterns each neuron wins after training.
+
+    Maps neuron index → indices of the volleys it wins; useful to verify
+    that training produced specialization (distinct neurons claim distinct
+    patterns).
+    """
+    claims: dict[int, list[int]] = {i: [] for i in range(column.n_neurons)}
+    for v_index, volley in enumerate(volleys):
+        raw = column.excitation(tuple(volley))
+        tied = winners(raw)
+        if len(tied) == 1:
+            claims[tied[0]].append(v_index)
+    return claims

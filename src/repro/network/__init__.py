@@ -1,0 +1,77 @@
+"""Feedforward space-time computing networks (paper §III, Fig. 7).
+
+The substrate everything else is built on: a DAG of primitive blocks
+(:mod:`~repro.network.blocks`), assembled with a builder
+(:mod:`~repro.network.builder`), evaluated denotationally
+(:mod:`~repro.network.simulator`) or operationally as discrete spike
+events (:mod:`~repro.network.events`), with structural validation
+(:mod:`~repro.network.validate`) and size/activity statistics
+(:mod:`~repro.network.stats`).
+"""
+
+from .blocks import COMPUTE_KINDS, KINDS, Node
+from .builder import NetworkBuilder, Ref
+from .events import EventSimulator, SimulationResult, SpikeEvent, simulate
+from .generate import input_batch, random_inputs, random_network, random_volley
+from .graph import Network, NetworkError
+from .optimize import OptimizationReport, optimize
+from .serialize import dumps, load, loads, network_from_dict, network_to_dict, save
+from .simulator import evaluate, evaluate_all, evaluate_vector
+from .timing import (
+    TimeInterval,
+    analyze,
+    default_input_window,
+    makespan_bound,
+    output_intervals,
+)
+from .stats import ActivityStats, StructureStats, activity, structure
+from .validate import (
+    ValidationReport,
+    check_feedforward,
+    live_node_ids,
+    strip_dead_nodes,
+    validate,
+)
+
+__all__ = [
+    "COMPUTE_KINDS",
+    "KINDS",
+    "ActivityStats",
+    "EventSimulator",
+    "Network",
+    "NetworkBuilder",
+    "NetworkError",
+    "Node",
+    "OptimizationReport",
+    "Ref",
+    "SimulationResult",
+    "SpikeEvent",
+    "StructureStats",
+    "TimeInterval",
+    "ValidationReport",
+    "activity",
+    "analyze",
+    "default_input_window",
+    "check_feedforward",
+    "dumps",
+    "evaluate",
+    "evaluate_all",
+    "evaluate_vector",
+    "input_batch",
+    "live_node_ids",
+    "load",
+    "loads",
+    "makespan_bound",
+    "network_from_dict",
+    "network_to_dict",
+    "optimize",
+    "output_intervals",
+    "random_inputs",
+    "random_network",
+    "random_volley",
+    "save",
+    "simulate",
+    "strip_dead_nodes",
+    "structure",
+    "validate",
+]

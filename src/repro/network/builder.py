@@ -1,0 +1,189 @@
+"""Fluent construction of space-time networks.
+
+:class:`NetworkBuilder` appends nodes in topological order and returns
+integer handles (:class:`Ref`) that later nodes consume — the handle
+discipline makes accidental cycles impossible, so every built network is
+feedforward by construction (the premise of Lemma 1).
+
+Example (the small network of the paper's Fig. 6b)::
+
+    b = NetworkBuilder("fig6b")
+    a, c = b.input("a"), b.input("b")
+    first = b.min(a, c)
+    delayed = b.inc(first, 2)
+    b.output("y", b.lt(delayed, b.max(a, c)))
+    net = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .blocks import Node
+from .graph import Network, NetworkError
+
+
+@dataclass(frozen=True)
+class Ref:
+    """Handle to a node's output wire within a builder."""
+
+    id: int
+    builder_id: int
+
+
+Source = Union[Ref, int]
+
+
+class NetworkBuilder:
+    """Accumulates nodes and produces an immutable :class:`Network`."""
+
+    _next_builder_id = 0
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or "network"
+        self._nodes: list[Node] = []
+        self._outputs: dict[str, int] = {}
+        self._input_names: set[str] = set()
+        self._param_names: set[str] = set()
+        self._id = NetworkBuilder._next_builder_id
+        NetworkBuilder._next_builder_id += 1
+
+    # -- internal helpers ------------------------------------------------------
+    def _resolve(self, src: Source) -> int:
+        if isinstance(src, Ref):
+            if src.builder_id != self._id:
+                raise NetworkError(
+                    "a Ref from another builder cannot be used here"
+                )
+            return src.id
+        if isinstance(src, int) and 0 <= src < len(self._nodes):
+            return src
+        raise NetworkError(f"invalid source {src!r}")
+
+    def _add(self, node: Node) -> Ref:
+        self._nodes.append(node)
+        return Ref(node.id, self._id)
+
+    def _next_id(self) -> int:
+        return len(self._nodes)
+
+    # -- terminals ------------------------------------------------------------
+    def input(self, name: str) -> Ref:
+        """Declare a primary input line."""
+        if name in self._input_names or name in self._param_names:
+            raise NetworkError(f"duplicate terminal name {name!r}")
+        self._input_names.add(name)
+        return self._add(Node(self._next_id(), "input", name=name))
+
+    def inputs(self, *names: str) -> list[Ref]:
+        """Declare several inputs at once."""
+        return [self.input(n) for n in names]
+
+    def param(self, name: str) -> Ref:
+        """Declare a configuration (micro-weight) line, pinned before runs."""
+        if name in self._input_names or name in self._param_names:
+            raise NetworkError(f"duplicate terminal name {name!r}")
+        self._param_names.add(name)
+        return self._add(Node(self._next_id(), "param", name=name))
+
+    # -- primitives ------------------------------------------------------------
+    def inc(self, src: Source, amount: int = 1, *, tag: str = "") -> Ref:
+        """Delay *src* by *amount* unit times (a chain of +1 blocks)."""
+        if amount == 0:
+            # A zero increment is the identity wire; avoid a useless node.
+            return src if isinstance(src, Ref) else Ref(self._resolve(src), self._id)
+        node = Node(
+            self._next_id(),
+            "inc",
+            sources=(self._resolve(src),),
+            amount=amount,
+            tags=(tag,) if tag else (),
+        )
+        return self._add(node)
+
+    def min(self, *srcs: Source, tag: str = "") -> Ref:
+        """First arrival of the given sources."""
+        ids = tuple(self._resolve(s) for s in srcs)
+        if len(ids) == 1:
+            return Ref(ids[0], self._id)
+        return self._add(
+            Node(self._next_id(), "min", sources=ids, tags=(tag,) if tag else ())
+        )
+
+    def max(self, *srcs: Source, tag: str = "") -> Ref:
+        """Last arrival of the given sources."""
+        ids = tuple(self._resolve(s) for s in srcs)
+        if len(ids) == 1:
+            return Ref(ids[0], self._id)
+        return self._add(
+            Node(self._next_id(), "max", sources=ids, tags=(tag,) if tag else ())
+        )
+
+    def lt(self, a: Source, b: Source, *, tag: str = "") -> Ref:
+        """Pass ``a`` through iff it strictly precedes ``b``."""
+        node = Node(
+            self._next_id(),
+            "lt",
+            sources=(self._resolve(a), self._resolve(b)),
+            tags=(tag,) if tag else (),
+        )
+        return self._add(node)
+
+    # -- composites used throughout the paper -----------------------------------
+    def comparator(self, a: Source, b: Source) -> tuple[Ref, Ref]:
+        """A two-input sorting comparator: returns ``(min, max)`` (Fig. 10)."""
+        return self.min(a, b), self.max(a, b)
+
+    def gate(self, x: Source, mu: Source) -> Ref:
+        """Micro-weight gate (Fig. 13): pass ``x`` iff ``mu = ∞``; block if 0.
+
+        Implemented exactly as the paper draws it: ``lt(x, mu)``.  With
+        ``mu = ∞`` every finite ``x`` passes; with ``mu = 0`` nothing does.
+        """
+        return self.lt(x, mu)
+
+    def merge(self, other: Network, *, rename: Optional[dict[str, Source]] = None, prefix: str = "") -> dict[str, Ref]:
+        """Inline another network's nodes into this builder.
+
+        *rename* maps the other network's input names to sources already in
+        this builder; unmapped inputs become fresh inputs (optionally
+        prefixed).  Parameters are imported as fresh params.  Returns a
+        mapping of the other network's output names to refs here.
+        """
+        rename = rename or {}
+        local: dict[int, int] = {}
+        for node in other.nodes:
+            if node.kind == "input":
+                if node.name in rename:
+                    local[node.id] = self._resolve(rename[node.name])
+                else:
+                    local[node.id] = self._resolve(self.input(prefix + node.name))
+            elif node.kind == "param":
+                local[node.id] = self._resolve(self.param(prefix + node.name))
+            else:
+                moved = Node(
+                    self._next_id(),
+                    node.kind,
+                    sources=tuple(local[s] for s in node.sources),
+                    amount=node.amount,
+                    tags=node.tags,
+                )
+                self._nodes.append(moved)
+                local[node.id] = moved.id
+        return {
+            out: Ref(local[nid], self._id) for out, nid in other.outputs.items()
+        }
+
+    # -- finishing ------------------------------------------------------------
+    def output(self, name: str, src: Source) -> None:
+        """Name a node's wire as a network output."""
+        if name in self._outputs:
+            raise NetworkError(f"duplicate output name {name!r}")
+        self._outputs[name] = self._resolve(src)
+
+    def build(self) -> Network:
+        """Freeze the builder into an immutable :class:`Network`."""
+        if not self._outputs:
+            raise NetworkError("network has no outputs")
+        return Network(self._nodes, self._outputs, name=self.name)

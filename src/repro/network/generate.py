@@ -1,0 +1,113 @@
+"""Random network and workload generation.
+
+Fuzzing and benchmarking need arbitrary-but-valid feedforward networks
+and input volleys; the same generators are used by the library's own test
+suite, the hypothesis properties, and the Fig. 7 scaling benchmark, and
+are exported for users hardening their own s-t tooling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.value import INF, Time
+from .builder import NetworkBuilder
+from .graph import Network
+
+
+def random_network(
+    *,
+    n_inputs: int = 4,
+    n_blocks: int = 20,
+    n_outputs: int = 1,
+    max_inc: int = 3,
+    operations: tuple[str, ...] = ("inc", "min", "max", "lt"),
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Network:
+    """A random feedforward network of primitives.
+
+    Each block draws its kind from *operations* and its sources uniformly
+    from everything built so far, so depth grows organically; outputs tap
+    the most recently created wires (guaranteeing non-trivial depth).
+    """
+    if n_inputs < 1 or n_blocks < 1 or n_outputs < 1:
+        raise ValueError("need at least one input, block, and output")
+    if n_outputs > n_blocks + n_inputs:
+        raise ValueError("more outputs than wires")
+    unknown = set(operations) - {"inc", "min", "max", "lt"}
+    if unknown:
+        raise ValueError(f"unknown operations: {sorted(unknown)}")
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name or f"random(seed={seed})")
+    pool = [builder.input(f"x{i}") for i in range(n_inputs)]
+    for _ in range(n_blocks):
+        op = rng.choice(operations)
+        if op == "inc":
+            pool.append(builder.inc(rng.choice(pool), rng.randint(1, max_inc)))
+        elif op == "lt":
+            pool.append(builder.lt(rng.choice(pool), rng.choice(pool)))
+        else:
+            arity = rng.randint(2, 3)
+            sources = [rng.choice(pool) for _ in range(arity)]
+            pool.append(getattr(builder, op)(*sources))
+    for index in range(n_outputs):
+        builder.output(f"y{index}", pool[-(index + 1)])
+    return builder.build()
+
+
+def random_volley(
+    n_lines: int,
+    *,
+    max_time: int = 7,
+    silence_probability: float = 0.2,
+    rng: Optional[random.Random] = None,
+) -> tuple[Time, ...]:
+    """A random volley as a positional tuple."""
+    if not 0.0 <= silence_probability <= 1.0:
+        raise ValueError("silence_probability must be in [0, 1]")
+    rng = rng or random.Random(0)
+    return tuple(
+        INF if rng.random() < silence_probability else rng.randint(0, max_time)
+        for _ in range(n_lines)
+    )
+
+
+def random_inputs(
+    network: Network,
+    *,
+    max_time: int = 7,
+    silence_probability: float = 0.2,
+    rng: Optional[random.Random] = None,
+) -> dict[str, Time]:
+    """Random bound inputs for *network* (params not included)."""
+    rng = rng or random.Random(0)
+    volley = random_volley(
+        len(network.input_names),
+        max_time=max_time,
+        silence_probability=silence_probability,
+        rng=rng,
+    )
+    return dict(zip(network.input_names, volley))
+
+
+def input_batch(
+    network: Network,
+    count: int,
+    *,
+    max_time: int = 7,
+    silence_probability: float = 0.2,
+    seed: int = 0,
+) -> list[dict[str, Time]]:
+    """A reproducible batch of random input bindings."""
+    rng = random.Random(seed)
+    return [
+        random_inputs(
+            network,
+            max_time=max_time,
+            silence_probability=silence_probability,
+            rng=rng,
+        )
+        for _ in range(count)
+    ]

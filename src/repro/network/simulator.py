@@ -1,0 +1,97 @@
+"""Functional (denotational) evaluation of space-time networks.
+
+Evaluates every node once, in topological order, using the pure algebra
+semantics from :mod:`repro.core.algebra`.  This is the reference
+implementation of network meaning; the operational event-driven simulator
+(:mod:`repro.network.events`) and the gate-level GRL simulator
+(:mod:`repro.racelogic.digital`) are checked against it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Optional
+
+from ..core.value import INF, Infinity, Time, check_time
+from .graph import Network, NetworkError
+
+
+def evaluate_all(
+    network: Network,
+    inputs: Mapping[str, Time],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> list[Time]:
+    """Return the spike time of every node, indexed by node id.
+
+    *inputs* must bind every primary input; *params* every parameter.
+    Unbound inputs are an error — a missing spike must be stated
+    explicitly as ``INF``, never implied.
+    """
+    params = params or {}
+    missing_in = set(network.input_ids) - set(inputs)
+    if missing_in:
+        raise NetworkError(f"unbound inputs: {sorted(missing_in)}")
+    missing_p = set(network.param_ids) - set(params)
+    if missing_p:
+        raise NetworkError(f"unbound params: {sorted(missing_p)}")
+
+    values: list[Time] = [INF] * len(network.nodes)
+    for node in network.nodes:
+        if node.kind == "input":
+            values[node.id] = check_time(inputs[node.name], name=node.name)
+        elif node.kind == "param":
+            value = check_time(params[node.name], name=node.name)
+            if value != 0 and not isinstance(value, Infinity):
+                raise NetworkError(
+                    f"param {node.name!r} must be 0 or INF, got {value}"
+                )
+            values[node.id] = value
+        elif node.kind == "inc":
+            x = values[node.sources[0]]
+            values[node.id] = INF if isinstance(x, Infinity) else x + node.amount
+        elif node.kind == "min":
+            best: Time = INF
+            for s in node.sources:
+                v = values[s]
+                if v < best:
+                    best = v
+            values[node.id] = best
+        elif node.kind == "max":
+            worst: Time = 0
+            for s in node.sources:
+                v = values[s]
+                if v > worst:
+                    worst = v
+            values[node.id] = worst
+        else:  # lt
+            a = values[node.sources[0]]
+            b = values[node.sources[1]]
+            values[node.id] = a if a < b else INF
+    return values
+
+
+def evaluate(
+    network: Network,
+    inputs: Mapping[str, Time],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> dict[str, Time]:
+    """Evaluate the network, returning ``{output name: spike time}``."""
+    values = evaluate_all(network, inputs, params=params)
+    return {name: values[nid] for name, nid in network.outputs.items()}
+
+
+def evaluate_vector(
+    network: Network,
+    vector: tuple[Time, ...],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> dict[str, Time]:
+    """Evaluate with inputs bound positionally in declaration order."""
+    names = network.input_names
+    if len(vector) != len(names):
+        raise NetworkError(
+            f"expected {len(names)} inputs, got {len(vector)}"
+        )
+    return evaluate(network, dict(zip(names, vector)), params=params)

@@ -1,0 +1,115 @@
+"""Size, depth, and activity statistics for space-time networks.
+
+The paper's efficiency arguments (§I, §VI) are about *activity*: a direct
+temporal implementation produces at most one event per wire per
+computation, and sparse codings drive most wires to zero events.  These
+helpers quantify structure (node counts, structural depth, fanout) and
+activity (spikes per run, wire utilization) so benchmarks can report them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.value import Time
+from .events import EventSimulator, SimulationResult
+from .graph import Network
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Static structure summary of one network."""
+
+    name: str
+    n_inputs: int
+    n_params: int
+    n_outputs: int
+    n_blocks: int
+    counts_by_kind: dict[str, int]
+    depth: int
+    max_fanout: int
+    total_delay_units: int
+
+    def __str__(self) -> str:
+        kinds = ", ".join(f"{k}:{v}" for k, v in sorted(self.counts_by_kind.items()))
+        return (
+            f"{self.name}: {self.n_blocks} blocks ({kinds}), depth "
+            f"{self.depth}, max fanout {self.max_fanout}, "
+            f"{self.total_delay_units} delay units"
+        )
+
+
+def structure(network: Network) -> StructureStats:
+    """Compute static structural statistics for *network*."""
+    fanout = [len(c) for c in network.consumers()]
+    return StructureStats(
+        name=network.name,
+        n_inputs=len(network.input_ids),
+        n_params=len(network.param_ids),
+        n_outputs=len(network.outputs),
+        n_blocks=network.size,
+        counts_by_kind=network.counts_by_kind(),
+        depth=network.depth(),
+        max_fanout=max(fanout, default=0),
+        total_delay_units=sum(
+            n.amount for n in network.nodes if n.kind == "inc"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ActivityStats:
+    """Spike activity over one or more runs of a network."""
+
+    runs: int
+    total_spikes: int
+    total_wires: int
+    silent_wire_fraction: float
+    mean_makespan: float
+
+    @property
+    def spikes_per_run(self) -> float:
+        return self.total_spikes / self.runs if self.runs else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.runs} run(s): {self.spikes_per_run:.1f} spikes/run over "
+            f"{self.total_wires} wires "
+            f"({self.silent_wire_fraction:.1%} silent), mean makespan "
+            f"{self.mean_makespan:.1f}"
+        )
+
+
+def activity(
+    network: Network,
+    input_sets: Iterable[Mapping[str, Time]],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> ActivityStats:
+    """Run the event simulator over *input_sets* and summarize activity.
+
+    "Wires" are node outputs; a wire is silent in a run when its node never
+    fires.  The single-spike-per-wire property of s-t computation means
+    ``total_spikes <= runs * total_wires`` always holds.
+    """
+    sim = EventSimulator(network)
+    runs = 0
+    spikes = 0
+    silent = 0
+    makespans = 0
+    n_wires = len(network.nodes)
+    for inputs in input_sets:
+        result: SimulationResult = sim.run(inputs, params=params)
+        runs += 1
+        spikes += result.total_spikes
+        silent += n_wires - result.total_spikes
+        makespans += result.makespan
+    return ActivityStats(
+        runs=runs,
+        total_spikes=spikes,
+        total_wires=n_wires,
+        silent_wire_fraction=(silent / (runs * n_wires)) if runs else 0.0,
+        mean_makespan=(makespans / runs) if runs else 0.0,
+    )

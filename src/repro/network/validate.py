@@ -1,0 +1,115 @@
+"""Structural validation of space-time networks.
+
+The :class:`~repro.network.builder.NetworkBuilder` makes cycles impossible,
+but networks can still be structurally sloppy: dead nodes that feed no
+output, outputs aliased to raw inputs, parameters that gate nothing.  This
+module reports such issues, and re-proves the feedforward property for
+networks constructed by other means (e.g. deserialized ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import Network
+
+
+@dataclass
+class ValidationReport:
+    """Findings from a structural scan of a network."""
+
+    network_name: str
+    is_feedforward: bool = True
+    dead_node_ids: list[int] = field(default_factory=list)
+    passthrough_outputs: list[str] = field(default_factory=list)
+    unused_params: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.is_feedforward and not self.dead_node_ids
+
+    def __str__(self) -> str:
+        bits = [f"{self.network_name}:"]
+        bits.append("feedforward" if self.is_feedforward else "HAS CYCLES")
+        if self.dead_node_ids:
+            bits.append(f"{len(self.dead_node_ids)} dead node(s)")
+        if self.passthrough_outputs:
+            bits.append(f"passthrough outputs {self.passthrough_outputs}")
+        if self.unused_params:
+            bits.append(f"unused params {self.unused_params}")
+        return " ".join(bits)
+
+
+def live_node_ids(network: Network) -> set[int]:
+    """Ids of nodes on some path to an output (backwards reachability)."""
+    live: set[int] = set(network.outputs.values())
+    stack = list(live)
+    while stack:
+        nid = stack.pop()
+        for src in network.nodes[nid].sources:
+            if src not in live:
+                live.add(src)
+                stack.append(src)
+    return live
+
+
+def check_feedforward(network: Network) -> bool:
+    """True if every node's sources strictly precede it (no cycles).
+
+    Node construction already enforces this, so the check only fails for
+    hand-built or corrupted node lists; it is cheap insurance before
+    simulation, whose correctness depends on the property.
+    """
+    return all(
+        all(src < node.id for src in node.sources) for node in network.nodes
+    )
+
+
+def validate(network: Network) -> ValidationReport:
+    """Run all structural checks, returning a report."""
+    report = ValidationReport(network.name)
+    report.is_feedforward = check_feedforward(network)
+    live = live_node_ids(network)
+    report.dead_node_ids = [
+        n.id for n in network.nodes if n.id not in live and not n.is_terminal
+    ]
+    report.passthrough_outputs = [
+        name
+        for name, nid in network.outputs.items()
+        if network.nodes[nid].kind == "input"
+    ]
+    gated = {
+        src
+        for node in network.nodes
+        for src in node.sources
+    }
+    report.unused_params = [
+        name for name, nid in network.param_ids.items() if nid not in gated
+    ]
+    return report
+
+
+def strip_dead_nodes(network: Network) -> Network:
+    """Return an equivalent network without compute nodes feeding no output.
+
+    Terminals (inputs/params) are kept even when dead so the interface is
+    unchanged.
+    """
+    from .blocks import Node
+
+    live = live_node_ids(network)
+    keep = [n for n in network.nodes if n.is_terminal or n.id in live]
+    remap = {node.id: i for i, node in enumerate(keep)}
+    moved = [
+        Node(
+            remap[n.id],
+            n.kind,
+            sources=tuple(remap[s] for s in n.sources),
+            amount=n.amount,
+            name=n.name,
+            tags=n.tags,
+        )
+        for n in keep
+    ]
+    outputs = {name: remap[nid] for name, nid in network.outputs.items()}
+    return Network(moved, outputs, name=network.name)

@@ -1,0 +1,172 @@
+"""Excitatory columns: layers of SRM0 neurons with lateral inhibition.
+
+The paper's Fig. 4 architecture (after Bichler et al.) and essentially all
+surveyed TNNs share this shape: a group ("column") of excitatory neurons
+receives the same input volley, each neuron computes its fire time from
+its own weight vector, and WTA inhibition keeps only the earliest
+output(s).  Columns stack into layers (§II.C).
+
+This module is the *behavioral* workhorse used by the learning rules and
+applications; any column can also be compiled to pure s-t primitives via
+:func:`compile_column` for cross-checking — the compiled network computes
+identical fire times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..core.value import Time, check_vector
+from ..network.builder import NetworkBuilder
+from ..network.graph import Network
+from .response import ResponseFunction
+from .srm0 import SRM0Neuron
+from .srm0_network import build_srm0_network
+from .wta import k_wta, wta
+
+
+class Column:
+    """A WTA-inhibited group of SRM0 neurons sharing an input volley.
+
+    *weights* is an ``(n_neurons, n_inputs)`` integer matrix; synapse
+    responses are *base_response* scaled by the weight.  Inhibition is
+    τ-WTA with the given window, or k-WTA when *k* is set (k takes
+    precedence, matching the paper's "may be the first k spikes" variant).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray | Sequence[Sequence[int]],
+        *,
+        threshold: int | Sequence[int],
+        base_response: Optional[ResponseFunction] = None,
+        wta_window: int = 1,
+        k: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        matrix = np.asarray(weights, dtype=np.int64)
+        if matrix.ndim != 2:
+            raise ValueError("weights must be a 2-D matrix")
+        if matrix.shape[0] < 1 or matrix.shape[1] < 1:
+            raise ValueError("weights must be non-empty")
+        self.weights = matrix
+        if isinstance(threshold, int):
+            self.thresholds = [threshold] * matrix.shape[0]
+        else:
+            self.thresholds = [int(t) for t in threshold]
+            if len(self.thresholds) != matrix.shape[0]:
+                raise ValueError("one threshold per neuron required")
+        self.base_response = base_response or ResponseFunction.biexponential()
+        self.wta_window = wta_window
+        self.k = k
+        self.name = name or "column"
+        self._rebuild_neurons()
+
+    @property
+    def threshold(self) -> int:
+        """The shared threshold (first neuron's, for homogeneous columns)."""
+        return self.thresholds[0]
+
+    def _rebuild_neurons(self) -> None:
+        self.neurons = [
+            SRM0Neuron.homogeneous(
+                self.n_inputs,
+                row.tolist(),
+                base_response=self.base_response,
+                threshold=self.thresholds[i],
+                name=f"{self.name}[{i}]",
+            )
+            for i, row in enumerate(self.weights)
+        ]
+
+    def set_threshold(self, index: int, threshold: int) -> None:
+        """Adjust one neuron's threshold (used by homeostasis)."""
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.thresholds[index] = threshold
+        self.neurons[index] = SRM0Neuron.homogeneous(
+            self.n_inputs,
+            self.weights[index].tolist(),
+            base_response=self.base_response,
+            threshold=threshold,
+            name=f"{self.name}[{index}]",
+        )
+
+    @property
+    def n_neurons(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.weights.shape[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"Column({self.name!r}, {self.n_neurons} neurons × "
+            f"{self.n_inputs} inputs, θ={self.threshold})"
+        )
+
+    # -- dynamics ----------------------------------------------------------
+    def excitation(self, volley: Sequence[Time]) -> tuple[Time, ...]:
+        """Per-neuron fire times before inhibition."""
+        vec = check_vector(volley)
+        if len(vec) != self.n_inputs:
+            raise ValueError(
+                f"expected a volley of {self.n_inputs} lines, got {len(vec)}"
+            )
+        return tuple(neuron.fire_time(vec) for neuron in self.neurons)
+
+    def forward(self, volley: Sequence[Time]) -> tuple[Time, ...]:
+        """Fire times after WTA inhibition — the column's output volley."""
+        raw = self.excitation(volley)
+        if self.k is not None:
+            return k_wta(raw, self.k)
+        return wta(raw, window=self.wta_window)
+
+    def set_weights(self, weights: np.ndarray) -> None:
+        """Replace the weight matrix (used by the training rules)."""
+        matrix = np.asarray(weights, dtype=np.int64)
+        if matrix.shape != self.weights.shape:
+            raise ValueError(
+                f"shape mismatch: {matrix.shape} vs {self.weights.shape}"
+            )
+        self.weights = matrix
+        self._rebuild_neurons()
+
+    # -- compilation ---------------------------------------------------------
+    def compile_neuron(self, index: int) -> Network:
+        """Compile one neuron to pure s-t primitives (Fig. 12)."""
+        return build_srm0_network(self.neurons[index])
+
+
+def compile_column(column: Column, *, name: Optional[str] = None) -> Network:
+    """Compile a whole column (neurons + WTA) into one s-t network.
+
+    Demonstrates Lemma 1 at system scale: the entire column is a single
+    feedforward composition of primitives, with outputs ``y1..yn`` (the
+    post-inhibition volley).  Only τ-WTA columns are compilable here;
+    k-WTA would inline a sorting stage (see
+    :func:`repro.neuron.wta.build_k_wta_network`).
+    """
+    if column.k is not None:
+        raise ValueError("compile_column supports window-WTA columns only")
+    builder = NetworkBuilder(name or f"compiled-{column.name}")
+    inputs = [builder.input(f"x{i + 1}") for i in range(column.n_inputs)]
+
+    raw_outputs = []
+    for i in range(column.n_neurons):
+        sub = build_srm0_network(column.neurons[i], name=f"n{i}")
+        refs = builder.merge(
+            sub,
+            rename={f"x{j + 1}": inputs[j] for j in range(column.n_inputs)},
+        )
+        raw_outputs.append(refs["y"])
+
+    first = builder.min(*raw_outputs, tag="first") if len(raw_outputs) > 1 else raw_outputs[0]
+    inhibit = builder.inc(first, column.wta_window, tag="inhibit")
+    for i, raw in enumerate(raw_outputs):
+        builder.output(f"y{i + 1}", builder.lt(raw, inhibit, tag="wta"))
+    return builder.build()

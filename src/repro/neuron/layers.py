@@ -1,0 +1,179 @@
+"""Multi-layer temporal neural networks.
+
+The networks the paper surveys (§II.C) are layered: neuroscience
+architectures stack columns into hierarchies ("neural architectures that
+appear superficially similar to hierarchical, layered ANNs" —
+Kheradpisheh et al. push toward multiple excitatory layers).  This module
+provides the layered composition:
+
+* :class:`LayeredTNN` — a feedforward stack of WTA columns; each layer's
+  post-inhibition volley is the next layer's input volley.  By Lemma 1
+  the whole stack is one s-t function, and :func:`compile_layered`
+  produces it as a single primitive network.
+* Greedy layer-wise STDP training (the standard recipe for deep
+  STDP-trained TNNs: train layer 1 to convergence, freeze, then train
+  layer 2 on its outputs, …).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from ..core.value import Time
+from ..network.builder import NetworkBuilder
+from ..network.graph import Network
+from .column import Column
+from .response import ResponseFunction
+from .srm0_network import build_srm0_network
+
+
+class LayeredTNN:
+    """A feedforward stack of WTA columns."""
+
+    def __init__(self, columns: Sequence[Column]):
+        if not columns:
+            raise ValueError("need at least one layer")
+        for upstream, downstream in zip(columns, columns[1:]):
+            if downstream.n_inputs != upstream.n_neurons:
+                raise ValueError(
+                    f"layer width mismatch: {upstream.n_neurons} outputs "
+                    f"feed {downstream.n_inputs} inputs"
+                )
+        self.columns = list(columns)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.columns)
+
+    @property
+    def n_inputs(self) -> int:
+        return self.columns[0].n_inputs
+
+    @property
+    def n_outputs(self) -> int:
+        return self.columns[-1].n_neurons
+
+    def forward(self, volley: Sequence[Time]) -> tuple[Time, ...]:
+        """Output volley of the final layer."""
+        current = tuple(volley)
+        for column in self.columns:
+            current = column.forward(current)
+        return current
+
+    def activations(self, volley: Sequence[Time]) -> list[tuple[Time, ...]]:
+        """Per-layer post-inhibition volleys (for inspection/training)."""
+        current = tuple(volley)
+        trace = []
+        for column in self.columns:
+            current = column.forward(current)
+            trace.append(current)
+        return trace
+
+    @classmethod
+    def random(
+        cls,
+        widths: Sequence[int],
+        *,
+        threshold_fraction: float = 0.3,
+        max_weight: int = 7,
+        base_response: Optional[ResponseFunction] = None,
+        wta_window: int = 1,
+        seed: int = 0,
+    ) -> "LayeredTNN":
+        """A randomly initialized stack; ``widths[0]`` is the input width.
+
+        Per-layer thresholds scale with fan-in so deeper (narrower)
+        layers stay excitable.
+        """
+        if len(widths) < 2:
+            raise ValueError("widths must list input plus at least one layer")
+        rng = random.Random(seed)
+        base = base_response or ResponseFunction.step(amplitude=1, width=8)
+        columns = []
+        for fan_in, n_neurons in zip(widths, widths[1:]):
+            weights = np.array(
+                [
+                    [rng.randint(1, max(1, max_weight // 2)) for _ in range(fan_in)]
+                    for _ in range(n_neurons)
+                ],
+                dtype=np.int64,
+            )
+            drive = max_weight * base.r_max * fan_in
+            threshold = max(1, round(drive * threshold_fraction * 0.25))
+            columns.append(
+                Column(
+                    weights,
+                    threshold=threshold,
+                    base_response=base,
+                    wta_window=wta_window,
+                )
+            )
+        return cls(columns)
+
+
+def train_layerwise(
+    tnn: LayeredTNN,
+    volleys: Sequence[Sequence[Time]],
+    *,
+    rule=None,
+    epochs_per_layer: int = 2,
+    seed: int = 0,
+    use_homeostasis: bool = True,
+) -> None:
+    """Greedy layer-wise unsupervised STDP.
+
+    Layer ``k`` trains on the frozen outputs of layers ``< k`` — the
+    standard deep-TNN recipe (Kheradpisheh et al.; Masquelier & Thorpe).
+    """
+    from ..learning.stdp import Homeostasis, STDPRule, STDPTrainer
+
+    rule = rule or STDPRule()
+    current: list[tuple[Time, ...]] = [tuple(v) for v in volleys]
+    for depth, column in enumerate(tnn.columns):
+        homeostasis = Homeostasis(column) if use_homeostasis else None
+        trainer = STDPTrainer(
+            column,
+            rule,
+            rng=random.Random(seed + depth),
+            homeostasis=homeostasis,
+        )
+        trainer.train(current, epochs=epochs_per_layer)
+        if homeostasis is not None:
+            homeostasis.reset(column)
+        current = [column.forward(v) for v in current]
+
+
+def compile_layered(tnn: LayeredTNN, *, name: Optional[str] = None) -> Network:
+    """The whole stack as one primitive network (Lemma 1 at depth).
+
+    Only window-WTA layers are compilable (same restriction as
+    :func:`repro.neuron.column.compile_column`).
+    """
+    if any(column.k is not None for column in tnn.columns):
+        raise ValueError("compile_layered supports window-WTA layers only")
+    builder = NetworkBuilder(name or f"layered-tnn({tnn.n_layers} layers)")
+    current = [builder.input(f"x{i + 1}") for i in range(tnn.n_inputs)]
+
+    for depth, column in enumerate(tnn.columns):
+        raw = []
+        for i in range(column.n_neurons):
+            sub = build_srm0_network(column.neurons[i], name=f"l{depth}n{i}")
+            refs = builder.merge(
+                sub,
+                rename={
+                    f"x{j + 1}": current[j] for j in range(column.n_inputs)
+                },
+            )
+            raw.append(refs["y"])
+        first = builder.min(*raw, tag=f"l{depth}-first") if len(raw) > 1 else raw[0]
+        inhibit = builder.inc(first, column.wta_window, tag=f"l{depth}-inhibit")
+        current = [
+            builder.lt(r, inhibit, tag=f"l{depth}-wta") for r in raw
+        ]
+    for i, wire in enumerate(current):
+        builder.output(f"y{i + 1}", wire)
+    return builder.build()

@@ -1,0 +1,243 @@
+"""Synaptic response functions and their space-time step decomposition.
+
+§IV.A.2 of the paper: a response function ``R(t)`` maps non-negative
+integers to integers, reaches a fixed final value ``c`` after finite time
+``t_max``, and stays within finite bounds.  Discretized versions of every
+proposed response function (Fig. 2) fit this definition:
+
+* the biologically-based **biexponential** — difference of two exponential
+  decays (fast synaptic-conductance decay minus slow membrane leak),
+* **piecewise-linear** approximations (Maass),
+* arbitrary user-supplied shapes, positive (excitatory) or negative
+  (inhibitory).
+
+The key construction (Fig. 11): a response function is equivalent to a
+sequence of unit *up steps* and *down steps*; fanning an input spike out
+through increment blocks — one per step — realizes the response in pure
+s-t form.  :meth:`ResponseFunction.steps` computes the decomposition and
+:func:`fanout_network` builds the Fig. 11 network.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Optional
+
+from ..network.builder import NetworkBuilder, Ref, Source
+
+
+@dataclass(frozen=True)
+class StepTrain:
+    """The up/down step decomposition of a response function.
+
+    ``ups``/``downs`` are time offsets (relative to the input spike), one
+    entry per unit amplitude step — a step of height 2 contributes two
+    entries at the same offset.
+    """
+
+    ups: tuple[int, ...]
+    downs: tuple[int, ...]
+
+    @property
+    def total_steps(self) -> int:
+        return len(self.ups) + len(self.downs)
+
+    def net_amplitude_at(self, t: int) -> int:
+        """Reconstruct the response value at offset *t* from the steps."""
+        return sum(1 for u in self.ups if u <= t) - sum(
+            1 for d in self.downs if d <= t
+        )
+
+
+class ResponseFunction:
+    """A discretized synaptic response ``R(0..t_max)``.
+
+    *values* gives ``R(t)`` for ``t = 0 … t_max``; beyond ``t_max`` the
+    response holds its final value.  The paper's neuron constructions
+    require the final value to be reached within the window, and most
+    responses return to 0 (the construction works either way).
+    """
+
+    def __init__(self, values: Sequence[int], *, name: Optional[str] = None):
+        vals = tuple(int(v) for v in values)
+        if not vals:
+            raise ValueError("a response function needs at least one value")
+        self.values = vals
+        self.name = name or "response"
+
+    # -- basic accessors ---------------------------------------------------------
+    @property
+    def t_max(self) -> int:
+        return len(self.values) - 1
+
+    @property
+    def final_value(self) -> int:
+        return self.values[-1]
+
+    @property
+    def r_max(self) -> int:
+        return max(self.values)
+
+    @property
+    def r_min(self) -> int:
+        return min(self.values)
+
+    def __call__(self, t: int) -> int:
+        """``R(t)`` with the constant extension beyond ``t_max``.
+
+        Negative offsets (before the input spike) are 0: a synapse
+        contributes nothing before its input arrives.
+        """
+        if t < 0:
+            return 0
+        if t > self.t_max:
+            return self.final_value
+        return self.values[t]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResponseFunction):
+            return NotImplemented
+        return self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        return f"ResponseFunction({self.name!r}, t_max={self.t_max}, peak={self.r_max})"
+
+    # -- transforms ---------------------------------------------------------
+    def scaled(self, factor: int) -> "ResponseFunction":
+        """Amplitude-scaled copy (integer factor, may be negative)."""
+        return ResponseFunction(
+            [v * factor for v in self.values], name=f"{self.name}×{factor}"
+        )
+
+    def negated(self) -> "ResponseFunction":
+        """Inhibitory (sign-flipped) copy."""
+        return ResponseFunction([-v for v in self.values], name=f"-{self.name}")
+
+    def delayed(self, delta: int) -> "ResponseFunction":
+        """Copy shifted *delta* time units later (the δ of Fig. 1)."""
+        if delta < 0:
+            raise ValueError("delay must be non-negative")
+        return ResponseFunction(
+            [0] * delta + list(self.values), name=f"{self.name}+{delta}"
+        )
+
+    # -- the Fig. 11 decomposition ---------------------------------------------
+    def steps(self) -> StepTrain:
+        """Decompose into unit up/down steps.
+
+        ``R(t) - R(t-1)`` (with ``R(-1) = 0``) gives the step count at each
+        offset; positive differences are up steps, negative are down steps.
+        """
+        ups: list[int] = []
+        downs: list[int] = []
+        previous = 0
+        for t, value in enumerate(self.values):
+            diff = value - previous
+            if diff > 0:
+                ups.extend([t] * diff)
+            elif diff < 0:
+                downs.extend([t] * (-diff))
+            previous = value
+        return StepTrain(tuple(ups), tuple(downs))
+
+    @classmethod
+    def from_steps(cls, train: StepTrain, *, name: Optional[str] = None) -> "ResponseFunction":
+        """Rebuild a response function from a step train (inverse of steps)."""
+        horizon = max([*train.ups, *train.downs, 0])
+        values = [train.net_amplitude_at(t) for t in range(horizon + 1)]
+        return cls(values, name=name or "from_steps")
+
+    # -- standard shapes ---------------------------------------------------------
+    @classmethod
+    def biexponential(
+        cls,
+        *,
+        amplitude: int = 5,
+        tau_slow: float = 6.0,
+        tau_fast: float = 2.0,
+        t_max: int = 12,
+        name: Optional[str] = None,
+    ) -> "ResponseFunction":
+        """Discretized biexponential response (Fig. 2a / Fig. 11).
+
+        ``R(t) ∝ exp(-t/tau_slow) - exp(-t/tau_fast)``, scaled so the peak
+        equals *amplitude* and rounded to integer amplitude units.  The
+        slow decay models membrane leakage, the fast one the collapse of
+        synaptic conductance.
+        """
+        if tau_slow <= tau_fast:
+            raise ValueError("tau_slow must exceed tau_fast")
+        if amplitude < 0:
+            raise ValueError("amplitude must be non-negative (use negated())")
+        shape = [
+            math.exp(-t / tau_slow) - math.exp(-t / tau_fast)
+            for t in range(t_max + 1)
+        ]
+        peak = max(shape)
+        if peak <= 0:
+            values = [0] * (t_max + 1)
+        else:
+            values = [round(amplitude * s / peak) for s in shape]
+        values[-1] = 0 if amplitude else 0  # biexponential decays to zero
+        return cls(values, name=name or f"biexp(A={amplitude})")
+
+    @classmethod
+    def piecewise_linear(
+        cls,
+        *,
+        amplitude: int = 4,
+        rise: int = 2,
+        fall: int = 6,
+        name: Optional[str] = None,
+    ) -> "ResponseFunction":
+        """Maass's piecewise-linear approximation (Fig. 2b).
+
+        Rises linearly to *amplitude* over *rise* steps, then falls
+        linearly back to 0 over *fall* steps.
+        """
+        if rise < 1 or fall < 1:
+            raise ValueError("rise and fall must be at least 1")
+        values = [round(amplitude * t / rise) for t in range(rise + 1)]
+        values += [
+            round(amplitude * (1 - t / fall)) for t in range(1, fall + 1)
+        ]
+        return cls(values, name=name or f"pwl(A={amplitude})")
+
+    @classmethod
+    def step(cls, *, amplitude: int = 1, width: int = 8, name: Optional[str] = None) -> "ResponseFunction":
+        """Non-leaky rectangular response: jump to *amplitude*, hold for
+        *width* steps, drop back to 0 (the simple non-leaky models used by
+        Masquelier/Thorpe-style TNNs, with a finite memory window)."""
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        values = [amplitude] * width + [0]
+        return cls(values, name=name or f"step(A={amplitude},w={width})")
+
+
+def fanout_network(
+    builder: NetworkBuilder,
+    x: Source,
+    response: ResponseFunction,
+    *,
+    tag: str = "",
+) -> tuple[list[Ref], list[Ref]]:
+    """Fig. 11: realize *response* for input *x* as increment fanout.
+
+    Returns ``(up_wires, down_wires)`` — one wire per unit step, each an
+    ``inc`` of the input by the step's offset.  These feed the sort
+    networks of the SRM0 construction (Fig. 12).
+    """
+    train = response.steps()
+    ups = [builder.inc(x, t, tag=tag or "up") for t in train.ups]
+    downs = [builder.inc(x, t, tag=tag or "down") for t in train.downs]
+    return ups, downs
+
+
+#: The paper's running example response (Fig. 11): biexponential with
+#: r_max = 5 and t_max = 12.
+FIG11_RESPONSE = ResponseFunction.biexponential(amplitude=5, t_max=12)

@@ -1,0 +1,123 @@
+"""Behavioral SRM0 neuron model (paper Fig. 1, §II.A).
+
+The Spike Response Model 0: each input spike, delayed by its synaptic
+delay, produces a weighted response function; responses sum into the body
+potential; the neuron fires the first time the potential reaches the
+threshold θ.
+
+This is the *numerical* reference model — the way neuroscience simulators
+compute it.  The pure s-t primitive construction of the same neuron
+(Fig. 12) lives in :mod:`repro.neuron.srm0_network`; the two are proven
+equivalent by the test suite and the Fig. 12 benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+from ..core.value import INF, Infinity, Time, check_vector
+from .response import ResponseFunction
+
+
+class SRM0Neuron:
+    """An SRM0 neuron with one response function per input synapse.
+
+    *responses* carries the already-weighted (and already-delayed, if the
+    Fig. 1 δ delays are wanted — use ``ResponseFunction.delayed``)
+    response of each synapse.  *threshold* is the firing threshold θ in
+    the same integer amplitude units.
+    """
+
+    def __init__(
+        self,
+        responses: Sequence[ResponseFunction],
+        threshold: int,
+        *,
+        name: Optional[str] = None,
+    ):
+        if not responses:
+            raise ValueError("a neuron needs at least one synapse")
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        self.responses = tuple(responses)
+        self.threshold = threshold
+        self.name = name or "srm0"
+
+    @property
+    def arity(self) -> int:
+        return len(self.responses)
+
+    def __repr__(self) -> str:
+        return (
+            f"SRM0Neuron({self.name!r}, arity={self.arity}, "
+            f"threshold={self.threshold})"
+        )
+
+    # -- dynamics ----------------------------------------------------------
+    def potential(self, inputs: Sequence[Time], t: int) -> int:
+        """Body potential at time *t*: the sum of all input responses."""
+        total = 0
+        for x, response in zip(inputs, self.responses):
+            if not isinstance(x, Infinity):
+                total += response(t - x)
+        return total
+
+    def fire_time(self, inputs: Sequence[Time]) -> Time:
+        """First time the potential reaches threshold; ``∞`` if never.
+
+        The potential only changes at input-spike offsets where a response
+        steps, so only those candidate times need checking.  (This makes
+        the neuron a *bounded* s-t function: its history window is the
+        longest response's ``t_max``.)
+        """
+        vec = check_vector(inputs)
+        if len(vec) != self.arity:
+            raise TypeError(f"expected {self.arity} inputs, got {len(vec)}")
+        candidates: set[int] = set()
+        for x, response in zip(vec, self.responses):
+            if isinstance(x, Infinity):
+                continue
+            train = response.steps()
+            candidates.update(x + t for t in train.ups)
+            candidates.update(x + t for t in train.downs)
+        for t in sorted(candidates):
+            if self.potential(vec, t) >= self.threshold:
+                return t
+        return INF
+
+    def as_function(self):
+        """The neuron as a :class:`~repro.core.function.SpaceTimeFunction`."""
+        from ..core.function import SpaceTimeFunction
+
+        return SpaceTimeFunction(
+            lambda *xs: self.fire_time(xs), self.arity, name=self.name
+        )
+
+    def trace(self, inputs: Sequence[Time], horizon: int) -> list[int]:
+        """Potential sampled at ``t = 0 … horizon`` (for plots and tests)."""
+        vec = check_vector(inputs)
+        return [self.potential(vec, t) for t in range(horizon + 1)]
+
+    # -- convenience constructors -------------------------------------------
+    @classmethod
+    def homogeneous(
+        cls,
+        n_inputs: int,
+        weights: Sequence[int],
+        *,
+        base_response: Optional[ResponseFunction] = None,
+        threshold: int,
+        name: Optional[str] = None,
+    ) -> "SRM0Neuron":
+        """A neuron whose synapses share one base response, scaled by weight.
+
+        This is the usual TNN setup: a single response *shape* whose
+        amplitude encodes the trained synaptic weight (§IV.B).
+        """
+        if len(weights) != n_inputs:
+            raise ValueError("one weight per input required")
+        base = base_response or ResponseFunction.biexponential()
+        return cls(
+            [base.scaled(w) for w in weights], threshold, name=name
+        )

@@ -1,0 +1,88 @@
+"""Generalized race logic: the s-t algebra in off-the-shelf CMOS (§V).
+
+Edge signals (:mod:`~repro.racelogic.signals`), the Fig. 16 gate library
+(:mod:`~repro.racelogic.gates`), netlists
+(:mod:`~repro.racelogic.circuit`), a cycle-accurate digital simulator
+(:mod:`~repro.racelogic.digital`), the s-t → GRL compiler
+(:mod:`~repro.racelogic.compile`), race-logic shortest paths
+(:mod:`~repro.racelogic.shortest_path`), and transition-count energy
+accounting (:mod:`~repro.racelogic.energy`).
+"""
+
+from .asynchronous import (
+    AsyncCircuit,
+    AsyncGate,
+    AsyncResult,
+    AsyncSimulator,
+    compile_async,
+    run_async,
+)
+from .circuit import Circuit, CircuitBuilder, CircuitError, Gate
+from .compile import GRLExecutor, compile_network
+from .digital import DigitalResult, DigitalSimulator, run_circuit
+from .energy import (
+    CommunicationCost,
+    EnergyReport,
+    communication_sweep,
+    measure_energy,
+)
+from .export import (
+    circuit_dumps,
+    circuit_from_dict,
+    circuit_loads,
+    circuit_to_dict,
+    save_verilog,
+    to_verilog,
+)
+from .gates import and_gate, dff_chain, lt_latch, lt_unlatched_waveform, not_gate, or_gate
+from .shortest_path import (
+    WeightedDAG,
+    build_race_network,
+    dijkstra,
+    race_shortest_paths,
+    race_shortest_paths_digital,
+    random_dag,
+)
+from .signals import EdgeSignal, waveform_from_levels
+
+__all__ = [
+    "AsyncCircuit",
+    "AsyncGate",
+    "AsyncResult",
+    "AsyncSimulator",
+    "Circuit",
+    "compile_async",
+    "run_async",
+    "CircuitBuilder",
+    "CircuitError",
+    "CommunicationCost",
+    "DigitalResult",
+    "DigitalSimulator",
+    "EdgeSignal",
+    "EnergyReport",
+    "GRLExecutor",
+    "Gate",
+    "WeightedDAG",
+    "and_gate",
+    "build_race_network",
+    "circuit_dumps",
+    "circuit_from_dict",
+    "circuit_loads",
+    "circuit_to_dict",
+    "communication_sweep",
+    "compile_network",
+    "dff_chain",
+    "dijkstra",
+    "lt_latch",
+    "lt_unlatched_waveform",
+    "measure_energy",
+    "not_gate",
+    "or_gate",
+    "race_shortest_paths",
+    "race_shortest_paths_digital",
+    "random_dag",
+    "run_circuit",
+    "save_verilog",
+    "to_verilog",
+    "waveform_from_levels",
+]

@@ -1,0 +1,264 @@
+"""Asynchronous (delay-based) GRL — the paper's §V.B alternative.
+
+Instead of clocked shift registers, a "more direct form of GRL ... relies
+on implementing precise physical delays, say in the wires or
+intentionally inserted non-clocked delay elements.  This approach would
+have to account for individual gate latencies as well."
+
+This module implements that variant as an event-driven gate simulation:
+
+* ``inc`` compiles to a pure transport-delay element (no clock at all),
+* combinational gates (AND/OR/NOT/LT) carry a configurable intrinsic
+  latency *gate_delay* — 0 models the idealization, nonzero models real
+  silicon,
+
+so the paper's caveat becomes measurable: with ``gate_delay = 0`` the
+asynchronous circuit reproduces the algebra exactly; with nonzero gate
+latencies, outputs skew by path-dependent amounts unless the delays are
+folded into the design (the reason the clocked formulation quantizes time
+to cycles that cover all gate delays).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.value import INF, Infinity, Time, check_time
+from ..network.graph import Network
+from .circuit import CircuitError
+
+ASYNC_KINDS = ("input", "and", "or", "not", "delay", "lt")
+
+
+@dataclass(frozen=True)
+class AsyncGate:
+    """One gate of an asynchronous netlist.
+
+    *delay* is the transport delay from an input change to the output
+    change: the designed delay for ``delay`` elements, the parasitic gate
+    latency for the rest.
+    """
+
+    id: int
+    kind: str
+    sources: tuple[int, ...] = ()
+    delay: int = 0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ASYNC_KINDS:
+            raise CircuitError(f"unknown async gate kind {self.kind!r}")
+        if self.kind == "input":
+            if self.sources or not self.name:
+                raise CircuitError("input gates take no sources and need a name")
+        elif not self.sources:
+            raise CircuitError(f"{self.kind} gate needs sources")
+        if any(s >= self.id for s in self.sources):
+            raise CircuitError("netlist must be feedforward")
+        if self.delay < 0:
+            raise CircuitError("delays must be non-negative")
+        if self.kind in ("not", "delay") and len(self.sources) != 1:
+            raise CircuitError(f"{self.kind} takes exactly one source")
+        if self.kind == "lt" and len(self.sources) != 2:
+            raise CircuitError("lt takes exactly (a, b)")
+
+
+class AsyncCircuit:
+    """An immutable asynchronous GRL netlist."""
+
+    def __init__(self, gates, outputs, *, name: Optional[str] = None):
+        self.gates: tuple[AsyncGate, ...] = tuple(gates)
+        self.name = name or "async-circuit"
+        for i, gate in enumerate(self.gates):
+            if gate.id != i:
+                raise CircuitError("gate ids must be dense and ordered")
+        self.outputs: dict[str, int] = dict(outputs)
+        for out_name, gid in self.outputs.items():
+            if not 0 <= gid < len(self.gates):
+                raise CircuitError(f"output {out_name!r} references gate {gid}")
+        self.input_ids: dict[str, int] = {
+            g.name: g.id for g in self.gates if g.kind == "input"
+        }
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def total_designed_delay(self) -> int:
+        return sum(g.delay for g in self.gates if g.kind == "delay")
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(f"{k}:{v}" for k, v in sorted(self.counts_by_kind().items()))
+        return f"AsyncCircuit({self.name!r}: {kinds})"
+
+
+def compile_async(
+    network: Network, *, gate_delay: int = 0, name: Optional[str] = None
+) -> AsyncCircuit:
+    """Compile an s-t network to an asynchronous (clock-free) netlist.
+
+    ``inc`` becomes a designed transport delay; min/max/lt become gates
+    with intrinsic latency *gate_delay* (0 = ideal).
+    """
+    gates: list[AsyncGate] = []
+    wire: dict[int, int] = {}
+
+    def add(kind: str, sources: tuple[int, ...] = (), *, delay: int = 0, gname=None) -> int:
+        gate = AsyncGate(len(gates), kind, sources=sources, delay=delay, name=gname)
+        gates.append(gate)
+        return gate.id
+
+    for node in network.nodes:
+        if node.kind in ("input", "param"):
+            wire[node.id] = add("input", gname=node.name)
+        elif node.kind == "inc":
+            wire[node.id] = add(
+                "delay", (wire[node.sources[0]],), delay=node.amount
+            )
+        elif node.kind == "min":
+            wire[node.id] = add(
+                "and", tuple(wire[s] for s in node.sources), delay=gate_delay
+            )
+        elif node.kind == "max":
+            wire[node.id] = add(
+                "or", tuple(wire[s] for s in node.sources), delay=gate_delay
+            )
+        else:  # lt
+            a, b = node.sources
+            wire[node.id] = add("lt", (wire[a], wire[b]), delay=gate_delay)
+    outputs = {name_: wire[nid] for name_, nid in network.outputs.items()}
+    return AsyncCircuit(gates, outputs, name=name or f"async-{network.name}")
+
+
+@dataclass
+class AsyncResult:
+    """Outcome of one asynchronous run."""
+
+    outputs: dict[str, Time]
+    fall_times: list[Time]
+    transition_count: int
+    settle_time: int
+
+
+class AsyncSimulator:
+    """Event-driven simulation: levels change only when events fire.
+
+    Within one timestamp, gates are evaluated in topological order so
+    zero-delay gates settle combinationally (as an ideal circuit would)
+    and the LT latch sees same-instant b-falls before deciding.
+    """
+
+    def __init__(self, circuit: AsyncCircuit):
+        self.circuit = circuit
+
+    def run(self, inputs: Mapping[str, Time]) -> AsyncResult:
+        circuit = self.circuit
+        missing = set(circuit.input_ids) - set(inputs)
+        if missing:
+            raise CircuitError(f"unbound inputs: {sorted(missing)}")
+
+        n = len(circuit.gates)
+        level = [1] * n
+        # Settle pass: all inputs high, latches reset high, NOTs low.
+        for gate in circuit.gates:
+            if gate.kind == "not":
+                level[gate.id] = 1 - level[gate.sources[0]]
+            elif gate.kind == "and":
+                level[gate.id] = int(all(level[s] for s in gate.sources))
+            elif gate.kind == "or":
+                level[gate.id] = int(any(level[s] for s in gate.sources))
+        lt_state = {g.id: 1 for g in circuit.gates if g.kind == "lt"}
+        fall_times: list[Time] = [INF] * n
+        transitions = 0
+        # scheduled[g] = the level g will eventually take (for dedup).
+        eventual = list(level)
+        heap: list[tuple[int, int, int, int]] = []  # (time, gate, level, seq)
+        seq = 0
+
+        for gname, gid in circuit.input_ids.items():
+            fall = check_time(inputs[gname], name=gname)
+            if not isinstance(fall, Infinity):
+                heapq.heappush(heap, (int(fall), gid, 0, seq))
+                eventual[gid] = 0
+                seq += 1
+
+        settle_time = 0
+        while heap:
+            t = heap[0][0]
+            settle_time = t
+            changed = False
+            while heap and heap[0][0] == t:
+                _, gid, new_level, _ = heapq.heappop(heap)
+                if level[gid] != new_level:
+                    level[gid] = new_level
+                    transitions += 1
+                    changed = True
+                    if new_level == 0 and isinstance(fall_times[gid], Infinity):
+                        fall_times[gid] = t
+            if not changed:
+                continue
+            # Topological sweep: settle zero-delay logic, schedule the rest.
+            for gate in circuit.gates:
+                if gate.kind in ("input",):
+                    continue
+                if gate.kind == "delay":
+                    target = level[gate.sources[0]]
+                    if target != eventual[gate.id]:
+                        eventual[gate.id] = target
+                        heapq.heappush(
+                            heap, (t + gate.delay, gate.id, target, seq)
+                        )
+                        seq += 1
+                    continue
+                if gate.kind == "and":
+                    target = int(all(level[s] for s in gate.sources))
+                elif gate.kind == "or":
+                    target = int(any(level[s] for s in gate.sources))
+                elif gate.kind == "not":
+                    target = 1 - level[gate.sources[0]]
+                else:  # lt latch
+                    a, b = gate.sources
+                    combinational = level[a] | (1 - level[b])
+                    target = combinational & lt_state[gate.id]
+                if gate.delay == 0:
+                    if target != level[gate.id]:
+                        level[gate.id] = target
+                        transitions += 1
+                        if target == 0 and isinstance(fall_times[gate.id], Infinity):
+                            fall_times[gate.id] = t
+                    if gate.kind == "lt":
+                        lt_state[gate.id] = level[gate.id]
+                else:
+                    if gate.kind == "lt":
+                        # Latch state follows the (delayed) output decision.
+                        lt_state[gate.id] = min(lt_state[gate.id], target)
+                    if target != eventual[gate.id]:
+                        eventual[gate.id] = target
+                        heapq.heappush(
+                            heap, (t + gate.delay, gate.id, target, seq)
+                        )
+                        seq += 1
+
+        outputs = {
+            name: fall_times[gid] for name, gid in circuit.outputs.items()
+        }
+        return AsyncResult(
+            outputs=outputs,
+            fall_times=fall_times,
+            transition_count=transitions,
+            settle_time=settle_time,
+        )
+
+
+def run_async(circuit: AsyncCircuit, inputs: Mapping[str, Time]) -> AsyncResult:
+    """One-shot asynchronous simulation."""
+    return AsyncSimulator(circuit).run(inputs)

@@ -1,0 +1,138 @@
+"""Transition-count energy accounting for GRL (paper §V.B, §VI).
+
+Dynamic energy in CMOS is proportional to signal transitions.  The paper
+conjectures direct s-t implementations are intrinsically efficient
+because every gate switches at most once per computation — and with
+sparse codings most switch not at all.  The flip side it also notes: the
+clocked shift registers that implement ``inc`` may cost significantly
+more.
+
+This module measures all of it on compiled circuits: per-run toggle
+counts, the DFF clock-energy estimate, sparse-vs-dense comparisons, and
+the direct (unary) vs indirect (binary) communication trade-off model of
+§V.C.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from ..core.value import Time
+from ..network.graph import Network
+from .compile import GRLExecutor
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Activity summary of one or more runs of a compiled network."""
+
+    runs: int
+    gate_count: int
+    flipflop_count: int
+    total_transitions: int
+    total_cycles: int
+
+    @property
+    def transitions_per_run(self) -> float:
+        return self.total_transitions / self.runs if self.runs else 0.0
+
+    @property
+    def activity_factor(self) -> float:
+        """Mean transitions per gate per run — at most ~1 for GRL data
+        wires (the minimal-transition property), plus latch internals."""
+        if not self.runs or not self.gate_count:
+            return 0.0
+        return self.total_transitions / (self.runs * self.gate_count)
+
+    @property
+    def dff_clock_events(self) -> int:
+        """Clock loads on shift registers: flip-flops × cycles.
+
+        The paper's caveat: even idle DFFs burn clock energy every cycle.
+        """
+        return self.flipflop_count * self.total_cycles
+
+    def __str__(self) -> str:
+        return (
+            f"{self.runs} run(s): {self.transitions_per_run:.1f} "
+            f"transitions/run over {self.gate_count} gates (activity "
+            f"{self.activity_factor:.3f}), {self.flipflop_count} DFFs, "
+            f"{self.dff_clock_events} clock events"
+        )
+
+
+def measure_energy(
+    network: Network,
+    input_sets: Sequence[Mapping[str, Time]],
+    *,
+    params: Mapping[str, Time] | None = None,
+    horizon: int | None = None,
+) -> EnergyReport:
+    """Compile *network* and measure switching activity over the inputs."""
+    executor = GRLExecutor(network)
+    transitions = 0
+    cycles = 0
+    for inputs in input_sets:
+        result = executor.run(inputs, params=params, horizon=horizon)
+        transitions += result.transition_count
+        cycles += result.cycles_simulated
+    return EnergyReport(
+        runs=len(input_sets),
+        gate_count=len(executor.circuit),
+        flipflop_count=executor.circuit.flipflop_count,
+        total_transitions=transitions,
+        total_cycles=cycles,
+    )
+
+
+@dataclass(frozen=True)
+class CommunicationCost:
+    """Direct (unary/temporal) vs indirect (binary) channel cost (§V.C).
+
+    For one value at *resolution_bits* resolution:
+
+    * direct: at most 1 transition, but the message window lasts
+      ``2^bits`` unit times;
+    * indirect: ``bits`` wires (or serialized slots) toggling ~half the
+      time, delivered in one word time.
+    """
+
+    resolution_bits: int
+
+    @property
+    def direct_transitions(self) -> int:
+        return 1
+
+    @property
+    def direct_message_time(self) -> int:
+        return 1 << self.resolution_bits
+
+    @property
+    def indirect_transitions(self) -> float:
+        return self.resolution_bits / 2.0
+
+    @property
+    def indirect_message_time(self) -> int:
+        return 1
+
+    @property
+    def energy_advantage(self) -> float:
+        """Indirect/direct transition ratio: grows linearly with bits."""
+        return self.indirect_transitions / self.direct_transitions
+
+    @property
+    def time_penalty(self) -> float:
+        """Direct/indirect latency ratio: grows exponentially with bits.
+
+        The crossover argument for why direct s-t implementations only
+        make sense for 3–4 bit data.
+        """
+        return self.direct_message_time / self.indirect_message_time
+
+
+def communication_sweep(max_bits: int) -> list[CommunicationCost]:
+    """The §V.C trade-off for resolutions 1..max_bits."""
+    if max_bits < 1:
+        raise ValueError("max_bits must be at least 1")
+    return [CommunicationCost(bits) for bits in range(1, max_bits + 1)]

@@ -1,0 +1,99 @@
+"""GRL gate semantics (paper Fig. 16).
+
+With the 1→0 edge encoding (wire falls at its value):
+
+* **AND** — output falls at the *first* input fall (any 0 forces 0):
+  implements ``min``.
+* **OR** — output falls only when *all* inputs have fallen: ``max``.
+* **DFF chain** — a shift register of c flip-flops initialized high
+  delays the fall by c clock cycles: ``inc(+c)``.
+* **LT latch** — combinationally ``a OR NOT b``: the output falls when
+  ``a`` falls while ``b`` is still high (``a`` strictly earlier).  A latch
+  holds the 0 so the output cannot rise back when ``b`` eventually falls;
+  a ``reset`` re-arms it (state 1) before each computation.
+
+These closed-form gate semantics on fall times are the specification the
+cycle-accurate simulator (:mod:`repro.racelogic.digital`) is tested
+against, and they match the s-t primitives exactly — the content of the
+paper's §V claim.
+"""
+
+from __future__ import annotations
+
+from ..core.value import INF, Infinity, Time, check_time
+
+
+def and_gate(*inputs: Time) -> Time:
+    """Fall time of an AND of edge signals = min of the fall times."""
+    best: Time = INF
+    for fall in inputs:
+        fall = check_time(fall)
+        if fall < best:
+            best = fall
+    return best
+
+
+def or_gate(*inputs: Time) -> Time:
+    """Fall time of an OR of edge signals = max of the fall times."""
+    worst: Time = 0
+    for fall in inputs:
+        fall = check_time(fall)
+        if fall > worst:
+            worst = fall
+    return worst
+
+
+def not_gate(fall: Time) -> tuple[int, Time]:
+    """A NOT gate breaks the GRL discipline: its output *rises*.
+
+    Returns ``(initial_level, rise_time)`` — the inverse waveform.  Only
+    legal buried inside the LT latch, never on a GRL wire; exposed here
+    for the gate-level simulator and its tests.
+    """
+    fall = check_time(fall)
+    return 0, fall  # starts low, rises when the input falls
+
+
+def dff_chain(fall: Time, n_stages: int) -> Time:
+    """A shift register of *n_stages* flip-flops, initialized high.
+
+    Each stage samples its input once per clock; the fall propagates one
+    stage per cycle, arriving ``n_stages`` cycles late.
+    """
+    if n_stages < 0:
+        raise ValueError("stage count must be non-negative")
+    fall = check_time(fall)
+    if isinstance(fall, Infinity):
+        return INF
+    return fall + n_stages
+
+
+def lt_latch(a: Time, b: Time) -> Time:
+    """The latched a-strictly-before-b gate.
+
+    Combinationally ``a OR NOT b`` falls iff ``a`` is low while ``b`` is
+    still high, which first happens at cycle ``a`` when ``a < b``.  The
+    latch freezes the 0; without it the output would rise again at ``b``
+    (see :func:`lt_unlatched_waveform`).  Simultaneous falls produce no
+    output transition: by the time the gates settle, ``NOT b`` already
+    holds the output high.
+    """
+    a = check_time(a)
+    b = check_time(b)
+    return a if a < b else INF
+
+
+def lt_unlatched_waveform(a: Time, b: Time, horizon: int) -> list[int]:
+    """Level trace of ``a OR NOT b`` *without* the latch.
+
+    Demonstrates why Fig. 16 needs the latch: for ``a < b < ∞`` the output
+    falls at ``a`` but glitches back to 1 at ``b``.
+    """
+    a = check_time(a)
+    b = check_time(b)
+    levels = []
+    for cycle in range(horizon + 1):
+        a_level = 0 if a <= cycle else 1
+        b_level = 0 if b <= cycle else 1
+        levels.append(a_level | (1 - b_level))
+    return levels

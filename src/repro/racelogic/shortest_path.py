@@ -1,0 +1,179 @@
+"""Race-logic shortest paths (paper §V; Madhavan, Sherwood & Strukov).
+
+The original race logic application: find the shortest path through a
+weighted DAG by racing edge-delayed signals — a node's wire falls at the
+earliest time any predecessor's fall reaches it, i.e. at its shortest
+distance from the source.  In s-t terms each node is a ``min`` over
+``inc``-delayed predecessors, so the whole solver is a two-primitive
+space-time network, compilable to CMOS via :mod:`repro.racelogic.compile`.
+
+A textbook Dijkstra implementation is included as the baseline the
+benchmarks compare against, plus a random-DAG workload generator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.value import INF, Time
+from ..network.builder import NetworkBuilder
+from ..network.graph import Network
+from ..network.simulator import evaluate
+from .compile import GRLExecutor
+
+NodeId = Hashable
+
+
+@dataclass
+class WeightedDAG:
+    """A directed acyclic graph with non-negative integer edge weights."""
+
+    edges: dict[NodeId, list[tuple[NodeId, int]]] = field(default_factory=dict)
+
+    def add_edge(self, u: NodeId, v: NodeId, weight: int) -> None:
+        if weight < 0:
+            raise ValueError("edge weights must be non-negative")
+        self.edges.setdefault(u, [])
+        self.edges.setdefault(v, [])
+        self.edges[u].append((v, weight))
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        return list(self.edges)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(out) for out in self.edges.values())
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all edge weights = flip-flop count of the GRL circuit."""
+        return sum(w for out in self.edges.values() for _, w in out)
+
+    def topological_order(self) -> list[NodeId]:
+        """Kahn's algorithm; raises on cycles (race logic needs a DAG)."""
+        indegree: dict[NodeId, int] = {n: 0 for n in self.edges}
+        for out in self.edges.values():
+            for v, _ in out:
+                indegree[v] += 1
+        ready = [n for n, d in indegree.items() if d == 0]
+        order: list[NodeId] = []
+        while ready:
+            node = ready.pop()
+            order.append(node)
+            for v, _ in self.edges[node]:
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    ready.append(v)
+        if len(order) != len(self.edges):
+            raise ValueError("graph has a cycle; race logic requires a DAG")
+        return order
+
+
+def dijkstra(graph: WeightedDAG, source: NodeId) -> dict[NodeId, Time]:
+    """Baseline: classic Dijkstra distances from *source* (∞ if unreachable)."""
+    if source not in graph.edges:
+        raise KeyError(f"unknown source {source!r}")
+    distance: dict[NodeId, Time] = {n: INF for n in graph.edges}
+    distance[source] = 0
+    heap: list[tuple[int, int, NodeId]] = [(0, 0, source)]
+    counter = 1
+    visited: set[NodeId] = set()
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, weight in graph.edges[node]:
+            candidate = dist + weight
+            if candidate < distance[neighbor]:
+                distance[neighbor] = candidate
+                heapq.heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+    return distance
+
+
+def build_race_network(graph: WeightedDAG, source: NodeId, *, name: Optional[str] = None) -> Network:
+    """The race-logic solver as an s-t network (min + inc only).
+
+    One input, ``start``: inject a spike at time 0 (or any time — the
+    solver is invariant, distances ride on top of the injection time).
+    One output per node, named ``dist[<node>]``; unreachable nodes never
+    fire.
+    """
+    order = graph.topological_order()
+    builder = NetworkBuilder(name or f"race-{len(order)}nodes")
+    start = builder.input("start")
+
+    incoming: dict[NodeId, list] = {n: [] for n in graph.edges}
+    wires: dict[NodeId, object] = {}
+    for node in order:
+        if node == source:
+            arrivals = [start, *incoming[node]]
+        else:
+            arrivals = incoming[node]
+        if arrivals:
+            wires[node] = builder.min(*arrivals) if len(arrivals) > 1 else arrivals[0]
+            for neighbor, weight in graph.edges[node]:
+                incoming[neighbor].append(builder.inc(wires[node], weight))
+        else:
+            wires[node] = None  # unreachable: no wire ever fires
+    never = None
+    for node in order:
+        if wires[node] is None:
+            if never is None:
+                never = builder.lt(start, start)  # identically ∞
+            builder.output(f"dist[{node}]", never)
+        else:
+            builder.output(f"dist[{node}]", wires[node])
+    return builder.build()
+
+
+def race_shortest_paths(graph: WeightedDAG, source: NodeId) -> dict[NodeId, Time]:
+    """Distances via the race-logic network (denotational evaluation)."""
+    network = build_race_network(graph, source)
+    out = evaluate(network, {"start": 0})
+    return {node: out[f"dist[{node}]"] for node in graph.edges}
+
+
+def race_shortest_paths_digital(
+    graph: WeightedDAG, source: NodeId
+) -> tuple[dict[NodeId, Time], int]:
+    """Distances via the compiled CMOS circuit; also returns the toggle count.
+
+    This is the full §V story: DAG → s-t network → GRL netlist →
+    cycle-accurate simulation → read distances off the falling edges.
+    """
+    network = build_race_network(graph, source)
+    executor = GRLExecutor(network)
+    longest = graph.total_weight + 1
+    result = executor.run({"start": 0}, horizon=longest)
+    distances = {
+        node: result.outputs[f"dist[{node}]"] for node in graph.edges
+    }
+    return distances, result.transition_count
+
+
+def random_dag(
+    n_nodes: int,
+    *,
+    edge_probability: float = 0.3,
+    max_weight: int = 7,
+    rng: Optional[random.Random] = None,
+) -> WeightedDAG:
+    """A random layered DAG on nodes ``0..n-1`` (edges only go forward)."""
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = rng or random.Random(0)
+    graph = WeightedDAG()
+    for n in range(n_nodes):
+        graph.edges.setdefault(n, [])
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v, rng.randint(0, max_weight))
+    return graph

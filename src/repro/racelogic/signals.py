@@ -1,0 +1,84 @@
+"""Edge signals: the GRL encoding of time values (paper §V.A).
+
+Generalized race logic communicates via 1→0 transitions in logic levels:
+a wire idles high and falls at the moment its value "happens"; a wire
+that never falls carries ``∞``.  :class:`EdgeSignal` is the waveform-level
+view of one wire — level as a function of the cycle — plus conversions to
+and from s-t times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.value import INF, Infinity, Time, check_time
+
+
+@dataclass(frozen=True)
+class EdgeSignal:
+    """A monotone falling waveform: high before *fall_time*, low after.
+
+    The s-t value of the signal *is* its fall time; ``∞`` (no transition)
+    is represented by ``fall_time = INF``.
+    """
+
+    fall_time: Time
+
+    def __post_init__(self) -> None:
+        check_time(self.fall_time, name="fall_time")
+
+    @classmethod
+    def from_time(cls, value: Time) -> "EdgeSignal":
+        return cls(check_time(value))
+
+    @classmethod
+    def never(cls) -> "EdgeSignal":
+        return cls(INF)
+
+    def level(self, cycle: int) -> int:
+        """Logic level at *cycle*: 1 before the fall, 0 at and after."""
+        if cycle < 0:
+            return 1
+        return 0 if self.fall_time <= cycle else 1
+
+    @property
+    def transitions(self) -> int:
+        """Toggle count over the whole computation (0 or 1).
+
+        The minimal-transition property of §VI: each wire switches at
+        most once per computation.
+        """
+        return 0 if isinstance(self.fall_time, Infinity) else 1
+
+    def to_time(self) -> Time:
+        return self.fall_time
+
+    def trace(self, horizon: int) -> list[int]:
+        """Levels for cycles ``0..horizon`` (for waveform dumps)."""
+        return [self.level(c) for c in range(horizon + 1)]
+
+    def __repr__(self) -> str:
+        return f"EdgeSignal(falls at {self.fall_time})"
+
+
+def waveform_from_levels(levels: Sequence[int]) -> EdgeSignal:
+    """Recover the edge signal from a sampled level trace.
+
+    Validates GRL discipline: the trace must be monotone non-increasing
+    (1...1 0...0); a rise mid-trace violates the single-transition
+    encoding and raises ``ValueError``.
+    """
+    fall: Time = INF
+    previous = 1
+    for cycle, level in enumerate(levels):
+        if level not in (0, 1):
+            raise ValueError(f"level at cycle {cycle} must be 0 or 1")
+        if level > previous:
+            raise ValueError(
+                f"signal rises at cycle {cycle}: not a valid GRL waveform"
+            )
+        if level == 0 and previous == 1:
+            fall = cycle
+        previous = level
+    return EdgeSignal(fall)

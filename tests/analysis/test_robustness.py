@@ -1,0 +1,101 @@
+"""Tests for jitter robustness analysis."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    column_evaluator,
+    jitter_input,
+    measure_robustness,
+    network_evaluator,
+)
+from repro.core.synthesis import synthesize
+from repro.core.table import NormalizedTable
+from repro.core.value import INF
+from repro.neuron.column import Column
+from repro.neuron.response import ResponseFunction
+
+
+class TestJitterInput:
+    def test_zero_jitter_is_identity(self):
+        rng = random.Random(0)
+        volley = (0, 3, INF, 5)
+        assert jitter_input(volley, jitter=0, rng=rng) == volley
+
+    def test_silence_stays_silent(self):
+        rng = random.Random(0)
+        out = jitter_input((INF, INF), jitter=3, rng=rng)
+        assert out == (INF, INF)
+
+    def test_bounded(self):
+        rng = random.Random(1)
+        volley = tuple(range(10))
+        for _ in range(20):
+            noisy = jitter_input(volley, jitter=2, rng=rng)
+            for clean, moved in zip(volley, noisy):
+                assert abs(int(moved) - clean) <= 2 or moved == 0
+
+    def test_clamped_at_zero(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            out = jitter_input((0,), jitter=3, rng=rng)
+            assert out[0] >= 0
+
+
+class TestMeasure:
+    def make_column(self):
+        base = ResponseFunction.step(amplitude=1, width=8)
+        weights = np.array([[4, 4, 0, 0], [0, 0, 4, 4]])
+        return Column(weights, threshold=6, base_response=base)
+
+    def test_zero_jitter_perfectly_stable(self):
+        col = self.make_column()
+        report = measure_robustness(
+            column_evaluator(col),
+            [(0, 0, INF, INF), (INF, INF, 0, 1)],
+            jitter=0,
+            trials_per_volley=3,
+        )
+        assert report.pattern_stability == 1.0
+        assert report.mean_time_deviation == 0.0
+        assert report.appearance_changes == 0
+
+    def test_stability_degrades_with_jitter(self):
+        col = self.make_column()
+        volleys = [(0, 1, INF, INF), (INF, INF, 1, 0), (0, 0, 2, 2)]
+        stabilities = []
+        for jitter in (0, 1, 3):
+            report = measure_robustness(
+                column_evaluator(col),
+                volleys,
+                jitter=jitter,
+                trials_per_volley=15,
+                rng=random.Random(5),
+            )
+            stabilities.append(report.pattern_stability)
+        assert stabilities[0] >= stabilities[1] >= stabilities[2] - 0.15
+
+    def test_network_evaluator_adapter(self):
+        table = NormalizedTable.random(3, window=3, n_rows=4, rng=random.Random(2))
+        net = synthesize(table)
+        evaluator = network_evaluator(net)
+        out = evaluator((0, 1, 2))
+        assert len(out) == 1  # single output 'y'
+        report = measure_robustness(
+            evaluator, [(0, 1, 2)], jitter=1, trials_per_volley=5
+        )
+        assert report.trials == 5
+
+    def test_negative_jitter_rejected(self):
+        col = self.make_column()
+        with pytest.raises(ValueError):
+            measure_robustness(column_evaluator(col), [], jitter=-1)
+
+    def test_report_str(self):
+        col = self.make_column()
+        report = measure_robustness(
+            column_evaluator(col), [(0, 0, 0, 0)], jitter=1, trials_per_volley=2
+        )
+        assert "stable" in str(report)

@@ -1,0 +1,61 @@
+"""Tests for the RNN/TNN taxonomy spike-count test (Fig. 3)."""
+
+from repro.analysis.taxonomy import (
+    NetworkClass,
+    classify_counts,
+    classify_simulation,
+    synthetic_rate_trace,
+)
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE
+from repro.network.events import simulate
+
+
+class TestClassifyCounts:
+    def test_tnn(self):
+        report = classify_counts([1, 0, 1, 1, 0])
+        assert report.classification is NetworkClass.TNN
+        assert report.active_lines == 3
+        assert report.max_spikes_per_line == 1
+
+    def test_rnn(self):
+        report = classify_counts([3, 5, 2, 4])
+        assert report.classification is NetworkClass.RNN
+        assert report.mean_spikes_per_active_line == 3.5
+
+    def test_mixed(self):
+        report = classify_counts([1, 5, 0])
+        assert report.classification is NetworkClass.MIXED
+
+    def test_silent(self):
+        report = classify_counts([0, 0])
+        assert report.classification is NetworkClass.SILENT
+
+
+class TestClassifySimulation:
+    def test_our_networks_are_tnns(self):
+        # By construction every s-t computation is single-spike-per-line.
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+        report = classify_simulation(result)
+        assert report.classification is NetworkClass.TNN
+
+    def test_silent_computation(self):
+        net = synthesize(FIG7_TABLE)
+        from repro.core.value import INF
+
+        result = simulate(net, dict(zip(net.input_names, (INF, INF, INF))))
+        assert classify_simulation(result).classification is NetworkClass.SILENT
+
+
+class TestSyntheticRate:
+    def test_classified_as_rnn(self):
+        counts = synthetic_rate_trace(30, mean_rate=4.0, seed=1)
+        assert classify_counts(counts).classification is NetworkClass.RNN
+
+    def test_minimum_two_spikes(self):
+        counts = synthetic_rate_trace(50, mean_rate=0.5, seed=2)
+        assert min(counts) >= 2
+
+    def test_deterministic(self):
+        assert synthetic_rate_trace(10, seed=3) == synthetic_rate_trace(10, seed=3)

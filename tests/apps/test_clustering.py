@@ -1,0 +1,96 @@
+"""Tests for RBF-like temporal clustering with compound synapses."""
+
+import numpy as np
+import pytest
+
+from repro.apps.clustering import (
+    CompoundSynapseNeuron,
+    TemporalClusterer,
+    purity,
+)
+from repro.apps.datasets import latency_clusters
+from repro.core.value import INF, Infinity
+
+
+class TestCompoundSynapseNeuron:
+    def test_center_neuron_fires_fastest_on_its_center(self):
+        center = (0, 3, 1)
+        neuron = CompoundSynapseNeuron.for_center(center, n_delays=6)
+        t_match = neuron.fire_time(center)
+        t_off = neuron.fire_time((3, 0, 1))
+        assert not isinstance(t_match, Infinity)
+        assert isinstance(t_off, Infinity) or t_match < t_off
+
+    def test_shifted_center_fires_at_shifted_time(self):
+        # RBF response is invariant: the match is about relative latencies.
+        center = (0, 2, 1)
+        neuron = CompoundSynapseNeuron.for_center(center, n_delays=6)
+        t0 = neuron.fire_time(center)
+        t5 = neuron.fire_time(tuple(c + 5 for c in center))
+        assert t5 == t0 + 5
+
+    def test_center_span_validation(self):
+        with pytest.raises(ValueError, match="span"):
+            CompoundSynapseNeuron.for_center((0, 9), n_delays=4)
+
+    def test_weight_shape_validation(self):
+        with pytest.raises(ValueError):
+            CompoundSynapseNeuron(np.zeros(4), threshold=1)
+        neuron = CompoundSynapseNeuron(np.zeros((2, 3)), threshold=1)
+        with pytest.raises(ValueError):
+            neuron.set_weights(np.zeros((3, 3)))
+
+    def test_zero_weights_never_fire(self):
+        neuron = CompoundSynapseNeuron(np.zeros((2, 4)), threshold=1)
+        assert neuron.fire_time((0, 0)) is INF
+
+
+class TestClusterer:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        centers, data = latency_clusters(
+            n_lines=6, n_clusters=3, presentations=60, window=6, jitter=1, seed=3
+        )
+        clusterer = TemporalClusterer(6, 3, n_delays=8, seed=3)
+        clusterer.train([item.volley for item in data], epochs=3)
+        return centers, data, clusterer
+
+    def test_assignments_beat_chance(self, problem):
+        _, data, clusterer = problem
+        assignments = [clusterer.assign(item.volley) for item in data]
+        labels = [item.label for item in data]
+        assert purity(assignments, labels) > 0.55  # chance is 1/3
+
+    def test_assign_returns_valid_index_or_none(self, problem):
+        _, data, clusterer = problem
+        for item in data[:10]:
+            got = clusterer.assign(item.volley)
+            assert got is None or 0 <= got < clusterer.n_clusters
+
+    def test_training_is_deterministic_given_seed(self):
+        _, data = latency_clusters(presentations=20, seed=9)
+        volleys = [item.volley for item in data]
+        a = TemporalClusterer(8, 3, seed=1)
+        b = TemporalClusterer(8, 3, seed=1)
+        a.train(volleys, epochs=1)
+        b.train(volleys, epochs=1)
+        for na, nb in zip(a.neurons, b.neurons):
+            assert (na.weights == nb.weights).all()
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_mixed(self):
+        assert purity([0, 0, 0, 0], [1, 1, 2, 2]) == 0.5
+
+    def test_ignores_undecided(self):
+        assert purity([0, None, 0], [1, 2, 1]) == 1.0
+
+    def test_all_undecided(self):
+        assert purity([None, None], [0, 1]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            purity([0], [0, 1])

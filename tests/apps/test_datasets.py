@@ -1,0 +1,110 @@
+"""Tests for synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.apps.datasets import (
+    embedded_patterns,
+    latency_clusters,
+    random_pattern,
+    two_class_latency,
+)
+from repro.core.value import INF, Infinity
+
+
+class TestRandomPattern:
+    def test_active_line_count(self):
+        rng = random.Random(0)
+        pattern = random_pattern(20, active_lines=7, window=8, rng=rng)
+        active = sum(1 for t in pattern if not isinstance(t, Infinity))
+        assert active == 7
+
+    def test_times_in_window(self):
+        rng = random.Random(1)
+        pattern = random_pattern(20, active_lines=10, window=4, rng=rng)
+        for t in pattern:
+            assert t is INF or 0 <= t < 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_pattern(5, active_lines=9, window=4, rng=random.Random(0))
+
+
+class TestEmbeddedPatterns:
+    def test_shapes_and_labels(self):
+        bases, data = embedded_patterns(
+            n_lines=16, n_patterns=3, presentations=20, seed=0
+        )
+        assert len(bases) == 3
+        assert len(data) == 20
+        for item in data:
+            assert 0 <= item.label < 3
+            assert len(item.volley) == 16
+
+    def test_deterministic(self):
+        a = embedded_patterns(seed=5)
+        b = embedded_patterns(seed=5)
+        assert [d.volley for d in a[1]] == [d.volley for d in b[1]]
+
+    def test_zero_noise_preserves_active_lines(self):
+        bases, data = embedded_patterns(
+            n_lines=16,
+            n_patterns=1,
+            presentations=5,
+            active_lines=6,
+            jitter=0,
+            dropout=0.0,
+            noise_lines=0,
+            seed=2,
+        )
+        base_active = {
+            i for i, t in enumerate(bases[0]) if not isinstance(t, Infinity)
+        }
+        for item in data:
+            active = {
+                i
+                for i, t in enumerate(item.volley)
+                if not isinstance(t, Infinity)
+            }
+            assert active == base_active
+
+    def test_noise_adds_spikes(self):
+        _, clean = embedded_patterns(
+            presentations=10, noise_lines=0, dropout=0.0, seed=3
+        )
+        _, noisy = embedded_patterns(
+            presentations=10, noise_lines=5, dropout=0.0, seed=3
+        )
+        assert sum(v.volley.spike_count for v in noisy) > sum(
+            v.volley.spike_count for v in clean
+        )
+
+
+class TestLatencyClusters:
+    def test_all_lines_spike(self):
+        _, data = latency_clusters(n_lines=6, presentations=10, seed=0)
+        for item in data:
+            assert item.volley.spike_count == 6
+
+    def test_jitter_bounded(self):
+        centers, data = latency_clusters(
+            n_lines=6, n_clusters=2, presentations=30, jitter=1, seed=1
+        )
+        for item in data:
+            center = centers[item.label]
+            for t, c in zip(item.volley, center):
+                assert abs(int(t) - c) <= 1 or int(t) in (0,)
+
+
+class TestTwoClassLatency:
+    def test_balanced(self):
+        volleys, labels = two_class_latency(per_class=10, seed=0)
+        assert len(volleys) == 20
+        assert sum(labels) == 10
+
+    def test_classes_differ(self):
+        volleys, labels = two_class_latency(per_class=1, jitter=0, seed=1)
+        positive = volleys[labels.index(True)]
+        negative = volleys[labels.index(False)]
+        assert positive != negative

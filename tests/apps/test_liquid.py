@@ -1,0 +1,93 @@
+"""Tests for the liquid state machine extension."""
+
+import numpy as np
+import pytest
+
+from repro.apps.liquid import (
+    LiquidStateMachine,
+    Readout,
+    sequence_classification_experiment,
+)
+from repro.coding.volley import Volley
+from repro.core.value import INF, Infinity
+
+
+class TestLiquid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LiquidStateMachine(0, 4)
+        with pytest.raises(ValueError):
+            LiquidStateMachine(4, 4, feedback_fraction=1.5)
+
+    def test_trace_length_matches_stream(self):
+        lsm = LiquidStateMachine(4, 8, seed=0)
+        stream = [Volley([0, 1, 2, 3]), Volley([3, 2, 1, 0])]
+        trace = lsm.run(stream)
+        assert len(trace) == 2
+        assert all(len(state) == 8 for state in trace)
+
+    def test_wrong_volley_width(self):
+        lsm = LiquidStateMachine(4, 8, seed=0)
+        with pytest.raises(ValueError, match="4-line"):
+            lsm.run([Volley([0, 1])])
+
+    def test_state_depends_on_history(self):
+        # The LSM's defining property: identical present input, different
+        # past -> different state. A feedforward TNN cannot do this.
+        lsm = LiquidStateMachine(4, 16, seed=1)
+        common = Volley([0, 2, 1, 3])
+        past_a = Volley([0, 0, 0, 0])
+        past_b = Volley([5, INF, 5, INF])
+        state_a = lsm.run([past_a, common])[-1]
+        state_b = lsm.run([past_b, common])[-1]
+        assert state_a != state_b
+
+    def test_runs_are_independent(self):
+        lsm = LiquidStateMachine(4, 8, seed=2)
+        stream = [Volley([0, 1, 2, 3])]
+        assert lsm.run(stream) == lsm.run(stream)
+
+    def test_features_shape_and_range(self):
+        lsm = LiquidStateMachine(4, 8, seed=0)
+        stream = [Volley([0, 1, 2, 3]), Volley([1, 1, 1, 1])]
+        features = lsm.features(stream)
+        assert features.shape == (16,)  # reservoir x rounds
+        assert ((features >= 0.0) & (features <= 1.0)).all()
+
+    def test_silent_stream_features(self):
+        lsm = LiquidStateMachine(4, 8, seed=0)
+        features = lsm.features([Volley.silent(4)])
+        assert (features == 0.0).all()
+
+
+class TestReadout:
+    def test_delta_rule_learns_separable(self):
+        rng = np.random.default_rng(0)
+        class0 = [rng.normal(0.0, 0.1, 8) + np.array([1] * 4 + [0] * 4) for _ in range(10)]
+        class1 = [rng.normal(0.0, 0.1, 8) + np.array([0] * 4 + [1] * 4) for _ in range(10)]
+        readout = Readout(8, 2, seed=0)
+        history = readout.train(
+            class0 + class1, [0] * 10 + [1] * 10, epochs=50
+        )
+        assert history[-1] == 1.0
+
+    def test_label_count_checked(self):
+        readout = Readout(4, 2)
+        with pytest.raises(ValueError):
+            readout.train([np.zeros(4)], [0, 1])
+
+    def test_predict_returns_class_index(self):
+        readout = Readout(4, 3)
+        assert readout.predict(np.zeros(4)) in (0, 1, 2)
+
+
+class TestEndToEnd:
+    def test_sequence_classification_beats_chance(self):
+        train, test = sequence_classification_experiment(seed=5)
+        assert train >= 0.8
+        assert test > 0.55  # chance = 1/3
+
+    def test_deterministic(self):
+        a = sequence_classification_experiment(seed=3)
+        b = sequence_classification_experiment(seed=3)
+        assert a == b

@@ -1,0 +1,113 @@
+"""Tests for emergent orientation selectivity."""
+
+import numpy as np
+import pytest
+
+from repro.apps.vision import (
+    ORIENTATIONS,
+    OrientationExperiment,
+    bar_dataset,
+    oriented_bar,
+    run_orientation_experiment,
+)
+
+
+class TestOrientedBar:
+    def test_all_orientations_render(self):
+        for orientation in ORIENTATIONS:
+            image = oriented_bar(7, orientation)
+            assert image.sum() >= 7  # at least a full bar of pixels
+
+    def test_invalid_orientation(self):
+        with pytest.raises(ValueError):
+            oriented_bar(7, 30)
+
+    def test_horizontal_is_a_row(self):
+        image = oriented_bar(5, 0)
+        assert image[2].sum() == 5
+        assert image.sum() == 5
+
+    def test_vertical_is_a_column(self):
+        image = oriented_bar(5, 90)
+        assert image[:, 2].sum() == 5
+
+    def test_diagonals_are_transposes(self):
+        assert (oriented_bar(5, 45) == np.fliplr(oriented_bar(5, 135))).all()
+
+    def test_offset_moves_bar(self):
+        assert (oriented_bar(5, 0, offset=1) != oriented_bar(5, 0)).any()
+
+    def test_thickness(self):
+        thin = oriented_bar(7, 0, thickness=1).sum()
+        thick = oriented_bar(7, 0, thickness=2).sum()
+        assert thick > thin
+
+    def test_orientations_differ(self):
+        images = [oriented_bar(7, o) for o in ORIENTATIONS]
+        for i in range(len(images)):
+            for j in range(i + 1, len(images)):
+                assert (images[i] != images[j]).any()
+
+
+class TestDataset:
+    def test_shapes_and_labels(self):
+        samples = bar_dataset(size=7, presentations=20, seed=0)
+        assert len(samples) == 20
+        for sample in samples:
+            assert len(sample.volley) == 49
+            assert sample.orientation in ORIENTATIONS
+
+    def test_bar_pixels_spike(self):
+        samples = bar_dataset(size=7, presentations=5, noise=0.0, seed=1)
+        for sample in samples:
+            assert sample.volley.spike_count >= 6
+
+    def test_deterministic(self):
+        a = bar_dataset(presentations=10, seed=4)
+        b = bar_dataset(presentations=10, seed=4)
+        assert [s.volley for s in a] == [s.volley for s in b]
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        samples = bar_dataset(presentations=80, seed=0)
+        experiment = OrientationExperiment(seed=0)
+        experiment.train(samples, epochs=3)
+        return experiment
+
+    def test_all_orientations_claimed(self, trained):
+        fresh = bar_dataset(presentations=40, seed=999)
+        purity, claimed = trained.selectivity_report(fresh)
+        assert claimed == len(ORIENTATIONS)
+        assert purity > 0.4  # chance is 0.25
+
+    def test_receptive_fields_look_like_bars(self, trained):
+        # The classic emergent result: weight vectors become oriented
+        # filters. Most neurons' fields should best-match an orientation
+        # consistent with their preferred stimulus.
+        preferences = trained.preferred_orientations()
+        matches = sum(
+            1
+            for neuron, preferred in preferences.items()
+            if trained.field_orientation_match(neuron) == preferred
+        )
+        assert matches >= len(preferences) * 0.6
+
+    def test_receptive_field_shape(self, trained):
+        field = trained.receptive_field(0)
+        assert field.shape == (7, 7)
+
+    def test_untrained_field_match_handles_flat(self):
+        experiment = OrientationExperiment(seed=1)
+        experiment.column.set_weights(
+            np.zeros_like(experiment.column.weights)
+        )
+        assert experiment.field_orientation_match(0) is None
+
+    def test_end_to_end(self):
+        purity, claimed = run_orientation_experiment(
+            seed=3, presentations=60, epochs=3
+        )
+        assert purity > 0.4
+        assert claimed >= 3

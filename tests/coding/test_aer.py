@@ -1,0 +1,111 @@
+"""Tests for Address-Event Representation streams."""
+
+import pytest
+
+from repro.coding.aer import AEREvent, AERStream
+from repro.core.value import INF
+
+
+class TestEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AEREvent(-1, 0, 0)
+        with pytest.raises(ValueError):
+            AEREvent(0, 0, 0, polarity=2)
+
+    def test_ordering_by_time(self):
+        assert AEREvent(1, 5, 5) < AEREvent(2, 0, 0)
+
+
+class TestStream:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            AERStream(4, 4, [AEREvent(0, 4, 0)])
+
+    def test_append_keeps_order(self):
+        s = AERStream(4, 4)
+        s.append(AEREvent(3, 0, 0))
+        with pytest.raises(ValueError, match="time order"):
+            s.append(AEREvent(1, 0, 0))
+
+    def test_events_sorted_on_construction(self):
+        s = AERStream(4, 4, [AEREvent(5, 1, 1), AEREvent(2, 0, 0)])
+        assert [e.timestamp for e in s] == [2, 5]
+
+    def test_line_addressing(self):
+        s = AERStream(4, 2)
+        on = AEREvent(0, 1, 1, polarity=1)
+        off = AEREvent(0, 1, 1, polarity=-1)
+        assert s.address(on) == 5
+        assert s.address(off) == 5 + 8
+        assert s.n_lines == 16
+
+    def test_duration(self):
+        s = AERStream(2, 2, [AEREvent(7, 0, 0)])
+        assert s.duration == 8
+        assert AERStream(2, 2).duration == 0
+
+
+class TestWindowing:
+    def make_stream(self):
+        return AERStream(
+            2,
+            1,
+            [
+                AEREvent(0, 0, 0),
+                AEREvent(2, 1, 0),
+                AEREvent(3, 0, 0),  # second spike on line 0: ignored in window
+                AEREvent(6, 1, 0, polarity=-1),
+            ],
+        )
+
+    def test_window_volley_first_event_wins(self):
+        s = self.make_stream()
+        v = s.window_volley(0, 4)
+        assert v[s.address(AEREvent(0, 0, 0))] == 0
+        assert v[s.address(AEREvent(2, 1, 0))] == 2
+
+    def test_window_times_are_relative(self):
+        s = self.make_stream()
+        v = s.window_volley(2, 4)
+        assert v[s.address(AEREvent(2, 1, 0))] == 0
+
+    def test_empty_window_is_silent(self):
+        s = self.make_stream()
+        assert s.window_volley(10, 4).is_silent
+
+    def test_volleys_skip_empty_windows(self):
+        s = self.make_stream()
+        starts = [start for start, _ in s.volleys(2)]
+        assert 4 not in starts  # no events in [4, 6)
+
+    def test_volley_length_validation(self):
+        with pytest.raises(ValueError):
+            self.make_stream().window_volley(0, 0)
+
+
+class TestFromFrames:
+    def test_difference_encoding(self):
+        frames = [
+            [[0.0, 0.0]],
+            [[1.0, 0.0]],  # pixel (0,0) rises
+            [[0.0, 0.0]],  # pixel (0,0) falls
+        ]
+        s = AERStream.from_frames(frames, delta=0.5)
+        assert len(s) == 2
+        on, off = s.events
+        assert on.polarity == 1 and on.timestamp == 1
+        assert off.polarity == -1 and off.timestamp == 2
+
+    def test_subthreshold_change_silent(self):
+        frames = [[[0.0]], [[0.05]]]
+        assert len(AERStream.from_frames(frames, delta=0.1)) == 0
+
+    def test_needs_two_frames(self):
+        with pytest.raises(ValueError):
+            AERStream.from_frames([[[0.0]]])
+
+    def test_ticks_per_frame(self):
+        frames = [[[0.0]], [[1.0]]]
+        s = AERStream.from_frames(frames, delta=0.5, ticks_per_frame=3)
+        assert s.events[0].timestamp == 3

@@ -1,0 +1,118 @@
+"""Tests for intensity → spike encoders."""
+
+import pytest
+
+from repro.coding.encoders import LatencyEncoder, OnOffEncoder, RankOrderEncoder
+from repro.core.value import INF
+
+
+class TestLatencyEncoder:
+    def test_strongest_spikes_first(self):
+        enc = LatencyEncoder(resolution_bits=3)
+        v = enc.encode([1.0, 0.5, 0.1])
+        assert v[0] == 0
+        assert v[0] < v[1] < v[2]
+
+    def test_silence_threshold(self):
+        enc = LatencyEncoder(silence_threshold=0.2)
+        v = enc.encode([0.1, 0.5])
+        assert v[0] is INF
+        assert v[1] is not INF
+
+    def test_zero_is_silent(self):
+        enc = LatencyEncoder()
+        assert enc.encode([0.0])[0] is INF
+
+    def test_window_size(self):
+        assert LatencyEncoder(resolution_bits=4).window == 16
+
+    def test_times_within_window(self):
+        enc = LatencyEncoder(resolution_bits=3)
+        v = enc.encode([x / 10 for x in range(1, 11)])
+        for t in v:
+            assert 0 <= t < enc.window
+
+    def test_clamping(self):
+        enc = LatencyEncoder(max_intensity=1.0)
+        assert enc.encode([5.0])[0] == 0  # over-range clamps to earliest
+
+    def test_decode_approximate_inverse(self):
+        enc = LatencyEncoder(resolution_bits=4)
+        values = [1.0, 0.6, 0.3]
+        decoded = enc.decode(enc.encode(values))
+        for original, recovered in zip(values, decoded):
+            assert abs(original - recovered) < 0.1
+
+    def test_decode_silence(self):
+        enc = LatencyEncoder()
+        assert enc.decode_one(INF) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyEncoder(resolution_bits=0)
+        with pytest.raises(ValueError):
+            LatencyEncoder(max_intensity=0.0)
+
+
+class TestRankOrderEncoder:
+    def test_ranks(self):
+        enc = RankOrderEncoder()
+        v = enc.encode([0.5, 0.9, 0.1])
+        assert v.times == (1, 0, 2)
+
+    def test_ties_share_rank(self):
+        enc = RankOrderEncoder()
+        v = enc.encode([0.5, 0.5, 0.1])
+        assert v[0] == v[1] == 0
+        assert v[2] == 1
+
+    def test_silence(self):
+        enc = RankOrderEncoder(silence_threshold=0.2)
+        v = enc.encode([0.1, 0.9, 0.05])
+        assert v[0] is INF and v[2] is INF
+        assert v[1] == 0
+
+    def test_output_is_normalized(self):
+        enc = RankOrderEncoder()
+        assert enc.encode([0.2, 0.8]).is_normal()
+
+    def test_all_silent(self):
+        enc = RankOrderEncoder()
+        assert enc.encode([0.0, 0.0]).is_silent
+
+
+class TestOnOffEncoder:
+    def test_rise_spikes_on_line(self):
+        enc = OnOffEncoder(delta=0.1)
+        v = enc.encode([0.0, 0.5], [0.5, 0.5])
+        # Input 0 rose: ON line (index 0) spikes, OFF line (1) silent.
+        assert v[0] is not INF
+        assert v[1] is INF
+        # Input 1 unchanged: both lines silent.
+        assert v[2] is INF and v[3] is INF
+
+    def test_fall_spikes_off_line(self):
+        enc = OnOffEncoder(delta=0.1)
+        v = enc.encode([0.8], [0.2])
+        assert v[0] is INF
+        assert v[1] is not INF
+
+    def test_small_change_ignored(self):
+        enc = OnOffEncoder(delta=0.2)
+        v = enc.encode([0.5], [0.55])
+        assert v.is_silent
+
+    def test_larger_change_spikes_earlier(self):
+        enc = OnOffEncoder(delta=0.1)
+        small = enc.encode([0.0], [0.3])
+        large = enc.encode([0.0], [0.9])
+        assert large[0] < small[0]
+
+    def test_frame_length_mismatch(self):
+        enc = OnOffEncoder()
+        with pytest.raises(ValueError):
+            enc.encode([0.1], [0.1, 0.2])
+
+    def test_two_lines_per_input(self):
+        enc = OnOffEncoder()
+        assert len(enc.encode([0.1] * 5, [0.9] * 5)) == 10

@@ -1,0 +1,99 @@
+"""Tests for volley metrics and coding efficiency (Fig. 5 analysis)."""
+
+import math
+
+import pytest
+
+from repro.coding.metrics import (
+    coding_efficiency,
+    coincidence,
+    mean_spikes_per_bit,
+    temporal_distance,
+)
+from repro.coding.volley import Volley
+from repro.core.value import INF
+
+
+class TestCoincidence:
+    def test_identical(self):
+        v = Volley([0, 3, INF, 1])
+        assert coincidence(v, v) == 1.0
+
+    def test_shift_invariant(self):
+        a = Volley([0, 3, INF, 1])
+        assert coincidence(a, a.shifted(7)) == 1.0
+
+    def test_partial_match(self):
+        a = Volley([0, 3, INF])
+        b = Volley([0, 4, INF])
+        assert coincidence(a, b) == pytest.approx(2 / 3)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            coincidence(Volley([0]), Volley([0, 1]))
+
+    def test_empty(self):
+        assert coincidence(Volley([]), Volley([])) == 1.0
+
+
+class TestTemporalDistance:
+    def test_zero_for_identical(self):
+        v = Volley([0, 2, INF])
+        assert temporal_distance(v, v) == 0.0
+
+    def test_shift_invariant(self):
+        a = Volley([0, 2, 5])
+        assert temporal_distance(a, a.shifted(3)) == 0.0
+
+    def test_counts_offsets(self):
+        a = Volley([0, 2])
+        b = Volley([0, 4])
+        assert temporal_distance(a, b) == 1.0  # |2-4| / 2 lines
+
+    def test_missing_spike_costs_more_than_jitter(self):
+        a = Volley([0, 2])
+        jittered = Volley([0, 3])
+        dropped = Volley([0, INF])
+        assert temporal_distance(a, dropped) > temporal_distance(a, jittered)
+
+    def test_custom_missing_cost(self):
+        a = Volley([0, INF])
+        b = Volley([0, 0])
+        assert temporal_distance(a, b, missing_cost=10) == 5.0
+
+
+class TestCodingEfficiency:
+    def test_fig5_numbers(self):
+        # 4 lines, 3 spikes, 3-bit resolution: 6 bits in 8 time slots.
+        eff = coding_efficiency(Volley([0, 3, INF, 1]), 3)
+        assert eff.spikes == 3
+        assert eff.bits == 6
+        assert eff.message_time == 8
+
+    def test_one_spike_per_n_bits_asymptotically(self):
+        # The paper's claim: as n grows, cost approaches 1 spike / n bits,
+        # i.e. bits_per_spike -> n.
+        v = Volley(list(range(16)))  # 16 spikes
+        for bits in (2, 4, 6):
+            eff = coding_efficiency(v, bits)
+            assert eff.bits_per_spike == pytest.approx(bits * 15 / 16)
+
+    def test_message_time_grows_exponentially(self):
+        times = [coding_efficiency(Volley([0, 1]), b).message_time for b in (2, 3, 4)]
+        assert times == [4, 8, 16]
+
+    def test_mean_spikes_per_bit(self):
+        volleys = [Volley([0, 1, 2]), Volley([0, INF, 3])]
+        total_spikes = 5
+        total_bits = (2 + 1) * 3
+        assert mean_spikes_per_bit(volleys, 3) == pytest.approx(
+            total_spikes / total_bits
+        )
+
+    def test_mean_spikes_per_bit_degenerate(self):
+        assert mean_spikes_per_bit([Volley([0, INF])], 3) == math.inf
+
+    def test_sparse_coding_cheaper(self):
+        dense = Volley([0, 1, 2, 3, 4, 5, 6, 7])
+        sparse = Volley([0, 5, INF, INF, INF, INF, INF, INF])
+        assert sparse.spike_count < dense.spike_count

@@ -1,0 +1,101 @@
+"""Tests for spike volleys (Fig. 5)."""
+
+import pytest
+
+from repro.coding.volley import FIG5_VOLLEY, Volley
+from repro.core.value import INF
+
+
+class TestConstruction:
+    def test_fig5_example(self):
+        # The paper's example vector [0, 3, ∞, 1].
+        assert FIG5_VOLLEY.times == (0, 3, INF, 1)
+
+    def test_from_values_none_is_silent(self):
+        v = Volley.from_values([2, None, 0])
+        assert v.times == (2, INF, 0)
+
+    def test_silent(self):
+        v = Volley.silent(3)
+        assert v.is_silent
+        assert v.spike_count == 0
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            FIG5_VOLLEY.times = (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Volley([-1, 2])
+
+    def test_container_protocol(self):
+        assert len(FIG5_VOLLEY) == 4
+        assert FIG5_VOLLEY[1] == 3
+        assert list(FIG5_VOLLEY) == [0, 3, INF, 1]
+
+    def test_equality_with_tuple(self):
+        assert FIG5_VOLLEY == (0, 3, INF, 1)
+        assert Volley([1]) != Volley([2])
+
+    def test_hashable(self):
+        assert len({Volley([1, 2]), Volley([1, 2])}) == 1
+
+
+class TestFrameOfReference:
+    def test_normalized(self):
+        v = Volley([5, 8, INF, 6])
+        assert v.normalized() == (0, 3, INF, 1)
+
+    def test_shifted(self):
+        assert FIG5_VOLLEY.shifted(5) == (5, 8, INF, 6)
+
+    def test_shift_roundtrip(self):
+        v = Volley([5, 8, INF, 6])
+        assert v.normalized().shifted(5) == v
+
+    def test_silent_normalization_is_identity(self):
+        v = Volley.silent(2)
+        assert v.normalized() == v
+
+    def test_is_normal(self):
+        assert FIG5_VOLLEY.is_normal()
+        assert not Volley([1, 2]).is_normal()
+        assert Volley.silent(2).is_normal()
+
+    def test_decode(self):
+        assert Volley([5, 8, INF, 6]).decode() == [0, 3, None, 1]
+
+    def test_encode_decode_roundtrip(self):
+        values = [0, 3, None, 1]
+        assert Volley.from_values(values).decode() == values
+
+
+class TestMetrics:
+    def test_spike_count_and_sparsity(self):
+        v = Volley([0, INF, 2, INF])
+        assert v.spike_count == 2
+        assert v.sparsity == 0.5
+
+    def test_span(self):
+        assert Volley([2, 9, INF]).span == 7
+        assert Volley([4]).span == 0
+        assert Volley.silent(3).span == 0
+
+    def test_bits_conveyed(self):
+        # The paper: one line is the 0 reference, so s spikes convey
+        # (s - 1) * n bits.
+        v = Volley([0, 1, 2, 3])
+        assert v.bits_conveyed(3) == 9
+
+    def test_efficiency_improves_with_resolution(self):
+        v = Volley([0, 1, 2, 3])
+        assert v.spikes_per_bit(4) < v.spikes_per_bit(2)
+
+    def test_single_spike_conveys_nothing(self):
+        v = Volley([0, INF])
+        assert v.bits_conveyed(3) == 0
+        assert v.spikes_per_bit(3) == float("inf")
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            Volley([0]).bits_conveyed(0)

@@ -1,0 +1,152 @@
+"""Tests for the primitive operations (paper Fig. 6 semantics)."""
+
+import pytest
+
+from repro.core.algebra import (
+    PRIMITIVES,
+    add,
+    delay,
+    eq,
+    first_n,
+    inc,
+    le,
+    lt,
+    maximum,
+    minimum,
+)
+from repro.core.value import INF
+
+
+class TestInc:
+    def test_unit_increment(self):
+        assert inc(4) == 5
+
+    def test_constant_increment(self):
+        assert inc(4, 3) == 7
+
+    def test_zero_increment_is_identity(self):
+        assert inc(4, 0) == 4
+
+    def test_no_spike_stays_absent(self):
+        assert inc(INF) is INF
+        assert inc(INF, 100) is INF
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            inc(1, -1)
+
+    def test_delay_alias(self):
+        assert delay(2, 5) == 7
+
+
+class TestMinimum:
+    def test_first_arrival(self):
+        assert minimum(4, 2, 9) == 2
+
+    def test_inf_is_identity(self):
+        assert minimum(INF, 3) == 3
+
+    def test_all_absent(self):
+        assert minimum(INF, INF) is INF
+
+    def test_empty_meet_is_top(self):
+        assert minimum() is INF
+
+    def test_single(self):
+        assert minimum(5) == 5
+
+
+class TestMaximum:
+    def test_last_arrival(self):
+        assert maximum(4, 2, 9) == 9
+
+    def test_waits_forever_for_missing_spike(self):
+        # max must observe all inputs; one absent spike means no output.
+        assert maximum(3, INF) is INF
+
+    def test_empty_join_is_bottom(self):
+        assert maximum() == 0
+
+    def test_single(self):
+        assert maximum(5) == 5
+
+
+class TestLt:
+    def test_passes_strictly_earlier(self):
+        assert lt(2, 5) == 2
+
+    def test_blocks_ties(self):
+        assert lt(3, 3) is INF
+
+    def test_blocks_later(self):
+        assert lt(5, 2) is INF
+
+    def test_finite_beats_absent(self):
+        assert lt(4, INF) == 4
+
+    def test_absent_never_passes(self):
+        assert lt(INF, 4) is INF
+        assert lt(INF, INF) is INF
+
+
+class TestDerivedOps:
+    def test_le_passes_ties(self):
+        assert le(3, 3) == 3
+
+    def test_le_blocks_later(self):
+        assert le(5, 2) is INF
+
+    def test_le_matches_lt_inc_identity(self):
+        for a in [0, 1, 4, INF]:
+            for b in [0, 1, 4, INF]:
+                assert le(a, b) == lt(a, inc(b))
+
+    def test_eq_passes_simultaneous(self):
+        assert eq(2, 2) == 2
+
+    def test_eq_blocks_absent_pair(self):
+        # Two never-spikes produce no event to time-stamp.
+        assert eq(INF, INF) is INF
+
+    def test_eq_blocks_mismatch(self):
+        assert eq(2, 3) is INF
+
+
+class TestFirstN:
+    def test_first_is_min(self):
+        vec = (5, 2, 9, INF)
+        assert first_n(vec, 1) == minimum(*vec)
+
+    def test_nth_spike(self):
+        assert first_n((5, 2, 9), 2) == 5
+        assert first_n((5, 2, 9), 3) == 9
+
+    def test_too_few_spikes(self):
+        assert first_n((5, INF, INF), 2) is INF
+
+    def test_counts_duplicates(self):
+        assert first_n((3, 3, 7), 2) == 3
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            first_n((1,), 0)
+
+
+class TestAdd:
+    def test_finite(self):
+        assert add(2, 3) == 5
+
+    def test_absorbing(self):
+        assert add(INF, 3) is INF
+        assert add(3, INF) is INF
+
+    def test_add_is_not_invariant(self):
+        # The paper's point: (a+1) + (b+1) != (a+b) + 1.
+        a, b = 2, 3
+        assert add(a + 1, b + 1) != add(a, b) + 1
+
+
+def test_primitive_registry():
+    assert set(PRIMITIVES) == {"inc", "min", "max", "lt"}
+    assert PRIMITIVES["min"](4, 1) == 1
+    assert PRIMITIVES["lt"](1, 4) == 1

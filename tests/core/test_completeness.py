@@ -1,0 +1,94 @@
+"""Tests for the incompleteness remarks made executable."""
+
+import random
+
+import pytest
+
+from repro.core.algebra import lt, minimum
+from repro.core.completeness import (
+    ADDITION,
+    MULTIPLICATION,
+    NEGATION_LIKE,
+    NON_IMPLEMENTABLE,
+    TIME_REVERSAL,
+    Classification,
+    classify_function,
+    implementable_fraction,
+)
+from repro.core.function import SpaceTimeFunction
+from repro.core.synthesis import max_from_min_lt
+
+
+class TestClassify:
+    def test_primitives_are_space_time(self):
+        assert classify_function(
+            SpaceTimeFunction(minimum, 2, name="min")
+        ).is_space_time
+        assert classify_function(
+            SpaceTimeFunction(lt, 2, name="lt")
+        ).is_space_time
+
+    def test_lemma2_construction_is_space_time(self):
+        verdict = classify_function(max_from_min_lt().as_function())
+        assert verdict.is_space_time
+        assert "space-time function" in str(verdict)
+
+    @pytest.mark.parametrize(
+        "func", NON_IMPLEMENTABLE, ids=lambda f: f.name
+    )
+    def test_canonical_counterexamples_rejected(self, func):
+        verdict = classify_function(func)
+        assert not verdict.is_space_time
+        assert verdict.witness is not None
+        assert "NOT" in str(verdict)
+
+    def test_negation_breaks_a_property(self):
+        # t -> 7 - t: time flows backwards; also turns silence into a
+        # spontaneous spike — causality catches it first.
+        verdict = classify_function(NEGATION_LIKE)
+        assert verdict.failed_property in ("causality", "invariance")
+
+    def test_addition_is_not_invariant(self):
+        # The paper's explicit remark: (a+1) + (b+1) != (a+b) + 1.
+        verdict = classify_function(ADDITION)
+        assert verdict.failed_property == "invariance"
+
+    def test_multiplication_rejected(self):
+        assert not classify_function(MULTIPLICATION).is_space_time
+
+    def test_time_reversal_breaks_causality(self):
+        assert classify_function(TIME_REVERSAL).failed_property == "causality"
+
+    def test_classification_dataclass(self):
+        ok = Classification(is_space_time=True)
+        assert ok.failed_property is None
+
+
+class TestFraction:
+    def test_exhaustive_tiny_window(self):
+        hits, total = implementable_fraction(arity=1, window=1)
+        assert total == 64  # 4 outputs ^ 3 domain points
+        assert 0 < hits < total
+        # Identity, inc(+1), inc(+2), and never are among them.
+        assert hits >= 4
+
+    def test_fraction_shrinks_with_window(self):
+        small_hits, small_total = implementable_fraction(arity=1, window=1)
+        large_hits, large_total = implementable_fraction(arity=1, window=2)
+        assert large_hits / large_total < small_hits / small_total
+
+    def test_sampled_mode(self):
+        hits, total = implementable_fraction(
+            arity=2, window=1, samples=500, rng=random.Random(1)
+        )
+        assert total == 500
+        assert hits < total * 0.25  # s-t functions are rare
+
+    def test_deterministic_sampling(self):
+        a = implementable_fraction(
+            arity=2, window=1, samples=200, rng=random.Random(3)
+        )
+        b = implementable_fraction(
+            arity=2, window=1, samples=200, rng=random.Random(3)
+        )
+        assert a == b

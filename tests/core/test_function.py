@@ -1,0 +1,118 @@
+"""Tests for the SpaceTimeFunction model and domain enumeration."""
+
+import pytest
+
+from repro.core.algebra import inc, lt, minimum
+from repro.core.function import (
+    SpaceTimeFunction,
+    enumerate_domain,
+    enumerate_normalized_domain,
+    st_function,
+)
+from repro.core.value import INF
+
+
+def make_min2():
+    return SpaceTimeFunction(lambda a, b: minimum(a, b), 2, name="min2")
+
+
+class TestWrapper:
+    def test_call(self):
+        f = make_min2()
+        assert f(3, 1) == 1
+
+    def test_arity_enforced(self):
+        f = make_min2()
+        with pytest.raises(TypeError):
+            f(1)
+        with pytest.raises(TypeError):
+            f(1, 2, 3)
+
+    def test_inputs_validated(self):
+        f = make_min2()
+        with pytest.raises(ValueError):
+            f(-1, 2)
+
+    def test_output_validated(self):
+        bad = SpaceTimeFunction(lambda a: "oops", 1, name="bad")
+        with pytest.raises(TypeError):
+            bad(1)
+
+    def test_zero_arity_rejected(self):
+        # A source with no inputs would be a spontaneous spike generator,
+        # which causality forbids.
+        with pytest.raises(ValueError):
+            SpaceTimeFunction(lambda: 0, 0)
+
+    def test_on_vector(self):
+        f = make_min2()
+        assert f.on_vector([4, 2]) == 2
+
+    def test_decorator(self):
+        @st_function(1)
+        def plus_two(x):
+            return inc(x, 2)
+
+        assert plus_two.arity == 1
+        assert plus_two.name == "plus_two"
+        assert plus_two(3) == 5
+
+    def test_repr_mentions_name(self):
+        assert "min2" in repr(make_min2())
+
+
+class TestCompose:
+    def test_fig6b_example(self):
+        # Fig. 6b: y = lt(inc(min(a, b)), b') ... we reproduce the shape
+        # lt(min(x1, x2) + 1, x3) as a composition.
+        lt_f = SpaceTimeFunction(lt, 2, name="lt")
+        min_inc = SpaceTimeFunction(lambda a, b: inc(minimum(a, b)), 2)
+        ident = SpaceTimeFunction(lambda x: x, 1, name="id")
+        composed = lt_f.compose(min_inc, ident)
+        assert composed.arity == 3
+        assert composed(2, 4, 9) == 3  # min(2,4)+1 = 3 < 9
+        assert composed(2, 4, 3) is INF  # 3 < 3 fails
+
+    def test_compose_arity_mismatch(self):
+        f = make_min2()
+        with pytest.raises(ValueError):
+            f.compose(make_min2())
+
+    def test_equal_on(self):
+        f = make_min2()
+        g = SpaceTimeFunction(lambda a, b: minimum(b, a), 2)
+        assert f.equal_on(g, enumerate_domain(2, 3))
+
+    def test_equal_on_detects_difference(self):
+        f = make_min2()
+        h = SpaceTimeFunction(lambda a, b: inc(minimum(a, b), 0 if a == b else 1), 2)
+        assert not f.equal_on(h, enumerate_domain(2, 3))
+
+    def test_equal_on_arity_mismatch_is_false(self):
+        f = make_min2()
+        ident = SpaceTimeFunction(lambda x: x, 1)
+        assert not f.equal_on(ident, enumerate_domain(2, 2))
+
+
+class TestEnumeration:
+    def test_domain_size(self):
+        vecs = list(enumerate_domain(2, 3))
+        # (window + 2)^arity = 5^2
+        assert len(vecs) == 25
+        assert (INF, INF) in vecs
+        assert (0, 0) in vecs
+
+    def test_domain_without_inf(self):
+        vecs = list(enumerate_domain(2, 3, include_inf=False))
+        assert len(vecs) == 16
+        assert all(INF not in v for v in vecs)
+
+    def test_normalized_domain_has_zero(self):
+        vecs = list(enumerate_normalized_domain(3, 2))
+        assert vecs
+        assert all(any(x == 0 for x in v) for v in vecs)
+
+    def test_normalized_is_subset(self):
+        full = set(enumerate_domain(2, 2))
+        normalized = set(enumerate_normalized_domain(2, 2))
+        assert normalized < full

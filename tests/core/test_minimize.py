@@ -1,0 +1,88 @@
+"""Tests for normalized-table minimization."""
+
+import random
+
+import pytest
+
+from repro.core.function import enumerate_domain, enumerate_normalized_domain
+from repro.core.minimize import minimize, minimize_with_generalization
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE, NormalizedTable
+from repro.core.value import INF
+
+
+def assert_causally_equal(a, b, *, window):
+    for vec in enumerate_domain(a.arity, window):
+        assert a.evaluate_causal(vec) == b.evaluate_causal(vec), vec
+
+
+class TestMinimize:
+    def test_redundant_exact_row_dropped(self):
+        # (0, 3) -> 3 is dominated by (0, ∞) -> 1 everywhere it matches.
+        table = NormalizedTable({(0, INF): 1, (0, 3): 3})
+        minimal = minimize(table)
+        assert minimal.rows == {(0, INF): 1}
+        assert_causally_equal(table, minimal, window=5)
+
+    def test_non_redundant_rows_kept(self):
+        minimal = minimize(FIG7_TABLE)
+        assert minimal == FIG7_TABLE
+
+    def test_early_row_not_dropped(self):
+        # (0, 3) -> 3 matches (0, 3); the ∞ row requires x2 > 4, so it
+        # does NOT cover the exact row.
+        table = NormalizedTable({(0, INF): 4, (0, 3): 3})
+        minimal = minimize(table)
+        assert len(minimal) == 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exactness_on_random_tables(self, seed):
+        table = NormalizedTable.random(
+            3, window=3, n_rows=10, rng=random.Random(seed)
+        )
+        minimal = minimize(table)
+        assert len(minimal) <= len(table)
+        assert_causally_equal(table, minimal, window=table.max_entry() + 1)
+
+    def test_single_row_table_unchanged(self):
+        table = NormalizedTable({(0, 1): 2})
+        assert minimize(table) == table
+
+    def test_minimization_shrinks_synthesis(self):
+        table = NormalizedTable(
+            {(0, INF): 1, (0, 2): 3, (0, 3): 3, (0, 4): 4}
+        )
+        minimal = minimize(table)
+        assert len(minimal) < len(table)
+        full = synthesize(table)
+        small = synthesize(minimal)
+        assert small.size < full.size
+        f, g = full.as_function(), small.as_function()
+        for vec in enumerate_domain(2, 6):
+            assert f(*vec) == g(*vec), vec
+
+
+class TestGeneralization:
+    def test_widening_merges_tail_rows(self):
+        # Rows (0, t) -> t for every t in 2..4 plus (0, ∞) -> ... pattern:
+        # the exact rows beyond the output are representable as one ∞ row.
+        table = NormalizedTable({(0, 2): 2, (0, 3): 2, (0, 4): 2, (0, INF): 2})
+        minimal = minimize_with_generalization(table, window=7)
+        assert len(minimal) < len(table)
+        assert_causally_equal(table, minimal, window=7)
+
+    def test_never_changes_semantics(self):
+        for seed in range(4):
+            table = NormalizedTable.random(
+                2, window=3, n_rows=6, rng=random.Random(seed)
+            )
+            minimal = minimize_with_generalization(table)
+            assert_causally_equal(table, minimal, window=table.max_entry() + 2)
+
+    def test_rows_stay_normalized(self):
+        table = NormalizedTable.random(
+            3, window=3, n_rows=8, rng=random.Random(5)
+        )
+        minimal = minimize_with_generalization(table)
+        for vec, _ in minimal:
+            assert any(v == 0 for v in vec)

@@ -1,0 +1,164 @@
+"""Tests for Lemma 2 and Theorem 1 constructions (§III.G, Figs. 8–9)."""
+
+import random
+
+import pytest
+
+from repro.core.algebra import maximum
+from repro.core.function import enumerate_domain
+from repro.core.properties import verify
+from repro.core.synthesis import (
+    max_from_min_lt,
+    max_tree,
+    synthesis_cost,
+    synthesize,
+)
+from repro.core.table import FIG7_TABLE, NormalizedTable, TableError
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.simulator import evaluate_vector
+
+
+class TestLemma2:
+    def test_exhaustive_equivalence(self):
+        f = max_from_min_lt().as_function()
+        for a, b in enumerate_domain(2, 8):
+            assert f(a, b) == maximum(a, b), (a, b)
+
+    def test_three_paper_cases(self):
+        f = max_from_min_lt().as_function()
+        assert f(2, 5) == 5  # case 1: a < b -> c = b
+        assert f(4, 4) == 4  # case 2: a = b -> c = a = b
+        assert f(7, 3) == 7  # case 3: a > b -> c = a
+
+    def test_uses_only_min_and_lt(self):
+        net = max_from_min_lt()
+        kinds = net.counts_by_kind()
+        assert kinds.get("max", 0) == 0
+        assert kinds.get("inc", 0) == 0
+        assert kinds["lt"] == 4
+        assert kinds["min"] == 1
+
+    def test_is_space_time_function(self):
+        report = verify(max_from_min_lt().as_function(), window=5)
+        assert report.ok
+
+    def test_max_tree_wide(self):
+        b = NetworkBuilder("tree")
+        srcs = [b.input(f"x{i}") for i in range(5)]
+        b.output("y", max_tree(b, srcs))
+        net = b.build()
+        assert net.counts_by_kind().get("max", 0) == 0
+        rng = random.Random(2)
+        for _ in range(50):
+            vec = tuple(
+                INF if rng.random() < 0.2 else rng.randint(0, 9) for _ in range(5)
+            )
+            assert evaluate_vector(net, vec)["y"] == maximum(*vec)
+
+    def test_max_tree_needs_sources(self):
+        b = NetworkBuilder("empty")
+        with pytest.raises(ValueError):
+            max_tree(b, [])
+
+
+class TestTheorem1Fig9:
+    """The paper's worked example: synthesizing the Fig. 7 table."""
+
+    def test_minterm1_passes(self):
+        net = synthesize(FIG7_TABLE)
+        assert evaluate_vector(net, (0, 1, 2))["y"] == 3
+
+    def test_other_rows(self):
+        net = synthesize(FIG7_TABLE)
+        assert evaluate_vector(net, (1, 0, INF))["y"] == 2
+        assert evaluate_vector(net, (2, 2, 0))["y"] == 2
+
+    def test_shifted_inputs(self):
+        net = synthesize(FIG7_TABLE)
+        assert evaluate_vector(net, (3, 4, 5))["y"] == 6
+
+    def test_non_matching_is_inf(self):
+        net = synthesize(FIG7_TABLE)
+        assert evaluate_vector(net, (0, 0, 0))["y"] is INF
+
+    def test_absent_coordinate_boundary(self):
+        # Fig. 9 narrative: an x3 value greater than the minterm's output
+        # (2) has no effect; <= 2 forces ∞.
+        net = synthesize(FIG7_TABLE)
+        assert evaluate_vector(net, (1, 0, 3))["y"] == 2
+        assert evaluate_vector(net, (1, 0, 2))["y"] is INF
+        assert evaluate_vector(net, (1, 0, 1))["y"] is INF
+
+    def test_equals_causal_semantics_exhaustively(self):
+        net = synthesize(FIG7_TABLE)
+        f = net.as_function()
+        for vec in enumerate_domain(3, 5):
+            assert f(*vec) == FIG7_TABLE.evaluate_causal(vec), vec
+
+
+class TestTheorem1Random:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_tables_synthesize_exactly(self, seed):
+        table = NormalizedTable.random(
+            3, window=3, n_rows=5, rng=random.Random(seed)
+        )
+        net = synthesize(table)
+        f = net.as_function()
+        window = table.max_entry() + 2
+        for vec in enumerate_domain(3, window):
+            assert f(*vec) == table.evaluate_causal(vec), (seed, vec)
+
+    def test_synthesized_networks_are_space_time(self):
+        table = NormalizedTable.random(2, window=3, n_rows=4, rng=random.Random(11))
+        report = verify(synthesize(table).as_function(), window=5)
+        assert report.ok
+
+    def test_pure_primitive_variant(self):
+        # use_max_primitive=False expands max via Lemma 2: the strict
+        # min/lt/inc completeness claim of Theorem 1.
+        table = NormalizedTable.random(3, window=3, n_rows=4, rng=random.Random(4))
+        net = synthesize(table, use_max_primitive=False)
+        assert net.counts_by_kind().get("max", 0) == 0
+        f = net.as_function()
+        g = synthesize(table).as_function()
+        for vec in enumerate_domain(3, table.max_entry() + 1):
+            assert f(*vec) == g(*vec), vec
+
+    def test_single_row_single_input(self):
+        table = NormalizedTable({(0,): 2})
+        f = synthesize(table).as_function()
+        assert f(0) == 2
+        assert f(5) == 7
+        assert f(INF) is INF
+
+
+class TestStrictness:
+    def test_non_canonical_rejected_by_default(self):
+        t = NormalizedTable({(0, 5): 2})
+        with pytest.raises(TableError, match="canonical"):
+            synthesize(t)
+
+    def test_non_strict_canonicalizes(self):
+        t = NormalizedTable({(0, 5): 2})
+        net = synthesize(t, strict=False)
+        f = net.as_function()
+        assert f(0, 9) == 2
+        assert f(0, INF) == 2
+        assert f(0, 1) is INF
+
+
+class TestCost:
+    def test_cost_matches_built_network(self):
+        table = NormalizedTable.random(3, window=3, n_rows=5, rng=random.Random(8))
+        cost = synthesis_cost(table)
+        net = synthesize(table)
+        kinds = net.counts_by_kind()
+        assert kinds.get("inc", 0) == cost["inc"]
+        assert kinds.get("lt", 0) == cost["lt"]
+        assert kinds.get("max", 0) == cost["max"]
+
+    def test_cost_scales_linearly_in_rows(self):
+        small = NormalizedTable.random(3, window=3, n_rows=3, rng=random.Random(1))
+        big = NormalizedTable.random(3, window=3, n_rows=12, rng=random.Random(1))
+        assert synthesis_cost(big)["lt"] > synthesis_cost(small)["lt"]

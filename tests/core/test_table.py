@@ -1,0 +1,190 @@
+"""Tests for normalized function tables (§III.F, Fig. 7)."""
+
+import random
+
+import pytest
+
+from repro.core.function import SpaceTimeFunction
+from repro.core.properties import verify
+from repro.core.table import FIG7_TABLE, NormalizedTable, TableError
+from repro.core.value import INF
+
+
+class TestNormalForm:
+    def test_row_without_zero_rejected(self):
+        with pytest.raises(TableError, match="no 0 entry"):
+            NormalizedTable({(1, 2): 3})
+
+    def test_inf_output_rejected(self):
+        with pytest.raises(TableError, match="∞"):
+            NormalizedTable({(0, 1): INF})
+
+    def test_inconsistent_arity_rejected(self):
+        with pytest.raises(TableError, match="arity"):
+            NormalizedTable([((0, 1), 2), ((0, 1, 2), 3)])
+
+    def test_duplicate_conflicting_rows_rejected(self):
+        with pytest.raises(TableError, match="twice"):
+            NormalizedTable([((0, 1), 2), ((0, 1), 3)])
+
+    def test_duplicate_identical_rows_merge(self):
+        t = NormalizedTable([((0, 1), 2), ((0, 1), 2)])
+        assert len(t) == 1
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(TableError):
+            NormalizedTable({})
+
+    def test_all_inf_row_rejected(self):
+        # No 0 entry by definition.
+        with pytest.raises(TableError):
+            NormalizedTable({(INF, INF): 1})
+
+
+class TestEvaluation:
+    def test_paper_walkthrough(self):
+        # §III.F: input [3,4,5] normalizes to [0,1,2] -> 3, so output 6.
+        assert FIG7_TABLE.evaluate((3, 4, 5)) == 6
+
+    def test_direct_rows(self):
+        assert FIG7_TABLE.evaluate((0, 1, 2)) == 3
+        assert FIG7_TABLE.evaluate((1, 0, INF)) == 2
+        assert FIG7_TABLE.evaluate((2, 2, 0)) == 2
+
+    def test_missing_row_is_inf(self):
+        assert FIG7_TABLE.evaluate((0, 0, 0)) is INF
+
+    def test_shifted_row_with_inf(self):
+        assert FIG7_TABLE.evaluate((6, 5, INF)) == 7
+
+    def test_all_inf_input(self):
+        assert FIG7_TABLE.evaluate((INF, INF, INF)) is INF
+
+    def test_wrong_arity(self):
+        with pytest.raises(TypeError):
+            FIG7_TABLE.evaluate((0, 1))
+
+    def test_as_function_is_space_time(self):
+        report = verify(FIG7_TABLE.as_causal_function(), window=4)
+        assert report.ok, report.violations[:3]
+
+
+class TestCausalSemantics:
+    def test_late_spike_matches_inf_coordinate(self):
+        # Row (1, 0, ∞) -> 2: a spike at x3 later than 2 is unobservable
+        # before the output fires, so it must not change the result.
+        assert FIG7_TABLE.evaluate_causal((1, 0, 7)) == 2
+        assert FIG7_TABLE.evaluate_causal((1, 0, 3)) == 2
+
+    def test_early_spike_suppresses_inf_match(self):
+        assert FIG7_TABLE.evaluate_causal((1, 0, 2)) is INF
+        assert FIG7_TABLE.evaluate_causal((1, 0, 0)) is INF
+
+    def test_literal_semantics_differ_on_late_spike(self):
+        assert FIG7_TABLE.evaluate((1, 0, 7)) is INF
+
+    def test_agree_without_inf_rows(self):
+        t = NormalizedTable({(0, 1): 2, (1, 0): 1})
+        for a in [0, 1, 2, 3, INF]:
+            for b in [0, 1, 2, 3, INF]:
+                assert t.evaluate((a, b)) == t.evaluate_causal((a, b))
+
+    def test_min_combines_overlapping_matches(self):
+        # Both rows match (0, 3): the exact row gives 3, the ∞-row gives 1
+        # (3 > 1). The earlier output wins, as the final min of the minterm
+        # form dictates.
+        t = NormalizedTable({(0, INF): 1, (0, 3): 3})
+        assert t.evaluate_causal((0, 3)) == 1
+        assert t.evaluate((0, 3)) == 3
+
+
+class TestCanonicalForm:
+    def test_fig7_is_canonical(self):
+        assert FIG7_TABLE.is_canonical()
+
+    def test_non_canonical_detected(self):
+        t = NormalizedTable({(0, 5): 2})
+        assert not t.is_canonical()
+
+    def test_canonicalize_rewrites_late_coordinates(self):
+        t = NormalizedTable({(0, 5): 2}).canonicalize()
+        assert t.rows == {(0, INF): 2}
+
+    def test_canonicalize_conflict_raises(self):
+        t = NormalizedTable({(0, 5): 2, (0, INF): 3})
+        with pytest.raises(TableError, match="realizable"):
+            t.canonicalize()
+
+    def test_canonicalize_merges_identical(self):
+        t = NormalizedTable({(0, 5): 2, (0, 6): 2}).canonicalize()
+        assert t.rows == {(0, INF): 2}
+
+
+class TestFromFunction:
+    def test_roundtrip_min(self):
+        min2 = SpaceTimeFunction(lambda a, b: min(a, b), 2, name="min")
+        t = NormalizedTable.from_function(min2, window=3)
+        # Every normalized vector with a finite min maps to it.
+        assert t.evaluate((0, 2)) == 0
+        assert t.evaluate((4, 7)) == 4
+
+    def test_roundtrip_table(self):
+        t = NormalizedTable.random(3, window=3, n_rows=6, rng=random.Random(3))
+        back = NormalizedTable.from_function(t.as_function(), window=t.max_entry())
+        assert back == t
+
+    def test_causal_roundtrip(self):
+        t = NormalizedTable.random(2, window=3, n_rows=4, rng=random.Random(5))
+        f = t.as_causal_function()
+        back = NormalizedTable.from_function(f, window=t.max_entry() + 1)
+        # The recovered literal table must agree with the causal semantics
+        # everywhere in the window.
+        for vec, y in back:
+            assert t.evaluate_causal(vec) == y
+
+
+class TestRandomTables:
+    def test_random_is_canonical(self):
+        for seed in range(5):
+            t = NormalizedTable.random(
+                3, window=4, n_rows=8, rng=random.Random(seed)
+            )
+            assert t.is_canonical()
+
+    def test_random_row_count(self):
+        t = NormalizedTable.random(3, window=4, n_rows=8, rng=random.Random(0))
+        assert 1 <= len(t) <= 8
+
+    def test_random_deterministic(self):
+        a = NormalizedTable.random(2, window=3, n_rows=5, rng=random.Random(9))
+        b = NormalizedTable.random(2, window=3, n_rows=5, rng=random.Random(9))
+        assert a == b
+
+
+class TestDiagnostics:
+    def test_max_entry(self):
+        assert FIG7_TABLE.max_entry() == 3
+
+    def test_causality_violations_on_good_table(self):
+        assert FIG7_TABLE.is_causal()
+
+    def test_causality_violation_detected(self):
+        t = NormalizedTable({(0, 5): 2})
+        violations = t.causality_violations()
+        assert violations
+        assert not t.is_causal()
+
+    def test_pretty_renders_rows(self):
+        text = FIG7_TABLE.pretty()
+        assert "x1" in text and "y" in text
+        assert "∞" in text
+
+    def test_repr(self):
+        assert "rows=3" in repr(FIG7_TABLE)
+
+    def test_hash_and_eq(self):
+        t1 = NormalizedTable({(0, 1): 1})
+        t2 = NormalizedTable({(0, 1): 1})
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert t1 != NormalizedTable({(0, 1): 2})

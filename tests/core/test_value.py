@@ -1,0 +1,179 @@
+"""Tests for the N0∞ value domain."""
+
+import pickle
+
+import pytest
+
+from repro.core.value import (
+    INF,
+    Infinity,
+    as_time,
+    check_time,
+    check_vector,
+    finite_values,
+    is_finite,
+    is_normalized,
+    is_time,
+    normalize,
+    shift,
+    t_max,
+    t_min,
+)
+
+
+class TestInfinity:
+    def test_singleton(self):
+        assert Infinity() is INF
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(INF)) is INF
+
+    def test_greater_than_any_natural(self):
+        for n in (0, 1, 10, 10**9):
+            assert INF > n
+            assert n < INF
+            assert not (INF < n)
+            assert not (INF <= n)
+            assert n <= INF
+
+    def test_equals_itself_only(self):
+        assert INF == INF
+        assert INF == Infinity()
+        assert INF != 0
+        assert INF != 10**12
+
+    def test_equals_float_inf(self):
+        assert INF == float("inf")
+
+    def test_not_less_than_itself(self):
+        assert not (INF < INF)
+        assert INF <= INF
+        assert INF >= INF
+
+    def test_absorbing_addition(self):
+        assert INF + 5 is INF
+        assert 5 + INF is INF
+        assert INF + INF is INF
+
+    def test_subtracting_finite_keeps_infinity(self):
+        assert INF - 3 is INF
+
+    def test_infinity_minus_infinity_undefined(self):
+        with pytest.raises(ArithmeticError):
+            INF - INF
+
+    def test_hashable(self):
+        assert len({INF, Infinity()}) == 1
+
+    def test_repr_and_str(self):
+        assert repr(INF) == "INF"
+        assert str(INF) == "∞"
+
+
+class TestMembership:
+    def test_naturals_are_times(self):
+        assert is_time(0)
+        assert is_time(7)
+        assert is_time(INF)
+
+    def test_negatives_are_not(self):
+        assert not is_time(-1)
+
+    def test_bools_are_not(self):
+        assert not is_time(True)
+        assert not is_time(False)
+
+    def test_floats_are_not(self):
+        assert not is_time(1.0)
+
+    def test_check_time_passes_members(self):
+        assert check_time(3) == 3
+        assert check_time(INF) is INF
+
+    def test_check_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_time(-2)
+
+    def test_check_time_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_time(True)
+        with pytest.raises(TypeError):
+            check_time(2.5)
+
+    def test_check_vector_reports_position(self):
+        with pytest.raises(ValueError, match=r"\[2\]"):
+            check_vector([0, 1, -3])
+
+
+class TestAsTime:
+    def test_none_means_no_spike(self):
+        assert as_time(None) is INF
+
+    def test_float_inf_coerces(self):
+        assert as_time(float("inf")) is INF
+
+    def test_integral_float_coerces(self):
+        assert as_time(4.0) == 4
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(ValueError):
+            as_time(1.5)
+
+
+class TestVectorOps:
+    def test_t_min_empty_is_top(self):
+        assert t_min([]) is INF
+
+    def test_t_max_empty_is_bottom(self):
+        assert t_max([]) == 0
+
+    def test_t_min_ignores_inf(self):
+        assert t_min([INF, 4, 9]) == 4
+
+    def test_t_max_saturates_at_inf(self):
+        assert t_max([1, INF, 3]) is INF
+
+    def test_shift_forward(self):
+        assert shift((0, 2, INF), 3) == (3, 5, INF)
+
+    def test_shift_backward(self):
+        assert shift((3, 5, INF), -3) == (0, 2, INF)
+
+    def test_shift_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            shift((1, 2), -2)
+
+    def test_is_finite(self):
+        assert is_finite(0)
+        assert not is_finite(INF)
+
+    def test_finite_values(self):
+        assert finite_values([3, INF, 0, INF]) == [3, 0]
+
+
+class TestNormalize:
+    def test_paper_example(self):
+        # The paper's table walkthrough: [3, 4, 5] normalizes to [0, 1, 2].
+        vec, lo = normalize((3, 4, 5))
+        assert vec == (0, 1, 2)
+        assert lo == 3
+
+    def test_already_normalized(self):
+        vec, lo = normalize((0, 3, INF))
+        assert vec == (0, 3, INF)
+        assert lo == 0
+
+    def test_all_inf_has_no_anchor(self):
+        vec, lo = normalize((INF, INF))
+        assert vec == (INF, INF)
+        assert lo is INF
+
+    def test_is_normalized(self):
+        assert is_normalized((0, 5))
+        assert not is_normalized((1, 5))
+        assert not is_normalized((INF, INF))
+
+    def test_roundtrip(self):
+        original = (7, 9, INF, 12)
+        vec, lo = normalize(original)
+        assert shift(vec, lo) == original

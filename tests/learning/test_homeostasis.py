@@ -1,0 +1,126 @@
+"""Tests for adaptive thresholds (homeostasis) in WTA training."""
+
+import random
+
+import numpy as np
+
+from repro.coding.volley import Volley
+from repro.learning.stdp import Homeostasis, STDPRule, STDPTrainer
+from repro.neuron.column import Column
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.step(amplitude=1, width=8)
+
+
+def make_column(n_neurons=3, n_inputs=8, threshold=6, seed=0):
+    rng = random.Random(seed)
+    weights = np.array(
+        [[rng.randint(1, 3) for _ in range(n_inputs)] for _ in range(n_neurons)]
+    )
+    return Column(weights, threshold=threshold, base_response=BASE)
+
+
+class TestPerNeuronThresholds:
+    def test_column_accepts_threshold_vector(self):
+        col = Column(
+            np.ones((2, 4), dtype=np.int64),
+            threshold=[2, 5],
+            base_response=BASE,
+        )
+        assert col.thresholds == [2, 5]
+        assert col.neurons[0].threshold == 2
+        assert col.neurons[1].threshold == 5
+
+    def test_threshold_vector_length_checked(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="one threshold per neuron"):
+            Column(
+                np.ones((2, 4), dtype=np.int64),
+                threshold=[2],
+                base_response=BASE,
+            )
+
+    def test_set_threshold_changes_excitability(self):
+        col = make_column()
+        easy = col.excitation((0,) * 8)
+        col.set_threshold(0, 10**6)
+        hard = col.excitation((0,) * 8)
+        from repro.core.value import INF
+
+        assert hard[0] is INF
+        assert hard[1:] == easy[1:]
+
+    def test_set_threshold_validated(self):
+        import pytest
+
+        col = make_column()
+        with pytest.raises(ValueError):
+            col.set_threshold(0, 0)
+
+
+class TestHomeostasis:
+    def test_winner_threshold_rises(self):
+        col = make_column()
+        homeostasis = Homeostasis(col, step=3, decay=1)
+        base = col.thresholds[1]
+        homeostasis.on_win(col, winner=1)
+        assert col.thresholds[1] == base + 3
+
+    def test_losers_decay_toward_base(self):
+        col = make_column()
+        homeostasis = Homeostasis(col, step=4, decay=1)
+        homeostasis.on_win(col, winner=0)  # neuron 0 at base + 4
+        homeostasis.on_win(col, winner=1)  # neuron 0 decays by 1
+        assert col.thresholds[0] == homeostasis.base[0] + 3
+
+    def test_never_decays_below_base(self):
+        col = make_column()
+        homeostasis = Homeostasis(col, step=1, decay=5)
+        homeostasis.on_win(col, winner=0)
+        for _ in range(10):
+            homeostasis.on_win(col, winner=1)
+        assert col.thresholds[0] == homeostasis.base[0]
+
+    def test_reset_restores_base(self):
+        col = make_column()
+        homeostasis = Homeostasis(col, step=5, decay=0)
+        for _ in range(4):
+            homeostasis.on_win(col, winner=2)
+        homeostasis.reset(col)
+        assert col.thresholds == homeostasis.base
+
+    def test_validation(self):
+        import pytest
+
+        col = make_column()
+        with pytest.raises(ValueError):
+            Homeostasis(col, step=-1)
+
+
+class TestDecorrelation:
+    def test_homeostasis_spreads_wins(self):
+        # Two identical patterns presented alternately: without
+        # homeostasis a single neuron tends to win everything; with it,
+        # wins spread over more neurons.
+        rng = random.Random(7)
+        patterns = [
+            Volley([rng.randint(0, 3) for _ in range(8)]) for _ in range(2)
+        ]
+        volleys = [patterns[i % 2] for i in range(40)]
+
+        def win_spread(use_homeostasis):
+            col = make_column(n_neurons=4, seed=7)
+            homeostasis = (
+                Homeostasis(col, step=4, decay=1) if use_homeostasis else None
+            )
+            trainer = STDPTrainer(
+                col,
+                STDPRule(a_plus=2, a_minus=1),
+                rng=random.Random(8),
+                homeostasis=homeostasis,
+            )
+            log = trainer.train(volleys, epochs=1, shuffle=False)
+            return len({step.winner for step in log if step.winner is not None})
+
+        assert win_spread(True) >= win_spread(False)

@@ -1,0 +1,91 @@
+"""Tests for weight quantization (the 4-bit sufficiency claim)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.coding.volley import Volley
+from repro.learning.quantize import compare_quantized, quantize_weights
+
+
+class TestQuantizeWeights:
+    def test_full_scale_mapping(self):
+        w = np.array([[0.0, 0.5, 1.0]])
+        q = quantize_weights(w, bits=3)
+        assert q.tolist() == [[0, 4, 7]]
+
+    def test_one_bit(self):
+        w = np.array([[0.2, 0.8]])
+        q = quantize_weights(w, bits=1)
+        assert q.tolist() == [[0, 1]]
+
+    def test_explicit_w_max(self):
+        w = np.array([[0.5]])
+        q = quantize_weights(w, bits=3, w_max=1.0)
+        assert q.tolist() == [[4]]
+
+    def test_negative_weights_clamped(self):
+        q = quantize_weights(np.array([[-1.0, 1.0]]), bits=2)
+        assert q.tolist() == [[0, 3]]
+
+    def test_all_zero_matrix(self):
+        q = quantize_weights(np.zeros((2, 2)), bits=4)
+        assert (q == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.ones((1, 1)), bits=0)
+
+    def test_dtype_is_integer(self):
+        q = quantize_weights(np.array([[0.3]]), bits=4)
+        assert q.dtype == np.int64
+
+
+class TestCompareQuantized:
+    def make_inputs(self, n_lines, count, seed):
+        rng = random.Random(seed)
+        return [
+            Volley([rng.randint(0, 7) for _ in range(n_lines)])
+            for _ in range(count)
+        ]
+
+    def make_reference(self, n_neurons, n_lines, seed):
+        rng = np.random.default_rng(seed)
+        return rng.random((n_neurons, n_lines))
+
+    def test_report_fields(self):
+        ref = self.make_reference(3, 8, 0)
+        volleys = self.make_inputs(8, 10, 0)
+        report = compare_quantized(ref, volleys, bits=4, threshold_fraction=0.4)
+        assert report.volleys_tested == 10
+        assert 0.0 <= report.output_fidelity <= 1.0
+        assert 0.0 <= report.winner_agreement <= 1.0
+
+    def test_more_bits_never_worse_on_winner(self):
+        # The Pfeil-style sweep: agreement with the reference is (weakly)
+        # monotone in resolution on this workload.
+        ref = self.make_reference(4, 12, 1)
+        volleys = self.make_inputs(12, 25, 1)
+        agreement = {
+            bits: compare_quantized(
+                ref, volleys, bits=bits, threshold_fraction=0.4
+            ).winner_agreement
+            for bits in (1, 4, 8)
+        }
+        assert agreement[8] >= agreement[1]
+        assert agreement[4] >= agreement[1] - 0.2
+
+    def test_eight_bits_is_self_consistent(self):
+        ref = self.make_reference(3, 8, 2)
+        volleys = self.make_inputs(8, 15, 2)
+        report = compare_quantized(ref, volleys, bits=8, threshold_fraction=0.4)
+        assert report.winner_agreement == 1.0
+        assert report.output_fidelity == 1.0
+        assert report.mean_time_error == 0.0
+
+    def test_threshold_fraction_validated(self):
+        with pytest.raises(ValueError):
+            compare_quantized(
+                np.ones((1, 2)), [], bits=4, threshold_fraction=0.0
+            )

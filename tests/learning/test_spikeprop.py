@@ -1,0 +1,118 @@
+"""Tests for SpikeProp-style supervised latency learning."""
+
+import random
+
+import pytest
+
+from repro.core.value import INF, Infinity
+from repro.learning.spikeprop import (
+    LatencyNeuron,
+    LatencyRegressor,
+    SpikePropConfig,
+)
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.piecewise_linear(amplitude=3, rise=2, fall=6)
+
+
+class TestLatencyNeuron:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyNeuron(0, threshold=1)
+
+    def test_error_sign(self):
+        neuron = LatencyNeuron(2, threshold=4, base_response=BASE)
+        t = neuron.fire_time((0, 0))
+        assert not isinstance(t, Infinity)
+        assert neuron.error((0, 0), int(t) + 2) == -2  # fires early
+        assert neuron.error((0, 0), int(t)) == 0
+
+    def test_error_none_on_silence_mismatch(self):
+        neuron = LatencyNeuron(2, threshold=10**6, base_response=BASE)
+        assert neuron.error((0, 0), 3) is None
+
+    def test_late_neuron_potentiates(self):
+        neuron = LatencyNeuron(2, threshold=10**6, base_response=BASE)
+        before = neuron.weights.copy()
+        assert not neuron.train_one((0, 0), 2)
+        assert (neuron.weights >= before).all()
+        assert (neuron.weights > before).any()
+
+    def test_early_neuron_depresses(self):
+        neuron = LatencyNeuron(2, threshold=1, base_response=BASE)
+        actual = neuron.fire_time((0, 0))
+        target = int(actual) + 4
+        before = neuron.weights.copy()
+        assert not neuron.train_one((0, 0), target)
+        assert (neuron.weights <= before).all()
+
+    def test_silent_target_depresses_firing(self):
+        neuron = LatencyNeuron(2, threshold=1, base_response=BASE)
+        before = neuron.weights.copy()
+        assert not neuron.train_one((0, 0), INF)
+        assert (neuron.weights < before).any()
+
+    def test_silent_target_on_silent_neuron_is_correct(self):
+        neuron = LatencyNeuron(2, threshold=10**6, base_response=BASE)
+        assert neuron.train_one((0, 0), INF)
+
+    def test_within_tolerance_no_update(self):
+        config = SpikePropConfig(tolerance=2)
+        neuron = LatencyNeuron(2, threshold=4, base_response=BASE, config=config)
+        t = int(neuron.fire_time((0, 0)))
+        before = neuron.weights.copy()
+        assert neuron.train_one((0, 0), t + 2)
+        assert (neuron.weights == before).all()
+
+    def test_learns_target_latency(self):
+        rng = random.Random(3)
+        volleys = [
+            tuple(rng.randint(0, 3) for _ in range(8)) for _ in range(6)
+        ]
+        neuron = LatencyNeuron(8, threshold=12, base_response=BASE,
+                               config=SpikePropConfig(tolerance=1),
+                               rng=random.Random(3))
+        targets = [min(v) + 3 for v in volleys]
+        before = neuron.mean_absolute_error(volleys, targets)
+        neuron.train(volleys, targets, epochs=40, rng=random.Random(4))
+        after = neuron.mean_absolute_error(volleys, targets)
+        assert after <= before
+        assert after <= 1.5
+
+    def test_target_count_validated(self):
+        neuron = LatencyNeuron(2, threshold=4)
+        with pytest.raises(ValueError):
+            neuron.train([(0, 0)], [1, 2])
+
+    def test_weights_clamped(self):
+        config = SpikePropConfig(w_min=0, w_max=3)
+        neuron = LatencyNeuron(2, threshold=10**6, base_response=BASE, config=config)
+        for _ in range(20):
+            neuron.train_one((0, 0), 1)
+        assert (neuron.weights <= 3).all()
+
+
+class TestLatencyRegressor:
+    def test_forward_shape(self):
+        bank = LatencyRegressor(4, 3, threshold=6, base_response=BASE)
+        out = bank.forward((0, 1, 0, 2))
+        assert len(out) == 3
+
+    def test_trains_toward_target_volley(self):
+        rng = random.Random(5)
+        volleys = [
+            tuple(rng.randint(0, 3) for _ in range(6)) for _ in range(4)
+        ]
+        # Target: output j fires at first-input + j + 2.
+        targets = [
+            tuple(min(v) + j + 2 for j in range(2)) for v in volleys
+        ]
+        bank = LatencyRegressor(6, 2, threshold=10, base_response=BASE, seed=5)
+        history = bank.train(volleys, targets, epochs=50, rng=random.Random(6))
+        assert history[-1] >= history[0]
+        assert history[-1] >= 0.5
+
+    def test_validation(self):
+        bank = LatencyRegressor(2, 1, threshold=4)
+        with pytest.raises(ValueError):
+            bank.train([(0, 0)], [])

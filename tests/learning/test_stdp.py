@@ -1,0 +1,148 @@
+"""Tests for STDP rules and WTA training."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import embedded_patterns
+from repro.coding.volley import Volley
+from repro.core.value import INF, Infinity
+from repro.learning.stdp import (
+    FirstSpikeSTDP,
+    STDPRule,
+    STDPTrainer,
+    selectivity,
+)
+from repro.neuron.column import Column
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.step(amplitude=1, width=8)
+
+
+class TestSTDPRule:
+    def test_ltp_on_contributing_input(self):
+        rule = STDPRule(a_plus=2)
+        row = np.array([3, 3])
+        out = rule.update_row(row, (2, INF), t_out=4)
+        assert out[0] == 5
+
+    def test_ltd_on_late_input(self):
+        rule = STDPRule(a_minus=1)
+        row = np.array([3, 3])
+        out = rule.update_row(row, (2, 6), t_out=4)
+        assert out[1] == 2
+
+    def test_silent_input_depressed_by_default(self):
+        rule = STDPRule()
+        out = rule.update_row(np.array([3]), (INF,), t_out=2)
+        assert out[0] == 2
+
+    def test_silent_input_kept_when_disabled(self):
+        rule = STDPRule(depress_silent=False)
+        out = rule.update_row(np.array([3]), (INF,), t_out=2)
+        assert out[0] == 3
+
+    def test_input_outside_ltp_window_unchanged(self):
+        rule = STDPRule(ltp_window=2)
+        out = rule.update_row(np.array([3]), (0,), t_out=5)
+        assert out[0] == 3
+
+    def test_clamping(self):
+        rule = STDPRule(a_plus=5, w_max=7)
+        out = rule.update_row(np.array([6]), (0,), t_out=1)
+        assert out[0] == 7
+        rule = STDPRule(a_minus=5, w_min=0)
+        out = rule.update_row(np.array([2]), (9,), t_out=1)
+        assert out[0] == 0
+
+    def test_does_not_mutate_input(self):
+        rule = STDPRule()
+        row = np.array([3, 3])
+        rule.update_row(row, (0, 9), t_out=1)
+        assert row.tolist() == [3, 3]
+
+
+class TestFirstSpikeSTDP:
+    def test_earliest_inputs_get_stronger_updates(self):
+        rule = FirstSpikeSTDP(a_plus=1, n_strongest=1)
+        row = np.zeros(3, dtype=np.int64)
+        out = rule.update_row(row, (0, 2, 4), t_out=5)
+        assert out[0] == 2  # earliest: double update
+        assert out[1] == 1
+        assert out[2] == 1
+
+    def test_late_and_silent_depressed(self):
+        rule = FirstSpikeSTDP()
+        out = rule.update_row(np.array([3, 3]), (9, INF), t_out=2)
+        assert out.tolist() == [2, 2]
+
+
+class TestTrainer:
+    def make_column(self, n_inputs=8, n_neurons=3, seed=0):
+        rng = random.Random(seed)
+        weights = np.array(
+            [
+                [rng.randint(1, 3) for _ in range(n_inputs)]
+                for _ in range(n_neurons)
+            ]
+        )
+        return Column(weights, threshold=6, base_response=BASE)
+
+    def test_silent_volley_learns_nothing(self):
+        col = self.make_column()
+        before = col.weights.copy()
+        trainer = STDPTrainer(col)
+        step = trainer.train_step(Volley.silent(8))
+        assert step.winner is None
+        assert (col.weights == before).all()
+
+    def test_only_winner_updates(self):
+        col = self.make_column()
+        before = col.weights.copy()
+        trainer = STDPTrainer(col)
+        step = trainer.train_step(Volley([0] * 8))
+        assert step.winner is not None
+        changed_rows = [
+            i
+            for i in range(col.n_neurons)
+            if not (col.weights[i] == before[i]).all()
+        ]
+        assert changed_rows == [step.winner]
+
+    def test_training_increases_selectivity(self):
+        bases, data = embedded_patterns(
+            n_lines=16, n_patterns=2, presentations=40, active_lines=8,
+            jitter=0, dropout=0.0, noise_lines=0, seed=5,
+        )
+        col = self.make_column(n_inputs=16, n_neurons=4, seed=5)
+        trainer = STDPTrainer(col, STDPRule(a_plus=2, a_minus=1))
+        trainer.train([item.volley for item in data], epochs=3)
+        claims = selectivity(col, [Volley(b) for b in bases])
+        claimed_patterns = {v for vs in claims.values() for v in vs}
+        assert len(claimed_patterns) == 2  # both base patterns are claimed
+
+    def test_trained_neuron_fires_earlier_on_learned_pattern(self):
+        # The paper's §II.A story: after training, a learned pattern
+        # produces an early spike; a dissimilar pattern a late one or none.
+        rng = random.Random(3)
+        pattern = tuple(rng.randint(0, 3) for _ in range(12))
+        other = tuple(rng.randint(0, 3) for _ in range(12))
+        col = Column(
+            np.full((1, 12), 2), threshold=14, base_response=BASE
+        )
+        trainer = STDPTrainer(col, STDPRule(a_plus=2, a_minus=2, w_max=7))
+        for _ in range(20):
+            trainer.train_step(pattern)
+        t_learned = col.excitation(pattern)[0]
+        t_other = col.excitation(other)[0]
+        assert not isinstance(t_learned, Infinity)
+        if not isinstance(t_other, Infinity):
+            assert t_learned <= t_other
+
+    def test_step_log(self):
+        col = self.make_column()
+        trainer = STDPTrainer(col)
+        log = trainer.train([Volley([0] * 8), Volley([1] * 8)], epochs=2)
+        assert len(log) == 4
+        assert trainer.steps_taken <= 4

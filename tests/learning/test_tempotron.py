@@ -1,0 +1,112 @@
+"""Tests for the tempotron rule."""
+
+import random
+
+import pytest
+
+from repro.apps.datasets import two_class_latency
+from repro.core.value import INF, Infinity
+from repro.learning.tempotron import MultiClassTempotron, Tempotron
+from repro.neuron.response import ResponseFunction
+
+
+class TestTempotron:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tempotron(0, threshold=1)
+
+    def test_predict_consistent_with_fire_time(self):
+        t = Tempotron(4, threshold=8)
+        volley = (0, 0, 0, 0)
+        assert t.predict(volley) == (not isinstance(t.fire_time(volley), Infinity))
+
+    def test_miss_potentiates(self):
+        t = Tempotron(2, threshold=10**6)  # can never fire initially
+        before = t.weights.copy()
+        correct = t.train_one((0, 0), True)
+        assert not correct
+        assert (t.weights >= before).all()
+        assert (t.weights > before).any()
+
+    def test_false_alarm_depresses(self):
+        t = Tempotron(2, threshold=1)
+        before = t.weights.copy()
+        assert t.predict((0, 0))
+        correct = t.train_one((0, 0), False)
+        assert not correct
+        assert (t.weights <= before).all()
+        assert (t.weights < before).any()
+
+    def test_correct_classification_no_update(self):
+        t = Tempotron(2, threshold=1)
+        before = t.weights.copy()
+        assert t.train_one((0, 0), True)
+        assert (t.weights == before).all()
+
+    def test_silent_volley_unlearnable(self):
+        t = Tempotron(2, threshold=5)
+        assert not t.train_one((INF, INF), True)
+
+    def test_learns_separable_problem(self):
+        volleys, labels = two_class_latency(
+            n_lines=16, per_class=12, jitter=0, seed=7
+        )
+        t = Tempotron(16, threshold=60, rng=random.Random(7))
+        history = t.train(
+            [tuple(v) for v in volleys], labels, epochs=30, rng=random.Random(8)
+        )
+        assert history[-1] >= 0.9
+
+    def test_weights_stay_in_range(self):
+        volleys, labels = two_class_latency(n_lines=8, per_class=8, seed=1)
+        t = Tempotron(8, threshold=20)
+        t.train([tuple(v) for v in volleys], labels, epochs=10)
+        assert (t.weights >= t.config.w_min).all()
+        assert (t.weights <= t.config.w_max).all()
+
+    def test_label_count_validated(self):
+        t = Tempotron(2, threshold=5)
+        with pytest.raises(ValueError):
+            t.train([(0, 0)], [True, False])
+
+    def test_accuracy_empty(self):
+        assert Tempotron(2, threshold=5).accuracy([], []) == 1.0
+
+    def test_peak_potential_time(self):
+        base = ResponseFunction.piecewise_linear(amplitude=3, rise=2, fall=4)
+        t = Tempotron(1, threshold=100, base_response=base)
+        t.weights[0] = 2
+        # Peak of the response is at offset 2 from the spike.
+        assert t.peak_potential_time((5,)) == 7
+
+    def test_peak_none_for_silence(self):
+        t = Tempotron(2, threshold=5)
+        assert t.peak_potential_time((INF, INF)) is None
+
+
+class TestMultiClass:
+    def test_create(self):
+        mc = MultiClassTempotron.create(3, 8, threshold=20)
+        assert mc.n_classes == 3
+
+    def test_predict_earliest_wins(self):
+        mc = MultiClassTempotron.create(2, 4, threshold=4)
+        mc.tempotrons[0].weights[:] = 7
+        mc.tempotrons[1].weights[:] = 1
+        assert mc.predict((0, 0, 0, 0)) == 0
+
+    def test_silent_prediction_is_none(self):
+        mc = MultiClassTempotron.create(2, 4, threshold=10**6)
+        assert mc.predict((0, 0, 0, 0)) is None
+
+    def test_trains_toward_separation(self):
+        rng = random.Random(4)
+        pattern_a = tuple(rng.randint(0, 3) for _ in range(12))
+        pattern_b = tuple(rng.randint(4, 7) for _ in range(12))
+        volleys = [pattern_a, pattern_b] * 10
+        labels = [0, 1] * 10
+        mc = MultiClassTempotron.create(
+            2, 12, threshold=30, rng=random.Random(4)
+        )
+        history = mc.train(volleys, labels, epochs=25, rng=random.Random(5))
+        assert history[-1] >= 0.75

@@ -1,0 +1,223 @@
+"""Tests for NetworkBuilder and Node construction."""
+
+import pytest
+
+from repro.network.blocks import Node
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import Network, NetworkError
+from repro.network.simulator import evaluate, evaluate_vector
+from repro.core.value import INF
+
+
+def build_fig6b():
+    """The small example network of the paper's Fig. 6b shape."""
+    b = NetworkBuilder("fig6b")
+    x1, x2, x3 = b.inputs("x1", "x2", "x3")
+    first = b.min(x1, x2)
+    delayed = b.inc(first, 2)
+    b.output("y", b.lt(delayed, x3))
+    return b.build()
+
+
+class TestBuilder:
+    def test_basic_network(self):
+        net = build_fig6b()
+        assert net.input_names == ["x1", "x2", "x3"]
+        assert net.output_names == ["y"]
+        assert net.size == 3
+
+    def test_evaluation(self):
+        net = build_fig6b()
+        assert evaluate_vector(net, (1, 4, 9))["y"] == 3
+        assert evaluate_vector(net, (1, 4, 3))["y"] is INF
+
+    def test_duplicate_input_name(self):
+        b = NetworkBuilder()
+        b.input("a")
+        with pytest.raises(NetworkError, match="duplicate"):
+            b.input("a")
+
+    def test_param_and_input_share_namespace(self):
+        b = NetworkBuilder()
+        b.input("mu")
+        with pytest.raises(NetworkError):
+            b.param("mu")
+
+    def test_duplicate_output_name(self):
+        b = NetworkBuilder()
+        a = b.input("a")
+        b.output("y", a)
+        with pytest.raises(NetworkError, match="duplicate"):
+            b.output("y", a)
+
+    def test_no_outputs_rejected(self):
+        b = NetworkBuilder()
+        b.input("a")
+        with pytest.raises(NetworkError, match="no outputs"):
+            b.build()
+
+    def test_foreign_ref_rejected(self):
+        b1, b2 = NetworkBuilder(), NetworkBuilder()
+        a = b1.input("a")
+        with pytest.raises(NetworkError, match="another builder"):
+            b2.inc(a)
+
+    def test_zero_inc_elided(self):
+        b = NetworkBuilder()
+        a = b.input("a")
+        same = b.inc(a, 0)
+        assert same.id == a.id
+
+    def test_single_source_min_elided(self):
+        b = NetworkBuilder()
+        a = b.input("a")
+        assert b.min(a).id == a.id
+        assert b.max(a).id == a.id
+
+    def test_comparator(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        lo, hi = b.comparator(x, y)
+        b.output("lo", lo)
+        b.output("hi", hi)
+        net = b.build()
+        out = evaluate_vector(net, (7, 3))
+        assert out == {"lo": 3, "hi": 7}
+
+    def test_gate_microweight(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        net = b.build()
+        assert evaluate(net, {"x": 4}, params={"mu": INF})["z"] == 4
+        assert evaluate(net, {"x": 4}, params={"mu": 0})["z"] is INF
+
+
+class TestMerge:
+    def test_merge_with_rename(self):
+        inner_b = NetworkBuilder("inner")
+        p, q = inner_b.inputs("p", "q")
+        inner_b.output("m", inner_b.min(p, q))
+        inner = inner_b.build()
+
+        outer = NetworkBuilder("outer")
+        a, b_in = outer.inputs("a", "b")
+        refs = outer.merge(inner, rename={"p": a, "q": b_in})
+        outer.output("y", outer.inc(refs["m"], 1))
+        net = outer.build()
+        assert net.input_names == ["a", "b"]
+        assert evaluate_vector(net, (5, 2))["y"] == 3
+
+    def test_merge_fresh_inputs_with_prefix(self):
+        inner_b = NetworkBuilder("inner")
+        p = inner_b.input("p")
+        inner_b.output("o", inner_b.inc(p, 1))
+        inner = inner_b.build()
+
+        outer = NetworkBuilder("outer")
+        refs = outer.merge(inner, prefix="sub_")
+        outer.output("y", refs["o"])
+        net = outer.build()
+        assert net.input_names == ["sub_p"]
+
+    def test_merge_imports_params(self):
+        inner_b = NetworkBuilder("inner")
+        x = inner_b.input("x")
+        mu = inner_b.param("mu")
+        inner_b.output("z", inner_b.gate(x, mu))
+        inner = inner_b.build()
+
+        outer = NetworkBuilder("outer")
+        a = outer.input("a")
+        refs = outer.merge(inner, rename={"x": a})
+        outer.output("y", refs["z"])
+        net = outer.build()
+        assert net.param_names == ["mu"]
+        assert evaluate(net, {"a": 2}, params={"mu": INF})["y"] == 2
+
+
+class TestNode:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Node(0, "xor")
+
+    def test_input_with_sources_rejected(self):
+        with pytest.raises(ValueError):
+            Node(1, "input", sources=(0,), name="a")
+
+    def test_terminal_needs_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Node(0, "input")
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ValueError, match="feedforward"):
+            Node(1, "inc", sources=(2,))
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError, match="feedforward"):
+            Node(1, "inc", sources=(1,))
+
+    def test_lt_arity(self):
+        with pytest.raises(ValueError, match="two sources"):
+            Node(3, "lt", sources=(0, 1, 2))
+
+    def test_inc_arity(self):
+        with pytest.raises(ValueError, match="one source"):
+            Node(2, "inc", sources=(0, 1))
+
+    def test_min_needs_sources(self):
+        with pytest.raises(ValueError):
+            Node(1, "min", sources=())
+
+    def test_describe(self):
+        assert "inc(+3)" in Node(1, "inc", sources=(0,), amount=3).describe()
+        assert "input" in Node(0, "input", name="a").describe()
+
+
+class TestNetworkContainer:
+    def test_dense_ids_required(self):
+        nodes = [Node(0, "input", name="a"), Node(2, "inc", sources=(0,))]
+        with pytest.raises(NetworkError, match="dense"):
+            Network(nodes, {"y": 0})
+
+    def test_output_reference_checked(self):
+        nodes = [Node(0, "input", name="a")]
+        with pytest.raises(NetworkError, match="missing node"):
+            Network(nodes, {"y": 5})
+
+    def test_depth(self):
+        net = build_fig6b()
+        assert net.depth() == 3
+
+    def test_consumers(self):
+        net = build_fig6b()
+        fanout = net.consumers()
+        # x3 (id 2) feeds only the lt node.
+        assert len(fanout[2]) == 1
+
+    def test_as_function_requires_unique_output(self):
+        b = NetworkBuilder()
+        a, c = b.inputs("a", "c")
+        b.output("p", b.min(a, c))
+        b.output("q", b.max(a, c))
+        net = b.build()
+        with pytest.raises(NetworkError, match="output="):
+            net.as_function()
+        assert net.as_function(output="p")(3, 1) == 1
+
+    def test_as_function_requires_bound_params(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("y", b.gate(x, mu))
+        net = b.build()
+        with pytest.raises(NetworkError, match="unbound"):
+            net.as_function()
+        f = net.as_function(params={"mu": INF})
+        assert f(3) == 3
+
+    def test_pretty_lists_nodes(self):
+        text = build_fig6b().pretty()
+        assert "input 'x1'" in text
+        assert "output 'y'" in text

@@ -1,0 +1,188 @@
+"""Tests for the operational event-driven simulator.
+
+The key theorem exercised here: the event-driven (local-information)
+semantics agrees with the denotational evaluation on every network and
+every input — including same-timestamp races through zero-delay blocks,
+which is where naive event ordering goes wrong.
+"""
+
+import random
+
+import pytest
+
+from repro.core.function import enumerate_domain
+from repro.core.synthesis import max_from_min_lt, synthesize
+from repro.core.table import FIG7_TABLE, NormalizedTable
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.events import EventSimulator, simulate
+from repro.network.graph import NetworkError
+from repro.network.simulator import evaluate
+
+
+class TestBasicSemantics:
+    def test_min_fires_on_first_arrival(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("m", b.min(x, y))
+        result = simulate(b.build(), {"x": 5, "y": 2})
+        assert result.outputs["m"] == 2
+
+    def test_max_waits_for_all(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("m", b.max(x, y))
+        net = b.build()
+        assert simulate(net, {"x": 5, "y": 2}).outputs["m"] == 5
+        assert simulate(net, {"x": 5, "y": INF}).outputs["m"] is INF
+
+    def test_lt_tie_produces_no_spike(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("z", b.lt(x, y))
+        net = b.build()
+        assert simulate(net, {"x": 3, "y": 3}).outputs["z"] is INF
+
+    def test_lt_zero_delay_tie_through_chain(self):
+        # a reaches the lt both directly (port a) and through a zero-delay
+        # min (port b): a tie created *inside* the network at the same
+        # timestamp. The lt must not fire.
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        routed = b.min(x, y)
+        b.output("z", b.lt(x, routed))
+        net = b.build()
+        assert simulate(net, {"x": 3, "y": 9}).outputs["z"] is INF
+        # but if y is earlier, routed fires earlier and x never passes
+        assert simulate(net, {"x": 3, "y": 1}).outputs["z"] is INF
+        # lt(x, min(x, y)) can never pass: min <= x always.
+
+    def test_inc_delays(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        b.output("y", b.inc(x, 4))
+        assert simulate(b.build(), {"x": 2}).outputs["y"] == 6
+
+    def test_param_spikes_at_zero_when_enabled_low(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        net = b.build()
+        assert simulate(net, {"x": 4}, params={"mu": 0}).outputs["z"] is INF
+        assert simulate(net, {"x": 4}, params={"mu": INF}).outputs["z"] == 4
+
+    def test_bad_param_value(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        with pytest.raises(NetworkError, match="0 or INF"):
+            simulate(b.build(), {"x": 1}, params={"mu": 3})
+
+    def test_unbound_input(self):
+        b = NetworkBuilder()
+        b.inputs("x", "y")
+        b.output("z", 0)
+        with pytest.raises(NetworkError, match="unbound"):
+            simulate(b.build(), {"x": 1})
+
+
+class TestTrace:
+    def test_trace_sorted_and_counted(self):
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (0, 1, 2))))
+        times = [e.time for e in result.trace]
+        assert times == sorted(times)
+        assert result.total_spikes == len(result.trace)
+
+    def test_single_spike_per_wire(self):
+        # The defining TNN property: each line carries at most one spike.
+        net = synthesize(FIG7_TABLE)
+        result = simulate(net, dict(zip(net.input_names, (1, 0, 3))))
+        nodes_fired = [e.node_id for e in result.trace]
+        assert len(nodes_fired) == len(set(nodes_fired))
+
+    def test_makespan(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        b.output("y", b.inc(x, 7))
+        result = simulate(b.build(), {"x": 3})
+        assert result.makespan == 10
+
+    def test_spikes_at(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        b.output("y", b.inc(x, 2))
+        result = simulate(b.build(), {"x": 1})
+        assert len(result.spikes_at(1)) == 1
+        assert len(result.spikes_at(3)) == 1
+        assert result.spikes_at(2) == []
+
+    def test_silent_network(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("z", b.lt(x, y))
+        result = simulate(b.build(), {"x": INF, "y": INF})
+        assert result.total_spikes == 0
+        assert result.makespan == 0
+
+
+class TestAgreementWithDenotational:
+    """Event-driven == functional on exhaustive and random networks."""
+
+    def test_fig7_table_exhaustive(self):
+        net = synthesize(FIG7_TABLE)
+        sim = EventSimulator(net)
+        for vec in enumerate_domain(3, 4):
+            bound = dict(zip(net.input_names, vec))
+            assert sim.run(bound).outputs == evaluate(net, bound), vec
+
+    def test_lemma2_exhaustive(self):
+        net = max_from_min_lt()
+        sim = EventSimulator(net)
+        for vec in enumerate_domain(2, 5):
+            bound = dict(zip(net.input_names, vec))
+            assert sim.run(bound).outputs == evaluate(net, bound), vec
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_synthesized_networks(self, seed):
+        rng = random.Random(seed)
+        table = NormalizedTable.random(3, window=3, n_rows=4, rng=rng)
+        net = synthesize(table)
+        sim = EventSimulator(net)
+        for _ in range(120):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 6)
+                for _ in range(3)
+            )
+            bound = dict(zip(net.input_names, vec))
+            assert sim.run(bound).outputs == evaluate(net, bound), (seed, vec)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_adhoc_networks(self, seed):
+        """Random DAGs of primitives, not just synthesized shapes."""
+        rng = random.Random(100 + seed)
+        b = NetworkBuilder(f"random{seed}")
+        pool = [b.input(f"x{i}") for i in range(4)]
+        for _ in range(25):
+            op = rng.choice(["inc", "min", "max", "lt"])
+            if op == "inc":
+                pool.append(b.inc(rng.choice(pool), rng.randint(1, 3)))
+            elif op == "lt":
+                pool.append(b.lt(rng.choice(pool), rng.choice(pool)))
+            else:
+                k = rng.randint(2, 3)
+                srcs = [rng.choice(pool) for _ in range(k)]
+                pool.append(getattr(b, op)(*srcs))
+        b.output("y", pool[-1])
+        b.output("z", pool[-2])
+        net = b.build()
+        sim = EventSimulator(net)
+        for _ in range(100):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 8)
+                for _ in range(4)
+            )
+            bound = dict(zip(net.input_names, vec))
+            assert sim.run(bound).outputs == evaluate(net, bound), (seed, vec)

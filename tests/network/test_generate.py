@@ -1,0 +1,81 @@
+"""Tests for the random network/workload generators."""
+
+import random
+
+import pytest
+
+from repro.core.value import INF, Infinity
+from repro.network.generate import (
+    input_batch,
+    random_inputs,
+    random_network,
+    random_volley,
+)
+from repro.network.simulator import evaluate
+from repro.network.validate import check_feedforward, validate
+
+
+class TestRandomNetwork:
+    def test_structure(self):
+        net = random_network(n_inputs=4, n_blocks=25, n_outputs=2, seed=1)
+        assert len(net.input_names) == 4
+        assert len(net.output_names) == 2
+        assert net.size == 25
+        assert check_feedforward(net)
+
+    def test_deterministic(self):
+        a = random_network(seed=9)
+        b = random_network(seed=9)
+        assert a.pretty() == b.pretty()
+
+    def test_different_seeds_differ(self):
+        a = random_network(seed=1)
+        b = random_network(seed=2)
+        assert a.pretty() != b.pretty()
+
+    def test_evaluable(self):
+        net = random_network(n_blocks=40, seed=3)
+        out = evaluate(net, random_inputs(net, rng=random.Random(0)))
+        assert set(out) == set(net.output_names)
+
+    def test_restricted_operations(self):
+        net = random_network(operations=("min", "inc"), n_blocks=15, seed=2)
+        kinds = set(net.counts_by_kind())
+        assert kinds <= {"input", "min", "inc"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_network(n_inputs=0)
+        with pytest.raises(ValueError):
+            random_network(operations=("xor",))
+        with pytest.raises(ValueError):
+            random_network(n_blocks=1, n_inputs=1, n_outputs=5)
+
+
+class TestRandomInputs:
+    def test_volley_bounds(self):
+        rng = random.Random(0)
+        volley = random_volley(50, max_time=5, rng=rng)
+        for t in volley:
+            assert t is INF or 0 <= t <= 5
+
+    def test_silence_probability_extremes(self):
+        rng = random.Random(0)
+        silent = random_volley(20, silence_probability=1.0, rng=rng)
+        assert all(isinstance(t, Infinity) for t in silent)
+        dense = random_volley(20, silence_probability=0.0, rng=rng)
+        assert all(not isinstance(t, Infinity) for t in dense)
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            random_volley(5, silence_probability=2.0)
+
+    def test_inputs_cover_all_names(self):
+        net = random_network(n_inputs=6, seed=4)
+        bound = random_inputs(net, rng=random.Random(1))
+        assert set(bound) == set(net.input_names)
+
+    def test_batch_reproducible(self):
+        net = random_network(seed=5)
+        assert input_batch(net, 10, seed=7) == input_batch(net, 10, seed=7)
+        assert input_batch(net, 10, seed=7) != input_batch(net, 10, seed=8)

@@ -1,0 +1,102 @@
+"""Tests for functional network evaluation."""
+
+import pytest
+
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.graph import NetworkError
+from repro.network.simulator import evaluate, evaluate_all, evaluate_vector
+
+
+def diamond():
+    """min and max of two inputs raced by an lt."""
+    b = NetworkBuilder("diamond")
+    x, y = b.inputs("x", "y")
+    lo = b.min(x, y)
+    hi = b.max(x, y)
+    b.output("z", b.lt(lo, hi))
+    return b.build()
+
+
+class TestEvaluate:
+    def test_diamond_distinct(self):
+        # min < max whenever inputs differ: z = min.
+        assert evaluate_vector(diamond(), (2, 7))["z"] == 2
+
+    def test_diamond_tie(self):
+        assert evaluate_vector(diamond(), (4, 4))["z"] is INF
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(NetworkError, match="unbound inputs"):
+            evaluate(diamond(), {"x": 1})
+
+    def test_extra_input_names_are_ignored(self):
+        out = evaluate(diamond(), {"x": 1, "y": 2, "w": 9})
+        assert out["z"] == 1
+
+    def test_wrong_vector_length(self):
+        with pytest.raises(NetworkError, match="expected 2"):
+            evaluate_vector(diamond(), (1, 2, 3))
+
+    def test_inf_propagation(self):
+        out = evaluate_vector(diamond(), (INF, INF))
+        assert out["z"] is INF
+
+    def test_evaluate_all_exposes_internals(self):
+        net = diamond()
+        values = evaluate_all(net, {"x": 2, "y": 7})
+        assert values[net.input_ids["x"]] == 2
+        assert len(values) == len(net.nodes)
+
+
+class TestParams:
+    def make_gated(self):
+        b = NetworkBuilder("gated")
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("y", b.gate(x, mu))
+        return b.build()
+
+    def test_param_must_be_bound(self):
+        net = self.make_gated()
+        with pytest.raises(NetworkError, match="unbound params"):
+            evaluate(net, {"x": 3})
+
+    def test_param_values_restricted(self):
+        # Micro-weights are enable/disable switches: only 0 or ∞.
+        net = self.make_gated()
+        with pytest.raises(NetworkError, match="0 or INF"):
+            evaluate(net, {"x": 3}, params={"mu": 5})
+
+    def test_enabled(self):
+        net = self.make_gated()
+        assert evaluate(net, {"x": 3}, params={"mu": INF})["y"] == 3
+
+    def test_disabled(self):
+        net = self.make_gated()
+        assert evaluate(net, {"x": 3}, params={"mu": 0})["y"] is INF
+
+
+class TestChains:
+    def test_inc_chain_accumulates(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        cur = x
+        for _ in range(5):
+            cur = b.inc(cur, 1)
+        b.output("y", cur)
+        assert evaluate_vector(b.build(), (3,))["y"] == 8
+
+    def test_wide_min(self):
+        b = NetworkBuilder()
+        xs = [b.input(f"x{i}") for i in range(10)]
+        b.output("y", b.min(*xs))
+        vec = tuple([INF] * 9 + [4])
+        assert evaluate_vector(b.build(), vec)["y"] == 4
+
+    def test_wide_max_with_absent(self):
+        b = NetworkBuilder()
+        xs = [b.input(f"x{i}") for i in range(10)]
+        b.output("y", b.max(*xs))
+        vec = tuple([1] * 9 + [INF])
+        assert evaluate_vector(b.build(), vec)["y"] is INF

@@ -1,0 +1,69 @@
+"""Tests for structure and activity statistics."""
+
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.stats import activity, structure
+
+
+class TestStructure:
+    def test_counts(self):
+        net = synthesize(FIG7_TABLE)
+        s = structure(net)
+        assert s.n_inputs == 3
+        assert s.n_outputs == 1
+        assert s.n_blocks == net.size
+        assert s.counts_by_kind["lt"] == 3  # one per table row
+
+    def test_depth_and_fanout(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        y = b.inc(x, 1)
+        b.output("a", b.inc(y, 1))
+        b.output("b", b.min(x, y))
+        s = structure(b.build())
+        assert s.depth == 2
+        assert s.max_fanout == 2  # x and y each feed two consumers
+
+    def test_total_delay_units(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        b.output("y", b.inc(b.inc(x, 3), 4))
+        assert structure(b.build()).total_delay_units == 7
+
+    def test_str(self):
+        text = str(structure(synthesize(FIG7_TABLE)))
+        assert "blocks" in text
+        assert "depth" in text
+
+
+class TestActivity:
+    def test_single_spike_bound(self):
+        net = synthesize(FIG7_TABLE)
+        inputs = [
+            dict(zip(net.input_names, vec))
+            for vec in [(0, 1, 2), (1, 0, INF), (2, 2, 0), (0, 0, 0)]
+        ]
+        a = activity(net, inputs)
+        assert a.runs == 4
+        assert a.total_spikes <= a.runs * a.total_wires
+
+    def test_sparse_inputs_mean_fewer_spikes(self):
+        net = synthesize(FIG7_TABLE)
+        names = net.input_names
+        dense = activity(net, [dict(zip(names, (0, 1, 2)))])
+        sparse = activity(net, [dict(zip(names, (0, INF, INF)))])
+        assert sparse.total_spikes < dense.total_spikes
+        assert sparse.silent_wire_fraction > dense.silent_wire_fraction
+
+    def test_empty_run_list(self):
+        net = synthesize(FIG7_TABLE)
+        a = activity(net, [])
+        assert a.runs == 0
+        assert a.spikes_per_run == 0.0
+
+    def test_str(self):
+        net = synthesize(FIG7_TABLE)
+        a = activity(net, [dict(zip(net.input_names, (0, 1, 2)))])
+        assert "spikes/run" in str(a)

@@ -1,0 +1,87 @@
+"""Tests for structural validation and dead-node elimination."""
+
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.simulator import evaluate_vector
+from repro.network.validate import (
+    check_feedforward,
+    live_node_ids,
+    strip_dead_nodes,
+    validate,
+)
+
+
+def with_dead_branch():
+    b = NetworkBuilder("deadish")
+    x, y = b.inputs("x", "y")
+    live = b.min(x, y)
+    b.inc(live, 5)  # dead: feeds nothing
+    b.max(x, y)  # dead
+    b.output("out", live)
+    return b.build()
+
+
+class TestValidation:
+    def test_clean_network_ok(self):
+        b = NetworkBuilder("clean")
+        x, y = b.inputs("x", "y")
+        b.output("m", b.min(x, y))
+        report = validate(b.build())
+        assert report.ok
+        assert report.is_feedforward
+        assert "feedforward" in str(report)
+
+    def test_dead_nodes_flagged(self):
+        report = validate(with_dead_branch())
+        assert not report.ok
+        assert len(report.dead_node_ids) == 2
+
+    def test_passthrough_output_flagged(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        b.output("y", x)
+        b.output("z", b.inc(x, 1))
+        report = validate(b.build())
+        assert report.passthrough_outputs == ["y"]
+
+    def test_unused_param_flagged(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        b.param("mu")
+        b.output("y", b.inc(x, 1))
+        report = validate(b.build())
+        assert report.unused_params == ["mu"]
+
+    def test_feedforward_check(self):
+        assert check_feedforward(with_dead_branch())
+
+
+class TestLiveness:
+    def test_live_set(self):
+        net = with_dead_branch()
+        live = live_node_ids(net)
+        assert net.outputs["out"] in live
+        # inputs are reachable backwards from the output
+        assert net.input_ids["x"] in live
+
+    def test_strip_dead_nodes_preserves_semantics(self):
+        net = with_dead_branch()
+        stripped = strip_dead_nodes(net)
+        assert stripped.size < net.size
+        for vec in [(0, 1), (5, 2), (INF, 3), (INF, INF)]:
+            assert (
+                evaluate_vector(stripped, vec) == evaluate_vector(net, vec)
+            ), vec
+
+    def test_strip_keeps_interface(self):
+        net = with_dead_branch()
+        stripped = strip_dead_nodes(net)
+        assert stripped.input_names == net.input_names
+        assert stripped.output_names == net.output_names
+
+    def test_strip_clean_network_is_noop(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("m", b.min(x, y))
+        net = b.build()
+        assert strip_dead_nodes(net).size == net.size

@@ -1,0 +1,110 @@
+"""Tests for WTA columns and whole-column compilation (Lemma 1 at scale)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.value import INF
+from repro.network.simulator import evaluate_vector
+from repro.neuron.column import Column, compile_column
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=3)
+
+
+def make_column(**kwargs):
+    weights = np.array([[3, 1, 0], [0, 3, 1], [1, 1, 3]])
+    defaults = dict(threshold=4, base_response=BASE)
+    defaults.update(kwargs)
+    return Column(weights, **defaults)
+
+
+class TestColumn:
+    def test_shapes(self):
+        col = make_column()
+        assert col.n_neurons == 3
+        assert col.n_inputs == 3
+
+    def test_excitation_is_per_neuron_fire_time(self):
+        col = make_column()
+        raw = col.excitation((0, 0, 0))
+        for i, t in enumerate(raw):
+            assert t == col.neurons[i].fire_time((0, 0, 0))
+
+    def test_forward_applies_wta(self):
+        col = make_column()
+        raw = col.excitation((0, 2, 5))
+        out = col.forward((0, 2, 5))
+        finite_raw = [t for t in raw if t is not INF]
+        if finite_raw:
+            earliest = min(finite_raw)
+            for r, o in zip(raw, out):
+                if o is not INF:
+                    assert o == r == earliest
+
+    def test_neuron_tuned_to_pattern_wins(self):
+        # Neuron 0 is tuned to input 0, neuron 1 to input 1.
+        weights = np.array([[4, 0], [0, 4]])
+        col = Column(weights, threshold=4, base_response=BASE)
+        out0 = col.forward((0, INF))
+        out1 = col.forward((INF, 0))
+        assert out0[0] is not INF and out0[1] is INF
+        assert out1[1] is not INF and out1[0] is INF
+
+    def test_k_wta_column(self):
+        col = make_column(k=2)
+        out = col.forward((0, 0, 0))
+        survivors = sum(1 for t in out if t is not INF)
+        assert survivors <= 2
+
+    def test_set_weights_validates_shape(self):
+        col = make_column()
+        with pytest.raises(ValueError):
+            col.set_weights(np.zeros((2, 3), dtype=np.int64))
+
+    def test_set_weights_changes_behaviour(self):
+        col = make_column()
+        silent = np.zeros_like(col.weights)
+        col.set_weights(silent)
+        assert all(t is INF for t in col.excitation((0, 0, 0)))
+
+    def test_input_arity_checked(self):
+        col = make_column()
+        with pytest.raises(ValueError):
+            col.forward((0, 0))
+
+    def test_weights_must_be_2d(self):
+        with pytest.raises(ValueError):
+            Column(np.array([1, 2, 3]), threshold=1)
+
+
+class TestCompileColumn:
+    def test_compiled_equals_behavioral(self):
+        col = make_column()
+        net = compile_column(col)
+        rng = random.Random(9)
+        for _ in range(50):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 5)
+                for _ in range(3)
+            )
+            want = col.forward(vec)
+            got = tuple(
+                evaluate_vector(net, vec)[f"y{i + 1}"] for i in range(3)
+            )
+            assert want == got, vec
+
+    def test_compiled_uses_only_primitives(self):
+        net = compile_column(make_column())
+        assert set(net.counts_by_kind()) <= {"input", "inc", "min", "max", "lt"}
+
+    def test_k_wta_not_compilable_here(self):
+        with pytest.raises(ValueError, match="window-WTA"):
+            compile_column(make_column(k=1))
+
+    def test_compile_single_neuron(self):
+        col = Column(np.array([[2, 2]]), threshold=2, base_response=BASE)
+        net = compile_column(col)
+        out = evaluate_vector(net, (0, 0))
+        assert out["y1"] == col.forward((0, 0))[0]

@@ -1,0 +1,144 @@
+"""Tests for multi-layer TNNs."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.value import INF, Infinity
+from repro.network.simulator import evaluate_vector
+from repro.neuron.column import Column
+from repro.neuron.layers import LayeredTNN, compile_layered, train_layerwise
+from repro.neuron.response import ResponseFunction
+
+BASE = ResponseFunction.step(amplitude=1, width=8)
+
+
+def two_layer():
+    l1 = Column(
+        np.array([[4, 0, 0], [0, 4, 0], [0, 0, 4]]),
+        threshold=4,
+        base_response=BASE,
+        wta_window=2,
+    )
+    l2 = Column(
+        np.array([[4, 4, 0], [0, 4, 4]]),
+        threshold=4,
+        base_response=BASE,
+        wta_window=2,
+    )
+    return LayeredTNN([l1, l2])
+
+
+class TestStack:
+    def test_shapes(self):
+        tnn = two_layer()
+        assert tnn.n_layers == 2
+        assert tnn.n_inputs == 3
+        assert tnn.n_outputs == 2
+
+    def test_width_mismatch_rejected(self):
+        l1 = Column(np.ones((2, 3), dtype=np.int64), threshold=1, base_response=BASE)
+        l2 = Column(np.ones((1, 5), dtype=np.int64), threshold=1, base_response=BASE)
+        with pytest.raises(ValueError, match="width"):
+            LayeredTNN([l1, l2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LayeredTNN([])
+
+    def test_forward_composes_layers(self):
+        tnn = two_layer()
+        volley = (0, 0, INF)
+        manual = tnn.columns[1].forward(tnn.columns[0].forward(volley))
+        assert tnn.forward(volley) == manual
+
+    def test_activations_trace(self):
+        tnn = two_layer()
+        trace = tnn.activations((0, 1, INF))
+        assert len(trace) == 2
+        assert trace[-1] == tnn.forward((0, 1, INF))
+
+    def test_silence_propagates(self):
+        tnn = two_layer()
+        assert all(t is INF for t in tnn.forward((INF, INF, INF)))
+
+    def test_random_factory(self):
+        tnn = LayeredTNN.random([8, 6, 4], seed=3)
+        assert tnn.n_inputs == 8
+        assert tnn.n_outputs == 4
+        out = tnn.forward(tuple([0] * 8))
+        assert len(out) == 4
+
+    def test_random_needs_two_widths(self):
+        with pytest.raises(ValueError):
+            LayeredTNN.random([8])
+
+
+class TestCompileLayered:
+    def test_compiled_equals_behavioral(self):
+        tnn = two_layer()
+        net = compile_layered(tnn)
+        rng = random.Random(4)
+        for _ in range(40):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 4)
+                for _ in range(3)
+            )
+            want = tnn.forward(vec)
+            got = tuple(
+                evaluate_vector(net, vec)[f"y{i + 1}"] for i in range(2)
+            )
+            assert got == want, vec
+
+    def test_compiled_uses_only_primitives(self):
+        net = compile_layered(two_layer())
+        assert set(net.counts_by_kind()) <= {"input", "inc", "min", "max", "lt"}
+
+    def test_k_wta_layer_rejected(self):
+        l1 = Column(
+            np.ones((2, 2), dtype=np.int64), threshold=1, base_response=BASE, k=1
+        )
+        with pytest.raises(ValueError, match="window-WTA"):
+            compile_layered(LayeredTNN([l1]))
+
+
+class TestLayerwiseTraining:
+    def test_training_changes_weights(self):
+        tnn = LayeredTNN.random([12, 6, 3], seed=0)
+        before = [c.weights.copy() for c in tnn.columns]
+        rng = random.Random(0)
+        volleys = [
+            tuple(rng.randint(0, 5) for _ in range(12)) for _ in range(20)
+        ]
+        train_layerwise(tnn, volleys, epochs_per_layer=1, seed=0)
+        changed = any(
+            not (c.weights == b).all()
+            for c, b in zip(tnn.columns, before)
+        )
+        assert changed
+
+    def test_training_restores_thresholds(self):
+        tnn = LayeredTNN.random([10, 5], seed=1)
+        base_thresholds = list(tnn.columns[0].thresholds)
+        rng = random.Random(1)
+        volleys = [
+            tuple(rng.randint(0, 5) for _ in range(10)) for _ in range(15)
+        ]
+        train_layerwise(tnn, volleys, epochs_per_layer=1, seed=1)
+        assert tnn.columns[0].thresholds == base_thresholds
+
+    def test_deep_stack_still_responds_after_training(self):
+        tnn = LayeredTNN.random([12, 8, 4], threshold_fraction=0.2, seed=2)
+        rng = random.Random(2)
+        patterns = [
+            tuple(rng.randint(0, 3) for _ in range(12)) for _ in range(4)
+        ]
+        volleys = [p for p in patterns for _ in range(8)]
+        train_layerwise(tnn, volleys, epochs_per_layer=2, seed=2)
+        responding = sum(
+            1
+            for p in patterns
+            if any(not isinstance(t, Infinity) for t in tnn.forward(p))
+        )
+        assert responding >= 2

@@ -1,0 +1,169 @@
+"""Tests for response functions and the Fig. 11 step decomposition."""
+
+import pytest
+
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.simulator import evaluate_vector
+from repro.neuron.response import (
+    FIG11_RESPONSE,
+    ResponseFunction,
+    StepTrain,
+    fanout_network,
+)
+
+
+class TestBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseFunction([])
+
+    def test_extension_beyond_tmax(self):
+        r = ResponseFunction([0, 2, 1])
+        assert r(2) == 1
+        assert r(100) == 1  # holds final value
+
+    def test_zero_before_spike(self):
+        r = ResponseFunction([0, 2, 1])
+        assert r(-1) == 0
+        assert r(-100) == 0
+
+    def test_extrema(self):
+        r = ResponseFunction([0, 3, 5, 2, -1])
+        assert r.r_max == 5
+        assert r.r_min == -1
+        assert r.t_max == 4
+        assert r.final_value == -1
+
+    def test_equality_and_hash(self):
+        a = ResponseFunction([0, 1, 2])
+        b = ResponseFunction([0, 1, 2], name="other")
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTransforms:
+    def test_scaled(self):
+        r = ResponseFunction([0, 1, 2]).scaled(3)
+        assert r.values == (0, 3, 6)
+
+    def test_negated_is_inhibitory(self):
+        r = ResponseFunction([0, 2, 1]).negated()
+        assert r.values == (0, -2, -1)
+        assert r.r_max == 0
+
+    def test_delayed(self):
+        r = ResponseFunction([1, 2]).delayed(2)
+        assert r.values == (0, 0, 1, 2)
+
+    def test_delayed_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseFunction([1]).delayed(-1)
+
+
+class TestStandardShapes:
+    def test_biexponential_shape(self):
+        r = ResponseFunction.biexponential(amplitude=5, t_max=12)
+        assert r(0) == 0  # starts at zero
+        assert r.r_max == 5  # peak equals amplitude
+        assert r.final_value == 0  # decays back
+        # Rises early, decays late.
+        peak_index = r.values.index(5)
+        assert 1 <= peak_index <= 5
+
+    def test_fig11_constants(self):
+        # The paper's running example: r_max = 5, t_max = 12, c = 0.
+        assert FIG11_RESPONSE.r_max == 5
+        assert FIG11_RESPONSE.t_max == 12
+        assert FIG11_RESPONSE.final_value == 0
+
+    def test_biexponential_tau_ordering(self):
+        with pytest.raises(ValueError):
+            ResponseFunction.biexponential(tau_slow=2.0, tau_fast=6.0)
+
+    def test_piecewise_linear_shape(self):
+        r = ResponseFunction.piecewise_linear(amplitude=4, rise=2, fall=4)
+        assert r(0) == 0
+        assert r(2) == 4  # peak at end of rise
+        assert r(6) == 0  # back to zero after fall
+        assert r.t_max == 6
+
+    def test_piecewise_linear_validation(self):
+        with pytest.raises(ValueError):
+            ResponseFunction.piecewise_linear(rise=0)
+
+    def test_step_response(self):
+        r = ResponseFunction.step(amplitude=2, width=3)
+        assert r.values == (2, 2, 2, 0)
+
+
+class TestStepDecomposition:
+    def test_simple(self):
+        r = ResponseFunction([0, 2, 2, 1])
+        train = r.steps()
+        assert train.ups == (1, 1)
+        assert train.downs == (3,)
+
+    def test_initial_jump(self):
+        r = ResponseFunction([3, 3, 0])
+        train = r.steps()
+        assert train.ups == (0, 0, 0)
+        assert train.downs == (2, 2, 2)
+
+    def test_inhibitory_steps(self):
+        r = ResponseFunction([0, -2, 0])
+        train = r.steps()
+        assert train.ups == (2, 2)
+        assert train.downs == (1, 1)
+
+    def test_roundtrip(self):
+        for r in [
+            FIG11_RESPONSE,
+            ResponseFunction.piecewise_linear(),
+            ResponseFunction.step(amplitude=3),
+            ResponseFunction([1, -1, 4, 4, 0]),
+        ]:
+            rebuilt = ResponseFunction.from_steps(r.steps())
+            for t in range(r.t_max + 2):
+                assert rebuilt(t) == r(t), (r.name, t)
+
+    def test_net_amplitude(self):
+        train = StepTrain(ups=(0, 1, 1), downs=(2,))
+        assert train.net_amplitude_at(0) == 1
+        assert train.net_amplitude_at(1) == 3
+        assert train.net_amplitude_at(2) == 2
+
+    def test_total_steps(self):
+        assert FIG11_RESPONSE.steps().total_steps == 10
+
+
+class TestFanoutNetwork:
+    def test_wires_carry_incremented_times(self):
+        b = NetworkBuilder("fanout")
+        x = b.input("x")
+        r = ResponseFunction([0, 2, 1])  # ups at 1,1; down at 2
+        ups, downs = fanout_network(b, x, r)
+        for i, w in enumerate(ups):
+            b.output(f"u{i}", w)
+        for i, w in enumerate(downs):
+            b.output(f"d{i}", w)
+        net = b.build()
+        out = evaluate_vector(net, (5,))
+        assert out["u0"] == 6 and out["u1"] == 6
+        assert out["d0"] == 7
+
+    def test_absent_input_yields_no_steps(self):
+        b = NetworkBuilder("fanout")
+        x = b.input("x")
+        ups, downs = fanout_network(b, x, FIG11_RESPONSE)
+        b.output("u0", ups[0])
+        net = b.build()
+        assert evaluate_vector(net, (INF,))["u0"] is INF
+
+    def test_step_counts_match_decomposition(self):
+        b = NetworkBuilder("fanout")
+        x = b.input("x")
+        ups, downs = fanout_network(b, x, FIG11_RESPONSE)
+        train = FIG11_RESPONSE.steps()
+        assert len(ups) == len(train.ups)
+        assert len(downs) == len(train.downs)

@@ -1,0 +1,118 @@
+"""Tests for bitonic / odd-even sorting networks (Fig. 10)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.properties import verify
+from repro.core.value import INF
+from repro.network.simulator import evaluate_vector
+from repro.neuron.sorting import (
+    comparator_count,
+    sort_network,
+    theoretical_bitonic_comparators,
+)
+
+
+def run_sort(net, vec):
+    out = evaluate_vector(net, vec)
+    return [out[f"s{i}"] for i in range(len(vec))]
+
+
+def reference_sort(vec):
+    return sorted(vec, key=lambda v: float("inf") if v is INF else v)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8])
+    @pytest.mark.parametrize("algorithm", ["bitonic", "odd-even"])
+    def test_exhaustive_binary_inputs(self, n, algorithm):
+        # Zero-one principle: a comparator network sorts all inputs iff it
+        # sorts all 0/1 inputs. ∞ plays the role of 1.
+        net = sort_network(n, algorithm=algorithm)
+        for mask in range(2**n):
+            vec = tuple(INF if mask & (1 << i) else 0 for i in range(n))
+            assert run_sort(net, vec) == reference_sort(vec), vec
+
+    @pytest.mark.parametrize("algorithm", ["bitonic", "odd-even"])
+    def test_random_values(self, algorithm):
+        rng = random.Random(7)
+        for _ in range(60):
+            n = rng.randint(1, 12)
+            net = sort_network(n, algorithm=algorithm)
+            vec = tuple(
+                INF if rng.random() < 0.3 else rng.randint(0, 15)
+                for _ in range(n)
+            )
+            assert run_sort(net, vec) == reference_sort(vec), vec
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.one_of(st.integers(min_value=0, max_value=20), st.just(INF)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_hypothesis_sorts(self, values):
+        net = sort_network(len(values))
+        assert run_sort(net, tuple(values)) == reference_sort(values)
+
+    def test_duplicates(self):
+        net = sort_network(6)
+        assert run_sort(net, (3, 3, 1, 3, 1, 1)) == [1, 1, 1, 3, 3, 3]
+
+
+class TestSpaceTimeProperties:
+    def test_sort_outputs_are_space_time_functions(self):
+        # The paper: sort is causal and invariant. Check output s1 of a
+        # 3-sorter (the median — the most interesting one).
+        net = sort_network(3)
+        report = verify(net.as_function(output="s1"), window=4)
+        assert report.ok, report.violations[:3]
+
+    def test_min_output_is_first_arrival(self):
+        net = sort_network(4)
+        f = verify(net.as_function(output="s0"), window=3)
+        assert f.ok
+
+
+class TestStructure:
+    def test_only_min_max_nodes(self):
+        net = sort_network(8)
+        kinds = net.counts_by_kind()
+        assert set(kinds) <= {"input", "min", "max"}
+
+    def test_power_of_two_comparator_count(self):
+        for n in (2, 4, 8, 16):
+            net = sort_network(n)
+            assert comparator_count(net) == theoretical_bitonic_comparators(n)
+
+    def test_padding_reduces_comparators(self):
+        # A 5-sorter via virtual padding must be cheaper than a full
+        # 8-sorter: folded comparators are never emitted.
+        assert comparator_count(sort_network(5)) < comparator_count(
+            sort_network(8)
+        )
+
+    def test_odd_even_cheaper_than_bitonic(self):
+        # The classic result, and our ablation: Batcher's odd-even merge
+        # sort uses fewer comparators than bitonic sort.
+        for n in (8, 16, 32):
+            assert comparator_count(
+                sort_network(n, algorithm="odd-even")
+            ) < comparator_count(sort_network(n, algorithm="bitonic"))
+
+    def test_theoretical_count_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            theoretical_bitonic_comparators(6)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            sort_network(4, algorithm="quicksort")
+
+    def test_zero_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            sort_network(0)

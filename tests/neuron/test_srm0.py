@@ -1,0 +1,147 @@
+"""Tests for the behavioral SRM0 neuron and its Fig. 12 compilation."""
+
+import random
+
+import pytest
+
+from repro.core.function import enumerate_domain
+from repro.core.properties import check_bounded_history, verify
+from repro.core.value import INF
+from repro.neuron.response import ResponseFunction
+from repro.neuron.srm0 import SRM0Neuron
+from repro.neuron.srm0_network import build_srm0_from_weights, build_srm0_network
+
+PWL = ResponseFunction.piecewise_linear(amplitude=3, rise=2, fall=4)
+
+
+class TestBehavioral:
+    def test_single_strong_input_fires(self):
+        neuron = SRM0Neuron.homogeneous(1, [2], base_response=PWL, threshold=3)
+        t = neuron.fire_time((5,))
+        assert t == 6  # 2*PWL reaches 3 at offset 1 (value 2*1.5 -> 3)
+
+    def test_threshold_never_crossed(self):
+        neuron = SRM0Neuron.homogeneous(2, [1, 1], base_response=PWL, threshold=100)
+        assert neuron.fire_time((0, 0)) is INF
+
+    def test_silence_in_silence_out(self):
+        neuron = SRM0Neuron.homogeneous(3, [2, 2, 2], base_response=PWL, threshold=1)
+        assert neuron.fire_time((INF, INF, INF)) is INF
+
+    def test_coincident_spikes_fire_earlier_than_dispersed(self):
+        # The core TNN computational principle: temporal coincidence wins.
+        neuron = SRM0Neuron.homogeneous(3, [1, 1, 1], base_response=PWL, threshold=6)
+        together = neuron.fire_time((0, 0, 0))
+        spread = neuron.fire_time((0, 3, 6))
+        assert together < spread or spread is INF
+
+    def test_potential_is_sum_of_responses(self):
+        neuron = SRM0Neuron.homogeneous(2, [1, 2], base_response=PWL, threshold=1)
+        t = 3
+        expected = PWL(3 - 0) + 2 * PWL(3 - 1)
+        assert neuron.potential((0, 1), t) == expected
+
+    def test_inhibitory_synapse_delays_firing(self):
+        excite = PWL.scaled(2)
+        inhibit = PWL.negated()
+        plain = SRM0Neuron([excite], threshold=3)
+        mixed = SRM0Neuron([excite, inhibit], threshold=3)
+        t_plain = plain.fire_time((0,))
+        t_mixed = mixed.fire_time((0, 0))
+        assert t_mixed is INF or t_mixed >= t_plain
+
+    def test_trace(self):
+        neuron = SRM0Neuron.homogeneous(1, [1], base_response=PWL, threshold=10)
+        trace = neuron.trace((0,), PWL.t_max)
+        assert trace == [PWL(t) for t in range(PWL.t_max + 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SRM0Neuron([], threshold=1)
+        with pytest.raises(ValueError):
+            SRM0Neuron([PWL], threshold=0)
+        neuron = SRM0Neuron([PWL], threshold=1)
+        with pytest.raises(TypeError):
+            neuron.fire_time((0, 0))
+
+    def test_is_space_time_function(self):
+        neuron = SRM0Neuron.homogeneous(2, [2, 1], base_response=PWL, threshold=3)
+        report = verify(neuron.as_function(), window=4)
+        assert report.ok, report.violations[:3]
+
+    def test_is_bounded(self):
+        # The paper's point in §III.E: a realistic neuron has bounded
+        # history — here the response's t_max.
+        neuron = SRM0Neuron.homogeneous(2, [2, 2], base_response=PWL, threshold=3)
+        vecs = list(enumerate_domain(2, PWL.t_max + 3))
+        report = check_bounded_history(neuron.as_function(), vecs, PWL.t_max)
+        assert report.ok, report.violations[:3]
+
+
+class TestFig12Equivalence:
+    """The construction theorem: network fire time == behavioral fire time."""
+
+    @pytest.mark.parametrize("threshold", [1, 2, 4, 6, 9])
+    def test_threshold_sweep_exhaustive(self, threshold):
+        neuron = SRM0Neuron.homogeneous(
+            2, [2, 1], base_response=PWL, threshold=threshold
+        )
+        f = build_srm0_network(neuron).as_function()
+        for vec in enumerate_domain(2, 5):
+            assert f(*vec) == neuron.fire_time(vec), (threshold, vec)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_neurons(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 4)
+        weights = [rng.randint(0, 3) for _ in range(n)]
+        threshold = rng.randint(1, 8)
+        neuron = SRM0Neuron.homogeneous(
+            n, weights, base_response=PWL, threshold=threshold
+        )
+        f = build_srm0_network(neuron).as_function()
+        for _ in range(60):
+            vec = tuple(
+                INF if rng.random() < 0.3 else rng.randint(0, 7)
+                for _ in range(n)
+            )
+            assert f(*vec) == neuron.fire_time(vec), (seed, vec)
+
+    def test_biexponential_neuron(self):
+        base = ResponseFunction.biexponential(amplitude=3, t_max=8)
+        neuron = SRM0Neuron.homogeneous(2, [1, 2], base_response=base, threshold=4)
+        f = build_srm0_network(neuron).as_function()
+        for vec in enumerate_domain(2, 4):
+            assert f(*vec) == neuron.fire_time(vec), vec
+
+    def test_inhibitory_mix(self):
+        neuron = SRM0Neuron(
+            [PWL.scaled(2), PWL.negated()], threshold=2, name="mix"
+        )
+        f = build_srm0_network(neuron).as_function()
+        for vec in enumerate_domain(2, 5):
+            assert f(*vec) == neuron.fire_time(vec), vec
+
+    def test_never_firing_network(self):
+        neuron = SRM0Neuron.homogeneous(1, [1], base_response=PWL, threshold=50)
+        f = build_srm0_network(neuron).as_function()
+        assert f(0) is INF
+        assert f(INF) is INF
+
+    def test_odd_even_variant(self):
+        neuron = SRM0Neuron.homogeneous(2, [2, 2], base_response=PWL, threshold=4)
+        bitonic = build_srm0_network(neuron, algorithm="bitonic").as_function()
+        odd_even = build_srm0_network(neuron, algorithm="odd-even").as_function()
+        for vec in enumerate_domain(2, 4):
+            assert bitonic(*vec) == odd_even(*vec), vec
+
+    def test_uses_only_primitives(self):
+        neuron = SRM0Neuron.homogeneous(2, [2, 1], base_response=PWL, threshold=3)
+        net = build_srm0_network(neuron)
+        kinds = set(net.counts_by_kind())
+        assert kinds <= {"input", "inc", "min", "max", "lt"}
+
+    def test_from_weights_convenience(self):
+        net = build_srm0_from_weights([2, 1], threshold=3, base_response=PWL)
+        neuron = SRM0Neuron.homogeneous(2, [2, 1], base_response=PWL, threshold=3)
+        assert net.as_function()(0, 1) == neuron.fire_time((0, 1))

@@ -1,0 +1,133 @@
+"""Tests for micro-weight synapses (Figs. 13–14)."""
+
+import pytest
+
+from repro.core.function import enumerate_domain
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.simulator import evaluate
+from repro.neuron.response import ResponseFunction
+from repro.neuron.srm0 import SRM0Neuron
+from repro.neuron.weights import (
+    build_programmable_neuron,
+    microweight_synapse,
+    response_family,
+    weight_settings,
+)
+
+BASE = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=3)
+
+
+class TestMicroWeightGate:
+    """Fig. 13: μ=∞ enables, μ=0 disables."""
+
+    def test_enable_disable(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        net = b.build()
+        assert evaluate(net, {"x": 5}, params={"mu": INF})["z"] == 5
+        assert evaluate(net, {"x": 5}, params={"mu": 0})["z"] is INF
+
+    def test_disabled_blocks_even_time_zero(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        net = b.build()
+        assert evaluate(net, {"x": 0}, params={"mu": 0})["z"] is INF
+
+
+class TestSynapseWires:
+    def test_weight_zero_response_must_be_zero(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        with pytest.raises(ValueError, match="identically zero"):
+            microweight_synapse(b, x, [BASE, BASE])
+
+    def test_level_count(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        wires = microweight_synapse(b, x, response_family(BASE, 3))
+        assert len(wires.param_names) == 3
+
+    def test_settings_recipe(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        wires = microweight_synapse(b, x, response_family(BASE, 4))
+        # The paper's example: weight 3 -> mu1..mu3 = ∞, mu4 = 0.
+        settings = wires.settings_for_weight(3)
+        names = wires.param_names
+        assert settings[names[0]] is INF
+        assert settings[names[1]] is INF
+        assert settings[names[2]] is INF
+        assert settings[names[3]] == 0
+
+    def test_weight_out_of_range(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        wires = microweight_synapse(b, x, response_family(BASE, 2))
+        with pytest.raises(ValueError):
+            wires.settings_for_weight(3)
+        with pytest.raises(ValueError):
+            wires.settings_for_weight(-1)
+
+
+class TestProgrammableNeuron:
+    """Fig. 14 + Fig. 12: micro-weights select the behavioral weight."""
+
+    @pytest.mark.parametrize("w1", range(4))
+    @pytest.mark.parametrize("w2", range(4))
+    def test_all_weight_settings_match_behavioral(self, w1, w2):
+        net, synapses = build_programmable_neuron(
+            2, base_response=BASE, max_weight=3, threshold=3
+        )
+        params = weight_settings(synapses, [w1, w2])
+        behavioral = SRM0Neuron.homogeneous(
+            2, [w1, w2], base_response=BASE, threshold=3
+        )
+        for vec in [(0, 0), (0, 2), (2, 0), (1, 3), (0, INF), (INF, INF)]:
+            want = behavioral.fire_time(vec)
+            got = evaluate(net, dict(zip(net.input_names, vec)), params=params)["y"]
+            assert want == got, ((w1, w2), vec)
+
+    def test_weight_zero_everywhere_is_silent(self):
+        net, synapses = build_programmable_neuron(
+            2, base_response=BASE, max_weight=3, threshold=1
+        )
+        params = weight_settings(synapses, [0, 0])
+        out = evaluate(net, {"x1": 0, "x2": 0}, params=params)
+        assert out["y"] is INF
+
+    def test_heavier_weight_fires_no_later(self):
+        net, synapses = build_programmable_neuron(
+            1, base_response=BASE, max_weight=3, threshold=3
+        )
+        times = []
+        for w in range(4):
+            out = evaluate(
+                net, {"x1": 0}, params=weight_settings(synapses, [w])
+            )
+            times.append(out["y"])
+        for light, heavy in zip(times, times[1:]):
+            assert heavy <= light
+
+    def test_settings_length_mismatch(self):
+        _, synapses = build_programmable_neuron(
+            2, base_response=BASE, max_weight=2, threshold=2
+        )
+        with pytest.raises(ValueError):
+            weight_settings(synapses, [1])
+
+    def test_invariance_with_fixed_weights(self):
+        # With micro-weights pinned, the configured network is an s-t
+        # function of its data inputs.
+        from repro.core.properties import verify
+
+        net, synapses = build_programmable_neuron(
+            2, base_response=BASE, max_weight=2, threshold=2
+        )
+        f = net.as_function(params=weight_settings(synapses, [2, 1]))
+        report = verify(f, window=3)
+        assert report.ok, report.violations[:3]

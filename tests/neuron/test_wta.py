@@ -1,0 +1,130 @@
+"""Tests for winner-take-all inhibition (Fig. 15)."""
+
+import random
+
+import pytest
+
+from repro.core.value import INF
+from repro.network.simulator import evaluate_vector
+from repro.neuron.wta import (
+    build_k_wta_network,
+    build_wta_network,
+    first_winner,
+    k_wta,
+    winners,
+    wta,
+)
+
+
+def net_out(net, vec):
+    out = evaluate_vector(net, vec)
+    return tuple(out[f"y{i + 1}"] for i in range(len(vec)))
+
+
+class TestOneWTA:
+    """The paper's Fig. 15: only spikes at relative time 0 pass."""
+
+    def test_single_winner(self):
+        net = build_wta_network(4, window=1)
+        assert net_out(net, (3, 5, 4, 6)) == (3, INF, INF, INF)
+
+    def test_tied_winners_all_pass(self):
+        net = build_wta_network(3, window=1)
+        assert net_out(net, (2, 2, 5)) == (2, 2, INF)
+
+    def test_all_silent(self):
+        net = build_wta_network(3, window=1)
+        assert net_out(net, (INF, INF, INF)) == (INF, INF, INF)
+
+    def test_behavioral_matches_network(self):
+        net = build_wta_network(5, window=1)
+        rng = random.Random(0)
+        for _ in range(80):
+            vec = tuple(
+                INF if rng.random() < 0.3 else rng.randint(0, 6)
+                for _ in range(5)
+            )
+            assert net_out(net, vec) == wta(vec, window=1), vec
+
+
+class TestTauWTA:
+    def test_wider_window_admits_more(self):
+        vec = (0, 1, 2, 5)
+        assert wta(vec, window=1) == (0, INF, INF, INF)
+        assert wta(vec, window=2) == (0, 1, INF, INF)
+        assert wta(vec, window=3) == (0, 1, 2, INF)
+
+    def test_network_matches_behavioral_tau3(self):
+        net = build_wta_network(4, window=3)
+        rng = random.Random(1)
+        for _ in range(60):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 8)
+                for _ in range(4)
+            )
+            assert net_out(net, vec) == wta(vec, window=3), vec
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            build_wta_network(3, window=0)
+        with pytest.raises(ValueError):
+            wta((0,), window=0)
+
+
+class TestKWTA:
+    def test_pass_first_k(self):
+        assert k_wta((4, 0, 2, 9), 2) == (INF, 0, 2, INF)
+
+    def test_ties_at_cutoff_inhibited(self):
+        # Two spikes tie at the k-th place: neither passes (documented
+        # tie semantics — no spatial tie-breaker exists).
+        assert k_wta((0, 1, 1, 5), 2) == (0, INF, INF, INF)
+
+    def test_fewer_spikes_than_k(self):
+        assert k_wta((3, INF, INF), 2) == (3, INF, INF)
+
+    def test_network_matches_behavioral(self):
+        for k in (1, 2, 3):
+            net = build_k_wta_network(4, k)
+            rng = random.Random(k)
+            for _ in range(60):
+                vec = tuple(
+                    INF if rng.random() < 0.25 else rng.randint(0, 7)
+                    for _ in range(4)
+                )
+                assert net_out(net, vec) == k_wta(vec, k), (k, vec)
+
+    def test_k_geq_lines_passes_everything(self):
+        net = build_k_wta_network(3, 5)
+        assert net_out(net, (4, 1, INF)) == (4, 1, INF)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_wta((0,), 0)
+        with pytest.raises(ValueError):
+            build_k_wta_network(3, 0)
+
+
+class TestReadout:
+    def test_first_winner_unique(self):
+        assert first_winner((5, 2, 9)) == 1
+
+    def test_first_winner_tie_is_none(self):
+        assert first_winner((2, 2, 9)) is None
+
+    def test_first_winner_silent_is_none(self):
+        assert first_winner((INF, INF)) is None
+
+    def test_winners_list(self):
+        assert winners((3, 1, 1, INF)) == [1, 2]
+        assert winners((INF, INF)) == []
+
+
+class TestSpaceTimeProperties:
+    def test_wta_outputs_are_space_time(self):
+        from repro.core.properties import verify
+
+        net = build_wta_network(3, window=1)
+        for out in net.output_names:
+            report = verify(net.as_function(output=out), window=3)
+            assert report.ok, (out, report.violations[:2])

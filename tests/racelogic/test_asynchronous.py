@@ -1,0 +1,145 @@
+"""Tests for the delay-based (asynchronous) GRL variant (§V.B)."""
+
+import random
+
+import pytest
+
+from repro.core.function import enumerate_domain
+from repro.core.synthesis import max_from_min_lt, synthesize
+from repro.core.table import FIG7_TABLE, NormalizedTable
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.simulator import evaluate
+from repro.racelogic.asynchronous import (
+    AsyncGate,
+    compile_async,
+    run_async,
+)
+from repro.racelogic.circuit import CircuitError
+
+
+class TestGateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(CircuitError):
+            AsyncGate(0, "nand", sources=(0,))
+
+    def test_negative_delay(self):
+        with pytest.raises(CircuitError, match="non-negative"):
+            AsyncGate(1, "delay", sources=(0,), delay=-1)
+
+    def test_feedforward(self):
+        with pytest.raises(CircuitError, match="feedforward"):
+            AsyncGate(1, "and", sources=(1, 2))
+
+
+class TestIdealEquivalence:
+    """With zero gate latency the async circuit equals the algebra."""
+
+    def test_fig7_exhaustive(self):
+        net = synthesize(FIG7_TABLE)
+        circuit = compile_async(net)
+        for vec in enumerate_domain(3, 4):
+            bound = dict(zip(net.input_names, vec))
+            assert run_async(circuit, bound).outputs == evaluate(net, bound), vec
+
+    def test_lemma2_exhaustive(self):
+        net = max_from_min_lt()
+        circuit = compile_async(net)
+        for vec in enumerate_domain(2, 5):
+            bound = dict(zip(net.input_names, vec))
+            assert run_async(circuit, bound).outputs == evaluate(net, bound), vec
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_tables(self, seed):
+        table = NormalizedTable.random(
+            3, window=3, n_rows=5, rng=random.Random(seed)
+        )
+        net = synthesize(table)
+        circuit = compile_async(net)
+        rng = random.Random(seed + 10)
+        for _ in range(60):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 6)
+                for _ in range(3)
+            )
+            bound = dict(zip(net.input_names, vec))
+            assert run_async(circuit, bound).outputs == evaluate(net, bound), vec
+
+    def test_no_clock_no_flipflops(self):
+        net = synthesize(FIG7_TABLE)
+        circuit = compile_async(net)
+        kinds = circuit.counts_by_kind()
+        assert "dff" not in kinds
+        assert kinds.get("delay", 0) > 0
+        assert circuit.total_designed_delay == sum(
+            n.amount for n in net.nodes if n.kind == "inc"
+        )
+
+    def test_transition_counts_sane(self):
+        net = synthesize(FIG7_TABLE)
+        circuit = compile_async(net)
+        result = run_async(circuit, dict(zip(net.input_names, (0, 1, 2))))
+        assert result.transition_count > 0
+        silent = run_async(circuit, dict(zip(net.input_names, (INF,) * 3)))
+        assert silent.transition_count == 0
+
+    def test_unbound_input(self):
+        net = max_from_min_lt()
+        circuit = compile_async(net)
+        with pytest.raises(CircuitError, match="unbound"):
+            run_async(circuit, {"a": 1})
+
+
+class TestGateLatencySkew:
+    """The §V.B caveat: nonzero gate latencies skew results."""
+
+    def test_min_chain_accumulates_latency(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.min(b.min(x, y), y))
+        net = b.build()
+        ideal = compile_async(net, gate_delay=0)
+        slow = compile_async(net, gate_delay=1)
+        bound = {"x": 2, "y": 5}
+        t_ideal = run_async(ideal, bound).outputs["o"]
+        t_slow = run_async(slow, bound).outputs["o"]
+        assert t_slow > t_ideal  # two gate latencies on the path
+
+    def test_skew_grows_with_depth(self):
+        # A chain of k min stages skews by ~k with unit gate delay.
+        def chain(depth):
+            b = NetworkBuilder()
+            x, y = b.inputs("x", "y")
+            cur = x
+            for _ in range(depth):
+                cur = b.min(cur, y)
+            b.output("o", cur)
+            return b.build()
+
+        skews = []
+        for depth in (1, 3, 6):
+            net = chain(depth)
+            bound = {"x": 1, "y": 9}
+            ideal = run_async(compile_async(net, gate_delay=0), bound)
+            slow = run_async(compile_async(net, gate_delay=1), bound)
+            skews.append(int(slow.outputs["o"]) - int(ideal.outputs["o"]))
+        assert skews == [1, 3, 6]
+
+    def test_latency_can_flip_a_race(self):
+        # lt(a, b+delta): with ideal gates a=3 < b-path... gate latency on
+        # the b path changes which signal wins a tight race.
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.lt(b.min(x, x), y))  # min adds latency to the a path
+        net = b.build()
+        bound = {"x": 2, "y": 3}
+        ideal = run_async(compile_async(net, gate_delay=0), bound)
+        slow = run_async(compile_async(net, gate_delay=1), bound)
+        assert ideal.outputs["o"] == 2  # 2 < 3: passes
+        assert slow.outputs["o"] is INF  # a delayed to 3: tie, blocked
+
+    def test_settle_time_reported(self):
+        net = synthesize(FIG7_TABLE)
+        circuit = compile_async(net)
+        result = run_async(circuit, dict(zip(net.input_names, (0, 1, 2))))
+        assert result.settle_time >= 0

@@ -1,0 +1,114 @@
+"""Tests for the s-t → GRL compiler: hardware equals semantics."""
+
+import random
+
+import pytest
+
+from repro.core.function import enumerate_domain
+from repro.core.synthesis import max_from_min_lt, synthesize
+from repro.core.table import FIG7_TABLE, NormalizedTable
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.simulator import evaluate
+from repro.neuron.response import ResponseFunction
+from repro.neuron.srm0 import SRM0Neuron
+from repro.neuron.srm0_network import build_srm0_network
+from repro.neuron.wta import build_wta_network
+from repro.racelogic.compile import GRLExecutor, compile_network
+
+
+class TestStructureMapping:
+    def test_gate_counts(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("o", b.lt(b.inc(b.min(x, y), 3), b.max(x, y)))
+        circuit = compile_network(b.build())
+        kinds = circuit.counts_by_kind()
+        assert kinds["and"] == 1  # min
+        assert kinds["or"] == 1  # max
+        assert kinds["lt"] == 1
+        assert kinds["dff"] == 3  # inc(+3)
+
+    def test_params_become_inputs(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        circuit = compile_network(b.build())
+        assert set(circuit.input_names) == {"x", "mu"}
+
+
+class TestSemanticsPreservation:
+    def test_fig7_network_exhaustive(self):
+        net = synthesize(FIG7_TABLE)
+        executor = GRLExecutor(net)
+        for vec in enumerate_domain(3, 4):
+            bound = dict(zip(net.input_names, vec))
+            assert executor.outputs(bound) == evaluate(net, bound), vec
+
+    def test_lemma2_exhaustive(self):
+        net = max_from_min_lt()
+        executor = GRLExecutor(net)
+        for vec in enumerate_domain(2, 5):
+            bound = dict(zip(net.input_names, vec))
+            assert executor.outputs(bound) == evaluate(net, bound), vec
+
+    def test_wta_network(self):
+        net = build_wta_network(3, window=2)
+        executor = GRLExecutor(net)
+        rng = random.Random(0)
+        for _ in range(40):
+            vec = tuple(
+                INF if rng.random() < 0.3 else rng.randint(0, 6)
+                for _ in range(3)
+            )
+            bound = dict(zip(net.input_names, vec))
+            assert executor.outputs(bound) == evaluate(net, bound), vec
+
+    def test_srm0_neuron_in_silicon(self):
+        # The paper's headline: a spiking neuron implemented with
+        # off-the-shelf digital gates.
+        base = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=3)
+        neuron = SRM0Neuron.homogeneous(
+            2, [2, 1], base_response=base, threshold=3
+        )
+        net = build_srm0_network(neuron)
+        executor = GRLExecutor(net)
+        for vec in enumerate_domain(2, 4):
+            bound = dict(zip(net.input_names, vec))
+            want = neuron.fire_time(vec)
+            assert executor.outputs(bound)["y"] == want, vec
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_synthesized_tables(self, seed):
+        table = NormalizedTable.random(
+            3, window=3, n_rows=4, rng=random.Random(seed)
+        )
+        net = synthesize(table)
+        executor = GRLExecutor(net)
+        rng = random.Random(seed + 50)
+        for _ in range(40):
+            vec = tuple(
+                INF if rng.random() < 0.25 else rng.randint(0, 6)
+                for _ in range(3)
+            )
+            bound = dict(zip(net.input_names, vec))
+            assert executor.outputs(bound) == evaluate(net, bound), vec
+
+    def test_microweight_params_in_hardware(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        executor = GRLExecutor(b.build())
+        assert executor.outputs({"x": 4}, params={"mu": INF})["z"] == 4
+        assert executor.outputs({"x": 4}, params={"mu": 0})["z"] is INF
+
+    def test_unbound_param_rejected(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("z", b.gate(x, mu))
+        executor = GRLExecutor(b.build())
+        with pytest.raises(ValueError, match="unbound"):
+            executor.run({"x": 4})

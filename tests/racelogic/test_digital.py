@@ -1,0 +1,151 @@
+"""Tests for the cycle-accurate GRL simulator and circuit netlists."""
+
+import pytest
+
+from repro.core.value import INF
+from repro.racelogic.circuit import Circuit, CircuitBuilder, CircuitError, Gate
+from repro.racelogic.digital import run_circuit
+
+
+class TestCircuitBuilder:
+    def test_basic(self):
+        b = CircuitBuilder("c")
+        x = b.input("x")
+        y = b.input("y")
+        b.output("z", b.and_(x, y))
+        c = b.build()
+        assert c.input_names == ["x", "y"]
+        assert c.output_names == ["z"]
+
+    def test_duplicate_input(self):
+        b = CircuitBuilder()
+        b.input("x")
+        with pytest.raises(CircuitError):
+            b.input("x")
+
+    def test_no_outputs(self):
+        b = CircuitBuilder()
+        b.input("x")
+        with pytest.raises(CircuitError, match="no outputs"):
+            b.build()
+
+    def test_delay_builds_dff_chain(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.output("y", b.delay(x, 3))
+        c = b.build()
+        assert c.flipflop_count == 3
+
+    def test_single_source_gates_elided(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        assert b.and_(x) == x
+        assert b.or_(x) == x
+
+    def test_invalid_reference(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            b.and_(0, 1)
+
+
+class TestGateValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(CircuitError):
+            Gate(0, "xor", sources=(0,))
+
+    def test_feedforward_enforced(self):
+        with pytest.raises(CircuitError, match="feedforward"):
+            Gate(1, "and", sources=(1, 2))
+
+    def test_arities(self):
+        with pytest.raises(CircuitError):
+            Gate(2, "not", sources=(0, 1))
+        with pytest.raises(CircuitError):
+            Gate(1, "lt", sources=(0,))
+
+    def test_dense_ids(self):
+        gates = [Gate(0, "input", name="x")]
+        with pytest.raises(CircuitError, match="dense"):
+            Circuit([Gate(1, "input", name="y")], {"y": 0})
+        Circuit(gates, {"y": 0})  # fine
+
+
+class TestSimulation:
+    def test_and_min_semantics(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.and_(x, y))
+        c = b.build()
+        assert run_circuit(c, {"x": 3, "y": 7}).outputs["z"] == 3
+        assert run_circuit(c, {"x": INF, "y": 7}).outputs["z"] == 7
+
+    def test_or_max_semantics(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.or_(x, y))
+        c = b.build()
+        assert run_circuit(c, {"x": 3, "y": 7}).outputs["z"] == 7
+        assert run_circuit(c, {"x": 3, "y": INF}).outputs["z"] is INF
+
+    def test_dff_delays_by_cycles(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.output("z", b.delay(x, 4))
+        c = b.build()
+        assert run_circuit(c, {"x": 2}).outputs["z"] == 6
+
+    def test_lt_latch_semantics(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.lt(x, y))
+        c = b.build()
+        assert run_circuit(c, {"x": 2, "y": 5}).outputs["z"] == 2
+        assert run_circuit(c, {"x": 5, "y": 2}).outputs["z"] is INF
+        assert run_circuit(c, {"x": 3, "y": 3}).outputs["z"] is INF
+        assert run_circuit(c, {"x": 3, "y": INF}).outputs["z"] == 3
+
+    def test_latch_holds_after_b_falls(self):
+        # The latch's raison d'être: output must not bounce back at b.
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.lt(x, y))
+        result = run_circuit(b.build(), {"x": 1, "y": 4}, horizon=10)
+        # If the latch failed, the z wire would show 2 transitions.
+        z_gate = b.build().outputs["z"]
+        assert result.outputs["z"] == 1
+
+    def test_unbound_input_rejected(self):
+        b = CircuitBuilder()
+        b.input("x")
+        b.input("y")
+        b.output("z", 0)
+        with pytest.raises(CircuitError, match="unbound"):
+            run_circuit(b.build(), {"x": 1})
+
+    def test_horizon_auto_sizing_covers_dffs(self):
+        b = CircuitBuilder()
+        x = b.input("x")
+        b.output("z", b.delay(x, 10))
+        # Input falls late; auto horizon must still catch the output.
+        assert run_circuit(b.build(), {"x": 9}).outputs["z"] == 19
+
+    def test_transition_counting_minimal(self):
+        # One input falling through one AND: exactly 2 data transitions.
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.and_(x, y))
+        result = run_circuit(b.build(), {"x": 2, "y": INF})
+        assert result.transition_count == 2
+
+    def test_silent_run_has_zero_transitions(self):
+        b = CircuitBuilder()
+        x, y = b.input("x"), b.input("y")
+        b.output("z", b.and_(x, y))
+        result = run_circuit(b.build(), {"x": INF, "y": INF})
+        assert result.transition_count == 0
+
+    def test_repr(self):
+        b = CircuitBuilder("mini")
+        x = b.input("x")
+        b.output("z", b.delay(x, 1))
+        assert "dff" in repr(b.build())

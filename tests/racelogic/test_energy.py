@@ -1,0 +1,86 @@
+"""Tests for transition-count energy accounting (§VI claims)."""
+
+import pytest
+
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE
+from repro.core.value import INF
+from repro.racelogic.energy import (
+    CommunicationCost,
+    communication_sweep,
+    measure_energy,
+)
+
+
+class TestMeasureEnergy:
+    def test_sparse_inputs_fewer_transitions(self):
+        # The paper's §VI conjecture: sparse codings mean many signals
+        # undergo zero transitions.
+        net = synthesize(FIG7_TABLE)
+        names = net.input_names
+        dense = measure_energy(net, [dict(zip(names, (0, 1, 2)))])
+        sparse = measure_energy(net, [dict(zip(names, (0, INF, INF)))])
+        assert sparse.total_transitions < dense.total_transitions
+
+    def test_silent_run_is_free(self):
+        net = synthesize(FIG7_TABLE)
+        names = net.input_names
+        report = measure_energy(net, [dict(zip(names, (INF, INF, INF)))])
+        assert report.total_transitions == 0
+
+    def test_activity_factor_bounded(self):
+        # Data wires switch at most once; the latch internals (NOT gates)
+        # can add a second toggle, but the average stays near one.
+        net = synthesize(FIG7_TABLE)
+        names = net.input_names
+        report = measure_energy(net, [dict(zip(names, (0, 1, 2)))])
+        assert 0.0 < report.activity_factor <= 2.0
+
+    def test_accumulates_over_runs(self):
+        net = synthesize(FIG7_TABLE)
+        names = net.input_names
+        one = measure_energy(net, [dict(zip(names, (0, 1, 2)))])
+        two = measure_energy(net, [dict(zip(names, (0, 1, 2)))] * 2)
+        assert two.total_transitions == 2 * one.total_transitions
+        assert two.transitions_per_run == one.transitions_per_run
+
+    def test_dff_clock_events_counted(self):
+        net = synthesize(FIG7_TABLE)
+        names = net.input_names
+        report = measure_energy(net, [dict(zip(names, (0, 1, 2)))])
+        assert report.flipflop_count > 0
+        assert report.dff_clock_events == report.flipflop_count * report.total_cycles
+
+    def test_str(self):
+        net = synthesize(FIG7_TABLE)
+        report = measure_energy(net, [dict(zip(net.input_names, (0, 1, 2)))])
+        assert "transitions/run" in str(report)
+
+
+class TestCommunicationModel:
+    def test_direct_always_one_transition(self):
+        for bits in (1, 3, 8):
+            assert CommunicationCost(bits).direct_transitions == 1
+
+    def test_time_penalty_exponential(self):
+        penalties = [CommunicationCost(b).time_penalty for b in (2, 3, 4)]
+        assert penalties == [4.0, 8.0, 16.0]
+
+    def test_energy_advantage_linear(self):
+        advantages = [CommunicationCost(b).energy_advantage for b in (2, 4, 8)]
+        assert advantages == [1.0, 2.0, 4.0]
+
+    def test_sweep(self):
+        sweep = communication_sweep(4)
+        assert [c.resolution_bits for c in sweep] == [1, 2, 3, 4]
+
+    def test_sweep_validation(self):
+        with pytest.raises(ValueError):
+            communication_sweep(0)
+
+    def test_low_resolution_sweet_spot(self):
+        # At 3–4 bits the time penalty (8–16x) is tolerable while the
+        # energy advantage (1.5–2x) is real — the paper's design point.
+        c3 = CommunicationCost(3)
+        assert c3.direct_message_time <= 16
+        assert c3.energy_advantage >= 1.5

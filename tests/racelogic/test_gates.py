@@ -1,0 +1,105 @@
+"""Tests for GRL gate semantics (Fig. 16) against the algebra."""
+
+import pytest
+
+from repro.core.algebra import lt, maximum, minimum
+from repro.core.function import enumerate_domain
+from repro.core.value import INF
+from repro.racelogic.gates import (
+    and_gate,
+    dff_chain,
+    lt_latch,
+    lt_unlatched_waveform,
+    not_gate,
+    or_gate,
+)
+from repro.racelogic.signals import EdgeSignal, waveform_from_levels
+
+
+class TestGateAlgebraCorrespondence:
+    """AND = min, OR = max, DFF chain = inc, latch = lt — exhaustively."""
+
+    def test_and_is_min(self):
+        for a, b in enumerate_domain(2, 6):
+            assert and_gate(a, b) == minimum(a, b), (a, b)
+
+    def test_or_is_max(self):
+        for a, b in enumerate_domain(2, 6):
+            assert or_gate(a, b) == maximum(a, b), (a, b)
+
+    def test_lt_latch_is_lt(self):
+        for a, b in enumerate_domain(2, 6):
+            assert lt_latch(a, b) == lt(a, b), (a, b)
+
+    def test_dff_chain_is_inc(self):
+        for t in [0, 1, 5, INF]:
+            for n in (0, 1, 3):
+                expected = INF if t is INF else t + n
+                assert dff_chain(t, n) == expected
+
+    def test_variadic(self):
+        assert and_gate(5, 2, 9) == 2
+        assert or_gate(5, 2, 9) == 9
+        assert or_gate(5, INF) is INF
+
+    def test_dff_validation(self):
+        with pytest.raises(ValueError):
+            dff_chain(0, -1)
+
+
+class TestLatchNecessity:
+    """The reason Fig. 16's lt has a latch: the raw gate glitches."""
+
+    def test_unlatched_output_glitches_back(self):
+        # a = 2 < b = 5: raw (a OR NOT b) falls at 2 but rises again at 5.
+        levels = lt_unlatched_waveform(2, 5, horizon=8)
+        assert levels[2] == 0  # correct fall
+        assert levels[5] == 1  # the glitch the latch suppresses
+        with pytest.raises(ValueError, match="rises"):
+            waveform_from_levels(levels)
+
+    def test_unlatched_correct_when_b_never_falls(self):
+        levels = lt_unlatched_waveform(2, INF, horizon=8)
+        signal = waveform_from_levels(levels)
+        assert signal.fall_time == 2
+
+    def test_unlatched_stays_high_when_b_first(self):
+        levels = lt_unlatched_waveform(5, 2, horizon=8)
+        assert all(level == 1 for level in levels)
+
+
+class TestNotGate:
+    def test_not_is_rising(self):
+        initial, rise = not_gate(4)
+        assert initial == 0
+        assert rise == 4
+
+
+class TestEdgeSignal:
+    def test_levels(self):
+        s = EdgeSignal(3)
+        assert s.trace(5) == [1, 1, 1, 0, 0, 0]
+
+    def test_never_falls(self):
+        s = EdgeSignal.never()
+        assert s.trace(3) == [1, 1, 1, 1]
+        assert s.transitions == 0
+
+    def test_single_transition_property(self):
+        assert EdgeSignal(0).transitions == 1
+
+    def test_roundtrip(self):
+        for t in [0, 2, 7, INF]:
+            s = EdgeSignal.from_time(t)
+            assert waveform_from_levels(s.trace(10)).fall_time == (
+                t if t is not INF else INF
+            )
+
+    def test_waveform_validation(self):
+        with pytest.raises(ValueError):
+            waveform_from_levels([1, 0, 1])
+        with pytest.raises(ValueError):
+            waveform_from_levels([2])
+
+    def test_negative_cycle_is_high(self):
+        assert EdgeSignal(0).level(-1) == 1

@@ -1,0 +1,151 @@
+"""Tests for race-logic shortest paths vs Dijkstra."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.value import INF
+from repro.racelogic.shortest_path import (
+    WeightedDAG,
+    build_race_network,
+    dijkstra,
+    race_shortest_paths,
+    race_shortest_paths_digital,
+    random_dag,
+)
+
+
+def diamond():
+    g = WeightedDAG()
+    g.add_edge("s", "a", 2)
+    g.add_edge("s", "b", 5)
+    g.add_edge("a", "t", 4)
+    g.add_edge("b", "t", 0)
+    g.add_edge("a", "b", 1)
+    return g
+
+
+class TestDAG:
+    def test_negative_weight_rejected(self):
+        g = WeightedDAG()
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1)
+
+    def test_topological_order(self):
+        order = diamond().topological_order()
+        assert order.index("s") < order.index("a") < order.index("t")
+
+    def test_cycle_detected(self):
+        g = WeightedDAG()
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 0, 1)
+        with pytest.raises(ValueError, match="cycle"):
+            g.topological_order()
+
+    def test_counts(self):
+        g = diamond()
+        assert g.edge_count == 5
+        assert g.total_weight == 12
+
+
+class TestDijkstraBaseline:
+    def test_diamond(self):
+        d = dijkstra(diamond(), "s")
+        assert d == {"s": 0, "a": 2, "b": 3, "t": 3}
+
+    def test_unreachable_is_inf(self):
+        g = WeightedDAG()
+        g.add_edge(0, 1, 1)
+        g.edges.setdefault(2, [])
+        d = dijkstra(g, 0)
+        assert d[2] is INF
+
+    def test_unknown_source(self):
+        with pytest.raises(KeyError):
+            dijkstra(diamond(), "missing")
+
+    def test_matches_networkx(self):
+        rng = random.Random(11)
+        for _ in range(5):
+            g = random_dag(10, edge_probability=0.4, rng=rng)
+            nxg = nx.DiGraph()
+            nxg.add_nodes_from(g.edges)
+            for u, out in g.edges.items():
+                for v, w in out:
+                    if nxg.has_edge(u, v):
+                        w = min(w, nxg[u][v]["weight"])
+                    nxg.add_edge(u, v, weight=w)
+            ref = nx.single_source_dijkstra_path_length(nxg, 0)
+            ours = dijkstra(g, 0)
+            for node in g.edges:
+                if node in ref:
+                    assert ours[node] == ref[node], node
+                else:
+                    assert ours[node] is INF, node
+
+
+class TestRaceLogic:
+    def test_diamond_distances(self):
+        assert race_shortest_paths(diamond(), "s") == dijkstra(diamond(), "s")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags_match_dijkstra(self, seed):
+        rng = random.Random(seed)
+        g = random_dag(rng.randint(2, 14), edge_probability=0.35, rng=rng)
+        assert race_shortest_paths(g, 0) == dijkstra(g, 0)
+
+    def test_invariance_of_injection_time(self):
+        # Distances ride on top of the injection time: the solver is an
+        # s-t function of its start input.
+        from repro.network.simulator import evaluate
+
+        g = diamond()
+        net = build_race_network(g, "s")
+        at0 = evaluate(net, {"start": 0})
+        at5 = evaluate(net, {"start": 5})
+        for name in net.output_names:
+            if at0[name] is INF:
+                assert at5[name] is INF
+            else:
+                assert at5[name] == at0[name] + 5
+
+    def test_network_uses_min_and_inc_only(self):
+        net = build_race_network(diamond(), "s")
+        kinds = set(net.counts_by_kind())
+        assert kinds <= {"input", "min", "inc", "lt"}
+        # lt only appears for the never-fires output of unreachable nodes.
+
+    def test_digital_implementation_matches(self):
+        rng = random.Random(21)
+        for _ in range(4):
+            g = random_dag(rng.randint(2, 8), edge_probability=0.4, rng=rng)
+            distances, toggles = race_shortest_paths_digital(g, 0)
+            assert distances == dijkstra(g, 0)
+            assert toggles >= 0
+
+    def test_unreachable_node_in_circuit(self):
+        g = WeightedDAG()
+        g.add_edge(0, 1, 2)
+        g.edges.setdefault(5, [])
+        distances, _ = race_shortest_paths_digital(g, 0)
+        assert distances[5] is INF
+
+    def test_flipflops_equal_total_weight(self):
+        from repro.racelogic.compile import compile_network
+
+        g = diamond()
+        circuit = compile_network(build_race_network(g, "s"))
+        assert circuit.flipflop_count == g.total_weight
+
+
+class TestRandomDag:
+    def test_edges_forward_only(self):
+        g = random_dag(12, rng=random.Random(0))
+        for u, out in g.edges.items():
+            for v, _ in out:
+                assert v > u
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_dag(0)

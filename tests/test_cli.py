@@ -1,0 +1,27 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASSED" in out
+        assert "[ok]" in out
+        assert "FAIL" not in out.replace("CHECK(S) FAILED", "")
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+        assert "repro.core" in out
+        assert "repro.racelogic" in out
+
+    def test_default_is_info(self, capsys):
+        assert main([]) == 0
+        assert "repro 1.0.0" in capsys.readouterr().out
+
+    def test_unknown_command(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown command" in capsys.readouterr().out
