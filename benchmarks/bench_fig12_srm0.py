@@ -14,23 +14,29 @@ from repro.core.value import INF
 from repro.network.stats import structure
 from repro.neuron.response import ResponseFunction
 from repro.neuron.srm0 import SRM0Neuron
-from repro.neuron.srm0_network import build_srm0_network
+from repro.neuron.srm0_network import batched_fire_times, build_srm0_network
 
 LEAKY = ResponseFunction.biexponential(amplitude=3, t_max=8)
 NON_LEAKY = ResponseFunction.step(amplitude=3, width=8)
 
 
 def _agreement(neuron, samples=150, seed=0):
-    f = build_srm0_network(neuron).as_function()
+    # One compiled batched call for the whole random sweep.
+    net = build_srm0_network(neuron)
     rng = random.Random(seed)
-    hits = 0
-    for _ in range(samples):
-        vec = tuple(
+    volleys = [
+        tuple(
             INF if rng.random() < 0.25 else rng.randint(0, 9)
             for _ in range(neuron.arity)
         )
-        if f(*vec) == neuron.fire_time(vec):
-            hits += 1
+        for _ in range(samples)
+    ]
+    net_times = batched_fire_times(net, volleys)
+    hits = sum(
+        1
+        for vec, got in zip(volleys, net_times)
+        if got == neuron.fire_time(vec)
+    )
     return hits / samples
 
 
@@ -43,9 +49,10 @@ def report() -> str:
             2, [2, 1], base_response=LEAKY, threshold=theta
         )
         net = build_srm0_network(neuron)
-        f = net.as_function()
+        vectors = list(enumerate_domain(2, 5))
         exact = all(
-            f(*vec) == neuron.fire_time(vec) for vec in enumerate_domain(2, 5)
+            got == neuron.fire_time(vec)
+            for vec, got in zip(vectors, batched_fire_times(net, vectors))
         )
         lines.append(
             f"{theta:>6} {net.size:>7} {'100%' if exact else 'FAIL':>10}"

@@ -9,7 +9,15 @@ import random
 
 from repro.core.value import INF
 from repro.network.simulator import evaluate_vector
-from repro.neuron.wta import build_k_wta_network, build_wta_network, k_wta, wta
+from repro.neuron.wta import (
+    build_k_wta_network,
+    build_wta_network,
+    k_wta,
+    k_wta_batch,
+    network_wta_batch,
+    wta,
+    wta_batch,
+)
 
 
 def _net_out(net, vec):
@@ -29,21 +37,25 @@ def report() -> str:
         lines.append(f"  k-WTA,   k={k}  : {_net_out(net, volley)}")
 
     rng = random.Random(0)
-    lines.append("\nnetwork-vs-behavioral agreement (200 random volleys each):")
+    lines.append("\nnetwork-vs-behavioral agreement (200 random volleys each, batched):")
     for label, builder, behavioral in [
-        ("tau=1", lambda: build_wta_network(6, window=1), lambda v: wta(v, window=1)),
-        ("tau=3", lambda: build_wta_network(6, window=3), lambda v: wta(v, window=3)),
-        ("k=2", lambda: build_k_wta_network(6, 2), lambda v: k_wta(v, 2)),
+        ("tau=1", lambda: build_wta_network(6, window=1), lambda vs: wta_batch(vs, window=1)),
+        ("tau=3", lambda: build_wta_network(6, window=3), lambda vs: wta_batch(vs, window=3)),
+        ("k=2", lambda: build_k_wta_network(6, 2), lambda vs: k_wta_batch(vs, 2)),
     ]:
         net = builder()
-        hits = 0
-        for _ in range(200):
-            vec = tuple(
+        volleys = [
+            tuple(
                 INF if rng.random() < 0.25 else rng.randint(0, 8)
                 for _ in range(6)
             )
-            if _net_out(net, vec) == behavioral(vec):
-                hits += 1
+            for _ in range(200)
+        ]
+        hits = sum(
+            1
+            for got, want in zip(network_wta_batch(net, volleys), behavioral(volleys))
+            if got == want
+        )
         lines.append(f"  {label:<6}: {hits}/200 exact")
     lines.append(
         "\nshape: only the first spikes survive; widening tau or k admits "

@@ -287,6 +287,51 @@ class NormalizedTable:
         return cls(rows)
 
     @classmethod
+    def from_network(
+        cls,
+        network,
+        *,
+        window: int,
+        output: Optional[str] = None,
+        params: Optional[Mapping[str, Time]] = None,
+        include_inf: bool = True,
+    ) -> "NormalizedTable":
+        """Infer the table of a network output by *batched* enumeration.
+
+        The batched counterpart of :meth:`from_function` for the common
+        case where the black box is a
+        :class:`~repro.network.graph.Network`: the entire normalized
+        window domain is evaluated in one compiled call
+        (:func:`repro.network.compile_plan.evaluate_batch`) instead of
+        one Python network walk per vector.  Produces exactly the table
+        ``from_function(network.as_function(output), window=window)``
+        would.
+        """
+        from ..network.compile_plan import INF_I64, evaluate_batch
+        from ..network.graph import NetworkError
+
+        if output is None:
+            if len(network.outputs) != 1:
+                raise NetworkError(
+                    "from_network needs output= when the network has "
+                    f"{len(network.outputs)} outputs"
+                )
+            output = next(iter(network.outputs))
+        if output not in network.outputs:
+            raise NetworkError(f"no output named {output!r}")
+        column = list(network.outputs).index(output)
+        arity = len(network.input_ids)
+        vectors = list(
+            enumerate_normalized_domain(arity, window, include_inf=include_inf)
+        )
+        matrix = evaluate_batch(network, vectors, params=params)
+        rows: dict[tuple[Time, ...], Time] = {}
+        for vec, out in zip(vectors, matrix[:, column].tolist()):
+            if out != INF_I64:
+                rows[vec] = int(out)
+        return cls(rows)
+
+    @classmethod
     def random(
         cls,
         arity: int,

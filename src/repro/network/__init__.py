@@ -11,12 +11,32 @@ events (:mod:`~repro.network.events`), with structural validation
 
 from .blocks import COMPUTE_KINDS, KINDS, Node
 from .builder import NetworkBuilder, Ref
+from .compile_plan import (
+    INF_I64,
+    MAX_FINITE,
+    CompiledPlan,
+    clear_plan_cache,
+    compile_plan,
+    decode_matrix,
+    decode_time,
+    encode_time,
+    encode_volleys,
+    evaluate_batch,
+    evaluate_batch_all,
+    evaluate_batch_dicts,
+    plan_cache_info,
+)
 from .events import EventSimulator, SimulationResult, SpikeEvent, simulate
 from .generate import input_batch, random_inputs, random_network, random_volley
 from .graph import Network, NetworkError
 from .optimize import OptimizationReport, optimize
 from .serialize import dumps, load, loads, network_from_dict, network_to_dict, save
-from .simulator import evaluate, evaluate_all, evaluate_vector
+from .simulator import (
+    evaluate,
+    evaluate_all,
+    evaluate_all_interpreted,
+    evaluate_vector,
+)
 from .timing import (
     TimeInterval,
     analyze,
@@ -35,8 +55,11 @@ from .validate import (
 
 __all__ = [
     "COMPUTE_KINDS",
+    "INF_I64",
     "KINDS",
+    "MAX_FINITE",
     "ActivityStats",
+    "CompiledPlan",
     "EventSimulator",
     "Network",
     "NetworkBuilder",
@@ -51,13 +74,24 @@ __all__ = [
     "ValidationReport",
     "activity",
     "analyze",
+    "clear_plan_cache",
+    "compile_plan",
     "default_input_window",
     "check_feedforward",
+    "decode_matrix",
+    "decode_time",
     "dumps",
+    "encode_time",
+    "encode_volleys",
     "evaluate",
     "evaluate_all",
+    "evaluate_all_interpreted",
+    "evaluate_batch",
+    "evaluate_batch_all",
+    "evaluate_batch_dicts",
     "evaluate_vector",
     "input_batch",
+    "plan_cache_info",
     "live_node_ids",
     "load",
     "loads",

@@ -69,8 +69,12 @@ class Node:
         elif self.kind == "lt":
             if len(self.sources) != 2:
                 raise ValueError("lt takes exactly two sources (a, b)")
-        elif self.kind in ("min", "max") and not self.sources:
-            raise ValueError(f"{self.kind} needs at least one source")
+        # min/max may have zero sources: they are then the lattice
+        # identity constants — an empty min is ∞ (no first arrival ever
+        # happens), an empty max is 0 (all of its zero arrivals have
+        # happened at time 0).  Every evaluator implements exactly this;
+        # only the GRL hardware compiler rejects them (a CMOS gate needs
+        # physical input wires).
 
     @property
     def is_terminal(self) -> bool:

@@ -103,7 +103,11 @@ class NetworkBuilder:
         return self._add(node)
 
     def min(self, *srcs: Source, tag: str = "") -> Ref:
-        """First arrival of the given sources."""
+        """First arrival of the given sources.
+
+        With no sources this is the identity constant ``∞`` (a spike
+        that never happens).
+        """
         ids = tuple(self._resolve(s) for s in srcs)
         if len(ids) == 1:
             return Ref(ids[0], self._id)
@@ -112,7 +116,11 @@ class NetworkBuilder:
         )
 
     def max(self, *srcs: Source, tag: str = "") -> Ref:
-        """Last arrival of the given sources."""
+        """Last arrival of the given sources.
+
+        With no sources this is the identity constant ``0`` (all zero
+        arrivals have happened immediately).
+        """
         ids = tuple(self._resolve(s) for s in srcs)
         if len(ids) == 1:
             return Ref(ids[0], self._id)

@@ -1,0 +1,461 @@
+"""Compiled batched evaluation of space-time networks.
+
+The denotational evaluator (:mod:`repro.network.simulator`) walks Python
+``Node`` objects and performs :class:`~repro.core.value.Infinity`-object
+arithmetic one volley at a time.  The algebra's semantics — ``min``,
+``max``, ``lt`` and saturating ``inc`` over ``N0∞`` — map directly onto
+saturating integer array operations, so a network can instead be
+*compiled once* into a flat instruction stream and then applied to a
+whole **batch** of input volleys in a handful of NumPy calls.
+
+Encoding
+--------
+Times are ``int64``; ``∞`` is the sentinel ``iinfo(int64).max``
+(:data:`INF_I64`).  Because the sentinel is the largest representable
+value, comparisons against it are automatically correct (``∞`` loses
+every ``min``, wins every ``max``, never precedes anything) and ``inc``
+becomes the saturating add ``min(x, INF_I64 - c) + c``, which both keeps
+``∞`` absorbing and can never overflow.  Finite input times must be
+strictly below the sentinel; times that would *reach* it through
+increments saturate to ``∞`` (the scalar evaluator's arbitrary-precision
+ints diverge from this only beyond ``2^63 - 1``, far outside any
+physically meaningful spike time — the scalar wrappers fall back to the
+interpreted evaluator for such inputs).
+
+Compilation
+-----------
+:func:`compile_plan` schedules the (already topologically ordered) node
+list by *level* — the longest structural distance from a terminal — and
+fuses every same-kind group within a level into a single vectorized
+instruction: one gather + reduction for a whole layer of ``min``
+comparators, one saturating add for a whole layer of delays, one
+``where`` for a whole layer of ``lt`` races.  Nodes at equal level can
+never depend on each other, so any order within a level is valid.
+Variadic ``min``/``max`` groups are padded to a rectangular source
+matrix by repeating each node's own first source (both ops are
+idempotent, so padding does not change the result).
+
+Plans are memoized: first by network identity (a weak map, so plans die
+with their networks), then by :meth:`Network.fingerprint` (a bounded LRU,
+so structurally identical networks — e.g. a serialization round-trip —
+share one plan).  A ``Network`` is immutable, so a cached plan can never
+go stale; the fingerprint key invalidates exactly when the structure
+(kinds, sources, amounts, terminal names, outputs) differs.
+
+Entry points
+------------
+* :func:`evaluate_batch` — ``(B, n_inputs)`` volley matrix in,
+  ``(B, n_outputs)`` spike-time matrix out, one compiled call.
+* :func:`encode_volleys` / :func:`decode_matrix` — convert between
+  ``Time`` tuples (with :data:`~repro.core.value.INF`) and the sentinel
+  ``int64`` encoding.
+* :func:`compile_plan` — the cached plan itself, for callers that want
+  every node's value (:meth:`CompiledPlan.run`) or instruction counts.
+
+The scalar :func:`repro.network.simulator.evaluate` /
+:func:`~repro.network.simulator.evaluate_all` are thin B=1 wrappers over
+this engine.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.value import INF, Infinity, Time, check_time
+from .graph import Network, NetworkError
+
+#: Sentinel encoding of ``∞`` in the int64 engine: the largest int64.
+INF_I64: int = int(np.iinfo(np.int64).max)
+
+#: Largest finite time the batched engine accepts on an input line.
+MAX_FINITE: int = INF_I64 - 1
+
+VolleyLike = Union[np.ndarray, Sequence[Sequence[Time]]]
+
+
+# ---------------------------------------------------------------------------
+# Encoding helpers
+# ---------------------------------------------------------------------------
+
+def encode_time(value: Time) -> int:
+    """Encode one ``Time`` as a sentinel int64 value."""
+    if isinstance(value, Infinity):
+        return INF_I64
+    value = check_time(value)
+    if value > MAX_FINITE:
+        raise NetworkError(
+            f"finite time {value} exceeds the batched engine's limit "
+            f"({MAX_FINITE}); use the interpreted evaluator"
+        )
+    return value
+
+
+def decode_time(value: int) -> Time:
+    """Decode one sentinel int64 value back into ``Time``."""
+    return INF if value == INF_I64 else int(value)
+
+
+def encode_volleys(
+    volleys: VolleyLike, *, arity: Optional[int] = None
+) -> np.ndarray:
+    """Encode a batch of volleys as a ``(B, arity)`` int64 matrix.
+
+    Accepts either a sequence of ``Time`` tuples (``INF`` marks silence)
+    or an integer ndarray already using the :data:`INF_I64` sentinel.
+    Validates membership in ``N0∞``: entries must be non-negative and
+    finite entries must not exceed :data:`MAX_FINITE`.
+    """
+    if isinstance(volleys, np.ndarray):
+        if not np.issubdtype(volleys.dtype, np.integer):
+            raise NetworkError(
+                f"volley matrix must have an integer dtype, got {volleys.dtype}"
+            )
+        matrix = volleys.astype(np.int64, copy=False)
+        if matrix.ndim != 2:
+            raise NetworkError(
+                f"volley matrix must be 2-D (batch, lines), got {matrix.ndim}-D"
+            )
+        if matrix.size and int(matrix.min()) < 0:
+            raise NetworkError("volley matrix contains negative times")
+    else:
+        rows = [tuple(encode_time(v) for v in volley) for volley in volleys]
+        widths = {len(r) for r in rows}
+        if len(widths) > 1:
+            raise NetworkError(f"ragged volley batch: widths {sorted(widths)}")
+        width = widths.pop() if widths else (arity or 0)
+        matrix = np.asarray(rows, dtype=np.int64).reshape(len(rows), width)
+    if arity is not None and matrix.shape[1] != arity:
+        raise NetworkError(
+            f"expected volleys of {arity} lines, got {matrix.shape[1]}"
+        )
+    return matrix
+
+
+def decode_matrix(matrix: np.ndarray) -> list[tuple[Time, ...]]:
+    """Decode an encoded ``(B, n)`` matrix into ``Time`` tuples."""
+    return [tuple(decode_time(int(v)) for v in row) for row in matrix]
+
+
+def _encode_params(
+    network: Network, params: Optional[Mapping[str, Time]]
+) -> np.ndarray:
+    """Validate and encode a parameter binding in declaration order."""
+    params = params or {}
+    missing = set(network.param_ids) - set(params)
+    if missing:
+        raise NetworkError(f"unbound params: {sorted(missing)}")
+    encoded = np.empty(len(network.param_ids), dtype=np.int64)
+    for slot, name in enumerate(network.param_ids):
+        value = check_time(params[name], name=name)
+        if isinstance(value, Infinity):
+            encoded[slot] = INF_I64
+        elif value == 0:
+            encoded[slot] = 0
+        else:
+            raise NetworkError(f"param {name!r} must be 0 or INF, got {value}")
+    return encoded
+
+
+# ---------------------------------------------------------------------------
+# Instruction groups
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _ConstGroup:
+    """Zero-source ``min``/``max`` nodes: the lattice identity elements."""
+
+    ids: np.ndarray
+    value: int  # INF_I64 for empty min, 0 for empty max
+
+
+@dataclass(frozen=True)
+class _IncGroup:
+    """A level's worth of delays: one saturating add."""
+
+    ids: np.ndarray
+    srcs: np.ndarray
+    amounts: np.ndarray
+    caps: np.ndarray  # INF_I64 - amounts, precomputed
+
+
+@dataclass(frozen=True)
+class _ReduceGroup:
+    """A level's worth of same-kind ``min``/``max``: one reduction.
+
+    ``srcs`` is rectangular ``(n_nodes, max_arity)``; shorter source
+    tuples are padded with the node's own first source (idempotence).
+    """
+
+    ids: np.ndarray
+    srcs: np.ndarray
+    is_min: bool
+
+
+@dataclass(frozen=True)
+class _LtGroup:
+    """A level's worth of ``lt`` races: one compare + where."""
+
+    ids: np.ndarray
+    a: np.ndarray
+    b: np.ndarray
+
+
+_Group = Union[_ConstGroup, _IncGroup, _ReduceGroup, _LtGroup]
+
+
+class CompiledPlan:
+    """An executable, batch-oriented compilation of one network structure."""
+
+    def __init__(self, network: Network):
+        self.n_nodes = len(network.nodes)
+        self.fingerprint = network.fingerprint()
+        self.input_ids = np.fromiter(
+            network.input_ids.values(), dtype=np.int64, count=len(network.input_ids)
+        )
+        self.param_ids = np.fromiter(
+            network.param_ids.values(), dtype=np.int64, count=len(network.param_ids)
+        )
+        self.output_names = list(network.outputs)
+        self.output_ids = np.fromiter(
+            network.outputs.values(), dtype=np.int64, count=len(network.outputs)
+        )
+        self.groups: list[_Group] = _build_groups(network)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def n_instructions(self) -> int:
+        """Fused instruction count (plus one input scatter + one gather)."""
+        return len(self.groups)
+
+    def describe(self) -> str:
+        """One line per fused instruction, for reports and debugging."""
+        lines = [
+            f"plan: {self.n_nodes} nodes -> {self.n_instructions} instructions"
+        ]
+        for group in self.groups:
+            if isinstance(group, _ConstGroup):
+                kind = "const(∞)" if group.value == INF_I64 else "const(0)"
+                lines.append(f"  {kind:<9} x{len(group.ids)}")
+            elif isinstance(group, _IncGroup):
+                lines.append(f"  inc       x{len(group.ids)}")
+            elif isinstance(group, _ReduceGroup):
+                op = "min" if group.is_min else "max"
+                lines.append(
+                    f"  {op:<9} x{len(group.ids)} (arity<={group.srcs.shape[1]})"
+                )
+            else:
+                lines.append(f"  lt        x{len(group.ids)}")
+        return "\n".join(lines)
+
+    # -- execution -------------------------------------------------------------
+    def run(
+        self, matrix: np.ndarray, param_vector: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Evaluate every node on an encoded batch.
+
+        *matrix* is ``(B, n_inputs)`` int64 with the sentinel encoding,
+        columns in input declaration order; *param_vector* is the encoded
+        parameter binding (declaration order).  Returns the full
+        ``(B, n_nodes)`` value matrix.
+        """
+        batch = matrix.shape[0]
+        values = np.empty((batch, self.n_nodes), dtype=np.int64)
+        if self.input_ids.size:
+            values[:, self.input_ids] = matrix
+        if self.param_ids.size:
+            if param_vector is None:
+                raise NetworkError(
+                    f"network has {self.param_ids.size} params; none bound"
+                )
+            values[:, self.param_ids] = param_vector
+        for group in self.groups:
+            if isinstance(group, _IncGroup):
+                gathered = values[:, group.srcs]
+                np.minimum(gathered, group.caps, out=gathered)
+                gathered += group.amounts
+                values[:, group.ids] = gathered
+            elif isinstance(group, _ReduceGroup):
+                gathered = values[:, group.srcs]
+                reduced = (
+                    gathered.min(axis=2) if group.is_min else gathered.max(axis=2)
+                )
+                values[:, group.ids] = reduced
+            elif isinstance(group, _LtGroup):
+                a = values[:, group.a]
+                b = values[:, group.b]
+                values[:, group.ids] = np.where(a < b, a, INF_I64)
+            else:  # _ConstGroup
+                values[:, group.ids] = group.value
+        return values
+
+    def outputs(
+        self, matrix: np.ndarray, param_vector: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Like :meth:`run` but gather only the output columns."""
+        return self.run(matrix, param_vector)[:, self.output_ids]
+
+
+def _build_groups(network: Network) -> list[_Group]:
+    """Schedule nodes into level-fused vector instructions."""
+    levels = [0] * len(network.nodes)
+    for node in network.nodes:
+        if node.sources:
+            levels[node.id] = 1 + max(levels[s] for s in node.sources)
+
+    buckets: dict[tuple[int, str], list] = {}
+    for node in network.nodes:
+        if node.is_terminal:
+            continue
+        kind = node.kind
+        if kind in ("min", "max") and not node.sources:
+            kind = f"empty-{kind}"
+        buckets.setdefault((levels[node.id], kind), []).append(node)
+
+    groups: list[_Group] = []
+    for (_, kind), nodes in sorted(buckets.items(), key=lambda item: item[0][0]):
+        ids = np.array([n.id for n in nodes], dtype=np.int64)
+        if kind == "inc":
+            amounts = np.array([n.amount for n in nodes], dtype=np.int64)
+            groups.append(
+                _IncGroup(
+                    ids=ids,
+                    srcs=np.array([n.sources[0] for n in nodes], dtype=np.int64),
+                    amounts=amounts,
+                    caps=INF_I64 - amounts,
+                )
+            )
+        elif kind in ("min", "max"):
+            width = max(len(n.sources) for n in nodes)
+            srcs = np.array(
+                [
+                    list(n.sources) + [n.sources[0]] * (width - len(n.sources))
+                    for n in nodes
+                ],
+                dtype=np.int64,
+            )
+            groups.append(_ReduceGroup(ids=ids, srcs=srcs, is_min=kind == "min"))
+        elif kind == "lt":
+            groups.append(
+                _LtGroup(
+                    ids=ids,
+                    a=np.array([n.sources[0] for n in nodes], dtype=np.int64),
+                    b=np.array([n.sources[1] for n in nodes], dtype=np.int64),
+                )
+            )
+        else:  # empty-min / empty-max: the identity elements ∞ and 0
+            groups.append(
+                _ConstGroup(ids=ids, value=INF_I64 if kind == "empty-min" else 0)
+            )
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# Plan cache
+# ---------------------------------------------------------------------------
+
+#: Identity fast path: plans die with their networks.
+_PLAN_MEMO: "weakref.WeakKeyDictionary[Network, CompiledPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Structural cache: fingerprint -> plan, bounded LRU.
+_PLAN_LRU: "OrderedDict[str, CompiledPlan]" = OrderedDict()
+_PLAN_LRU_LIMIT = 128
+
+
+def compile_plan(network: Network) -> CompiledPlan:
+    """The memoized executable plan for *network*.
+
+    Cached first by object identity (weakly — no leak), then by
+    :meth:`Network.fingerprint`, so structurally identical networks
+    (e.g. a serialization round-trip of the same net-list) share one
+    plan.  Immutability of :class:`Network` means a hit is always valid.
+    """
+    plan = _PLAN_MEMO.get(network)
+    if plan is not None:
+        return plan
+    print_key = network.fingerprint()
+    plan = _PLAN_LRU.get(print_key)
+    if plan is None:
+        plan = CompiledPlan(network)
+        _PLAN_LRU[print_key] = plan
+        if len(_PLAN_LRU) > _PLAN_LRU_LIMIT:
+            _PLAN_LRU.popitem(last=False)
+    else:
+        _PLAN_LRU.move_to_end(print_key)
+    _PLAN_MEMO[network] = plan
+    return plan
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Cache occupancy, for diagnostics and tests."""
+    return {"identity": len(_PLAN_MEMO), "structural": len(_PLAN_LRU)}
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (tests and memory-sensitive callers)."""
+    _PLAN_MEMO.clear()
+    _PLAN_LRU.clear()
+
+
+# ---------------------------------------------------------------------------
+# Batched evaluation API
+# ---------------------------------------------------------------------------
+
+def evaluate_batch(
+    network: Network,
+    inputs: VolleyLike,
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> np.ndarray:
+    """Evaluate a batch of volleys in one compiled call.
+
+    *inputs* is a ``(B, n_inputs)`` matrix — either ``Time`` rows or an
+    encoded int64 ndarray — with columns in input declaration order
+    (``network.input_names``).  Returns an encoded ``(B, n_outputs)``
+    int64 matrix, columns in ``network.output_names`` order, with
+    :data:`INF_I64` marking "no spike".  Decode with
+    :func:`decode_matrix` when ``Time`` values are wanted.
+    """
+    plan = compile_plan(network)
+    matrix = encode_volleys(inputs, arity=len(network.input_ids))
+    param_vector = _encode_params(network, params)
+    return plan.outputs(matrix, param_vector)
+
+
+def evaluate_batch_all(
+    network: Network,
+    inputs: VolleyLike,
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> np.ndarray:
+    """Like :func:`evaluate_batch` but return every node's value column."""
+    plan = compile_plan(network)
+    matrix = encode_volleys(inputs, arity=len(network.input_ids))
+    param_vector = _encode_params(network, params)
+    return plan.run(matrix, param_vector)
+
+
+def evaluate_batch_dicts(
+    network: Network,
+    inputs: VolleyLike,
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+) -> list[dict[str, Time]]:
+    """Batched evaluation decoded to per-volley ``{output: Time}`` dicts.
+
+    The convenience shape used by the equivalence harness; prefer the raw
+    matrix from :func:`evaluate_batch` in hot loops.
+    """
+    matrix = evaluate_batch(network, inputs, params=params)
+    names = list(network.outputs)
+    return [
+        {name: decode_time(int(value)) for name, value in zip(names, row)}
+        for row in matrix
+    ]

@@ -127,6 +127,11 @@ class EventSimulator:
                     raise NetworkError(
                         f"param {node.name!r} must be 0 or INF, got {value}"
                     )
+            elif node.kind == "max" and not node.sources:
+                # The empty max is the constant 0: all zero arrivals have
+                # happened, so it fires immediately.  (An empty min never
+                # fires — no injection needed, it stays INF naturally.)
+                heapq.heappush(heap, (0, node.id, 1, -1))
 
         while heap:
             t, node_id, _, port = heapq.heappop(heap)

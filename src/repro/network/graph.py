@@ -13,6 +13,7 @@ evaluated with :func:`repro.network.simulator.evaluate` (functional) or
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping
 from typing import Optional
 
@@ -56,6 +57,7 @@ class Network:
             n.name: n.id for n in self.nodes if n.kind == "param"
         }
         self._consumers: Optional[list[list[int]]] = None
+        self._fingerprint: Optional[str] = None
 
     # -- introspection ----------------------------------------------------------
     @property
@@ -108,6 +110,37 @@ class Network:
         if not self.outputs:
             return max(level, default=0)
         return max(level[i] for i in self.outputs.values())
+
+    def fingerprint(self) -> str:
+        """Stable structural hash of the network (cached).
+
+        Covers everything evaluation depends on: node kinds, sources,
+        ``inc`` amounts, terminal names (they are the binding keys) and
+        the output map.  Deliberately excludes the display ``name`` and
+        node ``tags`` — like :class:`~repro.network.blocks.Node`
+        equality, the fingerprint is blind to annotations that carry no
+        semantics.  Serialization round-trips preserve it, which is what
+        makes it a safe plan-cache key for the batched evaluator
+        (:mod:`repro.network.compile_plan`).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            for node in self.nodes:
+                digest.update(
+                    repr(
+                        (
+                            node.kind,
+                            node.sources,
+                            node.amount if node.kind == "inc" else 0,
+                            node.name or "",
+                        )
+                    ).encode()
+                )
+            # Declaration order matters: batched plans gather output
+            # columns in it, so it must be part of the key.
+            digest.update(repr(list(self.outputs.items())).encode())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def counts_by_kind(self) -> dict[str, int]:
         counts: dict[str, int] = {}

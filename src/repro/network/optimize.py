@@ -108,6 +108,11 @@ def _rewrite_once(network: Network) -> Network:
             if node.kind == "max" and _NEVER in sources:
                 result[node.id] = _NEVER
                 continue
+            if node.kind == "max" and not sources:
+                # The empty max is the constant 0, not ∞ — keep the node
+                # (folding it to _NEVER would flip its value).
+                result[node.id] = get_or_emit(("max", ()), "max", (), tags=node.tags)
+                continue
             kept = sorted({s for s in sources if s != _NEVER})
             if not kept:
                 result[node.id] = _NEVER

@@ -104,6 +104,9 @@ def _meet(intervals: list[TimeInterval]) -> TimeInterval:
 
 def _join(intervals: list[TimeInterval]) -> TimeInterval:
     """Transfer function of max (last arrival): absent if ANY can be."""
+    if not intervals:
+        # The empty max is the constant 0 (its identity element).
+        return TimeInterval(0, 0)
     if any(not i.may_spike for i in intervals):
         return TimeInterval.never()
     lo = max(i.lo for i in intervals)

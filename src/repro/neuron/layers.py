@@ -64,6 +64,30 @@ class LayeredTNN:
             current = column.forward(current)
         return current
 
+    def forward_batch(
+        self, volleys: Sequence[Sequence[Time]]
+    ) -> list[tuple[Time, ...]]:
+        """Final-layer volleys for a whole batch of inputs.
+
+        Window-WTA stacks are compiled once (:func:`compile_layered`)
+        and every volley is evaluated in a single call into the batched
+        engine (:func:`repro.network.compile_plan.evaluate_batch`) —
+        identical results to per-volley :meth:`forward`, since the
+        Fig. 12 compilation reproduces each neuron's fire time exactly.
+        k-WTA stacks are not compilable and fall back to the behavioral
+        per-volley path.
+
+        Note: columns are mutable (training updates weights), so the
+        stack is recompiled per call; the build cost is amortized over
+        the batch.
+        """
+        if any(column.k is not None for column in self.columns):
+            return [self.forward(v) for v in volleys]
+        from ..network.compile_plan import decode_matrix, evaluate_batch
+
+        network = compile_layered(self)
+        return decode_matrix(evaluate_batch(network, volleys))
+
     def activations(self, volley: Sequence[Time]) -> list[tuple[Time, ...]]:
         """Per-layer post-inhibition volleys (for inspection/training)."""
         current = tuple(volley)

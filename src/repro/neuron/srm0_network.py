@@ -21,7 +21,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Optional
 
+from ..core.value import Time
 from ..network.builder import NetworkBuilder, Ref
+from ..network.compile_plan import decode_time, evaluate_batch
 from ..network.graph import Network
 from .response import ResponseFunction, fanout_network
 from .sorting import bitonic_sort, odd_even_merge_sort
@@ -74,6 +76,25 @@ def build_srm0_network(
         # never fire.  lt(x, x) is identically ∞.
         builder.output("y", builder.lt(inputs[0], inputs[0], tag="never"))
     return builder.build()
+
+
+def batched_fire_times(
+    network: Network,
+    volleys: Sequence[Sequence[Time]],
+    *,
+    output: str = "y",
+) -> list[Time]:
+    """Fire times of a compiled SRM0 network over a whole volley batch.
+
+    One call into the compiled batched engine
+    (:func:`repro.network.compile_plan.evaluate_batch`) instead of one
+    Python network walk per volley — the fast path for the Fig. 12
+    equivalence sweeps and any workload that probes a fixed neuron on
+    many volleys.
+    """
+    column = list(network.outputs).index(output)
+    matrix = evaluate_batch(network, volleys)
+    return [decode_time(v) for v in matrix[:, column].tolist()]
 
 
 def build_srm0_from_weights(

@@ -19,8 +19,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Optional
 
+import numpy as np
+
 from ..core.value import INF, Infinity, Time, check_vector, t_min
 from ..network.builder import NetworkBuilder
+from ..network.compile_plan import INF_I64, decode_matrix, encode_volleys, evaluate_batch
 from ..network.graph import Network
 from .sorting import bitonic_sort
 
@@ -97,6 +100,59 @@ def k_wta(times: Sequence[Time], k: int) -> tuple[Time, ...]:
         return tuple(vec)
     cutoff = finite[k]
     return tuple(x if x < cutoff else INF for x in vec)
+
+
+def wta_batch(
+    volleys: Sequence[Sequence[Time]], *, window: int = 1
+) -> list[tuple[Time, ...]]:
+    """Vectorized :func:`wta` over a batch of volleys.
+
+    One NumPy reduction for the whole batch; agrees elementwise with the
+    scalar :func:`wta` (checked in the tests).
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    matrix = encode_volleys(volleys)
+    if matrix.size == 0:
+        return decode_matrix(matrix)
+    first = matrix.min(axis=1)
+    # Saturating add, exactly like the engine's inc: an all-silent volley
+    # has cutoff ∞ (and passes through), and near-sentinel times cannot
+    # overflow.
+    cutoff = np.minimum(first, INF_I64 - window) + window
+    return decode_matrix(np.where(matrix < cutoff[:, None], matrix, INF_I64))
+
+
+def k_wta_batch(volleys: Sequence[Sequence[Time]], k: int) -> list[tuple[Time, ...]]:
+    """Vectorized :func:`k_wta` over a batch of volleys.
+
+    The (k+1)-th earliest spike per row is one partition; rows with at
+    most *k* finite spikes get an ∞ cutoff, i.e. pass unchanged —
+    exactly the scalar semantics.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    matrix = encode_volleys(volleys)
+    if matrix.size == 0:
+        return decode_matrix(matrix)
+    if k >= matrix.shape[1]:
+        return decode_matrix(matrix)
+    # With ∞ encoded as the largest int64, a plain partition puts the
+    # (k+1)-th earliest *finite* spike at index k, or ∞ when fewer than
+    # k+1 lines spike — both are exactly the cutoff k_wta uses.
+    cutoff = np.partition(matrix, k, axis=1)[:, k]
+    return decode_matrix(np.where(matrix < cutoff[:, None], matrix, INF_I64))
+
+
+def network_wta_batch(
+    network: Network, volleys: Sequence[Sequence[Time]]
+) -> list[tuple[Time, ...]]:
+    """Evaluate a WTA *network* (Fig. 15) on a whole batch of volleys.
+
+    One call into the compiled batched engine; output columns follow the
+    network's ``y1..yn`` declaration order.
+    """
+    return decode_matrix(evaluate_batch(network, volleys))
 
 
 def first_winner(times: Sequence[Time]) -> Optional[int]:

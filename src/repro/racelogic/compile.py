@@ -44,8 +44,18 @@ def compile_network(network: Network, *, name: Optional[str] = None) -> Circuit:
         elif node.kind == "inc":
             wire[node.id] = builder.delay(wire[node.sources[0]], node.amount)
         elif node.kind == "min":
+            if not node.sources:
+                raise ValueError(
+                    f"node {node.id}: a zero-source min (the constant ∞) has "
+                    "no GRL realization — a CMOS gate needs input wires"
+                )
             wire[node.id] = builder.and_(*(wire[s] for s in node.sources))
         elif node.kind == "max":
+            if not node.sources:
+                raise ValueError(
+                    f"node {node.id}: a zero-source max (the constant 0) has "
+                    "no GRL realization — a CMOS gate needs input wires"
+                )
             wire[node.id] = builder.or_(*(wire[s] for s in node.sources))
         else:  # lt
             a, b = node.sources

@@ -166,9 +166,10 @@ class TestNode:
         with pytest.raises(ValueError, match="one source"):
             Node(2, "inc", sources=(0, 1))
 
-    def test_min_needs_sources(self):
-        with pytest.raises(ValueError):
-            Node(1, "min", sources=())
+    def test_zero_source_min_max_allowed(self):
+        # The lattice identity constants: empty min = ∞, empty max = 0.
+        assert Node(1, "min", sources=()).sources == ()
+        assert Node(1, "max", sources=()).sources == ()
 
     def test_describe(self):
         assert "inc(+3)" in Node(1, "inc", sources=(0,), amount=3).describe()

@@ -100,3 +100,42 @@ class TestChains:
         b.output("y", b.max(*xs))
         vec = tuple([1] * 9 + [INF])
         assert evaluate_vector(b.build(), vec)["y"] is INF
+
+
+class TestZeroSourceReductions:
+    """Regression: empty min/max are the lattice identity constants.
+
+    An empty min has no spike to pass, so it never fires (∞ — the top of
+    the lattice); an empty max has no spike to wait for, so it fires
+    immediately (0 — the bottom).  All evaluation paths must agree.
+    """
+
+    def build(self):
+        from repro.network.graph import Network
+        from repro.network.blocks import Node
+
+        nodes = (
+            Node(0, "input", name="x"),
+            Node(1, "min", sources=()),
+            Node(2, "max", sources=()),
+        )
+        return Network(nodes, {"never": 1, "origin": 2, "echo": 0})
+
+    def test_functional_semantics(self):
+        out = evaluate(self.build(), {"x": 5})
+        assert out["never"] is INF
+        assert out["origin"] == 0
+        assert out["echo"] == 5
+
+    def test_interpreted_semantics(self):
+        from repro.network.simulator import evaluate_all_interpreted
+
+        values = evaluate_all_interpreted(self.build(), {"x": 5})
+        assert values[1] is INF and values[2] == 0
+
+    def test_event_semantics(self):
+        from repro.network.events import EventSimulator
+
+        result = EventSimulator(self.build()).run({"x": 5})
+        assert result.outputs["never"] is INF
+        assert result.outputs["origin"] == 0
