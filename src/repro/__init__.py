@@ -18,7 +18,17 @@ Quickstart::
     evaluate_vector(net, (3, 4, 5))   # {'y': 6}
 """
 
-from . import analysis, apps, coding, core, learning, network, neuron, racelogic
+from . import (
+    analysis,
+    apps,
+    coding,
+    core,
+    learning,
+    network,
+    neuron,
+    racelogic,
+    testing,
+)
 
 __version__ = "1.0.0"
 
@@ -31,5 +41,6 @@ __all__ = [
     "network",
     "neuron",
     "racelogic",
+    "testing",
     "__version__",
 ]

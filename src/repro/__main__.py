@@ -5,9 +5,13 @@ Commands:
 * ``selfcheck`` — run the library's core equivalence and property checks
   (the paper's headline claims) and print a pass/fail summary.  Useful
   after installation or porting to a new Python.
+* ``conformance`` — the differential conformance sweep: seeded random
+  networks through every evaluation backend, plus the fault-injection
+  self-check (injected mutants must be caught).  See
+  ``python -m repro conformance --help``.
 * ``info`` — version and package inventory.
 
-Exit status is non-zero when a selfcheck fails.
+Exit status is non-zero when a selfcheck or conformance run fails.
 """
 
 from __future__ import annotations
@@ -99,6 +103,75 @@ def _selfcheck() -> int:
     return 1 if failures else 0
 
 
+def _conformance(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro conformance",
+        description=(
+            "Differential conformance sweep: run seeded random networks "
+            "through every evaluation backend (interpreted, compiled "
+            "batch, event-driven, GRL circuit), diff their outputs over "
+            "adversarial volleys, shrink any disagreement to a minimal "
+            "reproducer, and self-check the harness by injecting faults "
+            "that must be caught."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="first case seed")
+    parser.add_argument(
+        "--count", type=int, default=50, help="number of seeded cases"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small cases and short volleys (CI smoke budget)",
+    )
+    parser.add_argument(
+        "--no-grl",
+        action="store_true",
+        help="skip the cycle-accurate GRL circuit backend",
+    )
+    parser.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the fault-injection self-check",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report raw witnesses without minimizing them",
+    )
+    parser.add_argument(
+        "--emit",
+        action="store_true",
+        help="print the generated regression test for each finding",
+    )
+    args = parser.parse_args(argv)
+
+    from .testing import run_conformance
+
+    report = run_conformance(
+        args.seed,
+        args.count,
+        smoke=args.smoke,
+        include_grl=not args.no_grl,
+        with_faults=not args.no_faults,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    if args.emit:
+        for mismatch in report.mismatches:
+            if mismatch.regression_test:
+                print("\n# --- regression test ---")
+                print(mismatch.regression_test)
+        if report.fault_report is not None:
+            for detection in report.fault_report.detections:
+                if detection.regression_test:
+                    print("\n# --- fault reproducer ---")
+                    print(detection.regression_test)
+    return 0 if report.ok else 1
+
+
 def _info() -> int:
     import repro
 
@@ -120,9 +193,11 @@ def main(argv: list[str] | None = None) -> int:
     command = args[0] if args else "info"
     if command == "selfcheck":
         return _selfcheck()
+    if command == "conformance":
+        return _conformance(args[1:])
     if command == "info":
         return _info()
-    print(f"unknown command {command!r}; try: info, selfcheck")
+    print(f"unknown command {command!r}; try: info, selfcheck, conformance")
     return 2
 
 

@@ -83,12 +83,24 @@ def measure_robustness(
     *,
     jitter: int = 1,
     trials_per_volley: int = 10,
+    seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
 ) -> RobustnessReport:
-    """Jitter each volley repeatedly and compare outputs to the clean run."""
+    """Jitter each volley repeatedly and compare outputs to the clean run.
+
+    Determinism contract: the jitter stream is fully determined by
+    *seed* (``random.Random(seed)``), defaulting to ``seed=0`` — two
+    calls with the same evaluator, volleys, knobs, and seed produce the
+    identical report, run to run and machine to machine.  Pass *rng*
+    instead to share an external stream (the call then consumes from and
+    advances that stream); *seed* and *rng* are mutually exclusive.
+    """
     if jitter < 0:
         raise ValueError("jitter must be non-negative")
-    rng = rng or random.Random(0)
+    if seed is not None and rng is not None:
+        raise ValueError("pass either seed= or rng=, not both")
+    if rng is None:
+        rng = random.Random(0 if seed is None else seed)
     trials = 0
     stable = 0
     deviations: list[float] = []

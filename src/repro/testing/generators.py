@@ -1,0 +1,249 @@
+"""Seeded generation of conformance cases: networks + adversarial volleys.
+
+A conformance *case* is a network (possibly with a parameter binding),
+plus a volley batch chosen to stress the semantics where implementations
+historically diverge: the ``∞`` sentinel boundary, saturating ``inc``
+chains, all-silent volleys, and simultaneous spikes that race through
+``lt`` ties.
+
+Two generator layers:
+
+* :func:`random_layered_network` — layered DAGs over the raw primitives
+  with size/depth knobs, occasionally emitting zero-source min/max
+  constants (the lattice identities, a known cross-backend hazard);
+* :func:`generate_case` — draws a whole case from one integer seed,
+  mixing layered DAGs with the paper's composite constructions (SRM0
+  sorting-network neurons, τ-WTA / k-WTA inhibition, micro-weight
+  programmable synapses) so the sweep also covers deep, structured,
+  parameterized networks.
+
+Everything is a pure function of its seed — a failing case id is a
+complete reproduction recipe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.value import INF, Time
+from ..network.builder import NetworkBuilder
+from ..network.compile_plan import MAX_FINITE
+from ..network.graph import Network
+from ..neuron.response import ResponseFunction
+from ..neuron.srm0 import SRM0Neuron
+from ..neuron.srm0_network import build_srm0_network
+from ..neuron.weights import build_programmable_neuron, weight_settings
+from ..neuron.wta import build_k_wta_network, build_wta_network
+from .oracles import Volley
+
+#: Case families drawn by :func:`generate_case`, with draw weights.
+FAMILIES: tuple[tuple[str, int], ...] = (
+    ("layered", 5),
+    ("srm0", 2),
+    ("wta", 1),
+    ("kwta", 1),
+    ("microweight", 1),
+)
+
+
+@dataclass(frozen=True)
+class ConformanceCase:
+    """One unit of differential-testing work, fully determined by seed."""
+
+    seed: int
+    family: str
+    network: Network
+    volleys: tuple[Volley, ...]
+    params: dict[str, Time] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}[seed={self.seed}]"
+
+
+# ---------------------------------------------------------------------------
+# Layered DAG generator
+# ---------------------------------------------------------------------------
+
+def random_layered_network(
+    *,
+    seed: int,
+    n_inputs: int = 4,
+    n_layers: int = 4,
+    width: int = 5,
+    n_outputs: int = 2,
+    max_inc: int = 3,
+    operations: tuple[str, ...] = ("inc", "min", "max", "lt"),
+    p_empty_const: float = 0.06,
+    name: Optional[str] = None,
+) -> Network:
+    """A layered random DAG over the s-t primitives.
+
+    Each layer's nodes draw their first source from the previous layer
+    (guaranteeing structural depth ``>= n_layers``) and the rest from any
+    earlier wire.  With probability *p_empty_const* a min/max node is
+    emitted with **zero** sources — the lattice identity constants ``∞``
+    and ``0``, which every backend must agree on (and which the GRL
+    compiler rightly refuses).  Outputs tap the last layer.
+    """
+    if n_inputs < 1 or n_layers < 1 or width < 1 or n_outputs < 1:
+        raise ValueError("need at least one input, layer, node, and output")
+    unknown = set(operations) - {"inc", "min", "max", "lt"}
+    if unknown:
+        raise ValueError(f"unknown operations: {sorted(unknown)}")
+    rng = random.Random(seed)
+    builder = NetworkBuilder(name or f"layered(seed={seed})")
+    inputs = [builder.input(f"x{i}") for i in range(n_inputs)]
+    previous = list(inputs)
+    everything = list(inputs)
+    for _ in range(n_layers):
+        layer = []
+        for _ in range(width):
+            op = rng.choice(operations)
+            anchor = rng.choice(previous)
+            if op == "inc":
+                wire = builder.inc(anchor, rng.randint(1, max_inc))
+            elif op == "lt":
+                wire = builder.lt(anchor, rng.choice(everything))
+            elif rng.random() < p_empty_const:
+                wire = getattr(builder, op)()
+            else:
+                arity = rng.randint(2, 3)
+                extra = [rng.choice(everything) for _ in range(arity - 1)]
+                wire = getattr(builder, op)(anchor, *extra)
+            layer.append(wire)
+        previous = layer
+        everything.extend(layer)
+    for index in range(min(n_outputs, len(previous))):
+        builder.output(f"y{index}", previous[-(index + 1)])
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# Adversarial volleys
+# ---------------------------------------------------------------------------
+
+def adversarial_volleys(
+    n_lines: int,
+    *,
+    rng: random.Random,
+    n_random: int = 10,
+    max_time: int = 9,
+    silence_probability: float = 0.25,
+) -> tuple[Volley, ...]:
+    """A volley batch biased toward the semantics' sharp edges.
+
+    Always includes: the all-zero and all-``∞`` volleys, an all-ties
+    volley (every line simultaneous), a 0/∞ checkerboard, a volley pinned
+    at :data:`~repro.network.compile_plan.MAX_FINITE` (the last finite
+    int64 time — any ``inc`` saturates it to the sentinel) and a mixed
+    near-sentinel/small volley; then *n_random* random volleys with
+    *silence_probability* of ``∞`` per line.
+    """
+    if n_lines < 1:
+        raise ValueError("need at least one line")
+    tie = rng.randint(0, max_time)
+    fixed: list[Volley] = [
+        (0,) * n_lines,
+        (INF,) * n_lines,
+        (tie,) * n_lines,
+        tuple(0 if i % 2 == 0 else INF for i in range(n_lines)),
+        (MAX_FINITE,) * n_lines,
+        tuple(
+            MAX_FINITE - rng.randint(0, 3) if i % 2 == 0 else rng.randint(0, max_time)
+            for i in range(n_lines)
+        ),
+    ]
+    randoms = [
+        tuple(
+            INF
+            if rng.random() < silence_probability
+            else rng.randint(0, max_time)
+            for _ in range(n_lines)
+        )
+        for _ in range(n_random)
+    ]
+    return tuple(fixed + randoms)
+
+
+# ---------------------------------------------------------------------------
+# Whole-case generation
+# ---------------------------------------------------------------------------
+
+def _pick_family(rng: random.Random) -> str:
+    names = [name for name, weight in FAMILIES for _ in range(weight)]
+    return rng.choice(names)
+
+
+def generate_case(seed: int, *, smoke: bool = False) -> ConformanceCase:
+    """Draw one conformance case from an integer seed.
+
+    *smoke* shrinks every size knob so a CI smoke sweep stays under a
+    few seconds while still crossing each family and each adversarial
+    volley shape.
+    """
+    rng = random.Random(seed)
+    family = _pick_family(rng)
+    params: dict[str, Time] = {}
+
+    if family == "layered":
+        network = random_layered_network(
+            seed=rng.randrange(2**31),
+            n_inputs=rng.randint(2, 3 if smoke else 5),
+            n_layers=rng.randint(2, 3 if smoke else 5),
+            width=rng.randint(2, 3 if smoke else 6),
+            n_outputs=rng.randint(1, 2),
+            max_inc=rng.randint(1, 3),
+        )
+    elif family == "srm0":
+        arity = rng.randint(2, 2 if smoke else 3)
+        weights = [rng.randint(1, 3) for _ in range(arity)]
+        response = ResponseFunction.piecewise_linear(
+            amplitude=rng.randint(1, 2),
+            rise=rng.randint(1, 2),
+            fall=rng.randint(1, 3),
+        )
+        neuron = SRM0Neuron.homogeneous(
+            arity,
+            weights,
+            base_response=response,
+            threshold=rng.randint(1, max(1, sum(weights))),
+        )
+        network = build_srm0_network(neuron)
+    elif family == "wta":
+        network = build_wta_network(
+            rng.randint(3, 4 if smoke else 6), window=rng.randint(1, 2)
+        )
+    elif family == "kwta":
+        n_lines = rng.randint(4, 4 if smoke else 6)
+        network = build_k_wta_network(n_lines, rng.randint(1, n_lines - 1))
+    else:  # microweight
+        n_inputs = 2
+        max_weight = rng.randint(1, 2)
+        response = ResponseFunction.piecewise_linear(
+            amplitude=1, rise=1, fall=rng.randint(1, 2)
+        )
+        network, synapses = build_programmable_neuron(
+            n_inputs,
+            base_response=response,
+            max_weight=max_weight,
+            threshold=rng.randint(1, 2),
+        )
+        params = weight_settings(
+            synapses, [rng.randint(0, max_weight) for _ in range(n_inputs)]
+        )
+
+    volleys = adversarial_volleys(
+        len(network.input_names),
+        rng=rng,
+        n_random=4 if smoke else 10,
+    )
+    return ConformanceCase(
+        seed=seed,
+        family=family,
+        network=network,
+        volleys=volleys,
+        params=params,
+    )

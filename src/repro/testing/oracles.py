@@ -1,0 +1,304 @@
+"""Backend-oracle registry for differential conformance testing.
+
+The repository carries four executable semantics for the same network
+language — the interpreted big-int walk
+(:func:`repro.network.simulator.evaluate_all_interpreted`), the compiled
+int64 batch engine (:mod:`repro.network.compile_plan`), the operational
+event-driven simulator (:mod:`repro.network.events`) and the gate-level
+GRL circuit model (:mod:`repro.racelogic.compile`).  The paper's claims
+are that these all denote the *same* bounded s-t function, so each is
+wrapped here as a :class:`BackendOracle` with a uniform interface: a
+volley batch in, one spike-time tuple per volley out.
+
+Comparison semantics
+--------------------
+Oracles report *canonical* outputs: every finite time strictly above
+:data:`~repro.network.compile_plan.MAX_FINITE` is saturated to ``∞``
+before any diff.  This is deliberate — the interpreted evaluator computes
+with arbitrary-precision integers while the compiled engine saturates
+``inc`` chains at the int64 sentinel, so beyond ``2**63 - 1`` the two
+*intentionally* differ in raw value.  The observable contract all
+backends share is equality **up to sentinel saturation**, and that is
+what :func:`run_backends` and the conformance harness check.
+
+Partiality
+----------
+Not every backend can run every case.  The GRL oracle compiles to a CMOS
+netlist (zero-source min/max constants have no gate realization) and
+simulates cycle-by-cycle (near-sentinel spike times would need ``~2**63``
+cycles), so it declares structural limits via
+:meth:`BackendOracle.supports_network` and per-volley limits via
+:meth:`BackendOracle.supports_volley`.  The registry never silently
+drops a backend — skips carry a human-readable reason into the report.
+
+Adding a backend
+----------------
+Subclass :class:`BackendOracle`, implement :meth:`BackendOracle.run`
+(and the ``supports_*`` hooks if partial), then decorate with
+:func:`register_oracle`.  ``default_oracles()`` instantiates every
+registered backend; the conformance CLI picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.value import INF, Infinity, Time
+from ..network.compile_plan import (
+    MAX_FINITE,
+    decode_matrix,
+    evaluate_batch,
+)
+from ..network.events import EventSimulator
+from ..network.graph import Network
+from ..network.simulator import evaluate_all_interpreted
+
+Volley = tuple[Time, ...]
+Outputs = tuple[Time, ...]
+
+
+def saturate(value: Time) -> Time:
+    """Canonicalize one time into sentinel-saturated semantics."""
+    if isinstance(value, Infinity):
+        return INF
+    return INF if value > MAX_FINITE else int(value)
+
+
+def saturate_outputs(outputs: Sequence[Time]) -> Outputs:
+    """Canonicalize a whole output tuple (the diffable form)."""
+    return tuple(saturate(v) for v in outputs)
+
+
+class BackendOracle:
+    """One executable semantics of the network language.
+
+    Subclasses implement :meth:`run`; partial backends override
+    :meth:`supports_network` / :meth:`supports_volley`.  ``run`` returns
+    *raw* outputs — canonicalization (sentinel saturation) is applied
+    uniformly by :func:`run_backends`, never per backend.
+    """
+
+    #: Registry key and report label; subclasses must override.
+    name: str = "abstract"
+
+    def supports_network(self, network: Network) -> Optional[str]:
+        """``None`` if the backend can run *network*, else a skip reason."""
+        return None
+
+    def supports_volley(self, volley: Volley) -> bool:
+        """True if the backend can run this particular volley."""
+        return True
+
+    def run(
+        self,
+        network: Network,
+        volleys: Sequence[Volley],
+        params: Optional[Mapping[str, Time]] = None,
+    ) -> list[Outputs]:
+        """Raw output tuples (``network.output_names`` order) per volley."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"<oracle {self.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: "OrderedDict[str, Callable[[], BackendOracle]]" = OrderedDict()
+
+
+def register_oracle(factory: Callable[[], BackendOracle]) -> Callable[[], BackendOracle]:
+    """Register a backend factory (usable as a class decorator).
+
+    The factory's product must carry a unique ``name``; registration
+    order is preserved and becomes the report column order.
+    """
+    probe = factory()
+    if probe.name in _REGISTRY:
+        raise ValueError(f"oracle {probe.name!r} already registered")
+    _REGISTRY[probe.name] = factory
+    return factory
+
+
+def oracle_names() -> list[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def default_oracles(*, include_grl: bool = True) -> list[BackendOracle]:
+    """Fresh instances of every registered backend.
+
+    ``include_grl=False`` drops the gate-level model — useful when the
+    sweep is dominated by cycle-accurate simulation time.
+    """
+    oracles = [factory() for factory in _REGISTRY.values()]
+    if not include_grl:
+        oracles = [o for o in oracles if o.name != "grl-circuit"]
+    return oracles
+
+
+# ---------------------------------------------------------------------------
+# The four stock backends
+# ---------------------------------------------------------------------------
+
+@register_oracle
+class InterpretedOracle(BackendOracle):
+    """The pure-Python reference walk (arbitrary-precision ints)."""
+
+    name = "interpreted"
+
+    def run(self, network, volleys, params=None):
+        names = network.input_names
+        out_ids = list(network.outputs.values())
+        results: list[Outputs] = []
+        for volley in volleys:
+            values = evaluate_all_interpreted(
+                network, dict(zip(names, volley)), params=params
+            )
+            results.append(tuple(values[nid] for nid in out_ids))
+        return results
+
+
+@register_oracle
+class CompiledBatchOracle(BackendOracle):
+    """The level-fused int64 batch engine, one compiled call per batch."""
+
+    name = "compiled-batch"
+
+    def run(self, network, volleys, params=None):
+        matrix = evaluate_batch(network, list(volleys), params=params)
+        return [tuple(row) for row in decode_matrix(matrix)]
+
+
+@register_oracle
+class EventDrivenOracle(BackendOracle):
+    """The operational simulator: spikes as discrete scheduled events."""
+
+    name = "event-driven"
+
+    def run(self, network, volleys, params=None):
+        simulator = EventSimulator(network)
+        names = network.input_names
+        out_names = network.output_names
+        results: list[Outputs] = []
+        for volley in volleys:
+            outcome = simulator.run(dict(zip(names, volley)), params=params)
+            results.append(tuple(outcome.outputs[n] for n in out_names))
+        return results
+
+
+@register_oracle
+class GRLCircuitOracle(BackendOracle):
+    """The cycle-accurate CMOS model, where a gate netlist exists.
+
+    Partial on two axes: zero-source min/max constants have no gate
+    realization, and simulation cost is ``O(cycles × gates)`` with
+    ``cycles ≈ latest finite spike + flip-flop count``, so both the
+    netlist size and the volley's latest spike are budgeted.
+    """
+
+    name = "grl-circuit"
+
+    def __init__(self, *, max_time: int = 32, max_gates: int = 400):
+        self.max_time = max_time
+        self.max_gates = max_gates
+
+    def supports_network(self, network: Network) -> Optional[str]:
+        for node in network.nodes:
+            if node.kind in ("min", "max") and not node.sources:
+                return (
+                    f"zero-source {node.kind} (node {node.id}) has no "
+                    "CMOS gate realization"
+                )
+        # DFF chains dominate the netlist: one flip-flop per inc unit.
+        gates = len(network.nodes) + sum(
+            n.amount - 1 for n in network.nodes if n.kind == "inc"
+        )
+        if gates > self.max_gates:
+            return f"netlist too large for cycle simulation ({gates} gates)"
+        return None
+
+    def supports_volley(self, volley: Volley) -> bool:
+        return all(
+            isinstance(v, Infinity) or v <= self.max_time for v in volley
+        )
+
+    def run(self, network, volleys, params=None):
+        from ..racelogic.compile import GRLExecutor
+
+        executor = GRLExecutor(network)
+        names = network.input_names
+        out_names = network.output_names
+        results: list[Outputs] = []
+        for volley in volleys:
+            outputs = executor.outputs(
+                dict(zip(names, volley)), params=params
+            )
+            results.append(tuple(outputs[n] for n in out_names))
+        return results
+
+
+# ---------------------------------------------------------------------------
+# Uniform batch runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class BackendRun:
+    """Canonicalized outputs of several backends over one volley batch.
+
+    ``results[name][i]`` is the sentinel-saturated output tuple of
+    backend *name* on volley *i*, or ``None`` when that backend skipped
+    the volley; backends skipped wholesale appear in ``skipped`` with
+    their reason instead.
+    """
+
+    volleys: list[Volley]
+    results: dict[str, list[Optional[Outputs]]] = field(default_factory=dict)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    def names_for(self, index: int) -> list[str]:
+        """Backends that produced an output for volley *index*."""
+        return [n for n, rows in self.results.items() if rows[index] is not None]
+
+
+def run_backends(
+    network: Network,
+    volleys: Sequence[Volley],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+    oracles: Optional[Sequence[BackendOracle]] = None,
+) -> BackendRun:
+    """Run every backend over *volleys*, canonicalizing all outputs.
+
+    Backends that cannot run the network are recorded in ``skipped``;
+    backends that cannot run an individual volley leave ``None`` in that
+    row.  Raw outputs are saturated at the int64 sentinel so the caller
+    can compare tuples directly.
+    """
+    oracles = list(oracles) if oracles is not None else default_oracles()
+    volleys = [tuple(v) for v in volleys]
+    run = BackendRun(volleys=volleys)
+    for oracle in oracles:
+        reason = oracle.supports_network(network)
+        if reason is not None:
+            run.skipped[oracle.name] = reason
+            continue
+        mask = [oracle.supports_volley(v) for v in volleys]
+        subset = [v for v, ok in zip(volleys, mask) if ok]
+        outputs = oracle.run(network, subset, params=params) if subset else []
+        if len(outputs) != len(subset):
+            raise RuntimeError(
+                f"oracle {oracle.name!r} returned {len(outputs)} rows for "
+                f"{len(subset)} volleys"
+            )
+        rows: list[Optional[Outputs]] = []
+        it = iter(outputs)
+        for ok in mask:
+            rows.append(saturate_outputs(next(it)) if ok else None)
+        run.results[oracle.name] = rows
+    return run

@@ -72,10 +72,40 @@ class TestMeasure:
                 volleys,
                 jitter=jitter,
                 trials_per_volley=15,
-                rng=random.Random(5),
+                seed=5,
             )
             stabilities.append(report.pattern_stability)
         assert stabilities[0] >= stabilities[1] >= stabilities[2] - 0.15
+
+    def test_same_seed_same_report(self):
+        col = self.make_column()
+        volleys = [(0, 1, INF, INF), (0, 0, 2, 2)]
+        runs = [
+            measure_robustness(
+                column_evaluator(col), volleys, jitter=2, seed=17
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_default_seed_is_zero(self):
+        col = self.make_column()
+        volleys = [(0, 1, INF, INF)]
+        implicit = measure_robustness(column_evaluator(col), volleys, jitter=2)
+        explicit = measure_robustness(
+            column_evaluator(col), volleys, jitter=2, seed=0
+        )
+        legacy = measure_robustness(
+            column_evaluator(col), volleys, jitter=2, rng=random.Random(0)
+        )
+        assert implicit == explicit == legacy
+
+    def test_seed_and_rng_mutually_exclusive(self):
+        col = self.make_column()
+        with pytest.raises(ValueError, match="not both"):
+            measure_robustness(
+                column_evaluator(col), [], seed=1, rng=random.Random(1)
+            )
 
     def test_network_evaluator_adapter(self):
         table = NormalizedTable.random(3, window=3, n_rows=4, rng=random.Random(2))

@@ -24,4 +24,36 @@ class TestCli:
 
     def test_unknown_command(self, capsys):
         assert main(["bogus"]) == 2
-        assert "unknown command" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "unknown command" in out
+        assert "conformance" in out
+
+    def test_conformance_smoke(self, capsys):
+        code = main(
+            ["conformance", "--seed", "0", "--count", "3", "--smoke"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "conformance sweep: seeds 0..2" in out
+        assert "zero cross-backend disagreements" in out
+        assert "all killed" in out
+        assert "verdict: OK" in out
+
+    def test_conformance_flags(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "--seed",
+                "1",
+                "--count",
+                "2",
+                "--smoke",
+                "--no-grl",
+                "--no-faults",
+                "--no-shrink",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault self-check" not in out
+        assert "verdict: OK" in out
