@@ -26,6 +26,7 @@ from . import (
     learning,
     network,
     neuron,
+    obs,
     racelogic,
     testing,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "learning",
     "network",
     "neuron",
+    "obs",
     "racelogic",
     "testing",
     "__version__",

@@ -9,9 +9,15 @@ Commands:
   networks through every evaluation backend, plus the fault-injection
   self-check (injected mutants must be caught).  See
   ``python -m repro conformance --help``.
+* ``trace`` — run one volley through a seeded SRM0 column on every
+  backend, check the canonical spike traces are byte-identical, and
+  print/export the trace (JSONL and Chrome ``chrome://tracing`` JSON).
+* ``stats`` — runtime metrics: counters, timers and the plan-cache
+  hit/miss record, optionally after exercising every backend once.
 * ``info`` — version and package inventory.
 
-Exit status is non-zero when a selfcheck or conformance run fails.
+Exit status is non-zero when a selfcheck, conformance, or trace
+cross-check fails.
 """
 
 from __future__ import annotations
@@ -172,6 +178,181 @@ def _conformance(argv: list[str]) -> int:
     return 0 if report.ok else 1
 
 
+def _demo_column(seed: int, *, smoke: bool):
+    """A seeded SRM0 column network and one volley for it.
+
+    Deterministic in *seed*: the same seed always yields the same
+    weights, threshold, and volley — so trace exports are reproducible.
+    """
+    import random
+
+    from .neuron.response import ResponseFunction
+    from .neuron.srm0 import SRM0Neuron
+    from .neuron.srm0_network import build_srm0_network
+
+    rng = random.Random(seed)
+    n_inputs = 2 if smoke else 3
+    base = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=3)
+    weights = [rng.randint(1, 3) for _ in range(n_inputs)]
+    neuron = SRM0Neuron.homogeneous(
+        n_inputs, weights, base_response=base, threshold=rng.randint(2, 4)
+    )
+    network = build_srm0_network(neuron, name=f"srm0-col-seed{seed}")
+    volley = tuple(rng.randint(0, 3) for _ in range(n_inputs))
+    return network, volley
+
+
+def _trace(argv: list[str]) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Run one volley through a seeded SRM0 column on every "
+            "execution backend, record each backend's canonical spike "
+            "trace, and require the traces to be byte-identical.  "
+            "Exports JSON-lines and Chrome chrome://tracing formats."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=0, help="column/volley seed")
+    parser.add_argument(
+        "--smoke", action="store_true", help="smaller column (CI smoke budget)"
+    )
+    parser.add_argument(
+        "--no-grl",
+        action="store_true",
+        help="skip the cycle-accurate GRL circuit backend",
+    )
+    parser.add_argument(
+        "--jsonl", metavar="PATH", help="write the canonical JSONL trace here"
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="write Chrome chrome://tracing JSON here",
+    )
+    args = parser.parse_args(argv)
+
+    from .obs.trace import first_divergence, to_chrome_trace, to_jsonl
+    from .testing.oracles import default_oracles
+
+    network, volley = _demo_column(args.seed, smoke=args.smoke)
+    print(f"tracing {network.name}: volley {volley} -> "
+          f"{len(network.nodes)} nodes, outputs {network.output_names}")
+
+    traces = {}
+    for oracle in default_oracles(include_grl=not args.no_grl):
+        trace = oracle.trace(network, volley)
+        if trace is None:
+            print(f"  {oracle.name:<15} skipped (cannot trace this case)")
+            continue
+        traces[oracle.name] = trace
+        print(f"  {oracle.name:<15} {len(trace)} spike(s)")
+    if not traces:
+        print("no backend produced a trace")
+        return 1
+
+    reference_name, reference = next(iter(traces.items()))
+    document = to_jsonl(reference, network)
+    divergent = False
+    for name, trace in traces.items():
+        if to_jsonl(trace, network) != document:
+            divergent = True
+            split = first_divergence(reference, trace)
+            detail = (
+                split.describe(reference_name, name, network=network)
+                if split is not None
+                else "traces differ"
+            )
+            print(f"TRACE DIVERGENCE {reference_name} vs {name}: {detail}")
+    if not divergent:
+        print(
+            f"canonical traces byte-identical across {len(traces)} "
+            f"backend(s): {', '.join(traces)}"
+        )
+
+    print()
+    print(document, end="")
+    if args.jsonl:
+        with open(args.jsonl, "w") as handle:
+            handle.write(document)
+        print(f"wrote {args.jsonl}")
+    if args.chrome:
+        chrome = to_chrome_trace(
+            reference, network, label=f"{network.name} {volley}"
+        )
+        with open(args.chrome, "w") as handle:
+            json.dump(chrome, handle, indent=1)
+        print(f"wrote {args.chrome}")
+    return 1 if divergent else 0
+
+
+def _stats(argv: list[str]) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stats",
+        description=(
+            "Runtime metrics: counters, timers, and high-water marks "
+            "from the observability registry, plus the compiled-plan "
+            "cache record.  Metrics are per-process; use --exercise to "
+            "run a small workload through every backend first."
+        ),
+    )
+    parser.add_argument(
+        "--exercise",
+        action="store_true",
+        help="run a demo volley through all backends before reporting",
+    )
+    parser.add_argument(
+        "--plan-cache",
+        action="store_true",
+        help="include the plan-cache size and hit/miss record",
+    )
+    parser.add_argument(
+        "--clear-plan-cache",
+        action="store_true",
+        help="clear the compiled-plan cache before reporting",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    parser.add_argument(
+        "--reset", action="store_true", help="reset the registry after reporting"
+    )
+    args = parser.parse_args(argv)
+
+    from .network.compile_plan import clear_plan_cache, plan_cache_info
+    from .obs.metrics import METRICS, reset_metrics
+
+    if args.clear_plan_cache:
+        clear_plan_cache()
+    if args.exercise:
+        from .testing.oracles import run_backends
+
+        network, volley = _demo_column(0, smoke=True)
+        run_backends(network, [volley])
+
+    if args.json:
+        payload = {"metrics": METRICS.snapshot()}
+        if args.plan_cache or args.clear_plan_cache:
+            payload["plan_cache"] = plan_cache_info()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(METRICS.render())
+        if args.plan_cache or args.clear_plan_cache:
+            info = plan_cache_info()
+            print("plan cache:")
+            for key in sorted(info):
+                print(f"  {key:<20} {info[key]}")
+    if args.reset:
+        reset_metrics()
+        print("metrics reset")
+    return 0
+
+
 def _info() -> int:
     import repro
 
@@ -195,9 +376,16 @@ def main(argv: list[str] | None = None) -> int:
         return _selfcheck()
     if command == "conformance":
         return _conformance(args[1:])
+    if command == "trace":
+        return _trace(args[1:])
+    if command == "stats":
+        return _stats(args[1:])
     if command == "info":
         return _info()
-    print(f"unknown command {command!r}; try: info, selfcheck, conformance")
+    print(
+        f"unknown command {command!r}; "
+        "try: info, selfcheck, conformance, trace, stats"
+    )
     return 2
 
 

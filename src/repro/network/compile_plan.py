@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict
+from time import perf_counter as _perf_counter
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -75,6 +76,13 @@ INF_I64: int = int(np.iinfo(np.int64).max)
 
 #: Largest finite time the batched engine accepts on an input line.
 MAX_FINITE: int = INF_I64 - 1
+
+# Imported *after* the sentinel constants: ``repro.obs.trace`` imports
+# MAX_FINITE back from this module, so the constants must already be
+# bound when the observability layer initializes mid-import.
+from ..obs import metrics as _obs_metrics  # noqa: E402
+from ..obs import profile as _obs_profile  # noqa: E402
+from ..obs import trace as _obs_trace  # noqa: E402
 
 VolleyLike = Union[np.ndarray, Sequence[Sequence[Time]]]
 
@@ -214,6 +222,9 @@ class CompiledPlan:
 
     def __init__(self, network: Network):
         self.n_nodes = len(network.nodes)
+        # Kept for spike tracing (cause derivation) and describe();
+        # nodes are immutable and shared with the source network.
+        self.nodes = network.nodes
         self.fingerprint = network.fingerprint()
         self.input_ids = np.fromiter(
             network.input_ids.values(), dtype=np.int64, count=len(network.input_ids)
@@ -255,7 +266,12 @@ class CompiledPlan:
 
     # -- execution -------------------------------------------------------------
     def run(
-        self, matrix: np.ndarray, param_vector: Optional[np.ndarray] = None
+        self,
+        matrix: np.ndarray,
+        param_vector: Optional[np.ndarray] = None,
+        *,
+        sink=None,
+        trace_row: int = 0,
     ) -> np.ndarray:
         """Evaluate every node on an encoded batch.
 
@@ -263,6 +279,12 @@ class CompiledPlan:
         columns in input declaration order; *param_vector* is the encoded
         parameter binding (declaration order).  Returns the full
         ``(B, n_nodes)`` value matrix.
+
+        *sink* is an optional :class:`repro.obs.trace.TraceSink`; when
+        enabled, the canonical spike trace of batch row *trace_row* is
+        emitted level by level as the instruction stream executes.  The
+        default (``None``) costs one identity check — the hot path stays
+        branch-free inside the level loop except for two cached bools.
         """
         batch = matrix.shape[0]
         values = np.empty((batch, self.n_nodes), dtype=np.int64)
@@ -274,7 +296,20 @@ class CompiledPlan:
                     f"network has {self.param_ids.size} params; none bound"
                 )
             values[:, self.param_ids] = param_vector
+        tracing = sink is not None and sink.enabled
+        profiling = _obs_profile.profiling_enabled()
+        if tracing:
+            # A view: the emission helper below always sees the freshest
+            # level's results without re-slicing.
+            row = values[trace_row]
+            for node in self.nodes:
+                if node.is_terminal and row[node.id] <= MAX_FINITE:
+                    sink.emit(
+                        int(row[node.id]), node.id, _obs_trace.cause_of(node, row)
+                    )
         for group in self.groups:
+            if profiling:
+                start = _perf_counter()
             if isinstance(group, _IncGroup):
                 gathered = values[:, group.srcs]
                 np.minimum(gathered, group.caps, out=gathered)
@@ -292,6 +327,21 @@ class CompiledPlan:
                 values[:, group.ids] = np.where(a < b, a, INF_I64)
             else:  # _ConstGroup
                 values[:, group.ids] = group.value
+            if profiling:
+                _obs_metrics.METRICS.add_time(
+                    f"plan.group.{_group_kind(group)}",
+                    _perf_counter() - start,
+                )
+            if tracing:
+                for node_id in group.ids.tolist():
+                    value = int(row[node_id])
+                    if value <= MAX_FINITE:
+                        sink.emit(
+                            value,
+                            node_id,
+                            _obs_trace.cause_of(self.nodes[node_id], row),
+                        )
+        _obs_metrics.METRICS.inc("plan.runs")
         return values
 
     def outputs(
@@ -299,6 +349,17 @@ class CompiledPlan:
     ) -> np.ndarray:
         """Like :meth:`run` but gather only the output columns."""
         return self.run(matrix, param_vector)[:, self.output_ids]
+
+
+def _group_kind(group: _Group) -> str:
+    """Timer label for one fused instruction group."""
+    if isinstance(group, _IncGroup):
+        return "inc"
+    if isinstance(group, _ReduceGroup):
+        return "min" if group.is_min else "max"
+    if isinstance(group, _LtGroup):
+        return "lt"
+    return "const"
 
 
 def _build_groups(network: Network) -> list[_Group]:
@@ -379,23 +440,41 @@ def compile_plan(network: Network) -> CompiledPlan:
     """
     plan = _PLAN_MEMO.get(network)
     if plan is not None:
+        _obs_metrics.METRICS.inc("plan_cache.hit.identity")
         return plan
     print_key = network.fingerprint()
     plan = _PLAN_LRU.get(print_key)
     if plan is None:
-        plan = CompiledPlan(network)
+        _obs_metrics.METRICS.inc("plan_cache.miss")
+        with _obs_metrics.METRICS.timeit("plan.compile"):
+            plan = CompiledPlan(network)
         _PLAN_LRU[print_key] = plan
         if len(_PLAN_LRU) > _PLAN_LRU_LIMIT:
             _PLAN_LRU.popitem(last=False)
     else:
+        _obs_metrics.METRICS.inc("plan_cache.hit.structural")
         _PLAN_LRU.move_to_end(print_key)
     _PLAN_MEMO[network] = plan
     return plan
 
 
 def plan_cache_info() -> dict[str, int]:
-    """Cache occupancy, for diagnostics and tests."""
-    return {"identity": len(_PLAN_MEMO), "structural": len(_PLAN_LRU)}
+    """Cache occupancy and lifetime hit/miss counts, for diagnostics.
+
+    Occupancy (``identity``, ``structural``) reflects the current cache
+    contents; the ``hits_*``/``misses`` counts come from the runtime
+    metrics registry and cover the life of the process (reset with
+    :func:`repro.obs.reset_metrics`).
+    """
+    return {
+        "identity": len(_PLAN_MEMO),
+        "structural": len(_PLAN_LRU),
+        "hits_identity": _obs_metrics.METRICS.counter("plan_cache.hit.identity"),
+        "hits_structural": _obs_metrics.METRICS.counter(
+            "plan_cache.hit.structural"
+        ),
+        "misses": _obs_metrics.METRICS.counter("plan_cache.miss"),
+    }
 
 
 def clear_plan_cache() -> None:
@@ -413,6 +492,7 @@ def evaluate_batch(
     inputs: VolleyLike,
     *,
     params: Optional[Mapping[str, Time]] = None,
+    sink=None,
 ) -> np.ndarray:
     """Evaluate a batch of volleys in one compiled call.
 
@@ -422,11 +502,30 @@ def evaluate_batch(
     int64 matrix, columns in ``network.output_names`` order, with
     :data:`INF_I64` marking "no spike".  Decode with
     :func:`decode_matrix` when ``Time`` values are wanted.
+
+    *sink* (a :class:`repro.obs.trace.TraceSink`) records the canonical
+    spike trace of batch row 0 when enabled.  Under
+    :func:`repro.obs.profiled`, the call's wall-clock is attributed to
+    the ``phase.evaluate_batch.{plan,encode,run}`` timers; disabled, the
+    overhead is two flag checks plus two counter increments.
     """
-    plan = compile_plan(network)
-    matrix = encode_volleys(inputs, arity=len(network.input_ids))
-    param_vector = _encode_params(network, params)
-    return plan.outputs(matrix, param_vector)
+    metrics = _obs_metrics.METRICS
+    if _obs_profile.profiling_enabled():
+        with _obs_profile.phase("evaluate_batch.plan"):
+            plan = compile_plan(network)
+        with _obs_profile.phase("evaluate_batch.encode"):
+            matrix = encode_volleys(inputs, arity=len(network.input_ids))
+            param_vector = _encode_params(network, params)
+        with _obs_profile.phase("evaluate_batch.run"):
+            out = plan.run(matrix, param_vector, sink=sink)[:, plan.output_ids]
+    else:
+        plan = compile_plan(network)
+        matrix = encode_volleys(inputs, arity=len(network.input_ids))
+        param_vector = _encode_params(network, params)
+        out = plan.run(matrix, param_vector, sink=sink)[:, plan.output_ids]
+    metrics.inc("evaluate_batch.calls")
+    metrics.inc("evaluate_batch.volleys", matrix.shape[0])
+    return out
 
 
 def evaluate_batch_all(

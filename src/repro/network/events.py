@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.value import INF, Infinity, Time, check_time
+from ..obs.metrics import METRICS
+from ..obs.trace import MAX_FINITE, NULL_SINK, TraceSink, cause_of
 from .graph import Network, NetworkError
 
 
@@ -54,6 +56,8 @@ class SimulationResult:
     outputs: dict[str, Time]
     fire_times: list[Time]
     trace: list[SpikeEvent] = field(default_factory=list)
+    #: Peak pending-event count in the scheduler queue during the run.
+    queue_peak: int = 0
 
     @property
     def total_spikes(self) -> int:
@@ -63,9 +67,14 @@ class SimulationResult:
         return [e for e in self.trace if e.time == time]
 
     @property
-    def makespan(self) -> int:
-        """Time of the last spike in the computation (0 if none fired)."""
-        return max((e.time for e in self.trace), default=0)
+    def makespan(self) -> Optional[int]:
+        """Time of the last spike, or ``None`` when nothing fired.
+
+        An all-``∞`` run produces no spikes at all; that is *not* the
+        same as a computation whose last spike happened at time 0, so
+        the silent case is ``None`` rather than a fake 0.
+        """
+        return max((e.time for e in self.trace), default=None)
 
 
 class EventSimulator:
@@ -80,9 +89,15 @@ class EventSimulator:
         inputs: Mapping[str, Time],
         *,
         params: Optional[Mapping[str, Time]] = None,
+        sink: TraceSink = NULL_SINK,
     ) -> SimulationResult:
+        """Run one volley.  *sink*, when enabled, receives the canonical
+        spike trace live — one emit per :func:`fire`, exactly when the
+        block decides, with the cause derived from the arrivals observed
+        so far (provably identical to the denotational cause)."""
         net = self.network
         params = params or {}
+        tracing = sink.enabled
         missing_in = set(net.input_ids) - set(inputs)
         if missing_in:
             raise NetworkError(f"unbound inputs: {sorted(missing_in)}")
@@ -109,6 +124,11 @@ class EventSimulator:
                 return
             fired[node_id] = t
             trace.append(SpikeEvent(t, node_id))
+            if tracing and t <= MAX_FINITE:
+                # Sources that fire later than t still read as INF here,
+                # which cannot change a min/max/lt winner at time t — the
+                # emitted cause matches the denotational derivation.
+                sink.emit(t, node_id, cause_of(net.nodes[node_id], fired))
             for consumer in self._consumers[node_id]:
                 for port, src in enumerate(net.nodes[consumer].sources):
                     if src == node_id:
@@ -133,7 +153,10 @@ class EventSimulator:
                 # fires — no injection needed, it stays INF naturally.)
                 heapq.heappush(heap, (0, node.id, 1, -1))
 
+        queue_peak = len(heap)
         while heap:
+            if len(heap) > queue_peak:
+                queue_peak = len(heap)
             t, node_id, _, port = heapq.heappop(heap)
             node = self.network.nodes[node_id]
             if port == -1:
@@ -161,7 +184,15 @@ class EventSimulator:
 
         outputs = {name: fired[nid] for name, nid in net.outputs.items()}
         trace.sort(key=lambda e: (e.time, e.node_id))
-        return SimulationResult(outputs=outputs, fire_times=fired, trace=trace)
+        METRICS.inc("events.runs")
+        METRICS.inc("events.spikes", len(trace))
+        METRICS.observe_max("events.queue_peak", queue_peak)
+        return SimulationResult(
+            outputs=outputs,
+            fire_times=fired,
+            trace=trace,
+            queue_peak=queue_peak,
+        )
 
 
 def simulate(
@@ -169,6 +200,7 @@ def simulate(
     inputs: Mapping[str, Time],
     *,
     params: Optional[Mapping[str, Time]] = None,
+    sink: TraceSink = NULL_SINK,
 ) -> SimulationResult:
     """One-shot event-driven simulation of *network*."""
-    return EventSimulator(network).run(inputs, params=params)
+    return EventSimulator(network).run(inputs, params=params, sink=sink)

@@ -39,12 +39,17 @@ def evaluate_all_interpreted(
     inputs: Mapping[str, Time],
     *,
     params: Optional[Mapping[str, Time]] = None,
+    sink=None,
 ) -> list[Time]:
     """The pure-Python reference loop: every node's spike time, by id.
 
     Semantically identical to :func:`evaluate_all`; exists as the
     executable specification the compiled engine is checked against, and
     handles arbitrary-precision times the int64 engine cannot.
+
+    *sink* is an optional :class:`repro.obs.trace.TraceSink`; when
+    enabled, the canonical spike trace of this volley is emitted after
+    the walk (one event per node that fires).
     """
     params = params or {}
     missing_in = set(network.input_ids) - set(inputs)
@@ -88,6 +93,10 @@ def evaluate_all_interpreted(
             a = values[node.sources[0]]
             b = values[node.sources[1]]
             values[node.id] = a if a < b else INF
+    if sink is not None and sink.enabled:
+        from ..obs.trace import emit_events
+
+        emit_events(sink, network, values)
     return values
 
 

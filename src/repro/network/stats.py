@@ -105,7 +105,8 @@ def activity(
         runs += 1
         spikes += result.total_spikes
         silent += n_wires - result.total_spikes
-        makespans += result.makespan
+        # A silent run has no makespan (None); it contributes 0 latency.
+        makespans += result.makespan or 0
     return ActivityStats(
         runs=runs,
         total_spikes=spikes,

@@ -1,0 +1,55 @@
+"""Observability: spike tracing, runtime metrics, and profiling hooks.
+
+The instrumentation layer of the reproduction.  Three pillars, each
+designed so the *disabled* path costs (almost) nothing:
+
+* :mod:`repro.obs.trace` — the canonical per-node spike trace and the
+  :class:`~repro.obs.trace.TraceSink` protocol every execution backend
+  (interpreted, compiled batch, event-driven, GRL circuit) emits into;
+  exports JSONL and Chrome ``chrome://tracing`` formats, and diffs two
+  traces down to the first divergent node.
+* :mod:`repro.obs.metrics` — the process-wide counter/timer/high-water
+  registry (evaluations, volleys, plan-cache hits, spikes, queue depth)
+  behind ``python -m repro stats``.
+* :mod:`repro.obs.profile` — opt-in wall-clock phase attribution for
+  ``evaluate_batch`` and the conformance engine.
+"""
+
+from .metrics import METRICS, MetricsRegistry, reset_metrics, snapshot
+from .profile import phase, profiled, profiling_enabled
+from .trace import (
+    NULL_SINK,
+    Divergence,
+    NullSink,
+    RecordingSink,
+    TraceEvent,
+    TraceSink,
+    cause_of,
+    emit_events,
+    first_divergence,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "NULL_SINK",
+    "Divergence",
+    "NullSink",
+    "RecordingSink",
+    "TraceEvent",
+    "TraceSink",
+    "cause_of",
+    "emit_events",
+    "first_divergence",
+    "from_jsonl",
+    "phase",
+    "profiled",
+    "profiling_enabled",
+    "reset_metrics",
+    "snapshot",
+    "to_chrome_trace",
+    "to_jsonl",
+]

@@ -1,0 +1,143 @@
+"""Runtime metrics: a process-wide counter/timer/high-water registry.
+
+Every execution backend and the conformance engine report what they did
+here — evaluations run, volleys processed, plan-cache hits and misses,
+spikes fired, event-queue depth — so a long-running process (or a test)
+can ask "what has this library actually been doing?" without changing
+any call site.  The registry is deliberately tiny: plain dict updates on
+the hot path (a counter increment is one dict store), with snapshot and
+reset semantics so tests can assert deltas in isolation.
+
+Three metric families:
+
+* **counters** — monotonically increasing event counts
+  (:meth:`MetricsRegistry.inc`);
+* **timers** — accumulated wall-clock per label with a call count
+  (:meth:`MetricsRegistry.add_time` / :meth:`MetricsRegistry.timeit`),
+  fed by the opt-in profiler (:mod:`repro.obs.profile`);
+* **maxima** — high-water marks such as the event simulator's peak queue
+  depth (:meth:`MetricsRegistry.observe_max`).
+
+The module-level :data:`METRICS` instance is what the library writes to;
+``python -m repro stats`` renders it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class MetricsRegistry:
+    """A named bag of counters, accumulated timers, and high-water marks."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._timer_totals: dict[str, float] = {}
+        self._timer_counts: dict[str, int] = {}
+        self._maxima: dict[str, int] = {}
+
+    # -- writers (hot path: keep these to single dict operations) -----------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name* (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe_max(self, name: str, value: int) -> None:
+        """Raise high-water mark *name* to *value* if it is larger."""
+        if value > self._maxima.get(name, 0):
+            self._maxima[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* of wall-clock under timer *name*."""
+        self._timer_totals[name] = self._timer_totals.get(name, 0.0) + seconds
+        self._timer_counts[name] = self._timer_counts.get(name, 0) + 1
+
+    @contextmanager
+    def timeit(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into timer *name* (always on; see
+        :func:`repro.obs.profile.phase` for the opt-in variant)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- readers -------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def timer(self, name: str) -> tuple[int, float]:
+        """``(calls, total_seconds)`` for timer *name*."""
+        return self._timer_counts.get(name, 0), self._timer_totals.get(name, 0.0)
+
+    def maximum(self, name: str) -> int:
+        """Current high-water mark *name* (0 if never observed)."""
+        return self._maxima.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A deep, sorted copy of every metric — safe to mutate or diff.
+
+        Shape::
+
+            {"counters": {name: int},
+             "timers":   {name: {"calls": int, "total_s": float}},
+             "maxima":   {name: int}}
+        """
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "timers": {
+                name: {
+                    "calls": self._timer_counts[name],
+                    "total_s": self._timer_totals[name],
+                }
+                for name in sorted(self._timer_totals)
+            },
+            "maxima": dict(sorted(self._maxima.items())),
+        }
+
+    def reset(self) -> None:
+        """Zero every metric (tests; long-lived processes between windows)."""
+        self._counters.clear()
+        self._timer_totals.clear()
+        self._timer_counts.clear()
+        self._maxima.clear()
+
+    def render(self) -> str:
+        """Human-readable snapshot, one metric per line."""
+        snap = self.snapshot()
+        lines = []
+        if snap["counters"]:
+            lines.append("counters:")
+            lines.extend(
+                f"  {name:<40} {value}"
+                for name, value in snap["counters"].items()
+            )
+        if snap["timers"]:
+            lines.append("timers:")
+            lines.extend(
+                f"  {name:<40} {entry['calls']:>8} call(s) "
+                f"{entry['total_s'] * 1e3:>10.3f} ms"
+                for name, entry in snap["timers"].items()
+            )
+        if snap["maxima"]:
+            lines.append("maxima:")
+            lines.extend(
+                f"  {name:<40} {value}" for name, value in snap["maxima"].items()
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+#: The process-wide registry every instrumented call site writes to.
+METRICS = MetricsRegistry()
+
+
+def snapshot() -> dict:
+    """Snapshot of the global registry (see :meth:`MetricsRegistry.snapshot`)."""
+    return METRICS.snapshot()
+
+
+def reset_metrics() -> None:
+    """Reset the global registry (tests and ``repro stats --reset``)."""
+    METRICS.reset()

@@ -1,0 +1,71 @@
+"""Opt-in wall-clock profiling hooks.
+
+Phase attribution answers "where does the time go inside one
+``evaluate_batch`` call / one conformance case?" — but timing costs
+time, so it is **off by default** and every hook collapses to a single
+module-flag check when disabled (the overhead budget for the disabled
+path across this whole subsystem is ≤ 5% of ``evaluate_batch`` at
+B=1024; ``benchmarks/bench_obs_overhead.py`` holds the receipt).
+
+Usage::
+
+    from repro.obs import profiled, METRICS
+
+    with profiled():
+        evaluate_batch(net, volleys)          # phases recorded
+    METRICS.timer("phase.evaluate_batch.run")  # (calls, seconds)
+
+Instrumented call sites wrap their phases in :func:`phase`; the recorded
+timers land in :data:`repro.obs.metrics.METRICS` under ``phase.<name>``
+(and ``plan.group.<kind>`` for the compiled engine's per-level
+instruction timings).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import METRICS
+
+#: Module flag: the one word every disabled hook checks.
+_ENABLED = False
+
+
+def profiling_enabled() -> bool:
+    """True while a :func:`profiled` block is active."""
+    return _ENABLED
+
+
+@contextmanager
+def profiled() -> Iterator[None]:
+    """Enable phase profiling for the duration of the ``with`` block.
+
+    Nestable; the flag restores to its previous value on exit, so an
+    outer block is not disarmed by an inner one finishing.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = True
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Attribute the ``with`` block's wall-clock to ``phase.<name>``.
+
+    A no-op (one flag check, no clock read) unless inside
+    :func:`profiled`.
+    """
+    if not _ENABLED:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        METRICS.add_time(f"phase.{name}", time.perf_counter() - start)

@@ -1,0 +1,333 @@
+"""Structured spike tracing: who fired, when, and why.
+
+The paper's values are *event times* — a network's entire behaviour is
+the set of ``(node, fire_time)`` pairs one volley produces — yet the
+evaluation entry points only return output volleys.  This module defines
+the **canonical spike trace**, a backend-independent record of every
+node firing, and the :class:`TraceSink` protocol through which all four
+execution backends emit it:
+
+* the interpreted reference walk
+  (:func:`repro.network.simulator.evaluate_all_interpreted`),
+* the compiled int64 batch engine
+  (:meth:`repro.network.compile_plan.CompiledPlan.run`, per level),
+* the operational event simulator
+  (:meth:`repro.network.events.EventSimulator.run`, per ``fire``),
+* the GRL circuit executor
+  (:meth:`repro.racelogic.compile.GRLExecutor.run`, from wire fall
+  times; :meth:`repro.racelogic.digital.DigitalSimulator.run`
+  additionally exposes raw gate-level 1→0 edge transitions).
+
+Canonical form
+--------------
+One event per node that fires: ``(fire_time, node_id, cause)``, sorted
+by ``(fire_time, node_id)``, with times in sentinel-saturated semantics
+(a finite time above :data:`~repro.network.compile_plan.MAX_FINITE`
+means ``∞`` and emits no event — the same contract the conformance
+oracles compare under).  The *cause* names the structural reason the
+node fired and is a pure function of the network and the per-node fire
+times:
+
+===========  =========================================================
+node kind    cause
+===========  =========================================================
+``input``    ``"input"``
+``param``    ``"param"`` (only a 0-pinned param fires)
+``inc``      ``"inc+<amount><-<src>"``
+``min``      ``"min<-<src>"`` — the earliest source (ties: lowest id)
+``max``      ``"max<-<src>"`` — the latest source (ties: lowest id)
+``lt``       ``"lt<-<a>"`` — fires only via its first operand
+``max`` (0-ary)  ``"const0"`` — the lattice bottom fires at 0
+===========  =========================================================
+
+Because the cause is derived from fire times alone, two backends that
+agree on fire times produce **byte-identical** canonical traces
+(:func:`to_jsonl`), and two that disagree can be diffed down to the
+first divergent node (:func:`first_divergence`) — which is how the
+conformance engine turns a shrunk reproducer into an explained one.
+
+Exports are JSON-lines (:func:`to_jsonl`, one event per line, stable
+key order) and the Chrome ``chrome://tracing`` / Perfetto JSON format
+(:func:`to_chrome_trace`, one row per node, instant events at fire
+times).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.value import Infinity
+from ..network.compile_plan import MAX_FINITE
+from .metrics import METRICS
+
+
+@dataclass(frozen=True, order=True)
+class TraceEvent:
+    """One node firing, in canonical (time, node, cause) form."""
+
+    time: int
+    node_id: int
+    cause: str
+
+
+class TraceSink:
+    """Where backends report spike events.
+
+    The protocol is two members: :attr:`enabled` (backends skip all
+    tracing work when false — the null sink must cost nothing on hot
+    paths) and :meth:`emit`.  Implementations must accept events in
+    *any* order; canonical ordering is applied at export time.
+    """
+
+    #: Hot paths test this flag before doing any tracing work.
+    enabled: bool = False
+
+    def emit(self, time: int, node_id: int, cause: str) -> None:
+        """Record one node firing at *time* for reason *cause*."""
+
+
+class NullSink(TraceSink):
+    """The disabled sink: every backend's default, cost of one flag read."""
+
+    enabled = False
+
+    def emit(self, time: int, node_id: int, cause: str) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared do-nothing sink instance (stateless, safe to share).
+NULL_SINK = NullSink()
+
+
+class RecordingSink(TraceSink):
+    """A sink that keeps every event in memory for export and diffing."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, time: int, node_id: int, cause: str) -> None:
+        self.events.append(TraceEvent(time, node_id, cause))
+        METRICS.inc("trace.events")
+
+    def canonical(self) -> list[TraceEvent]:
+        """Events in canonical ``(time, node_id)`` order."""
+        return sorted(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Cause derivation
+# ---------------------------------------------------------------------------
+
+def _is_finite(value) -> bool:
+    """Membership in the emittable range: finite and under the sentinel."""
+    return not isinstance(value, Infinity) and int(value) <= MAX_FINITE
+
+
+def cause_of(node, values) -> str:
+    """The canonical cause string for *node* having fired.
+
+    *values* maps node id → fire time and may hold either ``Time``
+    values (``INF`` objects for silence) or sentinel-encoded ints — the
+    derivation only compares values, and ``∞`` compares greater than
+    every finite time in both encodings.  For a ``min`` whose winning
+    source has not been resolved yet (the event simulator calls this
+    mid-run), unresolved sources read as ``∞``, which cannot win a
+    ``min`` that is firing — the derivation is exact either way.
+    """
+    kind = node.kind
+    if kind == "input":
+        return "input"
+    if kind == "param":
+        return "param"
+    if kind == "inc":
+        return f"inc+{node.amount}<-{node.sources[0]}"
+    if kind == "lt":
+        return f"lt<-{node.sources[0]}"
+    if not node.sources:  # 0-ary max; a 0-ary min never fires
+        return "const0"
+    if kind == "min":
+        winner = min(node.sources, key=lambda s: (values[s], s))
+        return f"min<-{winner}"
+    # max: the last arrival; ties resolve to the lowest node id.
+    winner = min(node.sources, key=lambda s: (-_as_int(values[s]), s))
+    return f"max<-{winner}"
+
+
+def _as_int(value) -> int:
+    """Order-preserving int view of a fire time (∞ → a value above all)."""
+    return (MAX_FINITE + 1) if isinstance(value, Infinity) else int(value)
+
+
+def emit_events(sink: TraceSink, network, values) -> None:
+    """Emit every finite firing in *values* (node id → time) to *sink*.
+
+    The shared emission helper for backends that hold a complete
+    fire-time vector (interpreted walk, GRL read-back); per-level and
+    per-event backends emit incrementally with :func:`cause_of` instead.
+    """
+    for node in network.nodes:
+        value = values[node.id]
+        if _is_finite(value):
+            sink.emit(int(value), node.id, cause_of(node, values))
+
+
+# ---------------------------------------------------------------------------
+# Canonical exports
+# ---------------------------------------------------------------------------
+
+def to_jsonl(events: Sequence[TraceEvent], network) -> str:
+    """Render a canonical JSON-lines trace (byte-stable across backends).
+
+    One event per line, sorted by ``(time, node_id)``, fixed key order
+    ``t, node, kind, name, cause`` and compact separators — two equal
+    traces serialize to identical bytes.
+    """
+    lines = []
+    for event in sorted(events):
+        node = network.nodes[event.node_id]
+        lines.append(
+            json.dumps(
+                {
+                    "t": event.time,
+                    "node": event.node_id,
+                    "kind": node.kind,
+                    "name": node.name,
+                    "cause": event.cause,
+                },
+                separators=(",", ":"),
+            )
+        )
+    return "".join(line + "\n" for line in lines)
+
+
+def from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse a :func:`to_jsonl` document back into canonical events."""
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        events.append(TraceEvent(record["t"], record["node"], record["cause"]))
+    return sorted(events)
+
+
+def to_chrome_trace(
+    events: Sequence[TraceEvent], network, *, label: str = "spike-trace"
+) -> dict:
+    """Render a ``chrome://tracing`` / Perfetto JSON object.
+
+    Each node becomes a thread row (tid = node id, named after the
+    node), each firing an instant event at ``ts = fire_time`` µs — the
+    result reads as a spike raster in the trace viewer.  Serialize with
+    ``json.dumps`` and load via ``chrome://tracing`` or ui.perfetto.dev.
+    """
+    trace_events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    ]
+    seen_nodes = sorted({e.node_id for e in events})
+    for node_id in seen_nodes:
+        node = network.nodes[node_id]
+        row = f"{node_id:04d} {node.kind}" + (f" {node.name}" if node.name else "")
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": node_id,
+                "args": {"name": row},
+            }
+        )
+    for event in sorted(events):
+        node = network.nodes[event.node_id]
+        trace_events.append(
+            {
+                "name": f"{node.kind}@{event.time}",
+                "ph": "i",
+                "s": "t",
+                "ts": event.time,
+                "pid": 1,
+                "tid": event.node_id,
+                "args": {"cause": event.cause},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"network": network.name, "format": "repro.obs spike trace"},
+    }
+
+
+# ---------------------------------------------------------------------------
+# Trace diffing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first node two traces disagree about.
+
+    ``left``/``right`` are the node's events in each trace (``None``
+    where the node never fired).  "First" means earliest by the
+    canonical ``(time, node_id)`` order of whichever side observed it.
+    """
+
+    node_id: int
+    left: Optional[TraceEvent]
+    right: Optional[TraceEvent]
+
+    def describe(
+        self, left_name: str = "left", right_name: str = "right", network=None
+    ) -> str:
+        node_label = f"node {self.node_id}"
+        if network is not None:
+            node = network.nodes[self.node_id]
+            suffix = f" {node.name}" if node.name else ""
+            node_label = f"node {self.node_id} ({node.kind}{suffix})"
+
+        def side(event: Optional[TraceEvent]) -> str:
+            if event is None:
+                return "no spike"
+            return f"t={event.time} via {event.cause}"
+
+        return (
+            f"first divergent {node_label}: "
+            f"{left_name} {side(self.left)} vs {right_name} {side(self.right)}"
+        )
+
+
+def first_divergence(
+    left: Sequence[TraceEvent], right: Sequence[TraceEvent]
+) -> Optional[Divergence]:
+    """The earliest node whose firing record differs, or ``None``.
+
+    Compares per-node ``(time, cause)`` records, walking nodes in the
+    canonical order of their earliest appearance on either side — so a
+    node that fired in one trace and not the other is found at the time
+    it did fire, and a node that fired at different times is found at
+    the earlier of the two.
+    """
+    by_left = {e.node_id: e for e in left}
+    by_right = {e.node_id: e for e in right}
+
+    def earliest(node_id: int) -> tuple[int, int]:
+        times = [
+            d[node_id].time for d in (by_left, by_right) if node_id in d
+        ]
+        return (min(times), node_id)
+
+    for node_id in sorted(set(by_left) | set(by_right), key=earliest):
+        if by_left.get(node_id) != by_right.get(node_id):
+            return Divergence(node_id, by_left.get(node_id), by_right.get(node_id))
+    return None

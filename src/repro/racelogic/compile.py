@@ -25,19 +25,29 @@ from typing import Optional
 
 from ..core.value import Time
 from ..network.graph import Network
+from ..obs.trace import NULL_SINK, TraceSink, emit_events
 from .circuit import Circuit, CircuitBuilder
 from .digital import DigitalResult, DigitalSimulator
 
 
-def compile_network(network: Network, *, name: Optional[str] = None) -> Circuit:
+def compile_network(
+    network: Network,
+    *,
+    name: Optional[str] = None,
+    node_map: Optional[dict[int, int]] = None,
+) -> Circuit:
     """Translate an s-t network into a GRL netlist.
 
     Parameters become circuit inputs (bind them with the same 0/∞ values
     at simulation time); node-for-gate the structure is otherwise
     preserved, with ``inc`` nodes expanding into DFF chains.
+
+    *node_map*, if given, is filled with ``node id -> gate id`` — the
+    gate whose 1→0 fall time *is* the node's spike time (for an ``inc``
+    chain, the final flip-flop).  The spike-trace read-back uses it.
     """
     builder = CircuitBuilder(name or f"grl-{network.name}")
-    wire: dict[int, int] = {}
+    wire: dict[int, int] = node_map if node_map is not None else {}
     for node in network.nodes:
         if node.kind in ("input", "param"):
             wire[node.id] = builder.input(node.name)
@@ -70,7 +80,8 @@ class GRLExecutor:
 
     def __init__(self, network: Network):
         self.network = network
-        self.circuit = compile_network(network)
+        self.node_wires: dict[int, int] = {}
+        self.circuit = compile_network(network, node_map=self.node_wires)
         self._simulator = DigitalSimulator(self.circuit)
 
     def run(
@@ -79,13 +90,25 @@ class GRLExecutor:
         *,
         params: Optional[Mapping[str, Time]] = None,
         horizon: int | None = None,
+        sink: TraceSink = NULL_SINK,
     ) -> DigitalResult:
+        """Run one volley.  *sink*, when enabled, receives the canonical
+        *node-level* spike trace, read back from gate fall times through
+        the node→wire map — directly comparable (byte-identical on
+        agreement) to the other three backends' traces."""
         bound = dict(inputs)
         for pname in self.network.param_ids:
             if params is None or pname not in params:
                 raise ValueError(f"unbound parameter {pname!r}")
             bound[pname] = params[pname]
-        return self._simulator.run(bound, horizon=horizon)
+        result = self._simulator.run(bound, horizon=horizon)
+        if sink.enabled:
+            values = [
+                result.fall_times[self.node_wires[node.id]]
+                for node in self.network.nodes
+            ]
+            emit_events(sink, self.network, values)
+        return result
 
     def outputs(
         self,

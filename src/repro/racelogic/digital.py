@@ -19,6 +19,8 @@ from collections.abc import Mapping
 from dataclasses import dataclass
 
 from ..core.value import INF, Infinity, Time, check_time
+from ..obs.metrics import METRICS
+from ..obs.trace import NULL_SINK, TraceSink
 from .circuit import Circuit, CircuitError
 
 
@@ -46,12 +48,18 @@ class DigitalSimulator:
         inputs: Mapping[str, Time],
         *,
         horizon: int | None = None,
+        sink: TraceSink = NULL_SINK,
     ) -> DigitalResult:
         """Simulate until *horizon* cycles (auto-sized if omitted).
 
         The automatic horizon covers the latest finite input plus every
         DFF stage plus one settling cycle — enough for any fall to
         propagate through a feedforward netlist.
+
+        *sink*, when enabled, receives raw gate-level events: the first
+        1→0 fall of each gate, with cause ``fall:<gate-kind>``.  This is
+        the circuit-level view; the canonical node-level trace comes from
+        :class:`~repro.racelogic.compile.GRLExecutor` read-back.
         """
         circuit = self.circuit
         missing = set(circuit.input_ids) - set(inputs)
@@ -86,6 +94,7 @@ class DigitalSimulator:
                 level[gate.id] = 1 - level[gate.sources[0]]
             # inputs, dffs, and reset lt latches all idle high.
 
+        tracing = sink.enabled
         for cycle in range(horizon + 1):
             # DFF outputs present their state sampled at the last edge.
             new_level = list(level)
@@ -117,6 +126,10 @@ class DigitalSimulator:
                     transitions += 1
                     if new_level[gid] == 0 and isinstance(fall_times[gid], Infinity):
                         fall_times[gid] = cycle
+                        if tracing:
+                            sink.emit(
+                                cycle, gid, f"fall:{circuit.gates[gid].kind}"
+                            )
             level = new_level
             # Clock edge: DFFs capture their inputs for the next cycle.
             for gate in circuit.gates:
@@ -126,6 +139,8 @@ class DigitalSimulator:
         outputs = {
             name: fall_times[gid] for name, gid in circuit.outputs.items()
         }
+        METRICS.inc("grl.runs")
+        METRICS.inc("grl.transitions", transitions)
         return DigitalResult(
             outputs=outputs,
             fall_times=fall_times,

@@ -29,6 +29,7 @@ from typing import Optional
 
 from ..core.value import Time
 from ..network.graph import Network
+from ..obs.trace import Divergence, TraceEvent, first_divergence
 from .faults import FAULT_CLASSES, FaultClass
 from .generators import ConformanceCase, generate_case
 from .oracles import (
@@ -64,13 +65,23 @@ class Mismatch:
     minimized_volley: Optional[Volley] = None
     minimized_network: Optional[Network] = None
     regression_test: Optional[str] = None
+    #: Canonical spike traces of the two disagreeing backends on the
+    #: original (network, volley), keyed by backend name; absent when a
+    #: backend cannot trace the case.
+    traces: dict[str, list[TraceEvent]] = field(default_factory=dict)
+    #: First node where the two traces split — the root-cause pointer.
+    divergence: Optional[Divergence] = None
 
     def __str__(self) -> str:
         witness = self.minimized_volley or self.volley
         parts = "; ".join(
             f"{name}->{out}" for name, out in sorted(self.outputs.items())
         )
-        return f"{self.case_name} at {format_volley(witness)}: {parts}"
+        text = f"{self.case_name} at {format_volley(witness)}: {parts}"
+        if self.divergence is not None:
+            left, right = sorted(self.traces)
+            text += f" [{self.divergence.describe(left, right)}]"
+        return text
 
 
 @dataclass
@@ -84,14 +95,20 @@ class FaultDetection:
     oracle_name: str = ""
     witness: Optional[Volley] = None
     regression_test: Optional[str] = None
+    #: Rendered :meth:`~repro.obs.trace.Divergence.describe` of the
+    #: healthy vs faulted trace — names the first divergent node.
+    divergence: Optional[str] = None
 
     def __str__(self) -> str:
         if not self.detected:
             return f"{self.fault}: NOT DETECTED after {self.attempts} attempt(s)"
-        return (
+        text = (
             f"{self.fault}: detected on {self.case_name} via "
             f"{self.oracle_name}, minimal witness {format_volley(self.witness)}"
         )
+        if self.divergence is not None:
+            text += f" [{self.divergence}]"
+        return text
 
 
 @dataclass
@@ -192,6 +209,47 @@ def _disagreeing_output(
     return None
 
 
+def attach_divergence(
+    mismatch: Mismatch,
+    network: Network,
+    oracles: Sequence[BackendOracle],
+    params: Optional[Mapping[str, Time]],
+) -> None:
+    """Trace the two disagreeing backends and record where they split.
+
+    Picks the first pair of backends in *mismatch.outputs* with unequal
+    canonical outputs, traces each on the original (network, volley),
+    and stores the traces plus the first divergent node.  Backends that
+    cannot trace the case (``trace()`` → ``None``) leave the mismatch
+    without a divergence — the output-level diff still stands.
+    """
+    by_name = {o.name: o for o in oracles}
+    names = sorted(mismatch.outputs)
+    pair: Optional[tuple[str, str]] = None
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            if mismatch.outputs[a] != mismatch.outputs[b]:
+                pair = (a, b)
+                break
+        if pair:
+            break
+    if pair is None:  # pragma: no cover - callers pass real disagreements
+        return
+    traces: dict[str, list] = {}
+    for name in pair:
+        oracle = by_name.get(name)
+        trace = (
+            oracle.trace(network, mismatch.volley, params=params)
+            if oracle is not None
+            else None
+        )
+        if trace is None:
+            return
+        traces[name] = trace
+    mismatch.traces = traces
+    mismatch.divergence = first_divergence(traces[pair[0]], traces[pair[1]])
+
+
 def _still_disagrees(
     oracles: Sequence[BackendOracle],
     params: Optional[Mapping[str, Time]],
@@ -231,6 +289,7 @@ def run_case(
             volley=run.volleys[index],
             outputs=outputs,
         )
+        attach_divergence(mismatch, case.network, oracles, params)
         if shrink:
             predicate = _still_disagrees(oracles, params)
             network, volley = minimize_case(
@@ -351,6 +410,17 @@ def run_fault_selfcheck(
             detection.case_name = case.name
             detection.oracle_name = faulted.name
             detection.witness = witness
+            # Explain the kill: where do the healthy and faulted spike
+            # traces first split?  (Oracles that cannot trace — e.g. the
+            # plan-reorder executor — simply leave this blank.)
+            healthy_trace = reference.trace(case.network, witness, params=params)
+            faulted_trace = faulted.trace(case.network, witness, params=params)
+            if healthy_trace is not None and faulted_trace is not None:
+                split = first_divergence(healthy_trace, faulted_trace)
+                if split is not None:
+                    detection.divergence = split.describe(
+                        "healthy", faulted.name, network=case.network
+                    )
             if shrink:
                 detection.regression_test = _emit_fault_repro(
                     fault, case, faulted, witness

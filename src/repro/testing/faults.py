@@ -237,6 +237,14 @@ class FaultedOracle(BackendOracle):
             volleys = [self.volley_transform(v) for v in volleys]
         return self.victim.run(network, volleys, params=params)
 
+    def trace(self, network, volley, params=None):
+        # The mutant's view of the world: trace through the fault, so a
+        # divergence report shows *where* the corruption first surfaces.
+        network = self._network(network)
+        if self.volley_transform is not None:
+            volley = self.volley_transform(volley)
+        return self.victim.trace(network, volley, params=params)
+
 
 class PlanReorderOracle(BackendOracle):
     """The compiled engine with a corrupted level schedule.

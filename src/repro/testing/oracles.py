@@ -55,6 +55,7 @@ from ..network.compile_plan import (
 from ..network.events import EventSimulator
 from ..network.graph import Network
 from ..network.simulator import evaluate_all_interpreted
+from ..obs.trace import RecordingSink, TraceEvent
 
 Volley = tuple[Time, ...]
 Outputs = tuple[Time, ...]
@@ -100,6 +101,21 @@ class BackendOracle:
     ) -> list[Outputs]:
         """Raw output tuples (``network.output_names`` order) per volley."""
         raise NotImplementedError
+
+    def trace(
+        self,
+        network: Network,
+        volley: Volley,
+        params: Optional[Mapping[str, Time]] = None,
+    ) -> Optional[list[TraceEvent]]:
+        """The canonical spike trace of one volley, or ``None``.
+
+        ``None`` means the backend cannot trace this case (unsupported
+        network/volley, or no tracing support at all — the base).  A
+        returned trace is already canonical (sorted, sentinel-saturated),
+        so two backends that agree on fire times return *equal* lists.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<oracle {self.name}>"
@@ -163,6 +179,16 @@ class InterpretedOracle(BackendOracle):
             results.append(tuple(values[nid] for nid in out_ids))
         return results
 
+    def trace(self, network, volley, params=None):
+        sink = RecordingSink()
+        evaluate_all_interpreted(
+            network,
+            dict(zip(network.input_names, volley)),
+            params=params,
+            sink=sink,
+        )
+        return sink.canonical()
+
 
 @register_oracle
 class CompiledBatchOracle(BackendOracle):
@@ -173,6 +199,11 @@ class CompiledBatchOracle(BackendOracle):
     def run(self, network, volleys, params=None):
         matrix = evaluate_batch(network, list(volleys), params=params)
         return [tuple(row) for row in decode_matrix(matrix)]
+
+    def trace(self, network, volley, params=None):
+        sink = RecordingSink()
+        evaluate_batch(network, [tuple(volley)], params=params, sink=sink)
+        return sink.canonical()
 
 
 @register_oracle
@@ -190,6 +221,13 @@ class EventDrivenOracle(BackendOracle):
             outcome = simulator.run(dict(zip(names, volley)), params=params)
             results.append(tuple(outcome.outputs[n] for n in out_names))
         return results
+
+    def trace(self, network, volley, params=None):
+        sink = RecordingSink()
+        EventSimulator(network).run(
+            dict(zip(network.input_names, volley)), params=params, sink=sink
+        )
+        return sink.canonical()
 
 
 @register_oracle
@@ -241,6 +279,20 @@ class GRLCircuitOracle(BackendOracle):
             )
             results.append(tuple(outputs[n] for n in out_names))
         return results
+
+    def trace(self, network, volley, params=None):
+        from ..racelogic.compile import GRLExecutor
+
+        volley = tuple(volley)
+        if self.supports_network(network) is not None:
+            return None
+        if not self.supports_volley(volley):
+            return None
+        sink = RecordingSink()
+        GRLExecutor(network).run(
+            dict(zip(network.input_names, volley)), params=params, sink=sink
+        )
+        return sink.canonical()
 
 
 # ---------------------------------------------------------------------------

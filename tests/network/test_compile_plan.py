@@ -285,6 +285,28 @@ class TestPlanStructure:
         text = plan.describe()
         assert "min" in text and "max" in text and "lt" in text
 
+    def test_describe_golden(self):
+        # The exact rendering is a debugging/reporting surface other
+        # tooling greps; lock it down so format drift is a conscious act.
+        b = NetworkBuilder("golden")
+        x, y = b.inputs("x", "y")
+        always = b.max()
+        b.min()  # the constant ∞
+        m = b.min(b.inc(x, 3), y)
+        top = b.max(m, always)
+        b.output("race", b.lt(m, top))
+        b.output("m", top)
+        plan = compile_plan(b.build())
+        assert plan.describe() == (
+            "plan: 8 nodes -> 6 instructions\n"
+            "  const(0)  x1\n"
+            "  const(∞)  x1\n"
+            "  inc       x1\n"
+            "  min       x1 (arity<=2)\n"
+            "  max       x1 (arity<=2)\n"
+            "  lt        x1"
+        )
+
     def test_run_requires_params_when_declared(self):
         b = NetworkBuilder("gated")
         b.output("y", b.gate(b.input("x"), b.param("mu")))
@@ -318,16 +340,31 @@ class TestPlanCache:
 
     def test_cache_info_counts(self):
         info = plan_cache_info()
-        assert info == {"identity": 0, "structural": 0}
+        assert info["identity"] == 0 and info["structural"] == 0
         net = diamond()
         compile_plan(net)
         info = plan_cache_info()
         assert info["identity"] == 1 and info["structural"] == 1
 
+    def test_cache_info_hit_miss_counters(self):
+        from repro.obs import reset_metrics
+
+        reset_metrics()
+        net = diamond()
+        compile_plan(net)          # miss
+        compile_plan(net)          # identity hit
+        twin = loads(dumps(net))
+        compile_plan(twin)         # structural hit (fingerprint twin)
+        info = plan_cache_info()
+        assert info["misses"] == 1
+        assert info["hits_identity"] == 1
+        assert info["hits_structural"] == 1
+
     def test_clear_plan_cache(self):
         compile_plan(diamond())
         clear_plan_cache()
-        assert plan_cache_info() == {"identity": 0, "structural": 0}
+        info = plan_cache_info()
+        assert info["identity"] == 0 and info["structural"] == 0
 
     def test_different_structures_get_different_plans(self):
         b = NetworkBuilder("other")

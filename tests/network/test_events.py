@@ -125,7 +125,22 @@ class TestTrace:
         b.output("z", b.lt(x, y))
         result = simulate(b.build(), {"x": INF, "y": INF})
         assert result.total_spikes == 0
-        assert result.makespan == 0
+        assert result.makespan is None
+
+    def test_all_inf_run_distinct_from_spike_at_zero(self):
+        # Regression: a silent (all-∞) run used to report makespan 0,
+        # indistinguishable from a computation whose last spike was at
+        # t=0.  Silence is None; a real t=0 spike is 0.
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("z", b.min(x, y))
+        net = b.build()
+        silent = simulate(net, {"x": INF, "y": INF})
+        assert silent.makespan is None
+        assert silent.total_spikes == 0
+        at_zero = simulate(net, {"x": 0, "y": INF})
+        assert at_zero.makespan == 0
+        assert at_zero.total_spikes == 2  # the input spike and the min
 
 
 class TestAgreementWithDenotational:

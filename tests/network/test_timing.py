@@ -176,7 +176,8 @@ class TestMakespan:
         bound = makespan_bound(net, default_input_window(net, 3))
         for vec in itertools.product([0, 1, 2, 3, INF], repeat=3):
             result = simulate(net, dict(zip(net.input_names, vec)))
-            assert result.makespan <= bound, vec
+            # A silent run (makespan None) is trivially within the bound.
+            assert (result.makespan or 0) <= bound, vec
 
     def test_bound_scales_with_window(self):
         net = synthesize(FIG7_TABLE)

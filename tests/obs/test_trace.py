@@ -1,0 +1,239 @@
+"""Tests for canonical spike tracing across all four backends."""
+
+import json
+import random
+
+from repro.core.synthesis import synthesize
+from repro.core.table import FIG7_TABLE
+from repro.core.value import INF
+from repro.network.builder import NetworkBuilder
+from repro.network.compile_plan import evaluate_batch
+from repro.network.events import simulate
+from repro.network.simulator import evaluate_all_interpreted
+from repro.obs.trace import (
+    RecordingSink,
+    TraceEvent,
+    first_divergence,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+)
+from repro.testing.oracles import default_oracles
+
+
+def _tiny_net():
+    b = NetworkBuilder("tiny")
+    x, y = b.inputs("x", "y")
+    m = b.min(x, y)
+    b.output("z", b.inc(m, 2))
+    return b.build()
+
+
+class TestCauses:
+    def _events(self, net, inputs):
+        sink = RecordingSink()
+        evaluate_all_interpreted(net, inputs, sink=sink)
+        return {e.node_id: e for e in sink.canonical()}
+
+    def test_min_names_earliest_source(self):
+        net = _tiny_net()
+        events = self._events(net, {"x": 5, "y": 2})
+        assert events[2].cause == "min<-1"  # y (node 1) wins
+        assert events[2].time == 2
+
+    def test_min_tie_names_lowest_id(self):
+        net = _tiny_net()
+        events = self._events(net, {"x": 3, "y": 3})
+        assert events[2].cause == "min<-0"
+
+    def test_inc_cause_carries_amount_and_source(self):
+        net = _tiny_net()
+        events = self._events(net, {"x": 1, "y": 4})
+        assert events[3].cause == "inc+2<-2"
+        assert events[3].time == 3
+
+    def test_max_names_latest_source(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("m", b.max(x, y))
+        events = self._events(b.build(), {"x": 5, "y": 2})
+        assert events[2].cause == "max<-0"
+
+    def test_max_with_absent_source_never_fires(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("m", b.max(x, y))
+        events = self._events(b.build(), {"x": 5, "y": INF})
+        assert 2 not in events
+
+    def test_lt_fires_via_first_operand(self):
+        b = NetworkBuilder()
+        x, y = b.inputs("x", "y")
+        b.output("z", b.lt(x, y))
+        events = self._events(b.build(), {"x": 1, "y": 4})
+        assert events[2].cause == "lt<-0"
+
+    def test_all_inf_volley_is_an_empty_trace(self):
+        net = _tiny_net()
+        assert self._events(net, {"x": INF, "y": INF}) == {}
+
+    def test_zero_source_max_is_const0(self):
+        b = NetworkBuilder()
+        b.input("x")
+        b.output("zero", b.max())
+        events = self._events(b.build(), {"x": INF})
+        assert events[1].cause == "const0"
+        assert events[1].time == 0
+
+
+class TestCrossBackendIdentity:
+    """The tentpole guarantee: byte-identical JSONL on agreement."""
+
+    def _documents(self, net, volley, params=None):
+        docs = {}
+        for oracle in default_oracles():
+            trace = oracle.trace(net, volley, params=params)
+            if trace is not None:
+                docs[oracle.name] = to_jsonl(trace, net)
+        return docs
+
+    def test_fig7_network_all_four_backends(self):
+        net = synthesize(FIG7_TABLE)
+        docs = self._documents(net, (0, 1, 2))
+        assert set(docs) == {
+            "interpreted",
+            "compiled-batch",
+            "event-driven",
+            "grl-circuit",
+        }
+        assert len(set(docs.values())) == 1
+        assert docs["interpreted"]  # non-empty
+
+    def test_random_networks_three_fast_backends(self):
+        rng = random.Random(7)
+        for trial in range(5):
+            b = NetworkBuilder(f"rand{trial}")
+            pool = [b.input(f"x{i}") for i in range(3)]
+            for _ in range(12):
+                op = rng.choice(["inc", "min", "max", "lt"])
+                if op == "inc":
+                    pool.append(b.inc(rng.choice(pool), rng.randint(1, 3)))
+                elif op == "lt":
+                    pool.append(b.lt(rng.choice(pool), rng.choice(pool)))
+                else:
+                    pool.append(getattr(b, op)(rng.choice(pool), rng.choice(pool)))
+            b.output("y", pool[-1])
+            net = b.build()
+            volley = tuple(
+                INF if rng.random() < 0.2 else rng.randint(0, 6)
+                for _ in range(3)
+            )
+            docs = self._documents(net, volley)
+            assert len(set(docs.values())) == 1, (trial, volley)
+
+    def test_batched_trace_row_selects_volley(self):
+        net = _tiny_net()
+        sink = RecordingSink()
+        plan_input = [(9, 4), (1, 7)]
+        from repro.network.compile_plan import compile_plan, encode_volleys
+
+        plan = compile_plan(net)
+        matrix = encode_volleys(plan_input, arity=2)
+        plan.run(matrix, sink=sink, trace_row=1)
+        events = {e.node_id: e for e in sink.canonical()}
+        assert events[0].time == 1  # row 1, not row 0
+        assert events[2].cause == "min<-0"
+
+
+class TestExports:
+    def test_jsonl_roundtrip(self):
+        net = synthesize(FIG7_TABLE)
+        sink = RecordingSink()
+        evaluate_all_interpreted(
+            net, dict(zip(net.input_names, (0, 1, 2))), sink=sink
+        )
+        text = to_jsonl(sink.canonical(), net)
+        assert from_jsonl(text) == sink.canonical()
+
+    def test_jsonl_lines_are_valid_json(self):
+        net = _tiny_net()
+        sink = RecordingSink()
+        evaluate_all_interpreted(net, {"x": 1, "y": 2}, sink=sink)
+        for line in to_jsonl(sink.canonical(), net).splitlines():
+            record = json.loads(line)
+            assert set(record) == {"t", "node", "kind", "name", "cause"}
+
+    def test_chrome_trace_shape(self):
+        net = _tiny_net()
+        sink = RecordingSink()
+        evaluate_all_interpreted(net, {"x": 1, "y": 2}, sink=sink)
+        doc = to_chrome_trace(sink.canonical(), net)
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == len(sink.canonical())
+        # one process_name plus one thread_name per firing node
+        assert len(metadata) == 1 + len({e.node_id for e in sink.canonical()})
+        json.dumps(doc)  # serializable
+
+    def test_sink_param_defaults_to_off(self):
+        # The plain entry points must not require (or build) a sink.
+        net = _tiny_net()
+        evaluate_all_interpreted(net, {"x": 1, "y": 2})
+        evaluate_batch(net, [(1, 2)])
+        simulate(net, {"x": 1, "y": 2})
+
+
+class TestDivergence:
+    def test_agreeing_traces_have_no_divergence(self):
+        left = [TraceEvent(0, 0, "input"), TraceEvent(1, 2, "min<-0")]
+        assert first_divergence(left, list(left)) is None
+
+    def test_time_difference_found_at_earlier_time(self):
+        left = [TraceEvent(0, 0, "input"), TraceEvent(5, 2, "min<-0")]
+        right = [TraceEvent(0, 0, "input"), TraceEvent(3, 2, "min<-1")]
+        split = first_divergence(left, right)
+        assert split.node_id == 2
+        assert split.left.time == 5
+        assert split.right.time == 3
+
+    def test_missing_spike_found(self):
+        left = [TraceEvent(0, 0, "input"), TraceEvent(2, 1, "inc+2<-0")]
+        right = [TraceEvent(0, 0, "input")]
+        split = first_divergence(left, right)
+        assert split.node_id == 1
+        assert split.right is None
+        assert "no spike" in split.describe()
+
+    def test_earliest_divergence_wins(self):
+        left = [TraceEvent(1, 3, "min<-0"), TraceEvent(4, 5, "max<-3")]
+        right = [TraceEvent(2, 3, "min<-1"), TraceEvent(9, 5, "max<-3")]
+        split = first_divergence(left, right)
+        assert split.node_id == 3  # earliest disagreement, not node 5
+
+    def test_conformance_attaches_divergence_on_injected_fault(self):
+        from repro.testing.conformance import run_case
+        from repro.testing.faults import FaultedOracle, drop_lines
+        from repro.testing.generators import ConformanceCase
+        from repro.testing.oracles import InterpretedOracle
+
+        # min(x, y) with a volley where line 0 wins: dropping it is visible.
+        case = ConformanceCase(
+            seed=0,
+            family="handmade",
+            network=_tiny_net(),
+            volleys=((1, 4),),
+        )
+        faulted = FaultedOracle(
+            InterpretedOracle(),
+            label="drop0",
+            volley_transform=lambda v: drop_lines(v, [0]),
+        )
+        _, mismatches = run_case(
+            case, oracles=[InterpretedOracle(), faulted], shrink=False
+        )
+        assert mismatches, "fault must be caught"
+        flagged = [m for m in mismatches if m.divergence is not None]
+        assert flagged, "divergence must be attached"
+        text = str(flagged[0])
+        assert "first divergent node" in text

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` entry point."""
 
+import json
+
 from repro.__main__ import main
 
 
@@ -27,6 +29,8 @@ class TestCli:
         out = capsys.readouterr().out
         assert "unknown command" in out
         assert "conformance" in out
+        assert "trace" in out
+        assert "stats" in out
 
     def test_conformance_smoke(self, capsys):
         code = main(
@@ -38,6 +42,58 @@ class TestCli:
         assert "zero cross-backend disagreements" in out
         assert "all killed" in out
         assert "verdict: OK" in out
+
+    def test_trace_smoke(self, capsys, tmp_path):
+        jsonl = tmp_path / "trace.jsonl"
+        chrome = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--seed",
+                "0",
+                "--smoke",
+                "--jsonl",
+                str(jsonl),
+                "--chrome",
+                str(chrome),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "byte-identical" in out
+        assert "grl-circuit" in out
+        # Valid JSONL: every line parses with the canonical keys.
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert set(json.loads(line)) == {"t", "node", "kind", "name", "cause"}
+        # Valid Chrome trace: instant events present.
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "i" for e in doc["traceEvents"])
+
+    def test_trace_is_deterministic_per_seed(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["trace", "--seed", "5", "--smoke", "--jsonl", str(a)]) == 0
+        assert main(["trace", "--seed", "5", "--smoke", "--jsonl", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_stats_exercise(self, capsys):
+        assert main(["stats", "--exercise", "--plan-cache", "--reset"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "evaluate_batch.calls" in out
+        assert "events.runs" in out
+        assert "plan cache:" in out
+        assert "metrics reset" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "--exercise", "--plan-cache", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "metrics" in payload and "plan_cache" in payload
+        assert payload["metrics"]["counters"]["evaluate_batch.calls"] >= 1
+        for key in ("hits_identity", "hits_structural", "misses"):
+            assert key in payload["plan_cache"]
 
     def test_conformance_flags(self, capsys):
         code = main(
