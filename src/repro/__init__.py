@@ -23,6 +23,7 @@ from . import (
     apps,
     coding,
     core,
+    ir,
     learning,
     network,
     neuron,
@@ -38,6 +39,7 @@ __all__ = [
     "apps",
     "coding",
     "core",
+    "ir",
     "learning",
     "network",
     "neuron",

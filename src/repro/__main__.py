@@ -12,6 +12,8 @@ Commands:
 * ``trace`` — run one volley through a seeded SRM0 column on every
   backend, check the canonical spike traces are byte-identical, and
   print/export the trace (JSONL and Chrome ``chrome://tracing`` JSON).
+* ``ir`` — lower a seeded column to the s-t program IR and report the
+  optimizer pass pipeline's node counts, pass by pass.
 * ``stats`` — runtime metrics: counters, timers and the plan-cache
   hit/miss record, optionally after exercising every backend once.
 * ``info`` — version and package inventory.
@@ -152,6 +154,14 @@ def _conformance(argv: list[str]) -> int:
         action="store_true",
         help="print the generated regression test for each finding",
     )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help=(
+            "diff the backends on IR pass-pipeline output instead of the "
+            "raw networks (certifies the optimizer)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from .testing import run_conformance
@@ -163,6 +173,7 @@ def _conformance(argv: list[str]) -> int:
         include_grl=not args.no_grl,
         with_faults=not args.no_faults,
         shrink=not args.no_shrink,
+        optimize=args.optimize,
     )
     print(report.summary())
     if args.emit:
@@ -288,6 +299,60 @@ def _trace(argv: list[str]) -> int:
     return 1 if divergent else 0
 
 
+def _ir(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro ir",
+        description=(
+            "Lower a seeded SRM0 column to the s-t program IR and run "
+            "the optimizer pass pipeline, reporting node counts pass by "
+            "pass.  The same lowering and passes feed all four "
+            "execution backends."
+        ),
+    )
+    parser.add_argument(
+        "--describe",
+        action="store_true",
+        help="print the pass-by-pass node-count report and the program",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="column seed")
+    parser.add_argument(
+        "--smoke", action="store_true", help="smaller column (CI smoke budget)"
+    )
+    parser.add_argument(
+        "--passes",
+        nargs="+",
+        metavar="PASS",
+        help="run only these passes, in order (default: full pipeline)",
+    )
+    args = parser.parse_args(argv)
+
+    from .ir import PassManager, lower, pass_names
+
+    try:
+        manager = PassManager(args.passes)
+    except ValueError as error:
+        print(f"error: {error}")
+        print(f"available passes: {', '.join(pass_names())}")
+        return 2
+
+    network, _ = _demo_column(args.seed, smoke=args.smoke)
+    program = lower(network)
+    print(
+        f"lowered {network.name}: {len(program.nodes)} node(s), "
+        f"depth {program.depth}, fingerprint {program.fingerprint()[:12]}"
+    )
+    optimized, report = manager.run(program)
+    if args.describe:
+        print(report.describe())
+        print()
+        print(optimized.pretty())
+    else:
+        print(report.describe().splitlines()[0])
+    return 0
+
+
 def _stats(argv: list[str]) -> int:
     import argparse
     import json
@@ -378,13 +443,15 @@ def main(argv: list[str] | None = None) -> int:
         return _conformance(args[1:])
     if command == "trace":
         return _trace(args[1:])
+    if command == "ir":
+        return _ir(args[1:])
     if command == "stats":
         return _stats(args[1:])
     if command == "info":
         return _info()
     print(
         f"unknown command {command!r}; "
-        "try: info, selfcheck, conformance, trace, stats"
+        "try: info, selfcheck, conformance, trace, ir, stats"
     )
     return 2
 

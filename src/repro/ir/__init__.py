@@ -1,0 +1,43 @@
+"""repro.ir — the canonical program IR and shared optimizer pipeline.
+
+One lowering (:func:`lower`), one schedule, one optimizer
+(:class:`PassManager`) feeding all four execution backends.
+"""
+
+from .passes import (
+    DEFAULT_PIPELINE,
+    PASSES,
+    PassManager,
+    PassStats,
+    PipelineReport,
+    optimize_program,
+    pass_names,
+)
+from .program import (
+    CONST_IDENTITY,
+    NODE_CLASSES,
+    Program,
+    ProgramLike,
+    classify,
+    ensure_program,
+    lower,
+    same_structure,
+)
+
+__all__ = [
+    "CONST_IDENTITY",
+    "DEFAULT_PIPELINE",
+    "NODE_CLASSES",
+    "PASSES",
+    "PassManager",
+    "PassStats",
+    "PipelineReport",
+    "Program",
+    "ProgramLike",
+    "classify",
+    "ensure_program",
+    "lower",
+    "optimize_program",
+    "pass_names",
+    "same_structure",
+]

@@ -25,6 +25,7 @@ from .compile_plan import (
     evaluate_batch_all,
     evaluate_batch_dicts,
     plan_cache_info,
+    set_plan_cache_limit,
 )
 from .events import EventSimulator, SimulationResult, SpikeEvent, simulate
 from .generate import input_batch, random_inputs, random_network, random_volley
@@ -104,6 +105,7 @@ __all__ = [
     "random_network",
     "random_volley",
     "save",
+    "set_plan_cache_limit",
     "simulate",
     "strip_dead_nodes",
     "structure",

@@ -83,6 +83,13 @@ MAX_FINITE: int = INF_I64 - 1
 from ..obs import metrics as _obs_metrics  # noqa: E402
 from ..obs import profile as _obs_profile  # noqa: E402
 from ..obs import trace as _obs_trace  # noqa: E402
+from ..ir.program import (  # noqa: E402
+    CONST_IDENTITY,
+    Program,
+    ProgramLike,
+    classify,
+    ensure_program,
+)
 
 VolleyLike = Union[np.ndarray, Sequence[Sequence[Time]]]
 
@@ -151,7 +158,7 @@ def decode_matrix(matrix: np.ndarray) -> list[tuple[Time, ...]]:
 
 
 def _encode_params(
-    network: Network, params: Optional[Mapping[str, Time]]
+    network: "ProgramLike", params: Optional[Mapping[str, Time]]
 ) -> np.ndarray:
     """Validate and encode a parameter binding in declaration order."""
     params = params or {}
@@ -218,25 +225,32 @@ _Group = Union[_ConstGroup, _IncGroup, _ReduceGroup, _LtGroup]
 
 
 class CompiledPlan:
-    """An executable, batch-oriented compilation of one network structure."""
+    """An executable, batch-oriented compilation of one program structure.
 
-    def __init__(self, network: Network):
-        self.n_nodes = len(network.nodes)
+    Accepts a :class:`~repro.ir.program.Program` or a
+    :class:`~repro.network.graph.Network` (lowered on entry); the IR's
+    level schedule is what the instruction stream fuses over.
+    """
+
+    def __init__(self, source: "ProgramLike"):
+        program = ensure_program(source)
+        self.program = program
+        self.n_nodes = len(program.nodes)
         # Kept for spike tracing (cause derivation) and describe();
-        # nodes are immutable and shared with the source network.
-        self.nodes = network.nodes
-        self.fingerprint = network.fingerprint()
+        # nodes are immutable and shared with the source program.
+        self.nodes = program.nodes
+        self.fingerprint = program.fingerprint()
         self.input_ids = np.fromiter(
-            network.input_ids.values(), dtype=np.int64, count=len(network.input_ids)
+            program.input_ids.values(), dtype=np.int64, count=len(program.input_ids)
         )
         self.param_ids = np.fromiter(
-            network.param_ids.values(), dtype=np.int64, count=len(network.param_ids)
+            program.param_ids.values(), dtype=np.int64, count=len(program.param_ids)
         )
-        self.output_names = list(network.outputs)
+        self.output_names = list(program.outputs)
         self.output_ids = np.fromiter(
-            network.outputs.values(), dtype=np.int64, count=len(network.outputs)
+            program.outputs.values(), dtype=np.int64, count=len(program.outputs)
         )
-        self.groups: list[_Group] = _build_groups(network)
+        self.groups: list[_Group] = _build_groups(program)
 
     # -- introspection -------------------------------------------------------
     @property
@@ -362,21 +376,21 @@ def _group_kind(group: _Group) -> str:
     return "const"
 
 
-def _build_groups(network: Network) -> list[_Group]:
-    """Schedule nodes into level-fused vector instructions."""
-    levels = [0] * len(network.nodes)
-    for node in network.nodes:
-        if node.sources:
-            levels[node.id] = 1 + max(levels[s] for s in node.sources)
+def _build_groups(program: Program) -> list[_Group]:
+    """Fuse the IR level schedule into vector instructions.
+
+    The levels come from the program (computed once at lowering); the
+    zero-source min/max constants are recognized through
+    :func:`repro.ir.classify` — the IR owns that identity rule, this
+    backend only encodes the identity value it is told.
+    """
+    levels = program.levels
 
     buckets: dict[tuple[int, str], list] = {}
-    for node in network.nodes:
+    for node in program.nodes:
         if node.is_terminal:
             continue
-        kind = node.kind
-        if kind in ("min", "max") and not node.sources:
-            kind = f"empty-{kind}"
-        buckets.setdefault((levels[node.id], kind), []).append(node)
+        buckets.setdefault((levels[node.id], classify(node)), []).append(node)
 
     groups: list[_Group] = []
     for (_, kind), nodes in sorted(buckets.items(), key=lambda item: item[0][0]):
@@ -409,9 +423,13 @@ def _build_groups(network: Network) -> list[_Group]:
                     b=np.array([n.sources[1] for n in nodes], dtype=np.int64),
                 )
             )
-        else:  # empty-min / empty-max: the identity elements ∞ and 0
+        else:  # const-inf / const-zero: the lattice identity elements
+            identity = CONST_IDENTITY[kind]
             groups.append(
-                _ConstGroup(ids=ids, value=INF_I64 if kind == "empty-min" else 0)
+                _ConstGroup(
+                    ids=ids,
+                    value=INF_I64 if isinstance(identity, Infinity) else int(identity),
+                )
             )
     return groups
 
@@ -420,60 +438,85 @@ def _build_groups(network: Network) -> list[_Group]:
 # Plan cache
 # ---------------------------------------------------------------------------
 
-#: Identity fast path: plans die with their networks.
-_PLAN_MEMO: "weakref.WeakKeyDictionary[Network, CompiledPlan]" = (
+#: Identity fast path: plans die with their networks/programs.
+_PLAN_MEMO: "weakref.WeakKeyDictionary[ProgramLike, CompiledPlan]" = (
     weakref.WeakKeyDictionary()
 )
 
-#: Structural cache: fingerprint -> plan, bounded LRU.
+#: Structural cache: IR fingerprint -> plan, bounded LRU.
 _PLAN_LRU: "OrderedDict[str, CompiledPlan]" = OrderedDict()
-_PLAN_LRU_LIMIT = 128
+_DEFAULT_PLAN_LRU_LIMIT = 128
+_PLAN_LRU_LIMIT = _DEFAULT_PLAN_LRU_LIMIT
 
 
-def compile_plan(network: Network) -> CompiledPlan:
-    """The memoized executable plan for *network*.
+def set_plan_cache_limit(limit: int) -> int:
+    """Resize the structural LRU; returns the previous limit.
 
-    Cached first by object identity (weakly — no leak), then by
-    :meth:`Network.fingerprint`, so structurally identical networks
-    (e.g. a serialization round-trip of the same net-list) share one
-    plan.  Immutability of :class:`Network` means a hit is always valid.
+    Shrinking below the current occupancy evicts the least recently
+    used plans immediately (counted in ``plan_cache.evict``).  The
+    identity memo is unaffected — it is weak and bounds itself by
+    object lifetime.
     """
-    plan = _PLAN_MEMO.get(network)
+    global _PLAN_LRU_LIMIT
+    if limit < 1:
+        raise ValueError(f"plan cache limit must be >= 1, got {limit}")
+    previous = _PLAN_LRU_LIMIT
+    _PLAN_LRU_LIMIT = limit
+    while len(_PLAN_LRU) > _PLAN_LRU_LIMIT:
+        _PLAN_LRU.popitem(last=False)
+        _obs_metrics.METRICS.inc("plan_cache.evict")
+    return previous
+
+
+def compile_plan(source: "ProgramLike") -> CompiledPlan:
+    """The memoized executable plan for *source* (Network or Program).
+
+    Cached first by object identity (weakly — no leak), then by the IR
+    fingerprint, which :meth:`Network.fingerprint` and
+    :meth:`Program.fingerprint` compute identically — so a network, its
+    unoptimized lowering, and any structural twin (e.g. a serialization
+    round-trip) all share one plan, while an optimized program keys its
+    own entry.  Immutability of both types means a hit is always valid.
+    """
+    plan = _PLAN_MEMO.get(source)
     if plan is not None:
         _obs_metrics.METRICS.inc("plan_cache.hit.identity")
         return plan
-    print_key = network.fingerprint()
+    print_key = ensure_program(source).fingerprint()
     plan = _PLAN_LRU.get(print_key)
     if plan is None:
         _obs_metrics.METRICS.inc("plan_cache.miss")
         with _obs_metrics.METRICS.timeit("plan.compile"):
-            plan = CompiledPlan(network)
+            plan = CompiledPlan(source)
         _PLAN_LRU[print_key] = plan
         if len(_PLAN_LRU) > _PLAN_LRU_LIMIT:
             _PLAN_LRU.popitem(last=False)
+            _obs_metrics.METRICS.inc("plan_cache.evict")
     else:
         _obs_metrics.METRICS.inc("plan_cache.hit.structural")
         _PLAN_LRU.move_to_end(print_key)
-    _PLAN_MEMO[network] = plan
+    _PLAN_MEMO[source] = plan
     return plan
 
 
 def plan_cache_info() -> dict[str, int]:
-    """Cache occupancy and lifetime hit/miss counts, for diagnostics.
+    """Cache occupancy and lifetime hit/miss/evict counts, for diagnostics.
 
-    Occupancy (``identity``, ``structural``) reflects the current cache
-    contents; the ``hits_*``/``misses`` counts come from the runtime
-    metrics registry and cover the life of the process (reset with
-    :func:`repro.obs.reset_metrics`).
+    Occupancy (``identity``, ``structural``) and ``limit`` reflect the
+    current cache state; the ``hits_*``/``misses``/``evictions`` counts
+    come from the runtime metrics registry and cover the life of the
+    process (reset with :func:`repro.obs.reset_metrics`).
     """
     return {
         "identity": len(_PLAN_MEMO),
         "structural": len(_PLAN_LRU),
+        "limit": _PLAN_LRU_LIMIT,
         "hits_identity": _obs_metrics.METRICS.counter("plan_cache.hit.identity"),
         "hits_structural": _obs_metrics.METRICS.counter(
             "plan_cache.hit.structural"
         ),
         "misses": _obs_metrics.METRICS.counter("plan_cache.miss"),
+        "evictions": _obs_metrics.METRICS.counter("plan_cache.evict"),
     }
 
 
@@ -488,7 +531,7 @@ def clear_plan_cache() -> None:
 # ---------------------------------------------------------------------------
 
 def evaluate_batch(
-    network: Network,
+    network: "ProgramLike",
     inputs: VolleyLike,
     *,
     params: Optional[Mapping[str, Time]] = None,
@@ -529,7 +572,7 @@ def evaluate_batch(
 
 
 def evaluate_batch_all(
-    network: Network,
+    network: "ProgramLike",
     inputs: VolleyLike,
     *,
     params: Optional[Mapping[str, Time]] = None,
@@ -542,7 +585,7 @@ def evaluate_batch_all(
 
 
 def evaluate_batch_dicts(
-    network: Network,
+    network: "ProgramLike",
     inputs: VolleyLike,
     *,
     params: Optional[Mapping[str, Time]] = None,

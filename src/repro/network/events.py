@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.value import INF, Infinity, Time, check_time
+from ..ir.program import CONST_IDENTITY, ProgramLike, classify, ensure_program
 from ..obs.metrics import METRICS
 from ..obs.trace import MAX_FINITE, NULL_SINK, TraceSink, cause_of
 from .graph import Network, NetworkError
@@ -78,11 +79,17 @@ class SimulationResult:
 
 
 class EventSimulator:
-    """Reusable event-driven simulator for one network."""
+    """Reusable event-driven simulator for one network or program.
 
-    def __init__(self, network: Network):
-        self.network = network
-        self._consumers = network.consumers()
+    The scheduler is seeded from the IR: terminals inject their bound
+    spikes, and every IR-declared constant whose lattice identity is 0
+    (a zero-source ``max``) injects a spike at time 0 — the simulator no
+    longer pattern-matches zero-source nodes itself.
+    """
+
+    def __init__(self, network: ProgramLike):
+        self.network = ensure_program(network)
+        self._consumers = self.network.consumers()
 
     def run(
         self,
@@ -147,11 +154,13 @@ class EventSimulator:
                     raise NetworkError(
                         f"param {node.name!r} must be 0 or INF, got {value}"
                     )
-            elif node.kind == "max" and not node.sources:
-                # The empty max is the constant 0: all zero arrivals have
-                # happened, so it fires immediately.  (An empty min never
-                # fires — no injection needed, it stays INF naturally.)
-                heapq.heappush(heap, (0, node.id, 1, -1))
+        for const_id in net.const_ids:
+            # IR-declared constants: a finite lattice identity (the empty
+            # max, 0) fires immediately; ∞ (the empty min) never fires —
+            # no injection needed, it stays INF naturally.
+            identity = CONST_IDENTITY[classify(net.nodes[const_id])]
+            if not isinstance(identity, Infinity):
+                heapq.heappush(heap, (int(identity), const_id, 1, -1))
 
         queue_peak = len(heap)
         while heap:
@@ -196,7 +205,7 @@ class EventSimulator:
 
 
 def simulate(
-    network: Network,
+    network: ProgramLike,
     inputs: Mapping[str, Time],
     *,
     params: Optional[Mapping[str, Time]] = None,

@@ -3,35 +3,27 @@
 Synthesized networks (Theorem 1's minterm form, SRM0 constructions) carry
 redundancy a hardware implementation would not want: identical delayed
 copies of the same input, chained increments, degenerate races.  The
-passes here shrink them while provably preserving the denotational
-semantics — the test suite checks optimized networks against the
-originals exhaustively.
+rewrites that shrink them now live in the IR pass pipeline
+(:mod:`repro.ir.passes`) — canonicalization, constant folding,
+inc-chain fusion, CSE, and dead-node elimination — where all four
+backends share them.  :func:`optimize` is the Network-level entry point:
+it lowers to a :class:`~repro.ir.program.Program`, runs the default
+pipeline to a fixpoint, and raises the result back to a
+:class:`~repro.network.graph.Network`.
 
-Rewrites (applied bottom-up, to a fixpoint, by :func:`optimize`):
-
-* **common subexpression elimination** — nodes with the same kind and
-  (order-normalized, for min/max) sources are merged,
-* **inc-chain fusion** — ``inc(inc(x, a), b)`` → ``inc(x, a + b)``,
-* **algebraic identities** — duplicate sources inside min/max deduplicate
-  (idempotence) and single-source min/max collapse to wires; ``lt(x, x)``
-  is a *never* wire (identically ∞), and min/max/lt/inc absorb never
-  wires by the lattice identities (``min(x, never) = x``,
-  ``max(x, never) = never``, ``lt(never, y) = never``,
-  ``lt(x, never) = x``, ``inc(never) = never``),
-* **dead-node elimination** — via
-  :func:`repro.network.validate.strip_dead_nodes`.
-
-There is no other constant folding: causality forbids constant spike
-sources, so ∞ (*never*) is the only constant that can arise structurally.
+The test suite checks optimized networks against the originals
+exhaustively; the pipeline additionally records a provenance map from
+optimized nodes back to the original node ids (see
+:attr:`repro.ir.program.Program.provenance`), which the Network round
+trip here discards.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .blocks import Node
+from ..ir.passes import optimize_program
 from .graph import Network
-from .validate import strip_dead_nodes
 
 
 @dataclass(frozen=True)
@@ -59,111 +51,19 @@ class OptimizationReport:
         )
 
 
-#: Sentinel for a wire that provably never spikes.
-_NEVER = -1
-
-
-def _rewrite_once(network: Network) -> Network:
-    """One bottom-up rewriting sweep; returns an equivalent network."""
-    new_nodes: list[Node] = []
-    seen: dict[tuple, int] = {}  # structural key (over new ids) -> new id
-    result: dict[int, int] = {}  # old id -> new id, or _NEVER
-
-    def emit(kind: str, sources: tuple[int, ...] = (), *, amount: int = 1, name=None, tags=()) -> int:
-        node = Node(
-            len(new_nodes), kind, sources=sources, amount=amount, name=name, tags=tags
-        )
-        new_nodes.append(node)
-        return node.id
-
-    def get_or_emit(key: tuple, kind: str, sources: tuple[int, ...], *, amount: int = 1, tags=()) -> int:
-        if key not in seen:
-            seen[key] = emit(kind, sources, amount=amount, tags=tags)
-        return seen[key]
-
-    for node in network.nodes:
-        if node.is_terminal:
-            result[node.id] = emit(node.kind, name=node.name)
-            continue
-        sources = tuple(result[s] for s in node.sources)
-
-        if node.kind == "inc":
-            src = sources[0]
-            if src == _NEVER:
-                result[node.id] = _NEVER
-                continue
-            amount = node.amount
-            if new_nodes[src].kind == "inc":
-                amount += new_nodes[src].amount
-                src = new_nodes[src].sources[0]
-            if amount == 0:
-                result[node.id] = src
-            else:
-                result[node.id] = get_or_emit(
-                    ("inc", src, amount), "inc", (src,), amount=amount, tags=node.tags
-                )
-            continue
-
-        if node.kind in ("min", "max"):
-            if node.kind == "max" and _NEVER in sources:
-                result[node.id] = _NEVER
-                continue
-            if node.kind == "max" and not sources:
-                # The empty max is the constant 0, not ∞ — keep the node
-                # (folding it to _NEVER would flip its value).
-                result[node.id] = get_or_emit(("max", ()), "max", (), tags=node.tags)
-                continue
-            kept = sorted({s for s in sources if s != _NEVER})
-            if not kept:
-                result[node.id] = _NEVER
-            elif len(kept) == 1:
-                result[node.id] = kept[0]
-            else:
-                result[node.id] = get_or_emit(
-                    (node.kind, tuple(kept)), node.kind, tuple(kept), tags=node.tags
-                )
-            continue
-
-        # lt
-        a, b = sources
-        if a == _NEVER or a == b:
-            result[node.id] = _NEVER
-        elif b == _NEVER:
-            result[node.id] = a
-        else:
-            result[node.id] = get_or_emit(("lt", a, b), "lt", (a, b), tags=node.tags)
-
-    never_wire: int | None = None
-    outputs: dict[str, int] = {}
-    for name, old in network.outputs.items():
-        new = result[old]
-        if new == _NEVER:
-            if never_wire is None:
-                # lt(x, x) over any existing wire is identically ∞; a
-                # network always has at least one terminal to anchor on.
-                never_wire = emit("lt", (0, 0), tags=("never",))
-            new = never_wire
-        outputs[name] = new
-    return strip_dead_nodes(Network(new_nodes, outputs, name=network.name))
-
-
 def optimize(network: Network, *, max_passes: int = 10) -> tuple[Network, OptimizationReport]:
     """Rewrite to a fixpoint; returns ``(optimized_network, report)``.
 
     The optimized network has the same inputs, parameters, outputs, and
     denotational semantics as the original; only its internal structure
-    shrinks.
+    shrinks.  A thin wrapper over
+    :func:`repro.ir.passes.optimize_program` for callers that want to
+    stay at the Network level.
     """
-    before = network.size
-    current = strip_dead_nodes(network)
-    passes = 0
-    while passes < max_passes:
-        passes += 1
-        rewritten = _rewrite_once(current)
-        improved = rewritten.size < current.size
-        current = rewritten
-        if not improved:
-            break
-    return current, OptimizationReport(
-        before_blocks=before, after_blocks=current.size, passes=passes
+    program, report = optimize_program(network, max_iterations=max_passes)
+    optimized = program.to_network()
+    return optimized, OptimizationReport(
+        before_blocks=network.size,
+        after_blocks=optimized.size,
+        passes=report.iterations,
     )

@@ -31,11 +31,12 @@ from collections.abc import Mapping
 from typing import Optional
 
 from ..core.value import INF, Infinity, Time, check_time
+from ..ir.program import CONST_IDENTITY, ProgramLike, classify, ensure_program
 from .graph import Network, NetworkError
 
 
 def evaluate_all_interpreted(
-    network: Network,
+    network: ProgramLike,
     inputs: Mapping[str, Time],
     *,
     params: Optional[Mapping[str, Time]] = None,
@@ -47,61 +48,74 @@ def evaluate_all_interpreted(
     executable specification the compiled engine is checked against, and
     handles arbitrary-precision times the int64 engine cannot.
 
+    Accepts a :class:`~repro.network.graph.Network` or an already-lowered
+    :class:`~repro.ir.program.Program` and walks the IR level schedule;
+    the zero-source min/max constants evaluate to the lattice identities
+    the IR declares (:data:`repro.ir.CONST_IDENTITY`) — this backend no
+    longer derives that rule itself.
+
     *sink* is an optional :class:`repro.obs.trace.TraceSink`; when
     enabled, the canonical spike trace of this volley is emitted after
     the walk (one event per node that fires).
     """
+    program = ensure_program(network)
     params = params or {}
-    missing_in = set(network.input_ids) - set(inputs)
+    missing_in = set(program.input_ids) - set(inputs)
     if missing_in:
         raise NetworkError(f"unbound inputs: {sorted(missing_in)}")
-    missing_p = set(network.param_ids) - set(params)
+    missing_p = set(program.param_ids) - set(params)
     if missing_p:
         raise NetworkError(f"unbound params: {sorted(missing_p)}")
 
-    values: list[Time] = [INF] * len(network.nodes)
-    for node in network.nodes:
-        if node.kind == "input":
-            values[node.id] = check_time(inputs[node.name], name=node.name)
-        elif node.kind == "param":
-            value = check_time(params[node.name], name=node.name)
-            if value != 0 and not isinstance(value, Infinity):
-                raise NetworkError(
-                    f"param {node.name!r} must be 0 or INF, got {value}"
+    nodes = program.nodes
+    values: list[Time] = [INF] * len(nodes)
+    for level_ids in program.schedule:
+        for node_id in level_ids:
+            node = nodes[node_id]
+            kind = classify(node)
+            if kind == "input":
+                values[node.id] = check_time(inputs[node.name], name=node.name)
+            elif kind == "param":
+                value = check_time(params[node.name], name=node.name)
+                if value != 0 and not isinstance(value, Infinity):
+                    raise NetworkError(
+                        f"param {node.name!r} must be 0 or INF, got {value}"
+                    )
+                values[node.id] = value
+            elif kind == "inc":
+                x = values[node.sources[0]]
+                values[node.id] = (
+                    INF if isinstance(x, Infinity) else x + node.amount
                 )
-            values[node.id] = value
-        elif node.kind == "inc":
-            x = values[node.sources[0]]
-            values[node.id] = INF if isinstance(x, Infinity) else x + node.amount
-        elif node.kind == "min":
-            # The empty min is INF: min's identity element (top).
-            best: Time = INF
-            for s in node.sources:
-                v = values[s]
-                if v < best:
-                    best = v
-            values[node.id] = best
-        elif node.kind == "max":
-            # The empty max is 0: max's identity element (bottom).
-            worst: Time = 0
-            for s in node.sources:
-                v = values[s]
-                if v > worst:
-                    worst = v
-            values[node.id] = worst
-        else:  # lt
-            a = values[node.sources[0]]
-            b = values[node.sources[1]]
-            values[node.id] = a if a < b else INF
+            elif kind == "min":
+                best: Time = INF
+                for s in node.sources:
+                    v = values[s]
+                    if v < best:
+                        best = v
+                values[node.id] = best
+            elif kind == "max":
+                worst: Time = 0
+                for s in node.sources:
+                    v = values[s]
+                    if v > worst:
+                        worst = v
+                values[node.id] = worst
+            elif kind == "lt":
+                a = values[node.sources[0]]
+                b = values[node.sources[1]]
+                values[node.id] = a if a < b else INF
+            else:  # const-inf / const-zero: the IR-declared identities
+                values[node.id] = CONST_IDENTITY[kind]
     if sink is not None and sink.enabled:
         from ..obs.trace import emit_events
 
-        emit_events(sink, network, values)
+        emit_events(sink, program, values)
     return values
 
 
 def evaluate_all(
-    network: Network,
+    network: ProgramLike,
     inputs: Mapping[str, Time],
     *,
     params: Optional[Mapping[str, Time]] = None,
@@ -163,7 +177,7 @@ def evaluate_all(
 
 
 def evaluate(
-    network: Network,
+    network: ProgramLike,
     inputs: Mapping[str, Time],
     *,
     params: Optional[Mapping[str, Time]] = None,
@@ -174,7 +188,7 @@ def evaluate(
 
 
 def evaluate_vector(
-    network: Network,
+    network: ProgramLike,
     vector: tuple[Time, ...],
     *,
     params: Optional[Mapping[str, Time]] = None,

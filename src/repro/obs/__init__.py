@@ -28,6 +28,7 @@ from .trace import (
     emit_events,
     first_divergence,
     from_jsonl,
+    project_events,
     to_chrome_trace,
     to_jsonl,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "phase",
     "profiled",
     "profiling_enabled",
+    "project_events",
     "reset_metrics",
     "snapshot",
     "to_chrome_trace",

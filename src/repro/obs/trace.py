@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
 from ..core.value import Infinity
 from ..network.compile_plan import MAX_FINITE
@@ -205,6 +205,32 @@ def to_jsonl(events: Sequence[TraceEvent], network) -> str:
             )
         )
     return "".join(line + "\n" for line in lines)
+
+
+def project_events(
+    events: Sequence[TraceEvent],
+    provenance: Mapping[int, tuple[int, ...]],
+) -> list[TraceEvent]:
+    """Project an optimized program's trace onto original node identities.
+
+    *provenance* is the :attr:`repro.ir.program.Program.provenance` map:
+    each optimized node id → the tuple of original node ids it stands
+    for, every one of which provably fires at the same time.  Each event
+    is therefore fanned out to one event per original root, so the
+    projected trace lists a firing for every original node the optimized
+    run still observes.  Original nodes absent from every tuple (dead
+    code, provably-never wires) simply have no events — they never fire
+    or are unobservable.
+
+    Cause strings are kept verbatim and thus still name *optimized*
+    node ids; the projection relates identities, not derivations.
+    """
+    projected = [
+        TraceEvent(event.time, root, event.cause)
+        for event in events
+        for root in provenance.get(event.node_id, ())
+    ]
+    return sorted(projected)
 
 
 def from_jsonl(text: str) -> list[TraceEvent]:

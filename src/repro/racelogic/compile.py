@@ -24,53 +24,58 @@ from collections.abc import Mapping
 from typing import Optional
 
 from ..core.value import Time
-from ..network.graph import Network
+from ..ir.program import ProgramLike, ensure_program
 from ..obs.trace import NULL_SINK, TraceSink, emit_events
 from .circuit import Circuit, CircuitBuilder
 from .digital import DigitalResult, DigitalSimulator
 
 
 def compile_network(
-    network: Network,
+    network: ProgramLike,
     *,
     name: Optional[str] = None,
     node_map: Optional[dict[int, int]] = None,
 ) -> Circuit:
-    """Translate an s-t network into a GRL netlist.
+    """Translate an s-t network or IR program into a GRL netlist.
 
     Parameters become circuit inputs (bind them with the same 0/∞ values
     at simulation time); node-for-gate the structure is otherwise
     preserved, with ``inc`` nodes expanding into DFF chains.
 
+    The IR declares which nodes are the lattice-identity constants
+    (:attr:`~repro.ir.program.Program.const_ids`); those have no gate
+    realization, so a program still carrying one is rejected here — run
+    the canonicalization pass (:mod:`repro.ir.passes`) to fold them away
+    where the lattice laws allow.
+
     *node_map*, if given, is filled with ``node id -> gate id`` — the
     gate whose 1→0 fall time *is* the node's spike time (for an ``inc``
     chain, the final flip-flop).  The spike-trace read-back uses it.
     """
-    builder = CircuitBuilder(name or f"grl-{network.name}")
+    program = ensure_program(network)
+    if program.const_ids:
+        node = program.nodes[program.const_ids[0]]
+        constant = "∞" if node.kind == "min" else "0"
+        raise ValueError(
+            f"node {node.id}: a zero-source {node.kind} (the constant "
+            f"{constant}) has no GRL realization — a CMOS gate needs "
+            "input wires"
+        )
+    builder = CircuitBuilder(name or f"grl-{program.name}")
     wire: dict[int, int] = node_map if node_map is not None else {}
-    for node in network.nodes:
+    for node in program.nodes:
         if node.kind in ("input", "param"):
             wire[node.id] = builder.input(node.name)
         elif node.kind == "inc":
             wire[node.id] = builder.delay(wire[node.sources[0]], node.amount)
         elif node.kind == "min":
-            if not node.sources:
-                raise ValueError(
-                    f"node {node.id}: a zero-source min (the constant ∞) has "
-                    "no GRL realization — a CMOS gate needs input wires"
-                )
             wire[node.id] = builder.and_(*(wire[s] for s in node.sources))
         elif node.kind == "max":
-            if not node.sources:
-                raise ValueError(
-                    f"node {node.id}: a zero-source max (the constant 0) has "
-                    "no GRL realization — a CMOS gate needs input wires"
-                )
             wire[node.id] = builder.or_(*(wire[s] for s in node.sources))
         else:  # lt
             a, b = node.sources
             wire[node.id] = builder.lt(wire[a], wire[b])
-    for out_name, node_id in network.outputs.items():
+    for out_name, node_id in program.outputs.items():
         builder.output(out_name, wire[node_id])
     return builder.build()
 
@@ -78,10 +83,10 @@ def compile_network(
 class GRLExecutor:
     """Run an s-t network *as hardware*: compile once, simulate per input."""
 
-    def __init__(self, network: Network):
-        self.network = network
+    def __init__(self, network: ProgramLike):
+        self.network = ensure_program(network)
         self.node_wires: dict[int, int] = {}
-        self.circuit = compile_network(network, node_map=self.node_wires)
+        self.circuit = compile_network(self.network, node_map=self.node_wires)
         self._simulator = DigitalSimulator(self.circuit)
 
     def run(

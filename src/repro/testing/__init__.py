@@ -49,6 +49,7 @@ from .oracles import (
     BackendOracle,
     BackendRun,
     CompiledBatchOracle,
+    Engine,
     EventDrivenOracle,
     GRLCircuitOracle,
     InterpretedOracle,
@@ -74,6 +75,7 @@ __all__ = [
     "CompiledBatchOracle",
     "ConformanceCase",
     "ConformanceReport",
+    "Engine",
     "EventDrivenOracle",
     "FAULT_CLASSES",
     "FaultClass",

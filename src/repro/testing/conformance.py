@@ -192,9 +192,17 @@ def diff_backends(
     *,
     params: Optional[Mapping[str, Time]] = None,
     oracles: Optional[Sequence[BackendOracle]] = None,
+    optimize: bool = False,
 ) -> tuple[BackendRun, list[tuple[int, dict[str, Outputs]]]]:
-    """Run the backends and return ``(raw run, disagreement list)``."""
-    run = run_backends(network, volleys, params=params, oracles=oracles)
+    """Run the backends and return ``(raw run, disagreement list)``.
+
+    ``optimize=True`` lowers the network through the IR pass pipeline
+    once and diffs the backends on the shared optimized
+    :class:`~repro.ir.program.Program` instead of the raw network.
+    """
+    run = run_backends(
+        network, volleys, params=params, oracles=oracles, optimize=optimize
+    )
     return run, find_disagreements(run)
 
 
@@ -253,12 +261,15 @@ def attach_divergence(
 def _still_disagrees(
     oracles: Sequence[BackendOracle],
     params: Optional[Mapping[str, Time]],
+    *,
+    optimize: bool = False,
 ) -> "callable":
     """A shrink predicate: the backends still split on (network, volley)."""
 
     def predicate(network: Network, volley: Volley) -> bool:
         _, found = diff_backends(
-            network, [volley], params=params, oracles=oracles
+            network, [volley], params=params, oracles=oracles,
+            optimize=optimize,
         )
         return bool(found)
 
@@ -274,13 +285,22 @@ def run_case(
     *,
     oracles: Optional[Sequence[BackendOracle]] = None,
     shrink: bool = True,
+    optimize: bool = False,
 ) -> tuple[BackendRun, list[Mismatch]]:
-    """Diff one generated case, shrinking any disagreements found."""
+    """Diff one generated case, shrinking any disagreements found.
+
+    With ``optimize=True`` all backends consume the same pass-optimized
+    :class:`~repro.ir.program.Program`; divergence tracing then runs on
+    that shared program and shrinking re-optimizes each candidate, so
+    the minimized reproducer still splits the *optimized* backends.
+    """
     oracles = list(oracles) if oracles is not None else default_oracles()
     params = case.params or None
     run, found = diff_backends(
-        case.network, case.volleys, params=params, oracles=oracles
+        case.network, case.volleys, params=params, oracles=oracles,
+        optimize=optimize,
     )
+    traced = run.program if run.program is not None else case.network
     mismatches: list[Mismatch] = []
     for index, outputs in found[:MAX_MISMATCHES_PER_CASE]:
         mismatch = Mismatch(
@@ -289,9 +309,9 @@ def run_case(
             volley=run.volleys[index],
             outputs=outputs,
         )
-        attach_divergence(mismatch, case.network, oracles, params)
+        attach_divergence(mismatch, traced, oracles, params)
         if shrink:
-            predicate = _still_disagrees(oracles, params)
+            predicate = _still_disagrees(oracles, params, optimize=optimize)
             network, volley = minimize_case(
                 case.network,
                 run.volleys[index],
@@ -321,19 +341,25 @@ def run_conformance(
     include_grl: bool = True,
     with_faults: bool = True,
     shrink: bool = True,
+    optimize: bool = False,
 ) -> ConformanceReport:
     """Sweep *count* seeded cases and (optionally) the fault self-check.
 
     The acceptance gate for the repository: clean networks must produce
     **zero** cross-backend disagreements while every injected fault
     class is detected.  ``smoke=True`` shrinks case sizes and volley
-    counts for CI.
+    counts for CI.  ``optimize=True`` runs the sweep on the IR
+    pass-pipeline output instead of the raw networks — the same gate,
+    now also certifying the optimizer.  (The fault self-check always
+    runs unoptimized: its mutants are Network-level edits.)
     """
     oracles = default_oracles(include_grl=include_grl)
     report = ConformanceReport(seed=seed, count=count)
     for offset in range(count):
         case = generate_case(seed + offset, smoke=smoke)
-        run, mismatches = run_case(case, oracles=oracles, shrink=shrink)
+        run, mismatches = run_case(
+            case, oracles=oracles, shrink=shrink, optimize=optimize
+        )
         report.cases += 1
         report.volleys_checked += len(run.volleys)
         for name, rows in run.results.items():

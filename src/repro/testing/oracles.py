@@ -37,6 +37,15 @@ Subclass :class:`BackendOracle`, implement :meth:`BackendOracle.run`
 (and the ``supports_*`` hooks if partial), then decorate with
 :func:`register_oracle`.  ``default_oracles()`` instantiates every
 registered backend; the conformance CLI picks it up automatically.
+
+The Engine protocol
+-------------------
+Every oracle accepts a :data:`~repro.ir.program.ProgramLike` — a raw
+:class:`~repro.network.graph.Network` or an already-lowered (and
+possibly optimized) :class:`~repro.ir.program.Program`.  The structural
+:class:`Engine` protocol spells out that contract; :func:`run_backends`
+exploits it to lower and optimize *once* and hand the same ``Program``
+to all four backends (``optimize=True``).
 """
 
 from __future__ import annotations
@@ -44,9 +53,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 from ..core.value import INF, Infinity, Time
+from ..ir.passes import optimize_program
+from ..ir.program import Program, ProgramLike, ensure_program
 from ..network.compile_plan import (
     MAX_FINITE,
     decode_matrix,
@@ -59,6 +70,45 @@ from ..obs.trace import RecordingSink, TraceEvent
 
 Volley = tuple[Time, ...]
 Outputs = tuple[Time, ...]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The structural contract every backend oracle satisfies.
+
+    One executable semantics of the s-t language, consuming a
+    :data:`~repro.ir.program.ProgramLike` (a ``Network`` or a lowered
+    ``Program``) — the dispatch surface :func:`run_backends` and the
+    conformance harness are written against.
+    """
+
+    name: str
+
+    def supports_network(self, network: ProgramLike) -> Optional[str]:
+        """``None`` if the engine can run *network*, else a skip reason."""
+        ...
+
+    def supports_volley(self, volley: Volley) -> bool:
+        """True if the engine can run this particular volley."""
+        ...
+
+    def run(
+        self,
+        network: ProgramLike,
+        volleys: Sequence[Volley],
+        params: Optional[Mapping[str, Time]] = None,
+    ) -> list[Outputs]:
+        """Raw output tuples (output-name order) per volley."""
+        ...
+
+    def trace(
+        self,
+        network: ProgramLike,
+        volley: Volley,
+        params: Optional[Mapping[str, Time]] = None,
+    ) -> Optional[list[TraceEvent]]:
+        """Canonical spike trace of one volley, or ``None`` if untraceable."""
+        ...
 
 
 def saturate(value: Time) -> Time:
@@ -76,6 +126,7 @@ def saturate_outputs(outputs: Sequence[Time]) -> Outputs:
 class BackendOracle:
     """One executable semantics of the network language.
 
+    The stock implementation of the :class:`Engine` protocol.
     Subclasses implement :meth:`run`; partial backends override
     :meth:`supports_network` / :meth:`supports_volley`.  ``run`` returns
     *raw* outputs — canonicalization (sentinel saturation) is applied
@@ -85,7 +136,7 @@ class BackendOracle:
     #: Registry key and report label; subclasses must override.
     name: str = "abstract"
 
-    def supports_network(self, network: Network) -> Optional[str]:
+    def supports_network(self, network: ProgramLike) -> Optional[str]:
         """``None`` if the backend can run *network*, else a skip reason."""
         return None
 
@@ -95,7 +146,7 @@ class BackendOracle:
 
     def run(
         self,
-        network: Network,
+        network: ProgramLike,
         volleys: Sequence[Volley],
         params: Optional[Mapping[str, Time]] = None,
     ) -> list[Outputs]:
@@ -104,7 +155,7 @@ class BackendOracle:
 
     def trace(
         self,
-        network: Network,
+        network: ProgramLike,
         volley: Volley,
         params: Optional[Mapping[str, Time]] = None,
     ) -> Optional[list[TraceEvent]]:
@@ -246,16 +297,19 @@ class GRLCircuitOracle(BackendOracle):
         self.max_time = max_time
         self.max_gates = max_gates
 
-    def supports_network(self, network: Network) -> Optional[str]:
-        for node in network.nodes:
-            if node.kind in ("min", "max") and not node.sources:
-                return (
-                    f"zero-source {node.kind} (node {node.id}) has no "
-                    "CMOS gate realization"
-                )
+    def supports_network(self, network: ProgramLike) -> Optional[str]:
+        program = ensure_program(network)
+        if program.const_ids:
+            # The IR declares which nodes are lattice-identity constants;
+            # this oracle no longer pattern-matches them itself.
+            node = program.nodes[program.const_ids[0]]
+            return (
+                f"zero-source {node.kind} (node {node.id}) has no "
+                "CMOS gate realization"
+            )
         # DFF chains dominate the netlist: one flip-flop per inc unit.
-        gates = len(network.nodes) + sum(
-            n.amount - 1 for n in network.nodes if n.kind == "inc"
+        gates = len(program.nodes) + sum(
+            n.amount - 1 for n in program.nodes if n.kind == "inc"
         )
         if gates > self.max_gates:
             return f"netlist too large for cycle simulation ({gates} gates)"
@@ -306,12 +360,17 @@ class BackendRun:
     ``results[name][i]`` is the sentinel-saturated output tuple of
     backend *name* on volley *i*, or ``None`` when that backend skipped
     the volley; backends skipped wholesale appear in ``skipped`` with
-    their reason instead.
+    their reason instead.  ``program`` is the exact
+    :class:`~repro.ir.program.Program` every backend consumed when the
+    run went through the shared-lowering path (``optimize=True``), else
+    ``None``; its provenance map relates the optimized trace back to the
+    original node ids.
     """
 
     volleys: list[Volley]
     results: dict[str, list[Optional[Outputs]]] = field(default_factory=dict)
     skipped: dict[str, str] = field(default_factory=dict)
+    program: Optional[Program] = None
 
     def names_for(self, index: int) -> list[str]:
         """Backends that produced an output for volley *index*."""
@@ -319,11 +378,12 @@ class BackendRun:
 
 
 def run_backends(
-    network: Network,
+    network: ProgramLike,
     volleys: Sequence[Volley],
     *,
     params: Optional[Mapping[str, Time]] = None,
-    oracles: Optional[Sequence[BackendOracle]] = None,
+    oracles: Optional[Sequence[Engine]] = None,
+    optimize: bool = False,
 ) -> BackendRun:
     """Run every backend over *volleys*, canonicalizing all outputs.
 
@@ -331,10 +391,22 @@ def run_backends(
     backends that cannot run an individual volley leave ``None`` in that
     row.  Raw outputs are saturated at the int64 sentinel so the caller
     can compare tuples directly.
+
+    With ``optimize=True`` the source is lowered and run through the
+    default IR pass pipeline *once*, and the resulting
+    :class:`~repro.ir.program.Program` (recorded on the returned
+    ``BackendRun``) is shared by every backend — so the compiled plan
+    cache, keyed by IR fingerprint, compiles it exactly once too.  Leave
+    it ``False`` for fault injection: :class:`FaultedOracle` network
+    transforms operate on the raw ``Network``.
     """
     oracles = list(oracles) if oracles is not None else default_oracles()
+    shared_program: Optional[Program] = None
+    if optimize:
+        shared_program, _report = optimize_program(ensure_program(network))
+        network = shared_program
     volleys = [tuple(v) for v in volleys]
-    run = BackendRun(volleys=volleys)
+    run = BackendRun(volleys=volleys, program=shared_program)
     for oracle in oracles:
         reason = oracle.supports_network(network)
         if reason is not None:

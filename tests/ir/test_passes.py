@@ -1,0 +1,161 @@
+"""The pass pipeline: per-pass rewrites, idempotence, provenance."""
+
+import pytest
+
+from repro.core.value import INF, Infinity
+from repro.ir import (
+    DEFAULT_PIPELINE,
+    PASSES,
+    PassManager,
+    lower,
+    optimize_program,
+    pass_names,
+    same_structure,
+)
+from repro.network import NetworkBuilder, evaluate_all_interpreted
+from repro.testing import generate_case
+
+
+def _outputs(program, inputs, params=None):
+    values = evaluate_all_interpreted(program, inputs, params=params)
+    return {name: values[nid] for name, nid in program.outputs.items()}
+
+
+class TestIndividualPasses:
+    def test_cse_alone_merges_but_keeps_dead_nodes(self):
+        b = NetworkBuilder("twins")
+        x = b.input("x")
+        b.inc(x, 9)  # dead from the start: only dce may remove it
+        b.output("a", b.inc(x, 2))
+        b.output("b", b.inc(x, 2))
+        program, _ = optimize_program(b.build(), passes=["cse"])
+        assert program.outputs["a"] == program.outputs["b"]
+        amounts = sorted(n.amount for n in program.nodes if n.kind == "inc")
+        assert amounts == [2, 9]  # duplicate merged, dead node kept
+
+    def test_dce_alone_strips_unobserved_nodes(self):
+        b = NetworkBuilder("dead")
+        x = b.input("x")
+        b.inc(x, 5)  # never observed
+        b.output("y", b.inc(x, 1))
+        program, report = optimize_program(b.build(), passes=["dce"])
+        assert program.size == 1
+        assert report.removed == 1
+
+    def test_canonicalize_alone_folds_lt_x_x(self):
+        b = NetworkBuilder("race")
+        x = b.input("x")
+        b.output("y", b.lt(x, x))
+        program, _ = optimize_program(b.build(), passes=["canonicalize"])
+        assert isinstance(_outputs(program, {"x": 3})["y"], Infinity)
+
+    def test_fuse_inc_alone_collapses_chains(self):
+        b = NetworkBuilder("chain")
+        x = b.input("x")
+        b.output("y", b.inc(b.inc(b.inc(x, 1), 2), 3))
+        program, _ = optimize_program(b.build(), passes=["fuse-inc", "dce"])
+        assert program.size == 1
+        assert program.nodes[1].amount == 6
+
+    def test_fold_consts_folds_const_zero_sources(self):
+        b = NetworkBuilder("folds")
+        x = b.input("x")
+        zero = b.max()  # the constant 0
+        b.output("m", b.min(x, zero))   # min(x, 0) = 0
+        b.output("r", b.lt(x, zero))    # lt(x, 0) never fires
+        program, _ = optimize_program(b.build())
+        out = _outputs(program, {"x": 4})
+        assert out["m"] == 0
+        assert isinstance(out["r"], Infinity)
+
+    def test_param_specialization_requires_binding(self):
+        b = NetworkBuilder("gated")
+        x = b.input("x")
+        mu = b.param("mu")
+        b.output("y", b.max(x, mu))
+        enabled, _ = optimize_program(b.build(), params={"mu": INF})
+        # max with a known-INF source is never.
+        assert isinstance(
+            _outputs(enabled, {"x": 2}, params={"mu": INF})["y"], Infinity
+        )
+        passing, _ = optimize_program(b.build(), params={"mu": 0})
+        assert _outputs(passing, {"x": 2}, params={"mu": 0})["y"] == 2
+
+    def test_registry_and_default_pipeline_agree(self):
+        assert pass_names() == list(DEFAULT_PIPELINE)
+        assert set(DEFAULT_PIPELINE) == set(PASSES)
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            PassManager(["cse", "loop-unroll"])
+
+    def test_max_iterations_validated(self):
+        with pytest.raises(ValueError):
+            PassManager(max_iterations=0)
+
+
+class TestReport:
+    def test_report_accounting(self):
+        b = NetworkBuilder("twins")
+        x = b.input("x")
+        b.output("a", b.inc(x, 2))
+        b.output("b", b.inc(x, 2))
+        program, report = optimize_program(b.build())
+        assert report.before_nodes - report.after_nodes == report.removed
+        assert report.removed == 1
+        assert report.iterations >= 1
+        assert sum(report.by_pass().values()) == report.removed
+        assert "pipeline:" in report.describe()
+        assert str(report) == report.describe()
+
+
+class TestIdempotence:
+    """optimize(optimize(p)) == optimize(p), over seeded random cases."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_pipeline_is_idempotent(self, seed):
+        case = generate_case(seed, smoke=True)
+        once, _ = optimize_program(case.network)
+        twice, report = optimize_program(once)
+        assert same_structure(once, twice)
+        assert report.removed == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_passes_idempotent_on_own_output(self, seed):
+        case = generate_case(seed, smoke=True)
+        for name in pass_names():
+            once, _ = optimize_program(case.network, passes=[name])
+            twice, _ = optimize_program(once, passes=[name])
+            assert same_structure(once, twice), name
+
+
+class TestProvenance:
+    """Every provenance root fires exactly when its optimized node does."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fire_time_invariant(self, seed):
+        case = generate_case(seed, smoke=True)
+        program, _ = optimize_program(case.network)
+        params = case.params or None
+        names = case.network.input_names
+        for volley in case.volleys[:4]:
+            inputs = dict(zip(names, volley))
+            original = evaluate_all_interpreted(
+                case.network, inputs, params=params
+            )
+            optimized = evaluate_all_interpreted(program, inputs, params=params)
+            for node_id, roots in program.provenance.items():
+                for root in roots:
+                    assert original[root] == optimized[node_id]
+
+    def test_semantics_preserved_end_to_end(self):
+        for seed in range(8):
+            case = generate_case(seed, smoke=True)
+            program, _ = optimize_program(case.network)
+            params = case.params or None
+            names = case.network.input_names
+            for volley in case.volleys[:4]:
+                inputs = dict(zip(names, volley))
+                assert _outputs(lower(case.network), inputs, params) == _outputs(
+                    program, inputs, params
+                )

@@ -1,0 +1,110 @@
+"""The Program lowering: schedule, fingerprint, memoization, round trip."""
+
+import pytest
+
+from repro.core.value import INF
+from repro.ir import (
+    CONST_IDENTITY,
+    Program,
+    classify,
+    ensure_program,
+    lower,
+    same_structure,
+)
+from repro.network import Network, NetworkBuilder, NetworkError, Node
+
+
+def diamond() -> Network:
+    b = NetworkBuilder("diamond")
+    x = b.input("x")
+    y = b.input("y")
+    lo = b.min(x, y)
+    hi = b.max(x, y)
+    b.output("z", b.lt(lo, hi))
+    return b.build()
+
+
+class TestLowering:
+    def test_shares_node_table(self):
+        net = diamond()
+        program = lower(net)
+        assert program.nodes is net.nodes
+        assert program.outputs == net.outputs
+
+    def test_fingerprint_matches_network(self):
+        net = diamond()
+        assert lower(net).fingerprint() == net.fingerprint()
+
+    def test_memoized_per_network_object(self):
+        net = diamond()
+        assert lower(net) is lower(net)
+
+    def test_ensure_program_is_identity_on_programs(self):
+        program = lower(diamond())
+        assert ensure_program(program) is program
+
+    def test_ensure_program_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_program("not a network")
+
+    def test_levels_are_longest_path(self):
+        program = lower(diamond())
+        # inputs at level 0, min/max at 1, lt at 2
+        assert program.levels == (0, 0, 1, 1, 2)
+        assert program.schedule == ((0, 1), (2, 3), (4,))
+        assert program.depth == 2
+
+    def test_terminal_and_output_maps(self):
+        program = lower(diamond())
+        assert program.input_names == ["x", "y"]
+        assert program.param_names == []
+        assert program.output_names == ["z"]
+        assert program.size == 3  # min, max, lt
+
+    def test_dense_ids_required(self):
+        nodes = (Node(0, "input", name="x"), Node(2, "inc", sources=(0,)))
+        with pytest.raises(NetworkError):
+            Program(nodes, {})
+
+    def test_round_trip_preserves_fingerprint(self):
+        net = diamond()
+        program = lower(net)
+        again = program.to_network()
+        assert again.fingerprint() == net.fingerprint()
+        assert same_structure(program, lower(again))
+
+    def test_provenance_defaults_to_identity(self):
+        program = lower(diamond())
+        assert program.provenance == {i: (i,) for i in range(5)}
+
+    def test_consumers(self):
+        program = lower(diamond())
+        assert program.consumers()[0] == [2, 3]  # x feeds min and max
+        assert program.consumers()[4] == []
+
+
+class TestConstants:
+    def test_classify_zero_source_min_max(self):
+        assert classify(Node(0, "min")) == "const-inf"
+        assert classify(Node(0, "max")) == "const-zero"
+        assert classify(Node(0, "min", sources=())) == "const-inf"
+
+    def test_classify_ordinary_nodes(self):
+        assert classify(Node(0, "input", name="x")) == "input"
+        assert classify(Node(1, "min", sources=(0,))) == "min"
+        assert classify(Node(1, "max", sources=(0,))) == "max"
+
+    def test_const_identity_values(self):
+        assert CONST_IDENTITY["const-inf"] is INF
+        assert CONST_IDENTITY["const-zero"] == 0
+
+    def test_const_ids_collected(self):
+        b = NetworkBuilder("consts")
+        x = b.input("x")
+        b.output("never", b.min())
+        b.output("now", b.max())
+        b.output("wire", b.max(x))
+        program = lower(b.build())
+        kinds = {classify(program.nodes[i]) for i in program.const_ids}
+        assert kinds == {"const-inf", "const-zero"}
+        assert len(program.const_ids) == 2
