@@ -29,6 +29,7 @@ from . import (
     neuron,
     obs,
     racelogic,
+    serve,
     testing,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "neuron",
     "obs",
     "racelogic",
+    "serve",
     "testing",
     "__version__",
 ]

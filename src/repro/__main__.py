@@ -15,11 +15,18 @@ Commands:
 * ``ir`` — lower a seeded column to the s-t program IR and report the
   optimizer pass pipeline's node counts, pass by pass.
 * ``stats`` — runtime metrics: counters, timers and the plan-cache
-  hit/miss record, optionally after exercising every backend once.
+  hit/miss record, optionally after exercising every backend once; with
+  ``--json`` the serving-layer section (queue depth, batch histogram,
+  latency quantiles) rides along.
+* ``serve`` — the asynchronous micro-batching inference service: TCP
+  newline-delimited JSON, a sharded worker-process pool, fingerprint-
+  keyed model registry.  See ``python -m repro serve --help``.
+* ``loadgen`` — drive a running server with seeded volleys and byte-check
+  every response against a direct local ``evaluate_batch``.
 * ``info`` — version and package inventory.
 
-Exit status is non-zero when a selfcheck, conformance, or trace
-cross-check fails.
+Exit status is non-zero when a selfcheck, conformance, trace, or
+loadgen conformance check fails.
 """
 
 from __future__ import annotations
@@ -190,27 +197,16 @@ def _conformance(argv: list[str]) -> int:
 
 
 def _demo_column(seed: int, *, smoke: bool):
-    """A seeded SRM0 column network and one volley for it.
+    """The seeded SRM0 demo column (shared with the serving layer).
 
     Deterministic in *seed*: the same seed always yields the same
-    weights, threshold, and volley — so trace exports are reproducible.
+    weights, threshold, and volley — so trace exports are reproducible
+    and a ``loadgen`` client can rebuild the model a ``serve`` process
+    is serving.
     """
-    import random
+    from .serve.demo import demo_column
 
-    from .neuron.response import ResponseFunction
-    from .neuron.srm0 import SRM0Neuron
-    from .neuron.srm0_network import build_srm0_network
-
-    rng = random.Random(seed)
-    n_inputs = 2 if smoke else 3
-    base = ResponseFunction.piecewise_linear(amplitude=2, rise=1, fall=3)
-    weights = [rng.randint(1, 3) for _ in range(n_inputs)]
-    neuron = SRM0Neuron.homogeneous(
-        n_inputs, weights, base_response=base, threshold=rng.randint(2, 4)
-    )
-    network = build_srm0_network(neuron, name=f"srm0-col-seed{seed}")
-    volley = tuple(rng.randint(0, 3) for _ in range(n_inputs))
-    return network, volley
+    return demo_column(seed, smoke=smoke)
 
 
 def _trace(argv: list[str]) -> int:
@@ -401,7 +397,12 @@ def _stats(argv: list[str]) -> int:
         run_backends(network, [volley])
 
     if args.json:
-        payload = {"metrics": METRICS.snapshot()}
+        from .serve.stats import serve_stats_snapshot
+
+        payload = {
+            "metrics": METRICS.snapshot(),
+            "serve": serve_stats_snapshot(),
+        }
         if args.plan_cache or args.clear_plan_cache:
             payload["plan_cache"] = plan_cache_info()
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -447,11 +448,19 @@ def main(argv: list[str] | None = None) -> int:
         return _ir(args[1:])
     if command == "stats":
         return _stats(args[1:])
+    if command == "serve":
+        from .serve.server import serve_main
+
+        return serve_main(args[1:])
+    if command == "loadgen":
+        from .serve.loadgen import loadgen_main
+
+        return loadgen_main(args[1:])
     if command == "info":
         return _info()
     print(
         f"unknown command {command!r}; "
-        "try: info, selfcheck, conformance, trace, ir, stats"
+        "try: info, selfcheck, conformance, trace, ir, stats, serve, loadgen"
     )
     return 2
 

@@ -364,6 +364,26 @@ class CompiledPlan:
         """Like :meth:`run` but gather only the output columns."""
         return self.run(matrix, param_vector)[:, self.output_ids]
 
+    def warm(self) -> "CompiledPlan":
+        """Run one synthetic volley so first real traffic pays no lazy cost.
+
+        Compilation builds the instruction stream eagerly, but the first
+        :meth:`run` still triggers one-time work (NumPy ufunc dispatch,
+        first-touch allocation).  Serving workers call this at startup so
+        request latency never includes it.  The synthetic volley is all
+        zeros with every parameter bound to ``∞`` — always valid, and the
+        result is discarded.  Returns ``self`` for chaining.
+        """
+        matrix = np.zeros((1, self.input_ids.size), dtype=np.int64)
+        param_vector = (
+            np.full(self.param_ids.size, INF_I64, dtype=np.int64)
+            if self.param_ids.size
+            else None
+        )
+        self.run(matrix, param_vector)
+        _obs_metrics.METRICS.inc("plan.warmups")
+        return self
+
 
 def _group_kind(group: _Group) -> str:
     """Timer label for one fused instruction group."""

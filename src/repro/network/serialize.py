@@ -22,6 +22,14 @@ diffing practical.  Loading re-validates everything through the normal
 :class:`~repro.network.blocks.Node` and
 :class:`~repro.network.graph.Network` constructors, so a corrupted file
 cannot produce a cyclic or ill-formed network.
+
+Documents written by :func:`network_to_dict` also embed the network's
+:meth:`~repro.network.graph.Network.fingerprint` — the identity the
+serving model registry keys on.  :func:`network_from_dict` recomputes
+the fingerprint of the rebuilt network and refuses a document whose
+embedded fingerprint disagrees: a round-trip is guaranteed to preserve
+the fingerprint bit-for-bit, so a fingerprint travelling with a file is
+trustworthy.  Hand-written documents may simply omit the field.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ def network_to_dict(network: Network) -> dict[str, Any]:
     return {
         "format": FORMAT,
         "name": network.name,
+        "fingerprint": network.fingerprint(),
         "nodes": nodes,
         "outputs": dict(network.outputs),
     }
@@ -87,7 +96,15 @@ def network_from_dict(data: dict[str, Any]) -> Network:
     outputs = data.get("outputs")
     if not isinstance(outputs, dict):
         raise NetworkError("'outputs' must be a mapping")
-    return Network(nodes, outputs, name=data.get("name"))
+    network = Network(nodes, outputs, name=data.get("name"))
+    claimed = data.get("fingerprint")
+    if claimed is not None and claimed != network.fingerprint():
+        raise NetworkError(
+            f"fingerprint mismatch: document claims {str(claimed)[:12]}…, "
+            f"rebuilt network is {network.fingerprint()[:12]}… — the "
+            "document was modified after it was written"
+        )
+    return network
 
 
 def dumps(network: Network, *, indent: int | None = 2) -> str:

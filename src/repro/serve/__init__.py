@@ -1,0 +1,74 @@
+"""Asynchronous micro-batching TNN inference service.
+
+The serving layer that turns independent client requests into the large
+batches where the compiled engine
+(:func:`repro.network.compile_plan.evaluate_batch`) earns its speedup:
+
+* :mod:`repro.serve.batcher` — the micro-batching scheduler: per-model
+  open batches closed by a size trigger (``max_batch``) or a latency
+  trigger (``max_wait_s``), results split back per request;
+* :mod:`repro.serve.pool` — the sharded worker pool: one process per
+  worker, each loading the IR-optimized program and warming its
+  compiled plan at startup, least-loaded dispatch, crash detection and
+  restart;
+* :mod:`repro.serve.service` — the service core: fingerprint-keyed
+  model registry, bounded-queue admission control with backpressure
+  rejection, per-request deadlines, bounded retry on worker failure;
+* :mod:`repro.serve.server` / :mod:`repro.serve.loadgen` — the asyncio
+  newline-delimited-JSON front-end (``python -m repro serve``) and the
+  conformance-checking load generator (``python -m repro loadgen``);
+* :mod:`repro.serve.protocol` — the wire format (``∞`` is ``null``) and
+  the canonical response encoding the byte-identity contract is stated
+  over;
+* :mod:`repro.serve.stats` — batch-size histogram, latency quantiles,
+  and queue gauges, surfaced by ``python -m repro stats --json`` and the
+  server's ``metrics`` endpoint.
+
+The conformance contract: every served response is byte-identical to a
+direct ``evaluate_batch`` of the same volleys — including under injected
+worker crashes and deadline faults (:mod:`repro.testing.served`).
+"""
+
+from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
+from .pool import InlineWorkerPool, Job, ProcessWorkerPool
+from .protocol import (
+    ERROR_CODES,
+    PROTOCOL,
+    ProtocolError,
+    ServeError,
+    canonical,
+    encode_line,
+    error_response,
+    eval_request,
+    ok_response,
+    parse_request,
+)
+from .registry import ModelEntry, ModelRegistry
+from .service import TNNService
+from .stats import SERVE_STATS, reset_serve_stats, serve_stats_snapshot
+
+__all__ = [
+    "Batch",
+    "BatchPolicy",
+    "ERROR_CODES",
+    "InlineWorkerPool",
+    "Job",
+    "MicroBatcher",
+    "ModelEntry",
+    "ModelRegistry",
+    "PROTOCOL",
+    "PendingRequest",
+    "ProcessWorkerPool",
+    "ProtocolError",
+    "SERVE_STATS",
+    "ServeError",
+    "TNNService",
+    "canonical",
+    "encode_line",
+    "error_response",
+    "eval_request",
+    "ok_response",
+    "parse_request",
+    "reset_serve_stats",
+    "serve_stats_snapshot",
+]

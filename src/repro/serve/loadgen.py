@@ -1,0 +1,278 @@
+"""Load generator and client-side conformance checker.
+
+``python -m repro loadgen`` opens ``--concurrency`` connections, streams
+``--requests`` deterministic seeded volleys at the server, and — unless
+``--no-check`` — verifies **every** response byte-for-byte: the client
+rebuilds the demo model from the same seed, confirms its fingerprint
+matches the server's (the ``models`` op), evaluates the whole volley
+stream locally with one direct ``evaluate_batch``, and compares each
+served response line against the canonically-encoded local result.  A
+single differing byte is a conformance failure and a non-zero exit.
+
+Rejections (``overloaded``/``deadline``) are counted separately — they
+are the backpressure contract working, not mismatches — but any
+transport error, malformed response, or mismatch fails the run.  With
+``--shutdown`` the last act is a ``shutdown`` op (clean server drain);
+``--metrics-out`` fetches the server's metrics snapshot first and writes
+it to disk (the CI artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from .demo import demo_column, demo_volleys
+from .protocol import (
+    canonical,
+    encode_line,
+    eval_request,
+    ok_response,
+    volley_to_wire,
+)
+
+
+class LoadgenError(RuntimeError):
+    """A transport/protocol failure that invalidates the run."""
+
+
+async def _request(reader, writer, message: dict) -> dict:
+    """One in-order request/response exchange on a dedicated connection."""
+    writer.write(encode_line(message))
+    await writer.drain()
+    line = await reader.readline()
+    if not line:
+        raise LoadgenError("connection closed mid-request")
+    return json.loads(line)
+
+
+async def _open(host: str, port: int, *, attempts: int = 40, delay: float = 0.25):
+    """Connect with retries (the server may still be warming workers)."""
+    for attempt in range(attempts):
+        try:
+            return await asyncio.open_connection(host, port)
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+            await asyncio.sleep(delay)
+
+
+async def run_loadgen(
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    requests: int = 500,
+    concurrency: int = 32,
+    seed: int = 0,
+    model: str = "demo",
+    model_seed: int = 0,
+    smoke: bool = False,
+    check: bool = True,
+    deadline_ms: Optional[int] = None,
+    shutdown: bool = False,
+    metrics_out: Optional[str] = None,
+) -> dict:
+    """Drive the server; returns the run report (also printed by the CLI)."""
+    network, _volley = demo_column(model_seed, smoke=smoke)
+    arity = len(network.input_ids)
+    volleys = demo_volleys(arity, requests, seed=seed)
+
+    expected_lines: list[Optional[str]] = [None] * requests
+    if check:
+        from ..network.compile_plan import decode_matrix, evaluate_batch
+
+        direct = decode_matrix(evaluate_batch(network, volleys))
+        expected_lines = [
+            canonical(ok_response(i, tuple(row))) for i, row in enumerate(direct)
+        ]
+
+    # Fingerprint handshake: the byte-check below is only meaningful if
+    # the server's model really is our local network.
+    reader, writer = await _open(host, port)
+    if check:
+        reply = await _request(reader, writer, {"op": "models"})
+        served = {m["name"]: m["id"] for m in reply.get("models", [])}
+        served_id = served.get(model, model if model in reply else None)
+        local_id = network.fingerprint()
+        if served_id != local_id:
+            raise LoadgenError(
+                f"server model {model!r} has fingerprint "
+                f"{(served_id or '?')[:12]}, local demo is {local_id[:12]} — "
+                "did the seeds/--smoke flags match?"
+            )
+
+    results: list[Optional[dict]] = [None] * requests
+    latencies: list[float] = [0.0] * requests
+    index_iter = iter(range(requests))
+    index_lock = asyncio.Lock()
+
+    async def worker(conn) -> None:
+        r, w = conn
+        while True:
+            async with index_lock:
+                i = next(index_iter, None)
+            if i is None:
+                return
+            message = eval_request(
+                i, model, volleys[i], deadline_ms=deadline_ms
+            )
+            start = time.perf_counter()
+            reply = await _request(r, w, message)
+            latencies[i] = time.perf_counter() - start
+            if reply.get("id") != i:
+                raise LoadgenError(
+                    f"response id {reply.get('id')!r} for request {i}"
+                )
+            results[i] = reply
+
+    connections = [(reader, writer)]
+    for _ in range(max(0, concurrency - 1)):
+        connections.append(await _open(host, port))
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(conn) for conn in connections))
+    elapsed = time.perf_counter() - started
+
+    ok = rejected_overload = rejected_deadline = failed = mismatches = 0
+    first_mismatch: Optional[str] = None
+    for i, reply in enumerate(results):
+        if reply is None:
+            raise LoadgenError(f"request {i} never completed")
+        if reply.get("ok"):
+            ok += 1
+            if check:
+                got = canonical(reply)
+                if got != expected_lines[i]:
+                    mismatches += 1
+                    if first_mismatch is None:
+                        first_mismatch = (
+                            f"request {i} volley {volley_to_wire(volleys[i])}: "
+                            f"served {got} != direct {expected_lines[i]}"
+                        )
+        elif reply.get("code") == "overloaded":
+            rejected_overload += 1
+        elif reply.get("code") == "deadline":
+            rejected_deadline += 1
+        else:
+            failed += 1
+            if first_mismatch is None:
+                first_mismatch = f"request {i} failed: {canonical(reply)}"
+
+    if metrics_out:
+        reply = await _request(reader, writer, {"op": "metrics"})
+        Path(metrics_out).write_text(
+            json.dumps(reply, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    if shutdown:
+        await _request(reader, writer, {"op": "shutdown"})
+
+    for r, w in connections:
+        w.close()
+    done = sorted(latencies[:requests])
+    report = {
+        "requests": requests,
+        "concurrency": concurrency,
+        "ok": ok,
+        "rejected_overloaded": rejected_overload,
+        "rejected_deadline": rejected_deadline,
+        "failed": failed,
+        "checked": check,
+        "mismatches": mismatches,
+        "first_mismatch": first_mismatch,
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(requests / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(done[len(done) // 2] * 1e3, 3) if done else 0.0,
+        "p99_ms": round(done[min(len(done) - 1, int(len(done) * 0.99))] * 1e3, 3)
+        if done
+        else 0.0,
+    }
+    return report
+
+
+def loadgen_main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description=(
+            "Drive a `python -m repro serve` server with deterministic "
+            "seeded volleys and byte-check every response against a "
+            "direct local evaluate_batch of the same model."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7070)
+    parser.add_argument("--requests", type=int, default=500)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0, help="volley stream seed")
+    parser.add_argument("--model", default="demo", help="served model to target")
+    parser.add_argument(
+        "--model-seed",
+        type=int,
+        default=0,
+        help="seed of the server's demo model (must match the server)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the server was started with --smoke (smaller demo model)",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="skip the byte-identity conformance check",
+    )
+    parser.add_argument("--deadline-ms", type=int, default=None)
+    parser.add_argument(
+        "--shutdown",
+        action="store_true",
+        help="send a shutdown op after the run (clean server drain)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="fetch the server metrics snapshot and write it here",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = asyncio.run(
+            run_loadgen(
+                host=args.host,
+                port=args.port,
+                requests=args.requests,
+                concurrency=args.concurrency,
+                seed=args.seed,
+                model=args.model,
+                model_seed=args.model_seed,
+                smoke=args.smoke,
+                check=not args.no_check,
+                deadline_ms=args.deadline_ms,
+                shutdown=args.shutdown,
+                metrics_out=args.metrics_out,
+            )
+        )
+    except (LoadgenError, OSError) as error:
+        print(f"loadgen failed: {error}")
+        return 1
+    print(
+        f"loadgen: {report['ok']}/{report['requests']} ok "
+        f"({report['rejected_overloaded']} overloaded, "
+        f"{report['rejected_deadline']} deadline, {report['failed']} failed) "
+        f"in {report['elapsed_s']}s — {report['qps']} req/s, "
+        f"p50 {report['p50_ms']}ms, p99 {report['p99_ms']}ms"
+    )
+    if report["checked"]:
+        if report["mismatches"]:
+            print(
+                f"CONFORMANCE FAILURE: {report['mismatches']} response(s) "
+                f"differ from direct evaluate_batch"
+            )
+            print(f"first: {report['first_mismatch']}")
+        else:
+            print(
+                f"conformance: all {report['ok']} responses byte-identical "
+                "to direct evaluate_batch"
+            )
+    bad = report["mismatches"] + report["failed"]
+    return 1 if bad else 0

@@ -1,0 +1,467 @@
+"""Sharded worker pool: one compiled-and-warmed engine per process.
+
+Each worker is a separate OS process that, at startup, rebuilds every
+registered model from its serialized document (verifying the embedded
+fingerprint), lowers it to the IR, runs the optimizer pass pipeline, and
+**warms** the compiled plan (:meth:`repro.network.compile_plan.
+CompiledPlan.warm`) — so the first real request never pays compilation
+or first-touch cost.  Work arrives as already-encoded ``(B, n_inputs)``
+int64 matrices (the micro-batcher's output) and leaves as the engine's
+raw ``(B, n_outputs)`` result, keeping the IPC payload two NumPy arrays
+per batch.
+
+Dispatch is **least-loaded**: :meth:`ProcessWorkerPool.submit` picks the
+alive worker with the fewest in-flight batches.  A dedicated collector
+thread multiplexes every worker pipe; a broken pipe (crash, kill, OOM)
+is detected there, the dead worker's in-flight batches are failed back
+to the service (which retries them on another worker), and a
+replacement process is spawned in its place up to ``max_restarts``
+times.  :meth:`ProcessWorkerPool.inject_crash` makes a worker die on
+command — the fault-injection hook the served-conformance tests use to
+prove byte-identical responses survive crashes.
+
+:class:`InlineWorkerPool` is the same interface executed synchronously
+in-process — no IPC, no fork — used by unit tests and by benchmark
+configurations that isolate scheduling cost from process cost.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import multiprocessing.connection as mp_connection
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.value import INF, Time
+from ..obs import metrics as _obs_metrics
+from .protocol import E_WORKER, ServeError
+
+#: Sentinel import kept local to the worker body; see _worker_main.
+from ..network.compile_plan import INF_I64
+
+
+def _decode_params(params_enc: dict[str, int]) -> dict[str, Time]:
+    """Sentinel-encoded parameter binding back to ``Time`` values."""
+    return {
+        name: (INF if value == INF_I64 else int(value))
+        for name, value in params_enc.items()
+    }
+
+
+@dataclass
+class Job:
+    """One dispatched batch: encoded inputs plus completion callbacks.
+
+    ``on_done`` receives the raw ``(B, n_outputs)`` int64 result;
+    ``on_fail`` receives a human-readable reason.  Exactly one of the
+    two is invoked, from the pool's collector thread (process pool) or
+    the submitting thread (inline pool) — callbacks must be thread-safe.
+    """
+
+    job_id: int
+    model_id: str
+    matrix: np.ndarray
+    params_enc: dict[str, int]
+    on_done: Callable[[np.ndarray], None]
+    on_fail: Callable[[str], None]
+
+
+# ---------------------------------------------------------------------------
+# Worker process body
+# ---------------------------------------------------------------------------
+
+def _worker_main(conn, documents: dict[str, str], optimize: bool) -> None:
+    """The worker loop: load + warm every model, then serve eval messages.
+
+    Runs in a child process (or, for unit tests, a plain thread with the
+    other pipe end held by the test).  Messages:
+
+    * ``("eval", job_id, model_id, matrix, params_enc)`` →
+      ``("ok", job_id, result)`` or ``("err", job_id, reason)``
+    * ``("load", model_id, document)`` → ``("loaded", model_id)``
+    * ``("ping", token)`` → ``("pong", token)``
+    * ``("crash",)`` → hard ``os._exit`` (fault-injection hook)
+    * ``("stop",)`` → clean return
+    """
+    from ..ir.passes import optimize_program
+    from ..ir.program import lower
+    from ..network import serialize
+    from ..network.compile_plan import compile_plan, evaluate_batch
+
+    def load(model_id: str, document: str):
+        network = serialize.loads(document)
+        if network.fingerprint() != model_id:
+            raise ValueError(
+                f"document fingerprint {network.fingerprint()[:12]} does not "
+                f"match model id {model_id[:12]}"
+            )
+        program = lower(network)
+        if optimize:
+            program, _report = optimize_program(program)
+        compile_plan(program).warm()
+        return program
+
+    programs = {mid: load(mid, doc) for mid, doc in documents.items()}
+    conn.send(("ready", os.getpid(), sorted(programs)))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message[0]
+        if op == "eval":
+            _op, job_id, model_id, matrix, params_enc = message
+            try:
+                program = programs.get(model_id)
+                if program is None:
+                    raise KeyError(f"model {model_id[:12]} not loaded")
+                result = evaluate_batch(
+                    program, matrix, params=_decode_params(params_enc)
+                )
+                conn.send(("ok", job_id, result))
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                conn.send(("err", job_id, f"{type(exc).__name__}: {exc}"))
+        elif op == "load":
+            _op, model_id, document = message
+            programs[model_id] = load(model_id, document)
+            conn.send(("loaded", model_id))
+        elif op == "ping":
+            conn.send(("pong", message[1]))
+        elif op == "crash":
+            os._exit(3)
+        elif op == "stop":
+            conn.close()
+            return
+        else:
+            conn.send(("err", None, f"unknown op {op!r}"))
+
+
+# ---------------------------------------------------------------------------
+# Process pool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _WorkerHandle:
+    slot: int
+    process: "mp.process.BaseProcess"
+    conn: "mp_connection.Connection"
+    generation: int
+    alive: bool = True
+    jobs: dict[int, Job] = field(default_factory=dict)
+
+    @property
+    def inflight(self) -> int:
+        return len(self.jobs)
+
+
+class ProcessWorkerPool:
+    """Multiprocessing workers with least-loaded dispatch and restarts."""
+
+    def __init__(
+        self,
+        documents: dict[str, str],
+        *,
+        n_workers: int = 2,
+        optimize: bool = True,
+        max_restarts: int = 8,
+        start_timeout: float = 60.0,
+    ):
+        if n_workers < 1:
+            raise ValueError(f"need at least one worker, got {n_workers}")
+        self._documents = dict(documents)
+        self._optimize = optimize
+        self._max_restarts = max_restarts
+        self._start_timeout = start_timeout
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._restarts = 0
+        # Prefer fork where available (fast, shares the warm parent
+        # image); spawn elsewhere.  The worker body is a module-level
+        # function, so both start methods work.
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+        self._workers: list[_WorkerHandle] = [
+            self._spawn(slot, generation=0) for slot in range(n_workers)
+        ]
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="serve-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- lifecycle ------------------------------------------------------------
+    def _spawn(self, slot: int, *, generation: int) -> _WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._documents, self._optimize),
+            name=f"serve-worker-{slot}.{generation}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(self._start_timeout):
+            process.terminate()
+            raise ServeError(
+                E_WORKER, f"worker {slot} did not become ready in time"
+            )
+        message = parent_conn.recv()
+        if message[0] != "ready":
+            process.terminate()
+            raise ServeError(
+                E_WORKER, f"worker {slot} sent {message[0]!r} instead of ready"
+            )
+        return _WorkerHandle(
+            slot=slot, process=process, conn=parent_conn, generation=generation
+        )
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop the collector and terminate every worker."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            workers = list(self._workers)
+        self._wake()
+        self._collector.join(timeout=timeout)
+        for worker in workers:
+            if worker.alive:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in workers:
+            worker.process.join(timeout=timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.conn.close()
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send(b"x")
+        except (OSError, BrokenPipeError):
+            pass
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(1 for w in self._workers if w.alive)
+
+    def inflight(self) -> int:
+        with self._lock:
+            return sum(w.inflight for w in self._workers)
+
+    def loads(self) -> list[int]:
+        """Per-slot in-flight batch counts (dispatch visibility)."""
+        with self._lock:
+            return [w.inflight if w.alive else -1 for w in self._workers]
+
+    # -- dispatch -------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Send *job* to the least-loaded alive worker."""
+        with self._lock:
+            if self._stopping:
+                raise ServeError(E_WORKER, "pool is shutting down")
+            alive = [w for w in self._workers if w.alive]
+            if not alive:
+                raise ServeError(E_WORKER, "no alive workers")
+            worker = min(alive, key=lambda w: w.inflight)
+            worker.jobs[job.job_id] = job
+            try:
+                worker.conn.send(
+                    ("eval", job.job_id, job.model_id, job.matrix, job.params_enc)
+                )
+            except (OSError, BrokenPipeError):
+                # The pipe died under us; the collector will reap the
+                # worker, but this job must fail over immediately.
+                del worker.jobs[job.job_id]
+                worker.alive = False
+                raise ServeError(E_WORKER, "worker pipe broken on submit")
+        _obs_metrics.METRICS.inc("serve.pool.submits")
+
+    def add_model(self, model_id: str, document: str) -> None:
+        """Ship a newly registered model to every alive worker."""
+        with self._lock:
+            self._documents[model_id] = document
+            for worker in self._workers:
+                if worker.alive:
+                    try:
+                        worker.conn.send(("load", model_id, document))
+                    except (OSError, BrokenPipeError):
+                        worker.alive = False
+
+    def inject_crash(self, slot: int) -> None:
+        """Make worker *slot* die abruptly (fault-injection hook)."""
+        with self._lock:
+            worker = self._workers[slot]
+            if worker.alive:
+                try:
+                    worker.conn.send(("crash",))
+                except (OSError, BrokenPipeError):
+                    worker.alive = False
+
+    # -- collector ------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._stopping:
+                    return
+                watched = {w.conn: w for w in self._workers if w.alive}
+            conns = list(watched) + [self._wake_r]
+            for conn in mp_connection.wait(conns, timeout=0.25):
+                if conn is self._wake_r:
+                    try:
+                        self._wake_r.recv()
+                    except (EOFError, OSError):
+                        pass
+                    continue
+                worker = watched[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._reap(worker)
+                    continue
+                self._deliver(worker, message)
+
+    def _deliver(self, worker: _WorkerHandle, message: tuple) -> None:
+        op = message[0]
+        if op in ("ok", "err"):
+            _op, job_id, payload = message
+            with self._lock:
+                job = worker.jobs.pop(job_id, None)
+            if job is None:
+                return  # job already failed over after a crash race
+            if op == "ok":
+                job.on_done(payload)
+            else:
+                _obs_metrics.METRICS.inc("serve.worker.failures")
+                job.on_fail(f"worker {worker.slot} error: {payload}")
+        # "loaded"/"pong" acknowledgements need no parent-side action.
+
+    def _reap(self, worker: _WorkerHandle) -> None:
+        """A worker pipe broke: fail its jobs over, then try to restart."""
+        with self._lock:
+            worker.alive = False
+            orphans = list(worker.jobs.values())
+            worker.jobs.clear()
+            can_restart = not self._stopping and self._restarts < self._max_restarts
+        _obs_metrics.METRICS.inc("serve.worker.failures", len(orphans))
+        worker.process.join(timeout=1.0)
+        for job in orphans:
+            job.on_fail(f"worker {worker.slot} crashed")
+        if can_restart:
+            try:
+                replacement = self._spawn(
+                    worker.slot, generation=worker.generation + 1
+                )
+            except ServeError:
+                return
+            with self._lock:
+                if self._stopping:
+                    replacement.conn.send(("stop",))
+                    return
+                self._workers[worker.slot] = replacement
+                self._restarts += 1
+            _obs_metrics.METRICS.inc("serve.worker.restarts")
+
+
+# ---------------------------------------------------------------------------
+# Inline pool
+# ---------------------------------------------------------------------------
+
+class InlineWorkerPool:
+    """The pool interface executed synchronously in the calling thread.
+
+    Used by unit tests (determinism, no fork) and by benchmark
+    configurations that measure scheduling without process overhead.
+    Loads from the same serialized documents as the process pool so the
+    rebuild-verify-warm path stays covered in-process.
+    """
+
+    def __init__(self, documents: dict[str, str], *, optimize: bool = True):
+        from ..ir.passes import optimize_program
+        from ..ir.program import lower
+        from ..network import serialize
+        from ..network.compile_plan import compile_plan
+
+        self._optimize = optimize
+        self._programs = {}
+        for model_id, document in documents.items():
+            network = serialize.loads(document)
+            program = lower(network)
+            if optimize:
+                program, _report = optimize_program(program)
+            compile_plan(program).warm()
+            self._programs[model_id] = program
+        self._stopping = False
+        self._restarts = 0
+
+    @property
+    def n_workers(self) -> int:
+        return 1
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts
+
+    def alive_count(self) -> int:
+        return 0 if self._stopping else 1
+
+    def inflight(self) -> int:
+        return 0
+
+    def loads(self) -> list[int]:
+        return [0]
+
+    def submit(self, job: Job) -> None:
+        from ..network.compile_plan import evaluate_batch
+
+        if self._stopping:
+            raise ServeError(E_WORKER, "pool is shutting down")
+        program = self._programs.get(job.model_id)
+        if program is None:
+            _obs_metrics.METRICS.inc("serve.worker.failures")
+            job.on_fail(f"model {job.model_id[:12]} not loaded")
+            return
+        _obs_metrics.METRICS.inc("serve.pool.submits")
+        try:
+            result = evaluate_batch(
+                program, job.matrix, params=_decode_params(job.params_enc)
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped to job failure
+            _obs_metrics.METRICS.inc("serve.worker.failures")
+            job.on_fail(f"{type(exc).__name__}: {exc}")
+            return
+        job.on_done(result)
+
+    def add_model(self, model_id: str, document: str) -> None:
+        from ..ir.passes import optimize_program
+        from ..ir.program import lower
+        from ..network import serialize
+        from ..network.compile_plan import compile_plan
+
+        network = serialize.loads(document)
+        program = lower(network)
+        if self._optimize:
+            program, _report = optimize_program(program)
+        compile_plan(program).warm()
+        self._programs[model_id] = program
+
+    def inject_crash(self, slot: int) -> None:
+        raise RuntimeError("inline pool has no crashable workers")
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        self._stopping = True

@@ -1,0 +1,158 @@
+"""The served-model registry, keyed by ``Network.fingerprint()``.
+
+A model's identity in the service is its structural fingerprint — the
+same SHA-256 the compiled-plan cache keys on, preserved bit-for-bit by
+JSON serialization (:mod:`repro.network.serialize` embeds and verifies
+it).  That one choice buys three properties:
+
+* **shippability** — workers receive the serialized document, rebuild
+  the network, and can *prove* they loaded the right model by comparing
+  fingerprints (the document carries the expected hash);
+* **deduplication** — registering a structural twin (same algebra, any
+  display name) resolves to the existing entry and shares its compiled
+  plan;
+* **conformance** — "served response equals direct ``evaluate_batch``"
+  is well-defined because both sides name the model by the same key.
+
+Human-friendly **aliases** ("demo") map onto fingerprints; lookups
+accept an alias, a full fingerprint, or an unambiguous fingerprint
+prefix (≥ 8 hex chars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.passes import optimize_program
+from ..ir.program import Program, lower
+from ..network import serialize
+from ..network.graph import Network, NetworkError
+from .protocol import E_NO_MODEL, ServeError
+
+#: Shortest fingerprint prefix accepted as a model reference.
+MIN_PREFIX = 8
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered model: the network, its program, and its document.
+
+    ``program`` is what workers execute (IR-lowered, optionally
+    pass-pipeline optimized — fire-time equal to the network by the IR's
+    provenance contract); ``document`` is the serialized form shipped to
+    worker processes; ``network`` stays available in-process for the
+    direct conformance path.
+    """
+
+    model_id: str  # == network.fingerprint()
+    name: str
+    network: Network
+    program: Program
+    document: str
+    optimized: bool
+
+    @property
+    def input_arity(self) -> int:
+        return len(self.network.input_ids)
+
+    @property
+    def input_names(self) -> list[str]:
+        return self.network.input_names
+
+    @property
+    def param_names(self) -> list[str]:
+        return self.network.param_names
+
+    @property
+    def output_names(self) -> list[str]:
+        return self.network.output_names
+
+    def describe(self) -> dict:
+        """The JSON shape the server's ``models`` op reports."""
+        return {
+            "id": self.model_id,
+            "name": self.name,
+            "inputs": self.input_names,
+            "params": self.param_names,
+            "outputs": self.output_names,
+            "nodes": len(self.network.nodes),
+            "optimized": self.optimized,
+        }
+
+
+class ModelRegistry:
+    """Fingerprint-keyed model store with alias and prefix lookup."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, ModelEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def ids(self) -> list[str]:
+        return list(self._by_id)
+
+    def entries(self) -> list[ModelEntry]:
+        return list(self._by_id.values())
+
+    def register(
+        self,
+        network: Network,
+        *,
+        name: Optional[str] = None,
+        optimize: bool = True,
+    ) -> ModelEntry:
+        """Register *network*; returns the (possibly pre-existing) entry.
+
+        The serialized document is round-tripped on the spot and its
+        fingerprint compared bit-for-bit — a registration fails loudly
+        here rather than shipping a document workers would reject.
+        """
+        fingerprint = network.fingerprint()
+        entry = self._by_id.get(fingerprint)
+        if entry is None:
+            document = serialize.dumps(network, indent=None)
+            rebuilt = serialize.loads(document)
+            if rebuilt.fingerprint() != fingerprint:
+                raise NetworkError(
+                    f"serialization round-trip changed the fingerprint of "
+                    f"{network.name!r}: {fingerprint[:12]} -> "
+                    f"{rebuilt.fingerprint()[:12]}"
+                )
+            program = lower(network)
+            if optimize:
+                program, _report = optimize_program(program)
+            entry = ModelEntry(
+                model_id=fingerprint,
+                name=name or network.name,
+                network=network,
+                program=program,
+                document=document,
+                optimized=optimize,
+            )
+            self._by_id[fingerprint] = entry
+        if name:
+            self._aliases[name] = fingerprint
+        return entry
+
+    def resolve(self, key: str) -> ModelEntry:
+        """Entry for an alias, fingerprint, or unambiguous prefix."""
+        if key in self._aliases:
+            return self._by_id[self._aliases[key]]
+        if key in self._by_id:
+            return self._by_id[key]
+        if len(key) >= MIN_PREFIX:
+            hits = [fp for fp in self._by_id if fp.startswith(key)]
+            if len(hits) == 1:
+                return self._by_id[hits[0]]
+            if len(hits) > 1:
+                raise ServeError(
+                    E_NO_MODEL, f"model prefix {key!r} is ambiguous ({len(hits)})"
+                )
+        raise ServeError(E_NO_MODEL, f"no model named {key!r}")
+
+    def documents(self) -> dict[str, str]:
+        """``model_id -> serialized document`` — the worker-pool payload."""
+        return {fp: entry.document for fp, entry in self._by_id.items()}

@@ -1,0 +1,333 @@
+"""The asyncio front-end: a newline-delimited JSON TCP server.
+
+One asyncio task per connection reads request lines; each ``eval``
+spawns a sub-task that awaits the service future (via
+``asyncio.wrap_future``) and writes the response when it resolves — so a
+single connection can pipeline many requests and receive responses out
+of order, matched by ``id``.  All writes on a connection are serialized
+through a per-connection lock.
+
+Admission rejections (``overloaded``) surface immediately as error
+responses rather than queuing — the client sees backpressure the moment
+the service is saturated, which is what lets a well-behaved load
+generator back off.
+
+``python -m repro serve`` wires this to a :class:`~repro.serve.service.
+TNNService` over a seeded demo model (plus any ``--model-file``
+networks), installs SIGINT/SIGTERM handlers for graceful drain, and can
+write a final metrics snapshot (``--metrics-out``) — the artifact the CI
+``serve-smoke`` job uploads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import json
+import signal
+from pathlib import Path
+from typing import Optional
+
+from .protocol import (
+    E_BAD_REQUEST,
+    PROTOCOL,
+    ProtocolError,
+    ServeError,
+    encode_line,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from .service import TNNService
+
+
+async def _write(writer: asyncio.StreamWriter, lock: asyncio.Lock, message: dict) -> None:
+    async with lock:
+        writer.write(encode_line(message))
+        await writer.drain()
+
+
+async def _finish_eval(
+    service: TNNService,
+    message: dict,
+    writer: asyncio.StreamWriter,
+    lock: asyncio.Lock,
+) -> None:
+    req_id = message.get("id")
+    deadline_ms = message.get("deadline_ms")
+    try:
+        future = service.submit(
+            message["model"],
+            message["volley_times"],
+            params=message["params_times"],
+            deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+        )
+    except ServeError as error:
+        await _write(writer, lock, error_response(req_id, error.code, error.message))
+        return
+    try:
+        outputs = await asyncio.wrap_future(future)
+    except ServeError as error:
+        await _write(writer, lock, error_response(req_id, error.code, error.message))
+        return
+    await _write(writer, lock, ok_response(req_id, outputs))
+
+
+def _metrics_payload(service: TNNService) -> dict:
+    from ..network.compile_plan import plan_cache_info
+    from ..obs.metrics import METRICS
+
+    return {
+        "ok": True,
+        "serve": service.stats(),
+        "metrics": METRICS.snapshot(),
+        "plan_cache": plan_cache_info(),
+    }
+
+
+async def _handle_connection(
+    service: TNNService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    shutdown: asyncio.Event,
+) -> None:
+    lock = asyncio.Lock()
+    tasks: set[asyncio.Task] = set()
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                message = parse_request(line)
+            except ProtocolError as error:
+                await _write(
+                    writer,
+                    lock,
+                    error_response(None, E_BAD_REQUEST, str(error)),
+                )
+                continue
+            op = message["op"]
+            if op == "eval":
+                task = asyncio.ensure_future(
+                    _finish_eval(service, message, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            elif op == "health":
+                await _write(
+                    writer,
+                    lock,
+                    {
+                        "ok": True,
+                        "protocol": PROTOCOL,
+                        "status": "serving",
+                        "models": len(service.registry),
+                        "workers_alive": service.pool.alive_count(),
+                        "pending": service.pending(),
+                    },
+                )
+            elif op == "metrics":
+                await _write(writer, lock, _metrics_payload(service))
+            elif op == "models":
+                await _write(
+                    writer,
+                    lock,
+                    {
+                        "ok": True,
+                        "models": [
+                            entry.describe()
+                            for entry in service.registry.entries()
+                        ],
+                    },
+                )
+            else:  # shutdown
+                await _write(
+                    writer, lock, {"ok": True, "status": "shutting-down"}
+                )
+                shutdown.set()
+    finally:
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        with contextlib.suppress(Exception):
+            writer.close()
+            await writer.wait_closed()
+
+
+async def run_server_async(
+    service: TNNService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    metrics_out: Optional[str] = None,
+    port_file: Optional[str] = None,
+    ready: Optional["asyncio.Future[int]"] = None,
+) -> int:
+    """Serve until a ``shutdown`` request or SIGINT/SIGTERM; returns 0.
+
+    *ready* (if given) resolves to the bound port once listening —
+    in-process callers (tests, benchmarks) use it instead of polling;
+    *port_file* writes the bound port to disk for shell callers using
+    ``--port 0``.
+    """
+    shutdown = asyncio.Event()
+    conn_tasks: set[asyncio.Task] = set()
+
+    def _on_connection(r: asyncio.StreamReader, w: asyncio.StreamWriter) -> None:
+        task = asyncio.ensure_future(_handle_connection(service, r, w, shutdown))
+        conn_tasks.add(task)
+        task.add_done_callback(conn_tasks.discard)
+
+    server = await asyncio.start_server(_on_connection, host=host, port=port)
+    bound_port = server.sockets[0].getsockname()[1]
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(signum, shutdown.set)
+    if port_file:
+        Path(port_file).write_text(f"{bound_port}\n", encoding="utf-8")
+    if ready is not None and not ready.done():
+        ready.set_result(bound_port)
+    print(f"serving {len(service.registry)} model(s) on {host}:{bound_port}", flush=True)
+    async with server:
+        await shutdown.wait()
+        server.close()
+        await server.wait_closed()
+    if conn_tasks:
+        # Give open connections a beat to drain on EOF, then cancel
+        # stragglers — a client holding its connection open must not
+        # wedge shutdown.
+        await asyncio.wait(conn_tasks, timeout=1.0)
+        for task in list(conn_tasks):
+            task.cancel()
+        await asyncio.gather(*conn_tasks, return_exceptions=True)
+    if metrics_out:
+        Path(metrics_out).write_text(
+            json.dumps(_metrics_payload(service), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote metrics snapshot to {metrics_out}", flush=True)
+    service.close(drain=True)
+    print("server drained and stopped", flush=True)
+    return 0
+
+
+def build_service(args: argparse.Namespace) -> TNNService:
+    """The service a ``python -m repro serve`` invocation runs."""
+    from .batcher import BatchPolicy
+    from .demo import demo_column
+    from .pool import InlineWorkerPool, ProcessWorkerPool
+    from .registry import ModelRegistry
+
+    registry = ModelRegistry()
+    network, _volley = demo_column(args.model_seed, smoke=args.smoke)
+    registry.register(network, name="demo")
+    for path in args.model_file or []:
+        from ..network import serialize
+
+        registry.register(serialize.load(path))
+    documents = registry.documents()
+    if args.inline:
+        pool = InlineWorkerPool(documents)
+    else:
+        pool = ProcessWorkerPool(documents, n_workers=args.workers)
+    return TNNService(
+        registry,
+        pool,
+        policy=BatchPolicy(
+            max_batch=args.max_batch, max_wait_s=args.max_wait_ms / 1e3
+        ),
+        max_pending=args.max_pending,
+        default_deadline_s=(
+            None if args.deadline_ms is None else args.deadline_ms / 1e3
+        ),
+    )
+
+
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=7070, help="TCP port (0 picks a free one)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker processes in the pool"
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="evaluate in-process instead of in worker processes",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="micro-batch size trigger"
+    )
+    parser.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch latency trigger (milliseconds)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission bound; beyond it requests are rejected 'overloaded'",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=None,
+        help="default per-request deadline (none if omitted)",
+    )
+    parser.add_argument(
+        "--model-seed", type=int, default=0, help="seed of the built-in demo model"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="smaller demo model (CI budget)"
+    )
+    parser.add_argument(
+        "--model-file",
+        action="append",
+        metavar="PATH",
+        help="also serve a serialized network (repeatable)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write a final metrics snapshot here on shutdown",
+    )
+    parser.add_argument(
+        "--port-file",
+        metavar="PATH",
+        help="write the bound port here once listening (for --port 0)",
+    )
+
+
+def serve_main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description=(
+            "Serve TNN inference over newline-delimited JSON: concurrent "
+            "single-volley requests are micro-batched into compiled "
+            "evaluate_batch calls on a sharded worker pool.  Drive it "
+            "with `python -m repro loadgen`."
+        ),
+    )
+    add_serve_arguments(parser)
+    args = parser.parse_args(argv)
+    service = build_service(args)
+    try:
+        return asyncio.run(
+            run_server_async(
+                service,
+                host=args.host,
+                port=args.port,
+                metrics_out=args.metrics_out,
+                port_file=args.port_file,
+            )
+        )
+    except KeyboardInterrupt:
+        service.close(drain=False)
+        return 0

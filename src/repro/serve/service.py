@@ -1,0 +1,391 @@
+"""The inference service core: admission, batching, dispatch, retry.
+
+:class:`TNNService` is the transport-independent heart of ``repro.serve``
+— the asyncio front-end (:mod:`repro.serve.server`), the benchmarks and
+the conformance harness all drive this one object:
+
+* **admission control** — a bounded count of in-system requests
+  (queued + in flight); past ``max_pending`` new work is rejected
+  immediately with ``overloaded`` (backpressure, never unbounded
+  buffering);
+* **micro-batching** — admitted requests join per-``(model, params)``
+  open batches (:class:`~repro.serve.batcher.MicroBatcher`); a dedicated
+  flusher thread dispatches each batch when it fills or its oldest
+  request has waited ``max_wait_s``;
+* **deadlines** — a request may carry a deadline; it is enforced at
+  dispatch (expired requests are dropped from the batch and answered
+  ``deadline``) and again at completion (a result that arrives late is
+  discarded in favor of the ``deadline`` error, so a slow worker can
+  never turn into a silently-late answer);
+* **bounded retry** — when a worker dies mid-batch the whole batch is
+  re-dispatched to another worker, up to ``max_attempts`` total
+  attempts, after which every rider fails with ``worker-failure``.
+  Evaluation is pure (same volley → same spike times), so a retry can
+  never produce a different answer — the served-conformance suite
+  asserts byte-identical responses *through* injected crashes.
+
+:meth:`TNNService.submit` returns a :class:`concurrent.futures.Future`
+resolving to the decoded output ``Time`` tuple; the asyncio front-end
+awaits it via ``asyncio.wrap_future``.  :meth:`TNNService.direct` is the
+reference path (one straight ``evaluate_batch``) that served responses
+are compared against byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from concurrent.futures import Future
+from time import monotonic
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..core.value import Time
+from ..network.compile_plan import (
+    decode_matrix,
+    encode_time,
+    evaluate_batch,
+)
+from ..network.graph import NetworkError
+from ..obs import metrics as _obs_metrics
+from ..obs import profile as _obs_profile
+from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
+from .protocol import (
+    E_BAD_REQUEST,
+    E_DEADLINE,
+    E_OVERLOADED,
+    E_SHUTDOWN,
+    E_WORKER,
+    ServeError,
+    time_to_wire,
+)
+from .pool import Job
+from .registry import ModelEntry, ModelRegistry
+from .stats import SERVE_STATS
+
+
+def _params_key(params: Mapping[str, Time]) -> str:
+    """Canonical string of a parameter binding (the batch-key component)."""
+    if not params:
+        return "{}"
+    return json.dumps(
+        {name: time_to_wire(value) for name, value in sorted(params.items())},
+        separators=(",", ":"),
+    )
+
+
+class TNNService:
+    """Micro-batched, deadline-aware, retrying TNN inference service."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        pool,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        max_pending: int = 1024,
+        default_deadline_s: Optional[float] = None,
+        max_attempts: int = 2,
+    ):
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.registry = registry
+        self.pool = pool
+        self.policy = policy or BatchPolicy()
+        self.max_pending = max_pending
+        self.default_deadline_s = default_deadline_s
+        self.max_attempts = max_attempts
+
+        self._cond = threading.Condition()
+        self._batcher = MicroBatcher(self.policy)
+        self._ready: list[Batch] = []  # closed batches awaiting dispatch
+        self._pending = 0  # admitted and not yet completed
+        self._closed = False
+        self._job_ids = itertools.count(1)
+        self._req_ids = itertools.count(1)
+        SERVE_STATS.bind_gauges(
+            queue_depth=lambda: self._pending,
+            workers_alive=self.pool.alive_count,
+        )
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="serve-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # -- submission -----------------------------------------------------------
+    def submit(
+        self,
+        model: str,
+        volley: Sequence[Time],
+        *,
+        params: Optional[Mapping[str, Time]] = None,
+        deadline_s: Optional[float] = None,
+    ) -> "Future[tuple[Time, ...]]":
+        """Admit one volley; the future resolves to its output tuple.
+
+        Raises :class:`ServeError` *synchronously* for admission-time
+        rejections (overload, unknown model, malformed volley) and
+        resolves the future with a :class:`ServeError` for asynchronous
+        ones (deadline, worker failure).
+        """
+        _obs_metrics.METRICS.inc("serve.requests")
+        entry, encoded = self._validated(model, volley, params)
+        params = dict(params or {})
+        now = monotonic()
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        deadline = None if deadline_s is None else now + deadline_s
+        request = PendingRequest(
+            req_id=next(self._req_ids),
+            model_id=entry.model_id,
+            volley=tuple(volley),
+            params_key=_params_key(params),
+            params=params,
+            enqueued=now,
+            deadline=deadline,
+            encoded=encoded,
+        )
+        with self._cond:
+            if self._closed:
+                _obs_metrics.METRICS.inc("serve.rejected.shutdown")
+                raise ServeError(E_SHUTDOWN, "service is shutting down")
+            if self._pending >= self.max_pending:
+                _obs_metrics.METRICS.inc("serve.rejected.overloaded")
+                raise ServeError(
+                    E_OVERLOADED,
+                    f"queue full ({self._pending}/{self.max_pending})",
+                )
+            self._pending += 1
+            _obs_metrics.METRICS.observe_max("serve.queue.peak", self._pending)
+            full, opened = self._batcher.add(request, now)
+            if full is not None:
+                self._ready.append(full)
+            # Wake the flusher only when there is news for it: a closed
+            # batch to dispatch, or a newly opened batch whose deadline it
+            # must start tracking.  A request riding an already-open batch
+            # changes neither, and skipping the wakeup keeps the admission
+            # path out of the flusher's way under load.
+            if full is not None or opened:
+                self._cond.notify_all()
+        return request.future
+
+    def _validated(
+        self,
+        model: str,
+        volley: Sequence[Time],
+        params: Optional[Mapping[str, Time]],
+    ) -> tuple[ModelEntry, tuple]:
+        try:
+            entry = self.registry.resolve(model)
+        except ServeError:
+            _obs_metrics.METRICS.inc("serve.rejected.no_such_model")
+            raise
+        if len(volley) != entry.input_arity:
+            _obs_metrics.METRICS.inc("serve.rejected.bad_request")
+            raise ServeError(
+                E_BAD_REQUEST,
+                f"model {entry.name!r} takes {entry.input_arity} lines, "
+                f"got {len(volley)}",
+            )
+        if (params or entry.param_names) and set(params or {}) != set(
+            entry.param_names
+        ):
+            _obs_metrics.METRICS.inc("serve.rejected.bad_request")
+            raise ServeError(
+                E_BAD_REQUEST,
+                f"model {entry.name!r} params mismatch: need "
+                f"{sorted(entry.param_names)}, got {sorted(params or {})}",
+            )
+        try:
+            encoded = tuple(encode_time(value) for value in volley)
+            for value in (params or {}).values():
+                encode_time(value)
+        except (NetworkError, TypeError, ValueError) as exc:
+            _obs_metrics.METRICS.inc("serve.rejected.bad_request")
+            raise ServeError(E_BAD_REQUEST, str(exc)) from exc
+        return entry, encoded
+
+    # -- the flusher thread ---------------------------------------------------
+    def _flush_loop(self) -> None:
+        while True:
+            with self._cond:
+                now = monotonic()
+                batches = self._ready
+                self._ready = []
+                batches.extend(self._batcher.due(now))
+                if not batches:
+                    if self._closed and self._batcher.pending() == 0:
+                        return
+                    wait = self._batcher.next_due(now)
+                    self._cond.wait(timeout=wait if wait is not None else 0.25)
+                    continue
+            for batch in batches:
+                self._dispatch(batch)
+
+    def _dispatch(self, batch: Batch) -> None:
+        now = monotonic()
+        live: list[PendingRequest] = []
+        for request in batch.requests:
+            if request.expired(now):
+                self._reject_deadline(request)
+            else:
+                live.append(request)
+        if not live:
+            return
+        batch.requests = live
+        if batch.attempts == 0:
+            SERVE_STATS.observe_batch(len(live))
+        batch.attempts += 1
+        matrix = np.array(
+            [
+                request.encoded
+                if request.encoded is not None
+                else [encode_time(v) for v in request.volley]
+                for request in live
+            ],
+            dtype=np.int64,
+        )
+        params_enc = {
+            name: encode_time(value) for name, value in live[0].params.items()
+        }
+        job = Job(
+            job_id=next(self._job_ids),
+            model_id=batch.model_id,
+            matrix=matrix,
+            params_enc=params_enc,
+            on_done=lambda result, b=batch: self._on_done(b, result),
+            on_fail=lambda reason, b=batch: self._on_fail(b, reason),
+        )
+        try:
+            with _obs_profile.phase("serve.dispatch"):
+                self.pool.submit(job)
+        except ServeError as error:
+            self._on_fail(batch, error.message)
+
+    # -- completion paths -----------------------------------------------------
+    # Every admitted request releases exactly one admission slot, on
+    # exactly one of three paths: a result (_on_done), a deadline
+    # rejection (_reject_deadline), or a terminal worker failure
+    # (_on_fail after the retry budget).  A retried batch releases
+    # nothing until its final attempt resolves.
+
+    def _on_done(self, batch: Batch, result: np.ndarray) -> None:
+        now = monotonic()
+        rows = decode_matrix(result)
+        completed = 0
+        for request, row in zip(batch.requests, rows):
+            if request.expired(now):
+                self._reject_deadline(request)
+                continue
+            SERVE_STATS.observe_latency(now - request.enqueued)
+            request.future.set_result(tuple(row))
+            completed += 1
+        _obs_metrics.METRICS.inc("serve.ok", completed)
+        self._release(completed)
+
+    def _on_fail(self, batch: Batch, reason: str) -> None:
+        retry = False
+        with self._cond:
+            if batch.attempts < self.max_attempts and not self._closed:
+                self._ready.append(batch)
+                self._cond.notify_all()
+                retry = True
+        if retry:
+            _obs_metrics.METRICS.inc("serve.retries")
+            return
+        for request in batch.requests:
+            request.future.set_exception(
+                ServeError(
+                    E_WORKER,
+                    f"batch failed after {batch.attempts} attempt(s): {reason}",
+                )
+            )
+        self._release(len(batch.requests))
+
+    def _reject_deadline(self, request: PendingRequest) -> None:
+        _obs_metrics.METRICS.inc("serve.rejected.deadline")
+        request.future.set_exception(
+            ServeError(E_DEADLINE, f"request {request.req_id} missed its deadline")
+        )
+        self._release(1)
+
+    def _release(self, n: int) -> None:
+        """Release *n* admission slots (requests left the system)."""
+        if n == 0:
+            return
+        with self._cond:
+            self._pending -= n
+            self._cond.notify_all()
+
+    # -- reference path and introspection -------------------------------------
+    def direct(
+        self,
+        model: str,
+        volleys: Sequence[Sequence[Time]],
+        *,
+        params: Optional[Mapping[str, Time]] = None,
+    ) -> list[tuple[Time, ...]]:
+        """One straight ``evaluate_batch`` on the registered network.
+
+        This is the conformance oracle: a served response is correct
+        exactly when its canonical encoding is byte-identical to this
+        result's.
+        """
+        entry = self.registry.resolve(model)
+        matrix = evaluate_batch(
+            entry.network, [tuple(v) for v in volleys], params=params
+        )
+        return [tuple(row) for row in decode_matrix(matrix)]
+
+    def pending(self) -> int:
+        """Requests admitted and not yet completed (queued + in flight)."""
+        with self._cond:
+            return self._pending
+
+    def stats(self) -> dict:
+        """Live serving snapshot (see :func:`repro.serve.stats.serve_stats_snapshot`)."""
+        snapshot = SERVE_STATS.snapshot()
+        snapshot["models"] = len(self.registry)
+        snapshot["max_pending"] = self.max_pending
+        snapshot["policy"] = {
+            "max_batch": self.policy.max_batch,
+            "max_wait_ms": self.policy.max_wait_s * 1e3,
+        }
+        return snapshot
+
+    # -- lifecycle ------------------------------------------------------------
+    def register(self, network, *, name: Optional[str] = None) -> ModelEntry:
+        """Register a model and ship it to the worker pool."""
+        before = set(self.registry.ids())
+        entry = self.registry.register(network, name=name)
+        if entry.model_id not in before:
+            self.pool.add_model(entry.model_id, entry.document)
+        return entry
+
+    def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop admission, optionally drain in-flight work, stop the pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if not drain:
+                for batch in self._batcher.drain() + self._ready:
+                    for request in batch.requests:
+                        request.future.set_exception(
+                            ServeError(E_SHUTDOWN, "service closed")
+                        )
+                    self._pending -= len(batch.requests)
+                self._ready = []
+            self._cond.notify_all()
+        deadline = monotonic() + timeout
+        if drain:
+            with self._cond:
+                while self._pending > 0 and monotonic() < deadline:
+                    self._cond.wait(timeout=0.05)
+        self._flusher.join(timeout=max(0.1, deadline - monotonic()))
+        self.pool.shutdown(timeout=timeout)
+        SERVE_STATS.unbind_gauges()

@@ -1,0 +1,204 @@
+"""Serving statistics: batch-size histogram, latency quantiles, gauges.
+
+The general-purpose :class:`~repro.obs.metrics.MetricsRegistry` carries
+counters, accumulated timers and high-water marks — enough for "how many
+requests / how much time", but not for the two distribution-shaped
+questions a serving layer gets asked: *what batch sizes is the
+micro-batcher actually forming?* and *what are p50/p99 request
+latencies?*  This module adds exactly those two structures, plus the
+live gauges (queue depth, alive workers) that have no meaning as
+monotone counters.
+
+Everything funnels into the module-level :data:`SERVE_STATS`;
+:func:`serve_stats_snapshot` is what ``python -m repro stats --json``,
+the server's ``metrics`` endpoint, and the CI artifact all render.
+Counter-shaped serve events (requests, rejections, retries, restarts)
+still go to :data:`repro.obs.metrics.METRICS` under ``serve.*`` so they
+appear beside every other subsystem's counters.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Callable, Optional
+
+from ..obs import metrics as _obs_metrics
+
+#: Batch-size histogram bucket upper bounds (powers of two; last is open).
+BATCH_BUCKETS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Latency reservoir size: quantiles are computed over the most recent
+#: window of this many requests (a ring buffer, O(1) per observation).
+LATENCY_WINDOW = 8192
+
+
+class BatchHistogram:
+    """Counts of formed batches by size, in power-of-two buckets."""
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(BATCH_BUCKETS) + 1)
+        self._total_batches = 0
+        self._total_rows = 0
+
+    def observe(self, size: int) -> None:
+        for slot, bound in enumerate(BATCH_BUCKETS):
+            if size <= bound:
+                self._counts[slot] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self._total_batches += 1
+        self._total_rows += size
+
+    def snapshot(self) -> dict:
+        buckets = {
+            f"le_{bound}": count
+            for bound, count in zip(BATCH_BUCKETS, self._counts)
+            if count
+        }
+        if self._counts[-1]:
+            buckets[f"gt_{BATCH_BUCKETS[-1]}"] = self._counts[-1]
+        mean = self._total_rows / self._total_batches if self._total_batches else 0.0
+        return {
+            "batches": self._total_batches,
+            "rows": self._total_rows,
+            "mean_size": round(mean, 3),
+            "buckets": buckets,
+        }
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(BATCH_BUCKETS) + 1)
+        self._total_batches = self._total_rows = 0
+
+
+class LatencyWindow:
+    """Request latencies over a sliding window, with quantile readout."""
+
+    def __init__(self, capacity: int = LATENCY_WINDOW) -> None:
+        self._window: deque[float] = deque(maxlen=capacity)
+        self._count = 0
+        self._max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self._count += 1
+        if seconds > self._max:
+            self._max = seconds
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile (0..1) of the current window, in seconds."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self._count,
+            "window": len(self._window),
+            "p50_ms": round(self.quantile(0.50) * 1e3, 3),
+            "p90_ms": round(self.quantile(0.90) * 1e3, 3),
+            "p99_ms": round(self.quantile(0.99) * 1e3, 3),
+            "max_ms": round(self._max * 1e3, 3),
+        }
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._count = 0
+        self._max = 0.0
+
+
+class ServeStats:
+    """The one bag of serving distributions and gauges.
+
+    Thread-safe: the batcher flushes from the dispatcher thread while
+    completions land from the pool's collector thread.  Gauges are
+    *pulled* — the service registers callables so the snapshot always
+    reflects live state instead of a stale store.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.batch_sizes = BatchHistogram()
+        self.latency = LatencyWindow()
+        self._queue_depth: Optional[Callable[[], int]] = None
+        self._workers_alive: Optional[Callable[[], int]] = None
+
+    # -- writers -------------------------------------------------------------
+    def observe_batch(self, size: int) -> None:
+        with self._lock:
+            self.batch_sizes.observe(size)
+        _obs_metrics.METRICS.inc("serve.batches")
+        _obs_metrics.METRICS.inc("serve.batched_rows", size)
+
+    def observe_latency(self, seconds: float) -> None:
+        with self._lock:
+            self.latency.observe(seconds)
+
+    # -- gauges --------------------------------------------------------------
+    def bind_gauges(
+        self,
+        *,
+        queue_depth: Optional[Callable[[], int]] = None,
+        workers_alive: Optional[Callable[[], int]] = None,
+    ) -> None:
+        """Register the live-state callables the snapshot pulls from."""
+        with self._lock:
+            if queue_depth is not None:
+                self._queue_depth = queue_depth
+            if workers_alive is not None:
+                self._workers_alive = workers_alive
+
+    def unbind_gauges(self) -> None:
+        with self._lock:
+            self._queue_depth = None
+            self._workers_alive = None
+
+    # -- readers -------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            queue_cb, workers_cb = self._queue_depth, self._workers_alive
+            batch = self.batch_sizes.snapshot()
+            latency = self.latency.snapshot()
+        metrics = _obs_metrics.METRICS
+        return {
+            "queue_depth": queue_cb() if queue_cb else 0,
+            "queue_peak": metrics.maximum("serve.queue.peak"),
+            "workers_alive": workers_cb() if workers_cb else 0,
+            "batch_size": batch,
+            "latency": latency,
+            "requests": metrics.counter("serve.requests"),
+            "responses_ok": metrics.counter("serve.ok"),
+            "rejected": {
+                "overloaded": metrics.counter("serve.rejected.overloaded"),
+                "deadline": metrics.counter("serve.rejected.deadline"),
+                "bad_request": metrics.counter("serve.rejected.bad_request"),
+                "no_such_model": metrics.counter("serve.rejected.no_such_model"),
+            },
+            "worker_failures": metrics.counter("serve.worker.failures"),
+            "worker_restarts": metrics.counter("serve.worker.restarts"),
+            "retries": metrics.counter("serve.retries"),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.batch_sizes.reset()
+            self.latency.reset()
+
+
+#: The process-wide serving stats every service instance writes to.
+SERVE_STATS = ServeStats()
+
+
+def serve_stats_snapshot() -> dict:
+    """Snapshot of :data:`SERVE_STATS` (queue depth, batch histogram,
+    latency quantiles, rejection/restart counters)."""
+    return SERVE_STATS.snapshot()
+
+
+def reset_serve_stats() -> None:
+    """Reset the serving distributions (counters live in ``repro.obs``)."""
+    SERVE_STATS.reset()

@@ -15,7 +15,10 @@ claim into a continuously exercised gate:
 * :mod:`repro.testing.faults` — injectable mutants (spike jitter,
   dropped lines, structural edits, plan reordering) the diff must catch;
 * :mod:`repro.testing.shrink` — greedy reduction of any disagreement to
-  a minimal (network, volley) reproducer plus an emitted pytest module.
+  a minimal (network, volley) reproducer plus an emitted pytest module;
+* :mod:`repro.testing.served` — served-vs-direct byte-identity checks
+  for the :mod:`repro.serve` stack (the serving layer as a fifth
+  semantics).
 
 CLI: ``python -m repro conformance --seed N --count K [--smoke]``.
 """
@@ -45,6 +48,7 @@ from .generators import (
     generate_case,
     random_layered_network,
 )
+from .served import ServedMismatch, ServedReport, check_served
 from .oracles import (
     BackendOracle,
     BackendRun,
@@ -85,7 +89,10 @@ __all__ = [
     "InterpretedOracle",
     "Mismatch",
     "PlanReorderOracle",
+    "ServedMismatch",
+    "ServedReport",
     "adversarial_volleys",
+    "check_served",
     "default_oracles",
     "diff_backends",
     "drop_lines",

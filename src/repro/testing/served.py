@@ -1,0 +1,143 @@
+"""Served-vs-direct conformance: the serving layer as a fifth semantics.
+
+The serving stack (batcher → pool → service) re-routes every volley
+through admission control, micro-batch coalescing, IPC to a worker
+process, and possibly a crash-retry — none of which may change a single
+byte of the answer.  This module states that contract the same way the
+backend-oracle registry states cross-backend agreement: run the same
+volleys through both paths and diff the **canonical response
+encodings**.
+
+* the *served* path: one :meth:`~repro.serve.service.TNNService.submit`
+  per volley, exactly like independent network clients;
+* the *direct* path: one straight
+  :func:`~repro.network.compile_plan.evaluate_batch` over the same
+  volleys on the registered network.
+
+A response is conformant when ``canonical(ok_response(i, served_row))``
+equals ``canonical(ok_response(i, direct_row))`` byte for byte.
+Rejections (``deadline``, ``overloaded``) are *not* mismatches — they
+are the service's documented failure model — but they are tallied so a
+test can assert they only occur when injected.  The suite drives this
+harness through worker-crash fault injection
+(:meth:`~repro.serve.pool.ProcessWorkerPool.inject_crash`) to prove
+retries preserve byte-identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from ..core.value import Time
+from ..serve.protocol import ServeError, canonical, ok_response
+
+
+@dataclass
+class ServedMismatch:
+    """One served response that differed from the direct evaluation."""
+
+    index: int
+    volley: tuple
+    served_line: Optional[str]
+    direct_line: str
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return f"volley #{self.index} {self.volley}: {self.error}"
+        return (
+            f"volley #{self.index} {self.volley}: served {self.served_line} "
+            f"!= direct {self.direct_line}"
+        )
+
+
+@dataclass
+class ServedReport:
+    """Outcome of one served-vs-direct sweep."""
+
+    total: int
+    ok: int = 0
+    mismatches: list[ServedMismatch] = field(default_factory=list)
+    rejected: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def byte_identical(self) -> bool:
+        """True when every *answered* request matched byte-for-byte."""
+        return not self.mismatches
+
+    def summary(self) -> str:
+        rejected = ", ".join(
+            f"{code}: {count}" for code, count in sorted(self.rejected.items())
+        )
+        lines = [
+            f"served-vs-direct: {self.ok}/{self.total} byte-identical"
+            + (f" ({rejected})" if rejected else ""),
+        ]
+        for mismatch in self.mismatches[:5]:
+            lines.append(f"  MISMATCH {mismatch.describe()}")
+        if self.mismatches:
+            lines.append("verdict: FAIL")
+        else:
+            lines.append("verdict: OK")
+        return "\n".join(lines)
+
+
+def check_served(
+    service,
+    model: str,
+    volleys: Sequence[Sequence[Time]],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+    deadline_s: Optional[float] = None,
+    timeout_s: float = 30.0,
+) -> ServedReport:
+    """Submit every volley individually and diff against the direct path.
+
+    All requests are submitted up front (so the micro-batcher actually
+    coalesces them, exercising the split/merge path) and then awaited;
+    the direct reference is computed with one ``evaluate_batch`` call.
+    """
+    volleys = [tuple(v) for v in volleys]
+    direct = service.direct(model, volleys, params=params)
+    report = ServedReport(total=len(volleys))
+
+    futures = []
+    for volley in volleys:
+        try:
+            futures.append(
+                service.submit(
+                    model, volley, params=params, deadline_s=deadline_s
+                )
+            )
+        except ServeError as error:
+            futures.append(error)
+
+    for index, (volley, row, outcome) in enumerate(zip(volleys, direct, futures)):
+        direct_line = canonical(ok_response(index, row))
+        if isinstance(outcome, ServeError):
+            error: Optional[ServeError] = outcome
+            served_row = None
+        else:
+            try:
+                served_row = outcome.result(timeout=timeout_s)
+                error = None
+            except ServeError as exc:
+                served_row = None
+                error = exc
+        if error is not None:
+            report.rejected[error.code] = report.rejected.get(error.code, 0) + 1
+            continue
+        served_line = canonical(ok_response(index, served_row))
+        if served_line == direct_line:
+            report.ok += 1
+        else:
+            report.mismatches.append(
+                ServedMismatch(
+                    index=index,
+                    volley=volley,
+                    served_line=served_line,
+                    direct_line=direct_line,
+                )
+            )
+    return report

@@ -127,6 +127,61 @@ class TestValidationOnLoad:
             )
 
 
+class TestFingerprint:
+    """Round-trips must preserve ``Network.fingerprint()`` bit-for-bit.
+
+    The serving model registry keys on the fingerprint and worker
+    processes verify it after rebuilding from the shipped document — a
+    drift here would make every served model unloadable.
+    """
+
+    def test_dict_embeds_fingerprint(self):
+        net = gated_network()
+        assert network_to_dict(net)["fingerprint"] == net.fingerprint()
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_roundtrip_preserves_fingerprint_across_families(self, seed):
+        from repro.testing.generators import generate_case
+
+        net = generate_case(seed, smoke=True).network
+        assert loads(dumps(net)).fingerprint() == net.fingerprint()
+
+    def test_double_roundtrip_is_stable(self):
+        net = synthesize(FIG7_TABLE)
+        once = loads(dumps(net))
+        twice = loads(dumps(once))
+        assert (
+            net.fingerprint() == once.fingerprint() == twice.fingerprint()
+        )
+
+    def test_compact_and_indented_agree(self):
+        net = gated_network()
+        assert (
+            loads(dumps(net, indent=None)).fingerprint()
+            == loads(dumps(net)).fingerprint()
+        )
+
+    def test_tampered_document_rejected(self):
+        data = network_to_dict(gated_network())
+        for entry in data["nodes"]:
+            if entry["kind"] == "inc":
+                entry["amount"] += 1
+                break
+        with pytest.raises(NetworkError, match="fingerprint mismatch"):
+            network_from_dict(data)
+
+    def test_tampered_output_name_rejected(self):
+        data = network_to_dict(gated_network())
+        data["outputs"] = {"renamed": next(iter(data["outputs"].values()))}
+        with pytest.raises(NetworkError, match="fingerprint mismatch"):
+            network_from_dict(data)
+
+    def test_document_without_fingerprint_still_loads(self):
+        data = network_to_dict(gated_network())
+        del data["fingerprint"]
+        assert network_from_dict(data).fingerprint() == gated_network().fingerprint()
+
+
 class TestDictForm:
     def test_ids_are_implicit(self):
         data = network_to_dict(gated_network())

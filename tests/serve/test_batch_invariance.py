@@ -1,0 +1,75 @@
+"""Hypothesis property: ``evaluate_batch`` is split/merge-invariant.
+
+The micro-batcher's correctness rests on one algebraic property of the
+compiled engine: evaluating a concatenation of volleys equals
+concatenating the evaluations of any partition of them.  If that ever
+broke, coalesced requests could receive answers that differ from the
+per-request path — the exact failure the serving conformance contract
+forbids.  This pins the property directly, independent of any service
+machinery.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.value import INF
+from repro.network.compile_plan import decode_matrix, evaluate_batch
+from repro.serve.demo import demo_column
+from repro.testing.generators import generate_case
+
+NETWORK, _VOLLEY = demo_column(0, smoke=True)
+ARITY = len(NETWORK.input_ids)
+
+times = st.one_of(st.integers(min_value=0, max_value=50), st.just(INF))
+volleys_strategy = st.lists(
+    st.tuples(*([times] * ARITY)), min_size=1, max_size=24
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(volleys=volleys_strategy, data=st.data())
+def test_split_merge_invariance(volleys, data):
+    """One big batch == any two-way split == per-volley evaluation."""
+    whole = evaluate_batch(NETWORK, volleys)
+
+    # Per-volley: the degenerate split the batcher's policy max_batch=1 uses.
+    singles = np.vstack([evaluate_batch(NETWORK, [v]) for v in volleys])
+    np.testing.assert_array_equal(whole, singles)
+
+    # Arbitrary two-way split: what the micro-batcher actually does when
+    # a stream of requests lands across two batch windows.
+    cut = data.draw(st.integers(min_value=0, max_value=len(volleys)))
+    left, right = volleys[:cut], volleys[cut:]
+    parts = [evaluate_batch(NETWORK, part) for part in (left, right) if part]
+    np.testing.assert_array_equal(whole, np.vstack(parts))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    volleys=volleys_strategy,
+    permutation_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_row_order_equivariance(volleys, permutation_seed):
+    """Shuffling batch rows shuffles results identically (no cross-talk)."""
+    rng = np.random.default_rng(permutation_seed)
+    order = rng.permutation(len(volleys))
+    whole = evaluate_batch(NETWORK, volleys)
+    shuffled = evaluate_batch(NETWORK, [volleys[i] for i in order])
+    np.testing.assert_array_equal(whole[order], shuffled)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=31))
+def test_invariance_across_generator_families(seed):
+    """The property holds on generator-family networks, not just the demo."""
+    case = generate_case(seed, smoke=True)
+    volleys = list(case.volleys)
+    params = case.params or None
+    whole = evaluate_batch(case.network, volleys, params=params)
+    singles = np.vstack(
+        [evaluate_batch(case.network, [v], params=params) for v in volleys]
+    )
+    np.testing.assert_array_equal(whole, singles)
+    # Decoded rows survive the same split (what the service hands back).
+    assert decode_matrix(whole) == decode_matrix(singles)

@@ -1,0 +1,91 @@
+"""Tests for the conformance-checking load generator against a live server."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.batcher import BatchPolicy
+from repro.serve.demo import demo_column
+from repro.serve.loadgen import LoadgenError, run_loadgen
+from repro.serve.pool import InlineWorkerPool
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import run_server_async
+from repro.serve.service import TNNService
+
+
+def make_service(model_seed=0):
+    registry = ModelRegistry()
+    registry.register(demo_column(model_seed, smoke=True)[0], name="demo")
+    return TNNService(
+        registry,
+        InlineWorkerPool(registry.documents()),
+        policy=BatchPolicy(max_batch=16, max_wait_s=0.001),
+    )
+
+
+def drive(server_seed=0, **loadgen_kwargs):
+    """One server + one loadgen run inside a single event loop."""
+
+    async def shutdown_server(port):
+        r, w = await asyncio.open_connection("127.0.0.1", port)
+        w.write(b'{"op":"shutdown"}\n')
+        await w.drain()
+        await r.readline()
+        w.close()
+
+    async def main():
+        service = make_service(model_seed=server_seed)
+        ready = asyncio.get_running_loop().create_future()
+        server_task = asyncio.ensure_future(
+            run_server_async(service, port=0, ready=ready)
+        )
+        port = await ready
+        loadgen_kwargs.setdefault("shutdown", True)
+        try:
+            report = await run_loadgen(port=port, smoke=True, **loadgen_kwargs)
+        except BaseException:
+            # Make sure the server exits even when the loadgen fails.
+            await shutdown_server(port)
+            raise
+        finally:
+            await asyncio.wait_for(server_task, timeout=20)
+        return report
+
+    return asyncio.run(main())
+
+
+class TestConformanceRun:
+    def test_all_responses_byte_identical(self):
+        report = drive(requests=80, concurrency=8)
+        assert report["ok"] == 80
+        assert report["mismatches"] == 0
+        assert report["failed"] == 0
+        assert report["checked"] is True
+        assert report["qps"] > 0
+
+    def test_seeded_stream_is_deterministic(self):
+        a = drive(requests=30, concurrency=4, seed=7)
+        b = drive(requests=30, concurrency=4, seed=7)
+        assert a["ok"] == b["ok"] == 30
+        assert a["mismatches"] == b["mismatches"] == 0
+
+    def test_no_check_mode(self):
+        report = drive(requests=20, concurrency=2, check=False)
+        assert report["checked"] is False
+        assert report["ok"] == 20
+
+    def test_metrics_out_artifact(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        report = drive(requests=20, concurrency=2, metrics_out=str(out))
+        assert report["ok"] == 20
+        payload = json.loads(out.read_text())
+        assert payload["ok"] and "serve" in payload
+
+
+class TestFingerprintHandshake:
+    def test_model_seed_mismatch_detected(self):
+        # Server runs the seed-0 demo; the client rebuilds seed 3: the
+        # handshake must refuse rather than report bogus mismatches.
+        with pytest.raises(LoadgenError, match="fingerprint"):
+            drive(server_seed=0, requests=5, concurrency=1, model_seed=3)

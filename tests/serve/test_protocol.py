@@ -1,0 +1,134 @@
+"""Tests for the serve wire protocol: ∞ <-> null, canonical rendering."""
+
+import json
+
+import pytest
+
+from repro.core.value import INF
+from repro.network.compile_plan import MAX_FINITE
+from repro.serve.protocol import (
+    ERROR_CODES,
+    OPS,
+    ProtocolError,
+    ServeError,
+    canonical,
+    encode_line,
+    error_response,
+    eval_request,
+    ok_response,
+    params_from_wire,
+    params_to_wire,
+    parse_request,
+    time_from_wire,
+    time_to_wire,
+    volley_from_wire,
+    volley_to_wire,
+)
+
+
+class TestTimeEncoding:
+    def test_infinity_is_null(self):
+        assert time_to_wire(INF) is None
+        assert time_from_wire(None) is INF
+
+    def test_finite_roundtrip(self):
+        for value in (0, 1, 7, MAX_FINITE):
+            assert time_from_wire(time_to_wire(value)) == value
+
+    def test_volley_roundtrip(self):
+        volley = (3, INF, 0)
+        assert volley_to_wire(volley) == [3, None, 0]
+        assert volley_from_wire([3, None, 0]) == volley
+
+    def test_params_roundtrip(self):
+        params = {"mu": INF, "nu": 0}
+        assert params_to_wire(params) == {"mu": None, "nu": 0}
+        assert params_from_wire({"mu": None, "nu": 0}) == params
+        assert params_from_wire(None) == {}
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, "3", True, MAX_FINITE + 1, []])
+    def test_invalid_times_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            time_from_wire(bad)
+
+    def test_volley_must_be_array(self):
+        with pytest.raises(ProtocolError, match="array"):
+            volley_from_wire({"x": 1})
+
+    def test_params_must_be_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            params_from_wire([1, 2])
+
+
+class TestCanonical:
+    def test_sorted_compact(self):
+        assert canonical({"b": 1, "a": [None, 2]}) == '{"a":[null,2],"b":1}'
+
+    def test_key_order_irrelevant(self):
+        assert canonical({"x": 1, "y": 2}) == canonical({"y": 2, "x": 1})
+
+    def test_encode_line_framing(self):
+        line = encode_line({"op": "health"})
+        assert line.endswith(b"\n")
+        assert json.loads(line) == {"op": "health"}
+
+    def test_ok_response_is_deterministic(self):
+        a = canonical(ok_response(4, (1, INF)))
+        b = canonical(ok_response(4, (1, INF)))
+        assert a == b == '{"id":4,"ok":true,"outputs":[1,null]}'
+
+
+class TestMessages:
+    def test_eval_request_shape(self):
+        message = eval_request(9, "demo", (1, INF), deadline_ms=50)
+        assert message["op"] == "eval"
+        assert message["volley"] == [1, None]
+        assert message["deadline_ms"] == 50
+        assert "params" not in message
+
+    def test_error_response_code_checked(self):
+        response = error_response(1, "overloaded", "queue full")
+        assert response["ok"] is False
+        with pytest.raises(ValueError, match="unknown serve error code"):
+            error_response(1, "nope", "x")
+
+    def test_serve_error_code_checked(self):
+        error = ServeError("deadline", "late")
+        assert error.code == "deadline"
+        with pytest.raises(ValueError, match="unknown serve error code"):
+            ServeError("weird", "x")
+
+    def test_all_error_codes_constructible(self):
+        for code in ERROR_CODES:
+            assert error_response(None, code, "m")["code"] == code
+
+
+class TestParseRequest:
+    def test_eval_parsed_times(self):
+        line = encode_line(eval_request(3, "demo", (2, INF)))
+        message = parse_request(line)
+        assert message["volley_times"] == (2, INF)
+        assert message["params_times"] == {}
+
+    def test_all_ops_accepted(self):
+        for op in OPS:
+            if op == "eval":
+                continue
+            assert parse_request(json.dumps({"op": op}))["op"] == op
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "{not json",
+            '"just a string"',
+            '{"op": "mystery"}',
+            '{"op": "eval", "model": "m", "volley": [1]}',  # no id
+            '{"op": "eval", "id": 1, "volley": [1]}',  # no model
+            '{"op": "eval", "id": 1, "model": "m", "volley": [-2]}',
+            '{"op": "eval", "id": 1, "model": "m", "volley": [1], "deadline_ms": -5}',
+            '{"op": "eval", "id": 1, "model": "m", "volley": [1], "deadline_ms": true}',
+        ],
+    )
+    def test_malformed_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            parse_request(raw)

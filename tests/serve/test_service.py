@@ -1,0 +1,326 @@
+"""Tests for the service core: admission, batching, deadlines, retry."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.value import INF
+from repro.network.compile_plan import evaluate_batch
+from repro.serve.batcher import BatchPolicy
+from repro.serve.demo import demo_column, demo_volleys
+from repro.serve.pool import InlineWorkerPool
+from repro.serve.protocol import ServeError
+from repro.serve.registry import ModelRegistry
+from repro.serve.service import TNNService, _params_key
+
+
+@pytest.fixture()
+def registry():
+    reg = ModelRegistry()
+    reg.register(demo_column(0, smoke=True)[0], name="demo")
+    return reg
+
+
+def make_service(registry, **kwargs):
+    kwargs.setdefault("policy", BatchPolicy(max_batch=8, max_wait_s=0.002))
+    return TNNService(registry, InlineWorkerPool(registry.documents()), **kwargs)
+
+
+class HoldingPool:
+    """A pool stub that parks jobs until the test releases them."""
+
+    def __init__(self):
+        self.jobs = []
+        self.lock = threading.Lock()
+
+    def alive_count(self):
+        return 1
+
+    def submit(self, job):
+        with self.lock:
+            self.jobs.append(job)
+
+    def wait_for(self, n, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self.lock:
+                if len(self.jobs) >= n:
+                    return
+            time.sleep(0.005)
+        raise AssertionError(f"pool never saw {n} job(s)")
+
+    def release_all(self, registry):
+        with self.lock:
+            jobs, self.jobs = self.jobs, []
+        for job in jobs:
+            entry = registry.resolve(job.model_id)
+            job.on_done(evaluate_batch(entry.network, job.matrix))
+
+    def add_model(self, model_id, document):
+        pass
+
+    def shutdown(self, timeout=10.0):
+        pass
+
+
+class FlakyPool(InlineWorkerPool):
+    """Fails the first *n* submits (as a dead worker would), then recovers."""
+
+    def __init__(self, documents, fail_first=1):
+        super().__init__(documents)
+        self.failures_left = fail_first
+        self.attempts = 0
+
+    def submit(self, job):
+        self.attempts += 1
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise ServeError("worker-failure", "synthetic crash")
+        super().submit(job)
+
+
+class TestHappyPath:
+    def test_served_equals_direct(self, registry):
+        service = make_service(registry)
+        try:
+            network = registry.resolve("demo").network
+            volleys = demo_volleys(len(network.input_ids), 24, seed=1)
+            futures = [service.submit("demo", v) for v in volleys]
+            results = [f.result(timeout=10) for f in futures]
+            assert results == service.direct("demo", volleys)
+        finally:
+            service.close()
+
+    def test_resolves_by_fingerprint_prefix(self, registry):
+        service = make_service(registry)
+        try:
+            model_id = registry.resolve("demo").model_id
+            future = service.submit(model_id[:12], (0, 1))
+            assert future.result(timeout=10) == service.direct("demo", [(0, 1)])[0]
+        finally:
+            service.close()
+
+    def test_pending_drains_to_zero(self, registry):
+        service = make_service(registry)
+        try:
+            futures = [service.submit("demo", (i, 0)) for i in range(10)]
+            for f in futures:
+                f.result(timeout=10)
+            for _ in range(100):
+                if service.pending() == 0:
+                    break
+                time.sleep(0.01)
+            assert service.pending() == 0
+        finally:
+            service.close()
+
+
+class TestValidation:
+    def test_unknown_model(self, registry):
+        service = make_service(registry)
+        try:
+            with pytest.raises(ServeError) as err:
+                service.submit("nope", (0, 1))
+            assert err.value.code == "no-such-model"
+        finally:
+            service.close()
+
+    def test_wrong_arity(self, registry):
+        service = make_service(registry)
+        try:
+            with pytest.raises(ServeError) as err:
+                service.submit("demo", (0, 1, 2))
+            assert err.value.code == "bad-request"
+        finally:
+            service.close()
+
+    def test_unexpected_params(self, registry):
+        service = make_service(registry)
+        try:
+            with pytest.raises(ServeError) as err:
+                service.submit("demo", (0, 1), params={"mu": INF})
+            assert err.value.code == "bad-request"
+        finally:
+            service.close()
+
+    def test_negative_time(self, registry):
+        service = make_service(registry)
+        try:
+            with pytest.raises(ServeError) as err:
+                service.submit("demo", (-1, 1))
+            assert err.value.code == "bad-request"
+        finally:
+            service.close()
+
+
+class TestBackpressure:
+    def test_overload_rejected_synchronously(self, registry):
+        pool = HoldingPool()
+        service = TNNService(
+            registry,
+            pool,
+            policy=BatchPolicy(max_batch=1, max_wait_s=0),
+            max_pending=2,
+        )
+        try:
+            f1 = service.submit("demo", (0, 1))
+            f2 = service.submit("demo", (1, 2))
+            with pytest.raises(ServeError) as err:
+                service.submit("demo", (2, 3))
+            assert err.value.code == "overloaded"
+            pool.wait_for(2)
+            pool.release_all(registry)
+            direct = service.direct("demo", [(0, 1), (1, 2)])
+            assert [f1.result(10), f2.result(10)] == direct
+        finally:
+            service.close()
+
+    def test_slots_recycle_after_completion(self, registry):
+        service = make_service(registry, max_pending=4)
+        try:
+            for round_ in range(3):
+                futures = [service.submit("demo", (i, round_)) for i in range(4)]
+                for f in futures:
+                    f.result(timeout=10)
+                for _ in range(100):
+                    if service.pending() == 0:
+                        break
+                    time.sleep(0.01)
+        finally:
+            service.close()
+
+
+class TestDeadlines:
+    def test_expired_at_dispatch_is_rejected(self, registry):
+        service = TNNService(
+            registry,
+            InlineWorkerPool(registry.documents()),
+            policy=BatchPolicy(max_batch=64, max_wait_s=0.1),
+        )
+        try:
+            future = service.submit("demo", (0, 1), deadline_s=0.01)
+            with pytest.raises(ServeError) as err:
+                future.result(timeout=10)
+            assert err.value.code == "deadline"
+            for _ in range(100):
+                if service.pending() == 0:
+                    break
+                time.sleep(0.01)
+            assert service.pending() == 0
+        finally:
+            service.close()
+
+    def test_generous_deadline_still_answers(self, registry):
+        service = make_service(registry, default_deadline_s=30.0)
+        try:
+            future = service.submit("demo", (2, 2))
+            assert future.result(timeout=10) == service.direct("demo", [(2, 2)])[0]
+        finally:
+            service.close()
+
+
+class TestRetry:
+    def test_worker_failure_is_retried_transparently(self, registry):
+        pool = FlakyPool(registry.documents(), fail_first=1)
+        service = TNNService(
+            registry,
+            pool,
+            policy=BatchPolicy(max_batch=4, max_wait_s=0.001),
+            max_attempts=2,
+        )
+        try:
+            volleys = [(0, 1), (2, 3), (1, 1)]
+            futures = [service.submit("demo", v) for v in volleys]
+            results = [f.result(timeout=10) for f in futures]
+            assert results == service.direct("demo", volleys)
+            assert pool.attempts >= 2  # first failed, second succeeded
+        finally:
+            service.close()
+
+    def test_retry_budget_is_bounded(self, registry):
+        pool = FlakyPool(registry.documents(), fail_first=100)
+        service = TNNService(
+            registry,
+            pool,
+            policy=BatchPolicy(max_batch=4, max_wait_s=0.001),
+            max_attempts=2,
+        )
+        try:
+            future = service.submit("demo", (0, 1))
+            with pytest.raises(ServeError) as err:
+                future.result(timeout=10)
+            assert err.value.code == "worker-failure"
+            assert pool.attempts == 2
+            for _ in range(100):
+                if service.pending() == 0:
+                    break
+                time.sleep(0.01)
+            assert service.pending() == 0
+        finally:
+            service.close()
+
+
+class TestLifecycle:
+    def test_submit_after_close_rejected(self, registry):
+        service = make_service(registry)
+        service.close()
+        with pytest.raises(ServeError) as err:
+            service.submit("demo", (0, 1))
+        assert err.value.code == "shutting-down"
+
+    def test_close_without_drain_fails_queued_work(self, registry):
+        pool = HoldingPool()
+        service = TNNService(
+            registry,
+            pool,
+            policy=BatchPolicy(max_batch=64, max_wait_s=5.0),
+        )
+        future = service.submit("demo", (0, 1))
+        service.close(drain=False, timeout=2.0)
+        with pytest.raises(ServeError) as err:
+            future.result(timeout=5)
+        assert err.value.code == "shutting-down"
+        assert service.pending() == 0
+
+    def test_close_is_idempotent(self, registry):
+        service = make_service(registry)
+        service.close()
+        service.close()
+
+    def test_register_ships_to_pool(self, registry):
+        service = make_service(registry)
+        try:
+            network, _ = demo_column(9, smoke=True)
+            entry = service.register(network, name="nine")
+            future = service.submit("nine", (0, 1))
+            assert (
+                future.result(timeout=10)
+                == service.direct(entry.model_id, [(0, 1)])[0]
+            )
+        finally:
+            service.close()
+
+
+class TestStats:
+    def test_stats_shape(self, registry):
+        service = make_service(registry)
+        try:
+            futures = [service.submit("demo", (i, 0)) for i in range(6)]
+            for f in futures:
+                f.result(timeout=10)
+            stats = service.stats()
+            assert stats["models"] == 1
+            assert stats["policy"]["max_batch"] == 8
+            assert stats["batch_size"]["rows"] >= 6
+            assert set(stats["latency"]) >= {"p50_ms", "p90_ms", "p99_ms"}
+            assert stats["workers_alive"] == 1
+        finally:
+            service.close()
+
+
+class TestParamsKey:
+    def test_canonical_and_order_free(self):
+        assert _params_key({"b": INF, "a": 0}) == _params_key({"a": 0, "b": INF})
+        assert _params_key({"mu": INF}) == '{"mu":null}'
+        assert _params_key({}) == "{}"

@@ -31,6 +31,8 @@ class TestCli:
         assert "conformance" in out
         assert "trace" in out
         assert "stats" in out
+        assert "serve" in out
+        assert "loadgen" in out
 
     def test_conformance_smoke(self, capsys):
         code = main(
@@ -94,6 +96,54 @@ class TestCli:
         assert payload["metrics"]["counters"]["evaluate_batch.calls"] >= 1
         for key in ("hits_identity", "hits_structural", "misses"):
             assert key in payload["plan_cache"]
+
+    def test_stats_json_includes_serve_section(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        serve = json.loads(capsys.readouterr().out)["serve"]
+        assert "queue_depth" in serve
+        assert "batch_size" in serve and "buckets" in serve["batch_size"]
+        for key in ("p50_ms", "p90_ms", "p99_ms"):
+            assert key in serve["latency"]
+        assert "rejected" in serve and "worker_restarts" in serve
+
+    def test_stats_json_serve_reflects_traffic(self, capsys):
+        from repro.serve import (
+            BatchPolicy,
+            InlineWorkerPool,
+            ModelRegistry,
+            TNNService,
+        )
+        from repro.serve.demo import demo_column
+
+        registry = ModelRegistry()
+        registry.register(demo_column(0, smoke=True)[0], name="demo")
+        service = TNNService(
+            registry,
+            InlineWorkerPool(registry.documents()),
+            policy=BatchPolicy(max_batch=4, max_wait_s=0.001),
+        )
+        try:
+            futures = [service.submit("demo", (i, 0)) for i in range(8)]
+            for f in futures:
+                f.result(timeout=10)
+        finally:
+            service.close()
+        assert main(["stats", "--json"]) == 0
+        serve = json.loads(capsys.readouterr().out)["serve"]
+        assert serve["batch_size"]["rows"] >= 8
+        assert serve["latency"]["count"] >= 8
+
+    def test_serve_and_loadgen_help(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--help"])
+        assert exit_info.value.code == 0
+        assert "micro-batched" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as exit_info:
+            main(["loadgen", "--help"])
+        assert exit_info.value.code == 0
+        assert "byte-check" in capsys.readouterr().out
 
     def test_conformance_flags(self, capsys):
         code = main(
