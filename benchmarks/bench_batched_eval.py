@@ -173,6 +173,17 @@ def report(*, smoke=False, artifact_path=ARTIFACT) -> str:
                     f"  WARNING: speedup {top['speedup_vs_per_volley']:.1f}x "
                     "below the 10x acceptance bar"
                 )
+            # Scaling must be monotone-or-flat: the blocked run loop keeps
+            # working arrays cache-resident, so growing the batch may not
+            # pay past the block size but must never fall off a cliff (the
+            # pre-blocking engine dropped to ~40% of its B=64 throughput
+            # at B=1024).  0.75 absorbs scheduler noise on shared runners.
+            vps = [row["batched_vps"] for row in entry["results"]]
+            assert vps[-1] >= 0.75 * max(vps), (
+                f"{name}: batched throughput fell off a cliff at "
+                f"B={entry['results'][-1]['batch']} "
+                f"({vps[-1]:.0f} v/s vs peak {max(vps):.0f} v/s)"
+            )
     lines.append(f"\nartifact: {artifact_path}")
     lines.append(
         "\nshape: one fused instruction stream amortized over the batch; "

@@ -158,6 +158,7 @@ def _run_config(
 
     ordered = sorted(latencies)
     return {
+        "engine": stats.get("engine"),
         "max_batch": max_batch,
         "workers": workers,
         "requests": requests,
@@ -207,6 +208,7 @@ def run(*, smoke: bool = False, requests: int | None = None) -> dict:
     return {
         "benchmark": "bench_serving",
         "smoke": smoke,
+        "engine": cells[0].get("engine") if cells else None,
         "model": network.name,
         "nodes": len(network.nodes),
         "concurrency": concurrency,
@@ -224,7 +226,8 @@ def report(*, smoke: bool = False, artifact_path=ARTIFACT) -> tuple[str, bool]:
     ok = True
     lines = [
         f"Serving throughput — {data['concurrency']} requests in flight "
-        f"(windowed open loop), {data['model']} ({data['nodes']} nodes)",
+        f"(windowed open loop), {data['model']} ({data['nodes']} nodes), "
+        f"{data['engine']} engine",
         f"{'batch':>6} {'workers':>8} {'req/s':>9} {'p50':>9} {'p99':>9} "
         f"{'mean-B':>7} {'wrong':>6}",
     ]

@@ -126,7 +126,7 @@ def _conformance(argv: list[str]) -> int:
         description=(
             "Differential conformance sweep: run seeded random networks "
             "through every evaluation backend (interpreted, compiled "
-            "batch, event-driven, GRL circuit), diff their outputs over "
+            "batch, event-driven, GRL circuit, native arena), diff their outputs over "
             "adversarial volleys, shrink any disagreement to a minimal "
             "reproducer, and self-check the harness by injecting faults "
             "that must be caught."
@@ -412,7 +412,13 @@ def _stats(argv: list[str]) -> int:
             info = plan_cache_info()
             print("plan cache:")
             for key in sorted(info):
-                print(f"  {key:<20} {info[key]}")
+                value = info[key]
+                if isinstance(value, dict):  # the nested native-cache record
+                    print(f"  {key}:")
+                    for sub in sorted(value):
+                        print(f"    {sub:<20} {value[sub]}")
+                else:
+                    print(f"  {key:<20} {value}")
     if args.reset:
         reset_metrics()
         print("metrics reset")

@@ -1,0 +1,33 @@
+"""Native-speed backend: fused arena kernels with optional Numba JIT.
+
+The fifth execution backend.  :func:`compile_native` lowers an
+optimized :class:`~repro.ir.program.Program` to a :class:`NativePlan`
+of fused, gather-based level kernels over preallocated int64 arenas;
+:func:`evaluate_batch_native` is the drop-in batched entry point.
+``REPRO_NATIVE=numpy|numba`` (default ``auto``) selects the execution
+strategy per run.  See DESIGN.md §11.
+"""
+
+from .jit import NUMBA_AVAILABLE
+from .plan import (
+    NATIVE_MODES,
+    NativePlan,
+    clear_native_plan_cache,
+    compile_native,
+    evaluate_batch_native,
+    native_mode,
+    native_plan_cache_info,
+    set_native_plan_cache_limit,
+)
+
+__all__ = [
+    "NATIVE_MODES",
+    "NUMBA_AVAILABLE",
+    "NativePlan",
+    "clear_native_plan_cache",
+    "compile_native",
+    "evaluate_batch_native",
+    "native_mode",
+    "native_plan_cache_info",
+    "set_native_plan_cache_limit",
+]

@@ -1,0 +1,644 @@
+"""Native-speed lowering: fused level-kernels over preallocated arenas.
+
+The compiled int64 engine (:mod:`repro.network.compile_plan`) already
+fuses whole levels into vector instructions, but each run still pays
+per-group Python dispatch, per-run output allocation, and a
+batch-major ``(B, n_nodes)`` layout whose gathers stride across rows.
+This module lowers the *same* optimized :class:`~repro.ir.program.
+Program` one step further, to a :class:`NativePlan`:
+
+* **node-major arenas** — values live in a persistent ``(n_cols, B)``
+  int64 arena whose columns are *permuted* so inputs, params, and every
+  fused instruction group occupy contiguous row ranges.  The input
+  scatter is one transposed copy, every kernel writes one contiguous
+  slice, and constant rows (the lattice identities ``∞`` and ``0``) are
+  filled once at arena allocation and never touched again;
+* **fused megaops** — per scheduled level, one gather-based kernel per
+  op class: saturating ``inc`` (``take`` + clamp + add), segment
+  ``min``/``max`` reductions (uniform arity via a rectangular
+  reshape-reduce, ragged arity via ``np.minimum.reduceat``), and
+  batched ``lt`` latches (compare + masked copy).  No per-node Python
+  dispatch survives lowering — the kernel list length is the *group*
+  count, not the node count;
+* **preallocated scratch** — gather buffers and the ``lt`` mask are
+  allocated once per batch size and recycled through a thread-safe
+  free-list, so steady-state runs allocate only their output matrix.
+
+When Numba is importable the same plan executes through the
+row-parallel scalar interpreter of :mod:`repro.native.jit` — one
+``@njit(parallel=True)`` function shared by all plans, ``prange`` over
+the batch dimension.  Mode selection is automatic (Numba when
+available) and overridable per run with ``REPRO_NATIVE=numpy|numba``;
+requesting ``numba`` without Numba installed falls back to the fused
+NumPy path (counted in ``native.fallbacks``).
+
+Plans are cached exactly like compiled plans: a weak identity memo in
+front of a bounded fingerprint-keyed LRU
+(:func:`compile_native` / :func:`native_plan_cache_info`), with hit,
+miss and eviction counts under ``native_plan_cache.*``.
+
+Tracing is *post-hoc*: the native engine computes every node's fire
+time, and the canonical spike trace is a pure function of fire times
+(:func:`repro.obs.trace.emit_events`), so a trace emitted after the run
+is byte-identical to the level-by-level traces of the other backends.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.value import Time
+from ..ir.program import CONST_IDENTITY, Program, ProgramLike, classify, ensure_program
+from ..network.compile_plan import (
+    INF_I64,
+    VolleyLike,
+    _encode_params,
+    encode_volleys,
+)
+from ..network.graph import NetworkError
+from ..obs import metrics as _obs_metrics
+from . import jit as _jit
+
+#: Valid ``REPRO_NATIVE`` settings.
+NATIVE_MODES = ("auto", "numpy", "numba")
+
+#: Re-exported so callers can gate Numba-only behaviour in one place.
+NUMBA_AVAILABLE = _jit.NUMBA_AVAILABLE
+
+#: Recycled buffer sets kept per (layout, batch) key; beyond this the
+#: buffers are dropped rather than pooled (burst protection).
+_POOL_DEPTH = 4
+
+
+def native_mode() -> str:
+    """The execution strategy this run will use: ``numpy`` or ``numba``.
+
+    Reads ``REPRO_NATIVE`` (``auto`` when unset).  ``numba`` silently
+    degrades to ``numpy`` when Numba is not importable — the fused-NumPy
+    path is the mandatory fallback — counting the downgrade in the
+    ``native.fallbacks`` metric so operators can see it happened.
+    """
+    requested = os.environ.get("REPRO_NATIVE", "auto").strip().lower() or "auto"
+    if requested not in NATIVE_MODES:
+        raise NetworkError(
+            f"REPRO_NATIVE must be one of {NATIVE_MODES}, got {requested!r}"
+        )
+    if requested == "numpy":
+        return "numpy"
+    if _jit.NUMBA_AVAILABLE:
+        return "numba"
+    if requested == "numba":
+        _obs_metrics.METRICS.inc("native.fallbacks")
+    return "numpy"
+
+
+# ---------------------------------------------------------------------------
+# Kernel forms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _IncKernel:
+    """One level's delays: gather, clamp to ``INF - amount``, add."""
+
+    lo: int
+    hi: int
+    srcs: np.ndarray  # (g,) arena rows
+    amounts: np.ndarray  # (g, 1) broadcast against the batch dim
+    caps: np.ndarray  # INF_I64 - amounts, precomputed
+
+
+@dataclass(frozen=True)
+class _UniformReduceKernel:
+    """Same-arity ``min``/``max`` group: one gather + rectangular reduce."""
+
+    lo: int
+    hi: int
+    srcs: np.ndarray  # (g*k,) arena rows, node-major
+    k: int
+    is_min: bool
+
+
+@dataclass(frozen=True)
+class _RaggedReduceKernel:
+    """Mixed-arity ``min``/``max`` group: one gather + ``reduceat``."""
+
+    lo: int
+    hi: int
+    srcs: np.ndarray  # (total_sources,) arena rows
+    offsets: np.ndarray  # (g,) segment starts into srcs
+    is_min: bool
+
+
+@dataclass(frozen=True)
+class _LtKernel:
+    """One level's ``lt`` races: two gathers, compare, masked latch."""
+
+    lo: int
+    hi: int
+    a: np.ndarray
+    b: np.ndarray
+
+
+_Kernel = Union[_IncKernel, _UniformReduceKernel, _RaggedReduceKernel, _LtKernel]
+
+
+@dataclass(frozen=True)
+class _ConstFill:
+    """A run of lattice-identity rows, filled once at arena allocation."""
+
+    lo: int
+    hi: int
+    value: int
+
+
+def _kernel_reads(kernel: _Kernel) -> set[int]:
+    """Arena rows a kernel gathers from (dependency analysis)."""
+    if isinstance(kernel, _LtKernel):
+        return set(kernel.a.tolist()) | set(kernel.b.tolist())
+    return set(kernel.srcs.tolist())
+
+
+def _execute_kernels(kernels, arena, s1, s2, mask) -> None:
+    """Run a kernel list over a node-major arena (the fused-NumPy path).
+
+    Shared by :class:`NativePlan` and the fault-injection oracle that
+    deliberately reorders a kernel list — both must execute kernels
+    identically for the reorder mutant to model only a scheduling bug.
+    """
+    for kernel in kernels:
+        if isinstance(kernel, _IncKernel):
+            g = kernel.hi - kernel.lo
+            np.take(arena, kernel.srcs, axis=0, out=s1[:g])
+            np.minimum(s1[:g], kernel.caps, out=s1[:g])
+            np.add(s1[:g], kernel.amounts, out=arena[kernel.lo:kernel.hi])
+        elif isinstance(kernel, _UniformReduceKernel):
+            g = kernel.hi - kernel.lo
+            np.take(arena, kernel.srcs, axis=0, out=s1[: g * kernel.k])
+            gathered = s1[: g * kernel.k].reshape(g, kernel.k, arena.shape[1])
+            reduce = np.min if kernel.is_min else np.max
+            reduce(gathered, axis=1, out=arena[kernel.lo:kernel.hi])
+        elif isinstance(kernel, _RaggedReduceKernel):
+            total = len(kernel.srcs)
+            np.take(arena, kernel.srcs, axis=0, out=s1[:total])
+            reduce = np.minimum if kernel.is_min else np.maximum
+            reduce.reduceat(
+                s1[:total], kernel.offsets, axis=0,
+                out=arena[kernel.lo:kernel.hi],
+            )
+        else:  # _LtKernel
+            g = kernel.hi - kernel.lo
+            np.take(arena, kernel.a, axis=0, out=s1[:g])
+            np.take(arena, kernel.b, axis=0, out=s2[:g])
+            np.less(s1[:g], s2[:g], out=mask[:g])
+            out = arena[kernel.lo:kernel.hi]
+            out[...] = INF_I64
+            np.copyto(out, s1[:g], where=mask[:g])
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+class NativePlan:
+    """An arena-and-kernel compilation of one program structure.
+
+    Accepts a :class:`~repro.ir.program.Program` or a
+    :class:`~repro.network.graph.Network` (lowered on entry).  The level
+    schedule and the zero-source constant classification come from the
+    IR — this backend only encodes what it is told, like every other.
+    """
+
+    def __init__(self, source: "ProgramLike"):
+        program = ensure_program(source)
+        self.program = program
+        self.nodes = program.nodes
+        self.n_nodes = len(program.nodes)
+        self.fingerprint = program.fingerprint()
+        self.input_names = list(program.input_ids)
+        self.param_names = list(program.param_ids)
+        self.output_names = list(program.outputs)
+        self.n_inputs = len(program.input_ids)
+        self.n_params = len(program.param_ids)
+
+        # -- arena column assignment ------------------------------------------
+        # Inputs first (the scatter is then one transposed block copy),
+        # params next, then each (level, kind) group contiguously in
+        # schedule order.  ``perm[node_id]`` is the node's arena row.
+        order: list[int] = list(program.input_ids.values())
+        order += list(program.param_ids.values())
+        buckets: dict[tuple[int, str], list] = {}
+        for node in program.nodes:
+            if node.is_terminal:
+                continue
+            buckets.setdefault(
+                (program.levels[node.id], classify(node)), []
+            ).append(node)
+        grouped = []
+        for (_, kind), nodes in sorted(buckets.items(), key=lambda kv: kv[0]):
+            lo = len(order)
+            order.extend(n.id for n in nodes)
+            grouped.append((kind, lo, len(order), nodes))
+        self.n_cols = len(order)
+        self.perm = np.empty(self.n_nodes, dtype=np.int64)
+        for col, node_id in enumerate(order):
+            self.perm[node_id] = col
+
+        # -- kernel emission ---------------------------------------------------
+        perm = self.perm
+        kernels: list[_Kernel] = []
+        const_fills: list[_ConstFill] = []
+        max_gather = 1
+        for kind, lo, hi, nodes in grouped:
+            g = hi - lo
+            if kind == "inc":
+                amounts = np.array([[n.amount] for n in nodes], dtype=np.int64)
+                kernels.append(
+                    _IncKernel(
+                        lo=lo,
+                        hi=hi,
+                        srcs=perm[[n.sources[0] for n in nodes]],
+                        amounts=amounts,
+                        caps=INF_I64 - amounts,
+                    )
+                )
+                max_gather = max(max_gather, g)
+            elif kind in ("min", "max"):
+                widths = {len(n.sources) for n in nodes}
+                flat = perm[[s for n in nodes for s in n.sources]]
+                if len(widths) == 1:
+                    k = widths.pop()
+                    kernels.append(
+                        _UniformReduceKernel(
+                            lo=lo, hi=hi, srcs=flat, k=k, is_min=kind == "min"
+                        )
+                    )
+                else:
+                    offsets = np.cumsum(
+                        [0] + [len(n.sources) for n in nodes[:-1]]
+                    ).astype(np.int64)
+                    kernels.append(
+                        _RaggedReduceKernel(
+                            lo=lo, hi=hi, srcs=flat, offsets=offsets,
+                            is_min=kind == "min",
+                        )
+                    )
+                max_gather = max(max_gather, len(flat))
+            elif kind == "lt":
+                kernels.append(
+                    _LtKernel(
+                        lo=lo,
+                        hi=hi,
+                        a=perm[[n.sources[0] for n in nodes]],
+                        b=perm[[n.sources[1] for n in nodes]],
+                    )
+                )
+                max_gather = max(max_gather, g)
+            else:  # const-inf / const-zero: filled at arena allocation
+                value = INF_I64 if kind == "const-inf" else int(CONST_IDENTITY[kind])
+                const_fills.append(_ConstFill(lo=lo, hi=hi, value=value))
+        self.kernels: tuple[_Kernel, ...] = tuple(kernels)
+        self.const_fills: tuple[_ConstFill, ...] = tuple(const_fills)
+        self.max_gather = max_gather
+        self.out_cols = perm[list(program.outputs.values())]
+        self.out_node_ids = np.asarray(
+            list(program.outputs.values()), dtype=np.int64
+        )
+
+        self._pool: dict[tuple[str, int], list] = {}
+        self._pool_lock = threading.Lock()
+        self._flat: Optional[tuple[np.ndarray, ...]] = None
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def n_instructions(self) -> int:
+        """Fused kernel count plus constant fills (compare CompiledPlan)."""
+        return len(self.kernels) + len(self.const_fills)
+
+    def describe(self) -> str:
+        """One line per kernel, for reports and debugging."""
+        lines = [
+            f"native plan: {self.n_nodes} nodes -> {self.n_cols} arena rows, "
+            f"{len(self.kernels)} kernel(s), {len(self.const_fills)} const fill(s)"
+        ]
+        for fill in self.const_fills:
+            label = "∞" if fill.value == INF_I64 else fill.value
+            lines.append(f"  const({label}) rows {fill.lo}:{fill.hi}")
+        for kernel in self.kernels:
+            g = kernel.hi - kernel.lo
+            if isinstance(kernel, _IncKernel):
+                lines.append(f"  inc       x{g}")
+            elif isinstance(kernel, _UniformReduceKernel):
+                op = "min" if kernel.is_min else "max"
+                lines.append(f"  {op:<9} x{g} (arity={kernel.k})")
+            elif isinstance(kernel, _RaggedReduceKernel):
+                op = "min" if kernel.is_min else "max"
+                lines.append(f"  {op:<9} x{g} (ragged, {len(kernel.srcs)} srcs)")
+            else:
+                lines.append(f"  lt        x{g}")
+        return "\n".join(lines)
+
+    # -- buffer pool -----------------------------------------------------------
+    def _acquire(self, layout: str, batch: int):
+        """A buffer set for *layout* (``cols``/``rows``) and batch size.
+
+        Constant rows are filled at allocation and never overwritten by
+        any kernel, so recycled buffers need no refill; inputs, params,
+        and every kernel target slice are rewritten each run.
+        """
+        key = (layout, batch)
+        with self._pool_lock:
+            stack = self._pool.get(key)
+            if stack:
+                return stack.pop()
+        if layout == "cols":
+            arena = np.empty((self.n_cols, batch), dtype=np.int64)
+            for fill in self.const_fills:
+                arena[fill.lo:fill.hi] = fill.value
+            s1 = np.empty((self.max_gather, batch), dtype=np.int64)
+            s2 = np.empty((self.max_gather, batch), dtype=np.int64)
+            mask = np.empty((self.max_gather, batch), dtype=bool)
+            return (arena, s1, s2, mask)
+        arena = np.empty((batch, self.n_cols), dtype=np.int64)
+        for fill in self.const_fills:
+            arena[:, fill.lo:fill.hi] = fill.value
+        return (arena,)
+
+    def _release(self, layout: str, batch: int, buffers) -> None:
+        key = (layout, batch)
+        with self._pool_lock:
+            stack = self._pool.setdefault(key, [])
+            if len(stack) < _POOL_DEPTH:
+                stack.append(buffers)
+
+    # -- execution -------------------------------------------------------------
+    def _require_params(self, param_vector: Optional[np.ndarray]) -> np.ndarray:
+        if self.n_params and param_vector is None:
+            raise NetworkError(
+                f"network has {self.n_params} params; none bound"
+            )
+        return param_vector
+
+    def _flat_instructions(self) -> tuple[np.ndarray, ...]:
+        """The per-node instruction arrays the row interpreter consumes.
+
+        Built lazily (only the numba path needs them) in the same
+        level-schedule order the kernels run in — any order where every
+        node follows its sources is valid, and this one is already
+        proven by the kernel list.
+        """
+        if self._flat is None:
+            kinds: list[int] = []
+            targets: list[int] = []
+            offs: list[int] = []
+            lens: list[int] = []
+            amounts: list[int] = []
+            srcs: list[int] = []
+            for kernel in self.kernels:
+                if isinstance(kernel, _IncKernel):
+                    for i, target in enumerate(range(kernel.lo, kernel.hi)):
+                        kinds.append(_jit.OP_INC)
+                        targets.append(target)
+                        offs.append(len(srcs))
+                        lens.append(1)
+                        amounts.append(int(kernel.amounts[i, 0]))
+                        srcs.append(int(kernel.srcs[i]))
+                elif isinstance(kernel, _UniformReduceKernel):
+                    op = _jit.OP_MIN if kernel.is_min else _jit.OP_MAX
+                    for i, target in enumerate(range(kernel.lo, kernel.hi)):
+                        kinds.append(op)
+                        targets.append(target)
+                        offs.append(len(srcs))
+                        lens.append(kernel.k)
+                        amounts.append(0)
+                        srcs.extend(
+                            int(s)
+                            for s in kernel.srcs[i * kernel.k:(i + 1) * kernel.k]
+                        )
+                elif isinstance(kernel, _RaggedReduceKernel):
+                    op = _jit.OP_MIN if kernel.is_min else _jit.OP_MAX
+                    bounds = list(kernel.offsets) + [len(kernel.srcs)]
+                    for i, target in enumerate(range(kernel.lo, kernel.hi)):
+                        kinds.append(op)
+                        targets.append(target)
+                        offs.append(len(srcs))
+                        lens.append(int(bounds[i + 1]) - int(bounds[i]))
+                        amounts.append(0)
+                        srcs.extend(
+                            int(s) for s in kernel.srcs[bounds[i]:bounds[i + 1]]
+                        )
+                else:  # _LtKernel
+                    for i, target in enumerate(range(kernel.lo, kernel.hi)):
+                        kinds.append(_jit.OP_LT)
+                        targets.append(target)
+                        offs.append(len(srcs))
+                        lens.append(2)
+                        amounts.append(0)
+                        srcs.append(int(kernel.a[i]))
+                        srcs.append(int(kernel.b[i]))
+            self._flat = tuple(
+                np.asarray(column, dtype=np.int64)
+                for column in (kinds, targets, offs, lens, amounts, srcs)
+            )
+        return self._flat
+
+    def _run_cols(self, matrix: np.ndarray, param_vector) -> np.ndarray:
+        """The fused-NumPy path; returns the node-major arena (pooled)."""
+        batch = matrix.shape[0]
+        buffers = self._acquire("cols", batch)
+        arena, s1, s2, mask = buffers
+        arena[: self.n_inputs] = matrix.T
+        if self.n_params:
+            arena[self.n_inputs:self.n_inputs + self.n_params] = (
+                param_vector[:, np.newaxis]
+            )
+        _execute_kernels(self.kernels, arena, s1, s2, mask)
+        return buffers
+
+    def _run_rows(self, matrix: np.ndarray, param_vector) -> tuple:
+        """The Numba row-interpreter path; returns the row-major arena."""
+        batch = matrix.shape[0]
+        buffers = self._acquire("rows", batch)
+        arena = buffers[0]
+        arena[:, : self.n_inputs] = matrix
+        if self.n_params:
+            arena[:, self.n_inputs:self.n_inputs + self.n_params] = param_vector
+        _jit.run_rows(arena, *self._flat_instructions())
+        return buffers
+
+    def _execute(self, matrix, param_vector, gather_cols) -> np.ndarray:
+        """Run once and gather *gather_cols* as a ``(B, len(cols))`` copy."""
+        param_vector = self._require_params(param_vector)
+        mode = native_mode()
+        if mode == "numba":
+            buffers = self._run_rows(matrix, param_vector)
+            out = buffers[0][:, gather_cols]
+            self._release("rows", matrix.shape[0], buffers)
+        else:
+            buffers = self._run_cols(matrix, param_vector)
+            out = np.ascontiguousarray(buffers[0][gather_cols].T)
+            self._release("cols", matrix.shape[0], buffers)
+        _obs_metrics.METRICS.inc("native.runs")
+        return out
+
+    def outputs(
+        self, matrix: np.ndarray, param_vector: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Encoded ``(B, n_outputs)`` spike times for an encoded batch."""
+        return self._execute(matrix, param_vector, self.out_cols)
+
+    def run(
+        self, matrix: np.ndarray, param_vector: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Every node's value, ``(B, n_nodes)`` in node-id order.
+
+        The native twin of :meth:`~repro.network.compile_plan.
+        CompiledPlan.run` — the permutation back to node-id order makes
+        the result directly comparable (and usable by the post-hoc
+        trace emission, which walks nodes by id).
+        """
+        return self._execute(matrix, param_vector, self.perm)
+
+    def warm(self) -> "NativePlan":
+        """Run one synthetic volley so first real traffic pays no lazy cost.
+
+        Beyond the NumPy warmup concerns the int64 engine has, this also
+        triggers the one-per-process Numba JIT compilation when the
+        resolved mode is ``numba`` — exactly the cost serving workers
+        must not pay on a request.  Counted in ``plan.warmups.native``.
+        """
+        matrix = np.zeros((1, self.n_inputs), dtype=np.int64)
+        param_vector = (
+            np.full(self.n_params, INF_I64, dtype=np.int64)
+            if self.n_params
+            else None
+        )
+        self.outputs(matrix, param_vector)
+        _obs_metrics.METRICS.inc("plan.warmups.native")
+        return self
+
+
+# ---------------------------------------------------------------------------
+# Plan cache (mirrors the int64 plan cache, separately counted)
+# ---------------------------------------------------------------------------
+
+_NATIVE_MEMO: "weakref.WeakKeyDictionary[ProgramLike, NativePlan]" = (
+    weakref.WeakKeyDictionary()
+)
+_NATIVE_LRU: "OrderedDict[str, NativePlan]" = OrderedDict()
+_DEFAULT_NATIVE_LRU_LIMIT = 128
+_NATIVE_LRU_LIMIT = _DEFAULT_NATIVE_LRU_LIMIT
+
+
+def set_native_plan_cache_limit(limit: int) -> int:
+    """Resize the native structural LRU; returns the previous limit."""
+    global _NATIVE_LRU_LIMIT
+    if limit < 1:
+        raise ValueError(f"native plan cache limit must be >= 1, got {limit}")
+    previous = _NATIVE_LRU_LIMIT
+    _NATIVE_LRU_LIMIT = limit
+    while len(_NATIVE_LRU) > _NATIVE_LRU_LIMIT:
+        _NATIVE_LRU.popitem(last=False)
+        _obs_metrics.METRICS.inc("native_plan_cache.evict")
+    return previous
+
+
+def compile_native(source: "ProgramLike") -> NativePlan:
+    """The memoized native plan for *source* (Network or Program).
+
+    Identical caching discipline to :func:`~repro.network.compile_plan.
+    compile_plan` — weak identity memo, then the IR fingerprint LRU —
+    but a separate cache: a process typically holds both an int64 plan
+    and a native plan for the same fingerprint, and the two are
+    independently sized and counted (``native_plan_cache.*``).
+    """
+    plan = _NATIVE_MEMO.get(source)
+    if plan is not None:
+        _obs_metrics.METRICS.inc("native_plan_cache.hit.identity")
+        return plan
+    print_key = ensure_program(source).fingerprint()
+    plan = _NATIVE_LRU.get(print_key)
+    if plan is None:
+        _obs_metrics.METRICS.inc("native_plan_cache.miss")
+        with _obs_metrics.METRICS.timeit("native_plan.compile"):
+            plan = NativePlan(source)
+        _NATIVE_LRU[print_key] = plan
+        if len(_NATIVE_LRU) > _NATIVE_LRU_LIMIT:
+            _NATIVE_LRU.popitem(last=False)
+            _obs_metrics.METRICS.inc("native_plan_cache.evict")
+    else:
+        _obs_metrics.METRICS.inc("native_plan_cache.hit.structural")
+        _NATIVE_LRU.move_to_end(print_key)
+    _NATIVE_MEMO[source] = plan
+    return plan
+
+
+def native_plan_cache_info() -> dict:
+    """Native-plan cache occupancy and lifetime hit/miss/evict counts."""
+    return {
+        "identity": len(_NATIVE_MEMO),
+        "structural": len(_NATIVE_LRU),
+        "limit": _NATIVE_LRU_LIMIT,
+        "hits_identity": _obs_metrics.METRICS.counter(
+            "native_plan_cache.hit.identity"
+        ),
+        "hits_structural": _obs_metrics.METRICS.counter(
+            "native_plan_cache.hit.structural"
+        ),
+        "misses": _obs_metrics.METRICS.counter("native_plan_cache.miss"),
+        "evictions": _obs_metrics.METRICS.counter("native_plan_cache.evict"),
+        "mode": native_mode(),
+        "numba_available": _jit.NUMBA_AVAILABLE,
+    }
+
+
+def clear_native_plan_cache() -> None:
+    """Drop every cached native plan (tests and memory-sensitive callers)."""
+    _NATIVE_MEMO.clear()
+    _NATIVE_LRU.clear()
+
+
+# ---------------------------------------------------------------------------
+# Batched evaluation API
+# ---------------------------------------------------------------------------
+
+def evaluate_batch_native(
+    network: "ProgramLike",
+    inputs: VolleyLike,
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+    sink=None,
+    trace_row: int = 0,
+) -> np.ndarray:
+    """Native twin of :func:`~repro.network.compile_plan.evaluate_batch`.
+
+    Same contract: encoded ``(B, n_outputs)`` int64 out, columns in
+    output declaration order, ``INF_I64`` marking silence.  *sink*
+    records the canonical spike trace of batch row *trace_row*; the
+    native engine traces **post-hoc** — the full value vector is
+    computed first, then events are derived from it — which yields the
+    same canonical byte stream as the incremental backends because the
+    trace is a pure function of fire times.
+    """
+    plan = compile_native(network)
+    matrix = encode_volleys(inputs, arity=plan.n_inputs)
+    param_vector = _encode_params(network, params)
+    if sink is not None and sink.enabled:
+        values = plan.run(matrix, param_vector)
+        from ..obs.trace import emit_events
+
+        emit_events(sink, plan.program, values[trace_row])
+        out = np.ascontiguousarray(values[:, plan.out_node_ids])
+    else:
+        out = plan.outputs(matrix, param_vector)
+    metrics = _obs_metrics.METRICS
+    metrics.inc("evaluate_batch_native.calls")
+    metrics.inc("evaluate_batch_native.volleys", matrix.shape[0])
+    return out

@@ -223,6 +223,15 @@ class _LtGroup:
 
 _Group = Union[_ConstGroup, _IncGroup, _ReduceGroup, _LtGroup]
 
+#: Batch-dimension block for :meth:`CompiledPlan.run`.  512 rows of a
+#: hundred-node net is a few-hundred-KiB working set — small enough to
+#: stay cache-resident across the whole instruction stream, large
+#: enough that per-group NumPy dispatch stays amortized.  Wide batches
+#: otherwise stream the full (B, n_nodes) slab through memory once per
+#: group, which is the B=64→B=1024 throughput cliff BENCH_batched_eval
+#: used to show.
+_RUN_BLOCK = 512
+
 
 class CompiledPlan:
     """An executable, batch-oriented compilation of one program structure.
@@ -321,40 +330,51 @@ class CompiledPlan:
                     sink.emit(
                         int(row[node.id]), node.id, _obs_trace.cause_of(node, row)
                     )
-        for group in self.groups:
-            if profiling:
-                start = _perf_counter()
-            if isinstance(group, _IncGroup):
-                gathered = values[:, group.srcs]
-                np.minimum(gathered, group.caps, out=gathered)
-                gathered += group.amounts
-                values[:, group.ids] = gathered
-            elif isinstance(group, _ReduceGroup):
-                gathered = values[:, group.srcs]
-                reduced = (
-                    gathered.min(axis=2) if group.is_min else gathered.max(axis=2)
-                )
-                values[:, group.ids] = reduced
-            elif isinstance(group, _LtGroup):
-                a = values[:, group.a]
-                b = values[:, group.b]
-                values[:, group.ids] = np.where(a < b, a, INF_I64)
-            else:  # _ConstGroup
-                values[:, group.ids] = group.value
-            if profiling:
-                _obs_metrics.METRICS.add_time(
-                    f"plan.group.{_group_kind(group)}",
-                    _perf_counter() - start,
-                )
-            if tracing:
-                for node_id in group.ids.tolist():
-                    value = int(row[node_id])
-                    if value <= MAX_FINITE:
-                        sink.emit(
-                            value,
-                            node_id,
-                            _obs_trace.cause_of(self.nodes[node_id], row),
-                        )
+        # Block the batch dimension so each chunk's working set — the
+        # (chunk, n_nodes) slab plus every per-group gather — stays
+        # cache-resident across the full instruction stream instead of
+        # streaming the whole batch through memory once per group.
+        # Tracing is per-level over one designated row, so it keeps the
+        # single-chunk schedule.
+        step = max(batch, 1) if tracing else _RUN_BLOCK
+        for chunk_start in range(0, batch, step):
+            chunk = values[chunk_start:chunk_start + step]
+            for group in self.groups:
+                if profiling:
+                    start = _perf_counter()
+                if isinstance(group, _IncGroup):
+                    gathered = chunk[:, group.srcs]
+                    np.minimum(gathered, group.caps, out=gathered)
+                    gathered += group.amounts
+                    chunk[:, group.ids] = gathered
+                elif isinstance(group, _ReduceGroup):
+                    gathered = chunk[:, group.srcs]
+                    reduced = (
+                        gathered.min(axis=2)
+                        if group.is_min
+                        else gathered.max(axis=2)
+                    )
+                    chunk[:, group.ids] = reduced
+                elif isinstance(group, _LtGroup):
+                    a = chunk[:, group.a]
+                    b = chunk[:, group.b]
+                    chunk[:, group.ids] = np.where(a < b, a, INF_I64)
+                else:  # _ConstGroup
+                    chunk[:, group.ids] = group.value
+                if profiling:
+                    _obs_metrics.METRICS.add_time(
+                        f"plan.group.{_group_kind(group)}",
+                        _perf_counter() - start,
+                    )
+                if tracing:
+                    for node_id in group.ids.tolist():
+                        value = int(row[node_id])
+                        if value <= MAX_FINITE:
+                            sink.emit(
+                                value,
+                                node_id,
+                                _obs_trace.cause_of(self.nodes[node_id], row),
+                            )
         _obs_metrics.METRICS.inc("plan.runs")
         return values
 
@@ -519,14 +539,20 @@ def compile_plan(source: "ProgramLike") -> CompiledPlan:
     return plan
 
 
-def plan_cache_info() -> dict[str, int]:
+def plan_cache_info() -> dict:
     """Cache occupancy and lifetime hit/miss/evict counts, for diagnostics.
 
     Occupancy (``identity``, ``structural``) and ``limit`` reflect the
     current cache state; the ``hits_*``/``misses``/``evictions`` counts
     come from the runtime metrics registry and cover the life of the
-    process (reset with :func:`repro.obs.reset_metrics`).
+    process (reset with :func:`repro.obs.reset_metrics`).  The nested
+    ``native`` key reports the native backend's separate plan cache
+    (:func:`repro.native.native_plan_cache_info`) with the same shape.
     """
+    # Imported lazily: repro.native consumes this module's encoders, so
+    # a top-level import here would be circular.
+    from ..native.plan import native_plan_cache_info
+
     return {
         "identity": len(_PLAN_MEMO),
         "structural": len(_PLAN_LRU),
@@ -537,6 +563,7 @@ def plan_cache_info() -> dict[str, int]:
         ),
         "misses": _obs_metrics.METRICS.counter("plan_cache.miss"),
         "evictions": _obs_metrics.METRICS.counter("plan_cache.evict"),
+        "native": native_plan_cache_info(),
     }
 
 

@@ -11,10 +11,12 @@ single differing byte is a conformance failure and a non-zero exit.
 
 Rejections (``overloaded``/``deadline``) are counted separately — they
 are the backpressure contract working, not mismatches — but any
-transport error, malformed response, or mismatch fails the run.  With
-``--shutdown`` the last act is a ``shutdown`` op (clean server drain);
-``--metrics-out`` fetches the server's metrics snapshot first and writes
-it to disk (the CI artifact).
+transport error, malformed response, or mismatch fails the run.  The
+server's metrics snapshot is always fetched at the end — the summary
+reports the serving engine and per-worker plan warmup counts from it —
+and ``--metrics-out`` additionally writes the full snapshot to disk
+(the CI artifact).  With ``--shutdown`` the last act is a ``shutdown``
+op (clean server drain).
 """
 
 from __future__ import annotations
@@ -161,10 +163,14 @@ async def run_loadgen(
             if first_mismatch is None:
                 first_mismatch = f"request {i} failed: {canonical(reply)}"
 
+    # Always fetch the metrics snapshot: the summary reports the serving
+    # engine and per-worker plan warmups even without --metrics-out.
+    metrics_reply = await _request(reader, writer, {"op": "metrics"})
+    serve_info = metrics_reply.get("serve", {})
     if metrics_out:
-        reply = await _request(reader, writer, {"op": "metrics"})
         Path(metrics_out).write_text(
-            json.dumps(reply, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            json.dumps(metrics_reply, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
         )
     if shutdown:
         await _request(reader, writer, {"op": "shutdown"})
@@ -188,6 +194,8 @@ async def run_loadgen(
         "p99_ms": round(done[min(len(done) - 1, int(len(done) * 0.99))] * 1e3, 3)
         if done
         else 0.0,
+        "engine": serve_info.get("engine"),
+        "warmups": serve_info.get("warmups"),
     }
     return report
 

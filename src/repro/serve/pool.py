@@ -3,9 +3,13 @@
 Each worker is a separate OS process that, at startup, rebuilds every
 registered model from its serialized document (verifying the embedded
 fingerprint), lowers it to the IR, runs the optimizer pass pipeline, and
-**warms** the compiled plan (:meth:`repro.network.compile_plan.
-CompiledPlan.warm`) — so the first real request never pays compilation
-or first-touch cost.  Work arrives as already-encoded ``(B, n_inputs)``
+**warms** both execution engines — the compiled int64 plan
+(:meth:`repro.network.compile_plan.CompiledPlan.warm`) and the native
+arena plan (:meth:`repro.native.NativePlan.warm`) — so the first real
+request never pays compilation, first-touch, or JIT cost.  The
+``engine`` option ("native", the default, or "int64") selects which
+engine answers eval messages; per-engine warmup counts are reported per
+worker through :meth:`ProcessWorkerPool.warmups`.  Work arrives as already-encoded ``(B, n_inputs)``
 int64 matrices (the micro-batcher's output) and leaves as the engine's
 raw ``(B, n_outputs)`` result, keeping the IPC payload two NumPy arrays
 per batch.
@@ -74,11 +78,18 @@ class Job:
 # Worker process body
 # ---------------------------------------------------------------------------
 
-def _worker_main(conn, documents: dict[str, str], optimize: bool) -> None:
+def _worker_main(
+    conn, documents: dict[str, str], optimize: bool, engine: str = "native"
+) -> None:
     """The worker loop: load + warm every model, then serve eval messages.
 
     Runs in a child process (or, for unit tests, a plain thread with the
-    other pipe end held by the test).  Messages:
+    other pipe end held by the test).  *engine* selects the evaluation
+    backend for ``eval`` messages — ``"native"`` (the fused arena
+    kernels, default) or ``"int64"`` (the compiled batch engine).  Both
+    engines are compiled and warmed at load time regardless, so
+    switching engines never costs a request its latency budget; the
+    per-engine warmup counts ride back on the ready message.  Messages:
 
     * ``("eval", job_id, model_id, matrix, params_enc)`` →
       ``("ok", job_id, result)`` or ``("err", job_id, reason)``
@@ -89,8 +100,11 @@ def _worker_main(conn, documents: dict[str, str], optimize: bool) -> None:
     """
     from ..ir.passes import optimize_program
     from ..ir.program import lower
+    from ..native import compile_native, evaluate_batch_native
     from ..network import serialize
     from ..network.compile_plan import compile_plan, evaluate_batch
+
+    warmups = {"int64": 0, "native": 0}
 
     def load(model_id: str, document: str):
         network = serialize.loads(document)
@@ -103,10 +117,14 @@ def _worker_main(conn, documents: dict[str, str], optimize: bool) -> None:
         if optimize:
             program, _report = optimize_program(program)
         compile_plan(program).warm()
+        warmups["int64"] += 1
+        compile_native(program).warm()
+        warmups["native"] += 1
         return program
 
+    evaluate = evaluate_batch_native if engine == "native" else evaluate_batch
     programs = {mid: load(mid, doc) for mid, doc in documents.items()}
-    conn.send(("ready", os.getpid(), sorted(programs)))
+    conn.send(("ready", os.getpid(), sorted(programs), dict(warmups)))
     while True:
         try:
             message = conn.recv()
@@ -119,7 +137,7 @@ def _worker_main(conn, documents: dict[str, str], optimize: bool) -> None:
                 program = programs.get(model_id)
                 if program is None:
                     raise KeyError(f"model {model_id[:12]} not loaded")
-                result = evaluate_batch(
+                result = evaluate(
                     program, matrix, params=_decode_params(params_enc)
                 )
                 conn.send(("ok", job_id, result))
@@ -128,7 +146,7 @@ def _worker_main(conn, documents: dict[str, str], optimize: bool) -> None:
         elif op == "load":
             _op, model_id, document = message
             programs[model_id] = load(model_id, document)
-            conn.send(("loaded", model_id))
+            conn.send(("loaded", model_id, dict(warmups)))
         elif op == "ping":
             conn.send(("pong", message[1]))
         elif op == "crash":
@@ -152,6 +170,9 @@ class _WorkerHandle:
     generation: int
     alive: bool = True
     jobs: dict[int, Job] = field(default_factory=dict)
+    #: Per-engine plan warmup counts the worker reported at ready (and
+    #: refreshes on every subsequent model load).
+    warmups: dict[str, int] = field(default_factory=dict)
 
     @property
     def inflight(self) -> int:
@@ -167,13 +188,17 @@ class ProcessWorkerPool:
         *,
         n_workers: int = 2,
         optimize: bool = True,
+        engine: str = "native",
         max_restarts: int = 8,
         start_timeout: float = 60.0,
     ):
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
+        if engine not in ("native", "int64"):
+            raise ValueError(f"engine must be 'native' or 'int64', got {engine!r}")
         self._documents = dict(documents)
         self._optimize = optimize
+        self._engine = engine
         self._max_restarts = max_restarts
         self._start_timeout = start_timeout
         self._lock = threading.Lock()
@@ -198,7 +223,7 @@ class ProcessWorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self._documents, self._optimize),
+            args=(child_conn, self._documents, self._optimize, self._engine),
             name=f"serve-worker-{slot}.{generation}",
             daemon=True,
         )
@@ -216,7 +241,11 @@ class ProcessWorkerPool:
                 E_WORKER, f"worker {slot} sent {message[0]!r} instead of ready"
             )
         return _WorkerHandle(
-            slot=slot, process=process, conn=parent_conn, generation=generation
+            slot=slot,
+            process=process,
+            conn=parent_conn,
+            generation=generation,
+            warmups=dict(message[3]) if len(message) > 3 else {},
         )
 
     def shutdown(self, timeout: float = 10.0) -> None:
@@ -268,6 +297,15 @@ class ProcessWorkerPool:
         """Per-slot in-flight batch counts (dispatch visibility)."""
         with self._lock:
             return [w.inflight if w.alive else -1 for w in self._workers]
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    def warmups(self) -> list[dict[str, int]]:
+        """Per-slot plan warmup counts, keyed by engine (``int64``/``native``)."""
+        with self._lock:
+            return [dict(w.warmups) for w in self._workers]
 
     # -- dispatch -------------------------------------------------------------
     def submit(self, job: Job) -> None:
@@ -349,7 +387,10 @@ class ProcessWorkerPool:
             else:
                 _obs_metrics.METRICS.inc("serve.worker.failures")
                 job.on_fail(f"worker {worker.slot} error: {payload}")
-        # "loaded"/"pong" acknowledgements need no parent-side action.
+        elif op == "loaded" and len(message) > 2:
+            with self._lock:
+                worker.warmups = dict(message[2])
+        # "pong" acknowledgements need no parent-side action.
 
     def _reap(self, worker: _WorkerHandle) -> None:
         """A worker pipe broke: fail its jobs over, then try to restart."""
@@ -391,21 +432,21 @@ class InlineWorkerPool:
     rebuild-verify-warm path stays covered in-process.
     """
 
-    def __init__(self, documents: dict[str, str], *, optimize: bool = True):
-        from ..ir.passes import optimize_program
-        from ..ir.program import lower
-        from ..network import serialize
-        from ..network.compile_plan import compile_plan
-
+    def __init__(
+        self,
+        documents: dict[str, str],
+        *,
+        optimize: bool = True,
+        engine: str = "native",
+    ):
+        if engine not in ("native", "int64"):
+            raise ValueError(f"engine must be 'native' or 'int64', got {engine!r}")
         self._optimize = optimize
+        self._engine = engine
         self._programs = {}
+        self._warmups = {"int64": 0, "native": 0}
         for model_id, document in documents.items():
-            network = serialize.loads(document)
-            program = lower(network)
-            if optimize:
-                program, _report = optimize_program(program)
-            compile_plan(program).warm()
-            self._programs[model_id] = program
+            self.add_model(model_id, document)
         self._stopping = False
         self._restarts = 0
 
@@ -426,7 +467,15 @@ class InlineWorkerPool:
     def loads(self) -> list[int]:
         return [0]
 
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    def warmups(self) -> list[dict[str, int]]:
+        return [dict(self._warmups)]
+
     def submit(self, job: Job) -> None:
+        from ..native import evaluate_batch_native
         from ..network.compile_plan import evaluate_batch
 
         if self._stopping:
@@ -437,8 +486,11 @@ class InlineWorkerPool:
             job.on_fail(f"model {job.model_id[:12]} not loaded")
             return
         _obs_metrics.METRICS.inc("serve.pool.submits")
+        evaluate = (
+            evaluate_batch_native if self._engine == "native" else evaluate_batch
+        )
         try:
-            result = evaluate_batch(
+            result = evaluate(
                 program, job.matrix, params=_decode_params(job.params_enc)
             )
         except Exception as exc:  # noqa: BLE001 - mapped to job failure
@@ -450,6 +502,7 @@ class InlineWorkerPool:
     def add_model(self, model_id: str, document: str) -> None:
         from ..ir.passes import optimize_program
         from ..ir.program import lower
+        from ..native import compile_native
         from ..network import serialize
         from ..network.compile_plan import compile_plan
 
@@ -458,6 +511,9 @@ class InlineWorkerPool:
         if self._optimize:
             program, _report = optimize_program(program)
         compile_plan(program).warm()
+        self._warmups["int64"] += 1
+        compile_native(program).warm()
+        self._warmups["native"] += 1
         self._programs[model_id] = program
 
     def inject_crash(self, slot: int) -> None:

@@ -231,9 +231,11 @@ def build_service(args: argparse.Namespace) -> TNNService:
         registry.register(serialize.load(path))
     documents = registry.documents()
     if args.inline:
-        pool = InlineWorkerPool(documents)
+        pool = InlineWorkerPool(documents, engine=args.engine)
     else:
-        pool = ProcessWorkerPool(documents, n_workers=args.workers)
+        pool = ProcessWorkerPool(
+            documents, n_workers=args.workers, engine=args.engine
+        )
     return TNNService(
         registry,
         pool,
@@ -259,6 +261,13 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         "--inline",
         action="store_true",
         help="evaluate in-process instead of in worker processes",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("native", "int64"),
+        default="native",
+        help="evaluation backend: fused native kernels (default) or the "
+        "compiled int64 engine",
     )
     parser.add_argument(
         "--max-batch", type=int, default=64, help="micro-batch size trigger"

@@ -355,6 +355,15 @@ class TNNService:
             "max_batch": self.policy.max_batch,
             "max_wait_ms": self.policy.max_wait_s * 1e3,
         }
+        snapshot["engine"] = getattr(self.pool, "engine", "int64")
+        warmups = getattr(self.pool, "warmups", None)
+        if warmups is not None:
+            per_worker = warmups()
+            snapshot["warmups"] = {
+                "per_worker": per_worker,
+                "int64": sum(w.get("int64", 0) for w in per_worker),
+                "native": sum(w.get("native", 0) for w in per_worker),
+            }
         return snapshot
 
     # -- lifecycle ------------------------------------------------------------

@@ -35,6 +35,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.value import INF, Infinity, Time
+from ..native.plan import NativePlan, _execute_kernels, _kernel_reads
 from ..network.blocks import Node
 from ..network.compile_plan import (
     INF_I64,
@@ -323,6 +324,68 @@ class PlanReorderOracle(BackendOracle):
         return [tuple(row) for row in decode_matrix(out)]
 
 
+class NativeKernelReorderOracle(BackendOracle):
+    """The native engine with a corrupted kernel schedule.
+
+    The native analog of :class:`PlanReorderOracle`: builds a fresh
+    (uncached) :class:`~repro.native.NativePlan`, finds a kernel that
+    consumes another kernel's arena rows, swaps the two, and executes
+    the corrupted list through the *same* shared kernel interpreter the
+    real plan uses — so the only difference the diff can attribute is
+    the schedule.  The arena is zero-initialized for determinism (the
+    consumer reads zeros instead of its producer's times); constant
+    rows are still filled, as they are at real arena allocation, since
+    they are not part of the kernel schedule being corrupted.
+    """
+
+    name = "native!kernel-reorder"
+
+    @staticmethod
+    def _dependent_pair(kernels) -> Optional[tuple[int, int]]:
+        for i, producer in enumerate(kernels):
+            made = set(range(producer.lo, producer.hi))
+            for j in range(i + 1, len(kernels)):
+                if made & _kernel_reads(kernels[j]):
+                    return i, j
+        return None
+
+    def supports_network(self, network: Network) -> Optional[str]:
+        plan = NativePlan(network)
+        if self._dependent_pair(plan.kernels) is None:
+            return "native plan has no dependent kernel pair to reorder"
+        return None
+
+    def run(self, network, volleys, params=None):
+        from ..network.compile_plan import _encode_params, decode_matrix
+
+        plan = NativePlan(network)  # fresh: never poison the real cache
+        pair = self._dependent_pair(plan.kernels)
+        if pair is None:
+            raise RuntimeError("no dependent pair; supports_network lied")
+        i, j = pair
+        kernels = list(plan.kernels)
+        kernels[i], kernels[j] = kernels[j], kernels[i]
+
+        matrix = encode_volleys(
+            [tuple(v) for v in volleys], arity=plan.n_inputs
+        )
+        batch = matrix.shape[0]
+        arena = np.zeros((plan.n_cols, batch), dtype=np.int64)
+        for fill in plan.const_fills:
+            arena[fill.lo:fill.hi] = fill.value
+        arena[: plan.n_inputs] = matrix.T
+        if plan.n_params:
+            arena[plan.n_inputs:plan.n_inputs + plan.n_params] = (
+                _encode_params(network, params)[:, np.newaxis]
+            )
+        s1 = np.empty((plan.max_gather, batch), dtype=np.int64)
+        s2 = np.empty((plan.max_gather, batch), dtype=np.int64)
+        mask = np.empty((plan.max_gather, batch), dtype=bool)
+        _execute_kernels(kernels, arena, s1, s2, mask)
+        out = arena[plan.out_cols].T
+        return [tuple(row) for row in decode_matrix(out)]
+
+
 # ---------------------------------------------------------------------------
 # Fault classes (the self-check menu)
 # ---------------------------------------------------------------------------
@@ -341,79 +404,95 @@ class FaultClass:
     build: Callable[..., Optional[BackendOracle]]
 
 
-def _build_network_mutation(case, rng: random.Random) -> Optional[BackendOracle]:
-    outcome = random_mutant(case.network, rng)
-    if outcome is None:
-        return None
-    mutant, description = outcome
-    return FaultedOracle(
-        CompiledBatchOracle(),
-        label=f"mutant({description})",
-        network_transform=lambda _net: mutant,
+def fault_classes(
+    victim_factory: Callable[[], BackendOracle] = CompiledBatchOracle,
+    *,
+    plan_reorder: Callable[[], BackendOracle] = PlanReorderOracle,
+) -> tuple[FaultClass, ...]:
+    """The five-family self-check menu, parameterized by the victim.
+
+    *victim_factory* builds the backend the volley/network faults are
+    spliced into; *plan_reorder* builds the schedule-corruption oracle
+    (each engine has its own: :class:`PlanReorderOracle` for the
+    compiled int64 plan, :class:`NativeKernelReorderOracle` for the
+    native kernel list).  The default menu — :data:`FAULT_CLASSES` —
+    victimizes the compiled batch engine; the native conformance tests
+    rebuild the menu around :class:`~repro.testing.oracles.NativeOracle`
+    to prove the harness keeps its teeth with the fifth backend
+    participating.
+    """
+
+    def build_network_mutation(case, rng: random.Random):
+        outcome = random_mutant(case.network, rng)
+        if outcome is None:
+            return None
+        mutant, description = outcome
+        return FaultedOracle(
+            victim_factory(),
+            label=f"mutant({description})",
+            network_transform=lambda _net: mutant,
+        )
+
+    def build_plan_reorder(case, rng: random.Random):
+        oracle = plan_reorder()
+        if oracle.supports_network(case.network) is not None:
+            return None
+        return oracle
+
+    def build_spike_jitter(case, rng: random.Random):
+        seed = rng.randrange(2**31)
+        jitter = rng.randint(1, 3)
+        return FaultedOracle(
+            victim_factory(),
+            label=f"jitter(±{jitter},seed={seed})",
+            volley_transform=lambda v: jitter_volley(v, jitter=jitter, seed=seed),
+        )
+
+    def build_line_drop(case, rng: random.Random):
+        line = rng.randrange(len(case.network.input_names))
+        return FaultedOracle(
+            victim_factory(),
+            label=f"drop(line={line})",
+            volley_transform=lambda v: drop_lines(v, [line]),
+        )
+
+    def build_stuck_at_zero(case, rng: random.Random):
+        line = rng.randrange(len(case.network.input_names))
+        return FaultedOracle(
+            victim_factory(),
+            label=f"stuck0(line={line})",
+            volley_transform=lambda v: stuck_at_zero(v, [line]),
+        )
+
+    return (
+        FaultClass(
+            "network-mutation",
+            "structural mutant (min/max swap, inc drift, lt swap, rewire) "
+            "in the network one backend evaluates",
+            build_network_mutation,
+        ),
+        FaultClass(
+            "plan-reorder",
+            "engine executed with a dependent instruction pair swapped",
+            build_plan_reorder,
+        ),
+        FaultClass(
+            "spike-jitter",
+            "victim backend sees volleys with deterministic per-line jitter",
+            build_spike_jitter,
+        ),
+        FaultClass(
+            "line-drop",
+            "one input line stuck at ∞ for the victim backend",
+            build_line_drop,
+        ),
+        FaultClass(
+            "stuck-at-zero",
+            "one input line stuck at 0 for the victim backend",
+            build_stuck_at_zero,
+        ),
     )
 
 
-def _build_plan_reorder(case, rng: random.Random) -> Optional[BackendOracle]:
-    oracle = PlanReorderOracle()
-    if oracle.supports_network(case.network) is not None:
-        return None
-    return oracle
-
-
-def _build_spike_jitter(case, rng: random.Random) -> Optional[BackendOracle]:
-    seed = rng.randrange(2**31)
-    jitter = rng.randint(1, 3)
-    return FaultedOracle(
-        CompiledBatchOracle(),
-        label=f"jitter(±{jitter},seed={seed})",
-        volley_transform=lambda v: jitter_volley(v, jitter=jitter, seed=seed),
-    )
-
-
-def _build_line_drop(case, rng: random.Random) -> Optional[BackendOracle]:
-    line = rng.randrange(len(case.network.input_names))
-    return FaultedOracle(
-        CompiledBatchOracle(),
-        label=f"drop(line={line})",
-        volley_transform=lambda v: drop_lines(v, [line]),
-    )
-
-
-def _build_stuck_at_zero(case, rng: random.Random) -> Optional[BackendOracle]:
-    line = rng.randrange(len(case.network.input_names))
-    return FaultedOracle(
-        CompiledBatchOracle(),
-        label=f"stuck0(line={line})",
-        volley_transform=lambda v: stuck_at_zero(v, [line]),
-    )
-
-
-#: Every fault family the self-check must detect.
-FAULT_CLASSES: tuple[FaultClass, ...] = (
-    FaultClass(
-        "network-mutation",
-        "structural mutant (min/max swap, inc drift, lt swap, rewire) "
-        "in the network one backend evaluates",
-        _build_network_mutation,
-    ),
-    FaultClass(
-        "plan-reorder",
-        "compiled plan executed with a dependent instruction pair swapped",
-        _build_plan_reorder,
-    ),
-    FaultClass(
-        "spike-jitter",
-        "victim backend sees volleys with deterministic per-line jitter",
-        _build_spike_jitter,
-    ),
-    FaultClass(
-        "line-drop",
-        "one input line stuck at ∞ for the victim backend",
-        _build_line_drop,
-    ),
-    FaultClass(
-        "stuck-at-zero",
-        "one input line stuck at 0 for the victim backend",
-        _build_stuck_at_zero,
-    ),
-)
+#: Every fault family the self-check must detect (compiled-engine victims).
+FAULT_CLASSES: tuple[FaultClass, ...] = fault_classes()

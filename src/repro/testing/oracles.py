@@ -1,11 +1,12 @@
 """Backend-oracle registry for differential conformance testing.
 
-The repository carries four executable semantics for the same network
+The repository carries five executable semantics for the same network
 language — the interpreted big-int walk
 (:func:`repro.network.simulator.evaluate_all_interpreted`), the compiled
 int64 batch engine (:mod:`repro.network.compile_plan`), the operational
-event-driven simulator (:mod:`repro.network.events`) and the gate-level
-GRL circuit model (:mod:`repro.racelogic.compile`).  The paper's claims
+event-driven simulator (:mod:`repro.network.events`), the gate-level
+GRL circuit model (:mod:`repro.racelogic.compile`) and the native
+arena backend (:mod:`repro.native`).  The paper's claims
 are that these all denote the *same* bounded s-t function, so each is
 wrapped here as a :class:`BackendOracle` with a uniform interface: a
 volley batch in, one spike-time tuple per volley out.
@@ -45,7 +46,7 @@ Every oracle accepts a :data:`~repro.ir.program.ProgramLike` — a raw
 possibly optimized) :class:`~repro.ir.program.Program`.  The structural
 :class:`Engine` protocol spells out that contract; :func:`run_backends`
 exploits it to lower and optimize *once* and hand the same ``Program``
-to all four backends (``optimize=True``).
+to all five backends (``optimize=True``).
 """
 
 from __future__ import annotations
@@ -63,6 +64,7 @@ from ..network.compile_plan import (
     decode_matrix,
     evaluate_batch,
 )
+from ..native import evaluate_batch_native
 from ..network.events import EventSimulator
 from ..network.graph import Network
 from ..network.simulator import evaluate_all_interpreted
@@ -345,6 +347,32 @@ class GRLCircuitOracle(BackendOracle):
         sink = RecordingSink()
         GRLExecutor(network).run(
             dict(zip(network.input_names, volley)), params=params, sink=sink
+        )
+        return sink.canonical()
+
+
+@register_oracle
+class NativeOracle(BackendOracle):
+    """The native arena backend: fused level-kernels, optional Numba JIT.
+
+    Execution strategy (fused NumPy vs the Numba row interpreter)
+    follows ``REPRO_NATIVE`` at run time, so one conformance invocation
+    pins down whichever mode the environment selects — CI runs both.
+    Traces are emitted post-hoc from the complete value vector, which is
+    byte-identical to the incremental backends because the canonical
+    trace is a pure function of fire times.
+    """
+
+    name = "native"
+
+    def run(self, network, volleys, params=None):
+        matrix = evaluate_batch_native(network, list(volleys), params=params)
+        return [tuple(row) for row in decode_matrix(matrix)]
+
+    def trace(self, network, volley, params=None):
+        sink = RecordingSink()
+        evaluate_batch_native(
+            network, [tuple(volley)], params=params, sink=sink
         )
         return sink.canonical()
 

@@ -1,0 +1,288 @@
+"""Tests for the native backend: plan lowering, caches, both exec paths.
+
+The native backend is specified by the compiled int64 engine: on every
+network and every encoded volley matrix the two must agree exactly —
+the cross-family property sweep lives in
+``tests/testing/test_native_properties.py``; here the unit tests pin
+the kernel lowering, the mode switch, the buffer pool, the separate
+plan cache, and the trace semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.value import INF
+from repro.ir import lower, optimize_program
+from repro.native import (
+    NativePlan,
+    clear_native_plan_cache,
+    compile_native,
+    evaluate_batch_native,
+    native_mode,
+    native_plan_cache_info,
+    set_native_plan_cache_limit,
+)
+from repro.native import jit as native_jit
+from repro.native import plan as native_plan_mod
+from repro.network.builder import NetworkBuilder
+from repro.network.compile_plan import (
+    INF_I64,
+    evaluate_batch,
+    plan_cache_info,
+)
+from repro.network.graph import NetworkError
+from repro.network.serialize import dumps, loads
+from repro.obs import reset_metrics
+from repro.obs.metrics import METRICS
+
+
+def diamond():
+    b = NetworkBuilder("diamond")
+    x, y = b.inputs("x", "y")
+    fast = b.inc(b.min(x, y), 1)
+    slow = b.inc(b.max(x, y), 3)
+    b.output("first", b.lt(fast, slow))
+    b.output("joined", b.min(fast, slow))
+    return b.build()
+
+
+def ragged_net():
+    """Same-level min group with mixed arity — the reduceat kernel."""
+    b = NetworkBuilder("ragged")
+    x, y, z = b.inputs("x", "y", "z")
+    b.output("pair", b.min(x, y))
+    b.output("triple", b.min(x, y, z))
+    b.output("wide", b.max(x, y, z))
+    b.output("zero", b.max())  # const-0 fill
+    b.output("never", b.min())  # const-∞ fill
+    return b.build()
+
+
+@pytest.fixture
+def numba_mode(monkeypatch):
+    """Force the row-interpreter path (pure-Python when Numba is absent)."""
+    monkeypatch.setattr(native_jit, "NUMBA_AVAILABLE", True)
+    monkeypatch.setattr(native_plan_mod._jit, "NUMBA_AVAILABLE", True)
+    monkeypatch.setenv("REPRO_NATIVE", "numba")
+
+
+class TestModeSelection:
+    def test_default_is_numpy_without_numba(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NATIVE", raising=False)
+        if not native_jit.NUMBA_AVAILABLE:
+            assert native_mode() == "numpy"
+
+    def test_numpy_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "numpy")
+        assert native_mode() == "numpy"
+
+    def test_numba_without_numba_falls_back_counted(self, monkeypatch):
+        monkeypatch.setattr(native_plan_mod._jit, "NUMBA_AVAILABLE", False)
+        monkeypatch.setenv("REPRO_NATIVE", "numba")
+        before = METRICS.counter("native.fallbacks")
+        assert native_mode() == "numpy"
+        assert METRICS.counter("native.fallbacks") == before + 1
+
+    def test_numba_selected_when_available(self, numba_mode):
+        assert native_mode() == "numba"
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "cuda")
+        with pytest.raises(NetworkError, match="REPRO_NATIVE"):
+            native_mode()
+
+
+class TestLowering:
+    def test_kernel_count_is_group_count_not_node_count(self):
+        plan = NativePlan(diamond())
+        # 2 inputs + 6 compute nodes, but fused to one kernel per
+        # (level, kind) bucket: min, max, 2×inc (one level), lt, min.
+        assert plan.n_nodes == 8
+        assert 1 <= len(plan.kernels) <= 6
+
+    def test_describe_lists_kernels(self):
+        text = NativePlan(ragged_net()).describe()
+        assert "arena rows" in text
+        assert "const" in text and "min" in text and "max" in text
+
+    def test_const_fills_cover_identities(self):
+        plan = NativePlan(ragged_net())
+        values = {f.value for f in plan.const_fills}
+        assert values == {0, INF_I64}
+
+    def test_ragged_group_uses_reduceat_kernel(self):
+        plan = NativePlan(ragged_net())
+        assert any(
+            isinstance(k, native_plan_mod._RaggedReduceKernel)
+            for k in plan.kernels
+        )
+
+    def test_uniform_group_uses_rectangular_kernel(self):
+        plan = NativePlan(diamond())
+        assert any(
+            isinstance(k, native_plan_mod._UniformReduceKernel)
+            for k in plan.kernels
+        )
+
+    def test_accepts_optimized_program(self):
+        program, _report = optimize_program(lower(ragged_net()))
+        plan = NativePlan(program)
+        matrix = np.array([[0, 2, INF_I64]], dtype=np.int64)
+        expected = evaluate_batch(program, matrix)
+        np.testing.assert_array_equal(plan.outputs(matrix), expected)
+
+
+class TestExecution:
+    CASES = [
+        [(0, 1), (2, 3), (INF, 0), (INF, INF), (5, 5)],
+    ]
+
+    def test_outputs_match_compiled(self):
+        net = diamond()
+        for volleys in self.CASES:
+            expected = evaluate_batch(net, volleys)
+            got = evaluate_batch_native(net, volleys)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_rows_interpreter_matches_compiled(self, numba_mode):
+        net = ragged_net()
+        volleys = [(0, 1, 2), (INF, INF, INF), (7, 7, 7), (0, INF, 3)]
+        expected = evaluate_batch(net, volleys)
+        np.testing.assert_array_equal(
+            evaluate_batch_native(net, volleys), expected
+        )
+
+    def test_run_returns_node_order_values(self):
+        net = diamond()
+        plan = compile_native(net)
+        matrix = np.array([[2, 5]], dtype=np.int64)
+        from repro.network.compile_plan import compile_plan
+
+        expected = compile_plan(net).run(matrix)
+        np.testing.assert_array_equal(plan.run(matrix), expected)
+
+    def test_empty_batch(self):
+        net = diamond()
+        out = evaluate_batch_native(net, np.zeros((0, 2), dtype=np.int64))
+        assert out.shape == (0, 2)
+
+    def test_missing_params_rejected(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        w = b.param("w")
+        b.output("y", b.min(x, w))
+        net = b.build()
+        with pytest.raises(NetworkError, match="params"):
+            compile_native(net).outputs(np.zeros((1, 1), dtype=np.int64))
+
+    def test_params_bound(self):
+        b = NetworkBuilder()
+        x = b.input("x")
+        w = b.param("w")
+        b.output("y", b.min(x, w))
+        net = b.build()
+        expected = evaluate_batch(net, [(4,)], params={"w": INF})
+        np.testing.assert_array_equal(
+            evaluate_batch_native(net, [(4,)], params={"w": INF}), expected
+        )
+
+    def test_buffer_pool_recycles(self):
+        plan = NativePlan(diamond())
+        matrix = np.zeros((3, 2), dtype=np.int64)
+        plan.outputs(matrix)
+        assert len(plan._pool[("cols", 3)]) == 1
+        plan.outputs(matrix)  # reuses the pooled set, returns it again
+        assert len(plan._pool[("cols", 3)]) == 1
+
+    def test_warm_counts(self):
+        reset_metrics()
+        NativePlan(diamond()).warm()
+        assert METRICS.counter("plan.warmups.native") == 1
+
+
+class TestTrace:
+    def test_sink_trace_matches_interpreted(self):
+        from repro.obs.trace import RecordingSink
+        from repro.testing.oracles import InterpretedOracle, NativeOracle
+
+        net = ragged_net()
+        volley = (0, 3, INF)
+        assert NativeOracle().trace(net, volley) == InterpretedOracle().trace(
+            net, volley
+        )
+
+    def test_disabled_sink_skips_trace_path(self):
+        from repro.obs.trace import RecordingSink
+
+        sink = RecordingSink()
+        sink.enabled = False
+        out = evaluate_batch_native(diamond(), [(0, 1)], sink=sink)
+        assert sink.canonical() == []
+        assert out.shape == (1, 2)
+
+
+class TestNativePlanCache:
+    def setup_method(self):
+        clear_native_plan_cache()
+
+    def teardown_method(self):
+        clear_native_plan_cache()
+        set_native_plan_cache_limit(128)
+
+    def test_identity_memoized(self):
+        net = diamond()
+        assert compile_native(net) is compile_native(net)
+
+    def test_structural_twins_share_one_plan(self):
+        net = diamond()
+        twin = loads(dumps(net))
+        assert twin is not net
+        assert compile_native(twin) is compile_native(net)
+
+    def test_separate_from_int64_cache(self):
+        from repro.network.compile_plan import compile_plan
+
+        net = diamond()
+        assert compile_native(net) is not compile_plan(net)
+
+    def test_hit_miss_counters(self):
+        reset_metrics()
+        net = diamond()
+        compile_native(net)  # miss
+        compile_native(net)  # identity hit
+        compile_native(loads(dumps(net)))  # structural hit
+        info = native_plan_cache_info()
+        assert info["misses"] == 1
+        assert info["hits_identity"] == 1
+        assert info["hits_structural"] == 1
+
+    def test_lru_eviction(self):
+        reset_metrics()
+        previous = set_native_plan_cache_limit(1)
+        try:
+            compile_native(diamond())
+            compile_native(ragged_net())
+            info = native_plan_cache_info()
+            assert info["structural"] == 1
+            assert info["evictions"] == 1
+        finally:
+            set_native_plan_cache_limit(previous)
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            set_native_plan_cache_limit(0)
+
+    def test_clear(self):
+        compile_native(diamond())
+        clear_native_plan_cache()
+        info = native_plan_cache_info()
+        assert info["identity"] == 0 and info["structural"] == 0
+
+    def test_plan_cache_info_reports_native_key(self):
+        # Satellite regression: the int64 cache report carries the
+        # native cache record under a nested ``native`` key.
+        compile_native(diamond())
+        info = plan_cache_info()
+        assert info["native"]["structural"] == 1
+        assert info["native"]["mode"] in ("numpy", "numba")
+        assert isinstance(info["native"]["numba_available"], bool)

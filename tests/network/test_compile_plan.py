@@ -9,6 +9,7 @@ structures; the unit tests pin the encoding, the plan cache, and the
 error-message parity of the thin scalar wrappers.
 """
 
+import importlib
 import random
 
 import numpy as np
@@ -313,6 +314,52 @@ class TestPlanStructure:
         plan = compile_plan(b.build())
         with pytest.raises(NetworkError, match="none bound"):
             plan.run(np.zeros((1, 1), dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Batch blocking
+# ---------------------------------------------------------------------------
+
+class TestRunBlocking:
+    """`run` chunks the batch dimension; results must not depend on it."""
+
+    def test_wide_batch_matches_monolithic(self, monkeypatch):
+        cp = importlib.import_module("repro.network.compile_plan")
+        net = random_network(seed=5, n_inputs=4, n_blocks=30)
+        plan = compile_plan(net)
+        rng = np.random.default_rng(5)
+        matrix = rng.integers(0, 40, size=(1300, 4)).astype(np.int64)
+        matrix[rng.random(matrix.shape) < 0.2] = INF_I64
+        blocked = plan.run(matrix)
+        monkeypatch.setattr(cp, "_RUN_BLOCK", 10**9)
+        np.testing.assert_array_equal(blocked, plan.run(matrix))
+
+    def test_block_boundary_batches(self, monkeypatch):
+        cp = importlib.import_module("repro.network.compile_plan")
+        net = random_network(seed=6, n_inputs=3, n_blocks=20)
+        plan = compile_plan(net)
+        monkeypatch.setattr(cp, "_RUN_BLOCK", 8)
+        rng = np.random.default_rng(6)
+        for batch in (0, 1, 7, 8, 9, 16, 17):
+            matrix = rng.integers(0, 20, size=(batch, 3)).astype(np.int64)
+            blocked = plan.run(matrix)
+            monkeypatch.setattr(cp, "_RUN_BLOCK", 10**9)
+            np.testing.assert_array_equal(blocked, plan.run(matrix))
+            monkeypatch.setattr(cp, "_RUN_BLOCK", 8)
+
+    def test_tracing_still_single_chunk(self, monkeypatch):
+        from repro.obs.trace import RecordingSink
+
+        cp = importlib.import_module("repro.network.compile_plan")
+        monkeypatch.setattr(cp, "_RUN_BLOCK", 2)
+        net = diamond()
+        matrix = encode_volleys([(0, 1)] * 5, arity=2)
+        sink = RecordingSink()
+        plan = compile_plan(net)
+        plan.run(matrix, sink=sink, trace_row=3)
+        reference = RecordingSink()
+        plan.run(matrix[3:4], sink=reference, trace_row=0)
+        assert sink.canonical() == reference.canonical()
 
 
 # ---------------------------------------------------------------------------

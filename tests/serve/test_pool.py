@@ -104,7 +104,9 @@ class TestWorkerBody:
         parent, thread = self.run_worker(registry)
         try:
             parent.send(("load", network.fingerprint(), serialize.dumps(network)))
-            assert parent.recv() == ("loaded", network.fingerprint())
+            op, model_id, warmups = parent.recv()
+            assert (op, model_id) == ("loaded", network.fingerprint())
+            assert warmups["int64"] == warmups["native"] == 2
             matrix = encoded_volleys(network, [(1, 2)])
             parent.send(("eval", 2, network.fingerprint(), matrix, {}))
             op, _job, result = parent.recv()
@@ -199,6 +201,63 @@ class TestProcessPool:
             ProcessWorkerPool(registry.documents(), n_workers=0)
 
 
+class TestEngines:
+    def test_ready_reports_warmups(self, registry):
+        parent, child = mp.Pipe(duplex=True)
+        thread = threading.Thread(
+            target=_worker_main,
+            args=(child, registry.documents(), True),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            ready = parent.recv()
+            assert ready[0] == "ready"
+            assert ready[3] == {"int64": 1, "native": 1}
+        finally:
+            parent.send(("stop",))
+            thread.join(timeout=5)
+
+    def test_worker_int64_engine_matches_native(self, registry, model_id):
+        from repro.core.value import INF
+
+        network = registry.resolve("demo").network
+        matrix = encoded_volleys(network, [(0, 1), (2, 3), (INF, 0)])
+        results = {}
+        for engine in ("native", "int64"):
+            parent, child = mp.Pipe(duplex=True)
+            thread = threading.Thread(
+                target=_worker_main,
+                args=(child, registry.documents(), True, engine),
+                daemon=True,
+            )
+            thread.start()
+            try:
+                assert parent.recv()[0] == "ready"
+                parent.send(("eval", 1, model_id, matrix, {}))
+                op, _job, result = parent.recv()
+                assert op == "ok"
+                results[engine] = result
+            finally:
+                parent.send(("stop",))
+                thread.join(timeout=5)
+        np.testing.assert_array_equal(results["native"], results["int64"])
+        np.testing.assert_array_equal(
+            results["native"], evaluate_batch(network, matrix)
+        )
+
+    def test_bad_engine_rejected(self, registry):
+        with pytest.raises(ValueError, match="engine"):
+            InlineWorkerPool(registry.documents(), engine="tpu")
+        with pytest.raises(ValueError, match="engine"):
+            ProcessWorkerPool(registry.documents(), engine="tpu")
+
+    def test_inline_pool_warmups_and_engine(self, registry):
+        pool = InlineWorkerPool(registry.documents())
+        assert pool.engine == "native"
+        assert pool.warmups() == [{"int64": 1, "native": 1}]
+
+
 class TestInlinePool:
     def test_eval_matches_direct(self, registry, model_id):
         network = registry.resolve("demo").network
@@ -207,6 +266,14 @@ class TestInlinePool:
         done, box, on_done, on_fail = _completion_recorder()
         pool.submit(Job(1, model_id, matrix, {}, on_done, on_fail))
         assert done.is_set()  # synchronous
+        np.testing.assert_array_equal(box["result"], evaluate_batch(network, matrix))
+
+    def test_int64_engine_eval(self, registry, model_id):
+        network = registry.resolve("demo").network
+        pool = InlineWorkerPool(registry.documents(), engine="int64")
+        matrix = encoded_volleys(network, [(2, 5)])
+        done, box, on_done, on_fail = _completion_recorder()
+        pool.submit(Job(1, model_id, matrix, {}, on_done, on_fail))
         np.testing.assert_array_equal(box["result"], evaluate_batch(network, matrix))
 
     def test_unknown_model_fails_job(self, registry):

@@ -50,12 +50,13 @@ class TestSaturation:
 
 
 class TestRegistry:
-    def test_four_stock_backends(self):
+    def test_five_stock_backends(self):
         assert oracle_names() == [
             "interpreted",
             "compiled-batch",
             "event-driven",
             "grl-circuit",
+            "native",
         ]
 
     def test_default_oracles_fresh_instances(self):
@@ -66,7 +67,7 @@ class TestRegistry:
     def test_include_grl_toggle(self):
         names = [o.name for o in default_oracles(include_grl=False)]
         assert "grl-circuit" not in names
-        assert len(names) == 3
+        assert len(names) == 4
 
 
 class TestStockOracles:
