@@ -24,6 +24,7 @@ from . import (
     coding,
     core,
     ir,
+    kernels,
     learning,
     network,
     neuron,
@@ -41,6 +42,7 @@ __all__ = [
     "coding",
     "core",
     "ir",
+    "kernels",
     "learning",
     "network",
     "neuron",

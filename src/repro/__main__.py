@@ -14,6 +14,10 @@ Commands:
   print/export the trace (JSONL and Chrome ``chrome://tracing`` JSON).
 * ``ir`` — lower a seeded column to the s-t program IR and report the
   optimizer pass pipeline's node counts, pass by pass.
+* ``kernels`` — the s-t kernel standard library: list the registry, or
+  ``--demo <name>`` to run a kernel's demo volley through every backend
+  (byte-identity checked) and print its inferred function-table
+  contract.
 * ``stats`` — runtime metrics: counters, timers and the plan-cache
   hit/miss record, optionally after exercising every backend once; with
   ``--json`` the serving-layer section (queue depth, batch histogram,
@@ -169,19 +173,32 @@ def _conformance(argv: list[str]) -> int:
             "raw networks (certifies the optimizer)"
         ),
     )
+    parser.add_argument(
+        "--family",
+        metavar="NAME",
+        help=(
+            "pin every case to one generator family (layered, srm0, wta, "
+            "kwta, microweight, kernels) instead of the weighted mix"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from .testing import run_conformance
 
-    report = run_conformance(
-        args.seed,
-        args.count,
-        smoke=args.smoke,
-        include_grl=not args.no_grl,
-        with_faults=not args.no_faults,
-        shrink=not args.no_shrink,
-        optimize=args.optimize,
-    )
+    try:
+        report = run_conformance(
+            args.seed,
+            args.count,
+            smoke=args.smoke,
+            include_grl=not args.no_grl,
+            with_faults=not args.no_faults,
+            shrink=not args.no_shrink,
+            optimize=args.optimize,
+            family=args.family,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
     print(report.summary())
     if args.emit:
         for mismatch in report.mismatches:
@@ -349,6 +366,98 @@ def _ir(argv: list[str]) -> int:
     return 0
 
 
+def _kernels(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro kernels",
+        description=(
+            "The s-t kernel standard library (repro.kernels): STICK-style "
+            "interval arithmetic, latch, barrier, router, and accumulator "
+            "kernels with named ports and per-kernel conformance "
+            "contracts.  With no arguments, lists the registry.  --demo "
+            "runs a kernel's demo volley through every execution backend "
+            "(outputs must be byte-identical) and prints its inferred "
+            "function tables.  Serve a kernel with `python -m repro serve "
+            "--kernel <name>`."
+        ),
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the kernel registry"
+    )
+    parser.add_argument(
+        "--demo",
+        metavar="NAME",
+        help="run NAME's demo volley on all backends + print its contract",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="override the function-table window for --demo",
+    )
+    parser.add_argument(
+        "--no-grl",
+        action="store_true",
+        help="skip the cycle-accurate GRL circuit backend in --demo",
+    )
+    args = parser.parse_args(argv)
+
+    from .kernels import KERNELS, KernelError, build_kernel
+
+    if args.demo is None:
+        print(f"registered s-t kernels ({len(KERNELS)}):")
+        for name, spec in KERNELS.items():
+            kernel = spec.build()
+            ports = f"{', '.join(kernel.inputs)} -> {', '.join(kernel.outputs)}"
+            print(f"  {name:<20} {ports}")
+            print(f"  {'':<20} {spec.description}")
+        print("\nrun one: python -m repro kernels --demo <name>")
+        return 0
+
+    try:
+        kernel = build_kernel(args.demo)
+    except KernelError as error:
+        print(f"error: {error}")
+        return 2
+    spec = KERNELS[args.demo]
+    print(kernel.describe())
+
+    from .testing.oracles import default_oracles, run_backends
+
+    volley = spec.demo_volley
+    print(f"\ndemo volley {volley}:")
+    run = run_backends(
+        kernel.network(),
+        [volley],
+        oracles=default_oracles(include_grl=not args.no_grl),
+    )
+    rows = {}
+    for backend, results in sorted(run.results.items()):
+        if results[0] is None:
+            reason = run.skipped.get(backend, "unsupported case")
+            print(f"  {backend:<15} skipped ({reason})")
+            continue
+        rows[backend] = results[0]
+        outputs = dict(zip(kernel.outputs, results[0]))
+        print(f"  {backend:<15} {outputs}")
+    agree = len(set(rows.values())) <= 1
+    print(
+        f"  -> {'byte-identical across ' + str(len(rows)) + ' backend(s)' if agree else 'BACKENDS DISAGREE'}"
+    )
+
+    window = args.window if args.window is not None else spec.table_window
+    print(f"\nfunction-table contract (window {window}):")
+    for port, table in kernel.contract(window=window).items():
+        rows = sorted(table.rows.items(), key=lambda item: str(item[0]))
+        print(f"  {port}: {len(rows)} row(s)")
+        for vector, value in rows[:12]:
+            print(f"    {vector} -> {value}")
+        if len(rows) > 12:
+            print(f"    ... {len(rows) - 12} more")
+    return 0 if agree else 1
+
+
 def _stats(argv: list[str]) -> int:
     import argparse
     import json
@@ -452,6 +561,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace(args[1:])
     if command == "ir":
         return _ir(args[1:])
+    if command == "kernels":
+        return _kernels(args[1:])
     if command == "stats":
         return _stats(args[1:])
     if command == "serve":
@@ -465,8 +576,8 @@ def main(argv: list[str] | None = None) -> int:
     if command == "info":
         return _info()
     print(
-        f"unknown command {command!r}; "
-        "try: info, selfcheck, conformance, trace, ir, stats, serve, loadgen"
+        f"unknown command {command!r}; try: info, selfcheck, conformance, "
+        "trace, ir, kernels, stats, serve, loadgen"
     )
     return 2
 

@@ -73,13 +73,27 @@ async def run_loadgen(
     model: str = "demo",
     model_seed: int = 0,
     smoke: bool = False,
+    kernel: Optional[str] = None,
     check: bool = True,
     deadline_ms: Optional[int] = None,
     shutdown: bool = False,
     metrics_out: Optional[str] = None,
 ) -> dict:
-    """Drive the server; returns the run report (also printed by the CLI)."""
-    network, _volley = demo_column(model_seed, smoke=smoke)
+    """Drive the server; returns the run report (also printed by the CLI).
+
+    With *kernel* set, the local oracle model is the stdlib kernel demo
+    (:func:`repro.kernels.demo_network` — a pure function of the name,
+    so client and server fingerprints agree by construction) and the
+    targeted served model defaults to ``kernel:<name>``.
+    """
+    if kernel is not None:
+        from ..kernels import demo_network
+
+        network = demo_network(kernel)
+        if model == "demo":
+            model = f"kernel:{kernel}"
+    else:
+        network, _volley = demo_column(model_seed, smoke=smoke)
     arity = len(network.input_ids)
     volleys = demo_volleys(arity, requests, seed=seed)
 
@@ -227,6 +241,14 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
         help="the server was started with --smoke (smaller demo model)",
     )
     parser.add_argument(
+        "--kernel",
+        metavar="NAME",
+        help=(
+            "target a stdlib kernel demo served via `serve --kernel NAME` "
+            "(rebuilds the same model locally for the byte-check)"
+        ),
+    )
+    parser.add_argument(
         "--no-check",
         action="store_true",
         help="skip the byte-identity conformance check",
@@ -254,13 +276,14 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
                 model=args.model,
                 model_seed=args.model_seed,
                 smoke=args.smoke,
+                kernel=args.kernel,
                 check=not args.no_check,
                 deadline_ms=args.deadline_ms,
                 shutdown=args.shutdown,
                 metrics_out=args.metrics_out,
             )
         )
-    except (LoadgenError, OSError) as error:
+    except (LoadgenError, OSError, ValueError) as error:
         print(f"loadgen failed: {error}")
         return 1
     print(

@@ -225,6 +225,12 @@ def build_service(args: argparse.Namespace) -> TNNService:
     registry = ModelRegistry()
     network, _volley = demo_column(args.model_seed, smoke=args.smoke)
     registry.register(network, name="demo")
+    for kernel_name in args.kernel or []:
+        from ..kernels import demo_network
+
+        registry.register(
+            demo_network(kernel_name), name=f"kernel:{kernel_name}"
+        )
     for path in args.model_file or []:
         from ..network import serialize
 
@@ -295,6 +301,15 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--smoke", action="store_true", help="smaller demo model (CI budget)"
+    )
+    parser.add_argument(
+        "--kernel",
+        action="append",
+        metavar="NAME",
+        help=(
+            "also serve a stdlib kernel demo model as 'kernel:NAME' "
+            "(repeatable; see `python -m repro kernels`)"
+        ),
     )
     parser.add_argument(
         "--model-file",

@@ -46,6 +46,7 @@ from .generators import (
     ConformanceCase,
     adversarial_volleys,
     generate_case,
+    random_kernel_network,
     random_layered_network,
 )
 from .served import ServedMismatch, ServedReport, check_served
@@ -102,6 +103,7 @@ __all__ = [
     "jitter_volley",
     "minimize_case",
     "oracle_names",
+    "random_kernel_network",
     "random_layered_network",
     "random_mutant",
     "register_oracle",

@@ -342,6 +342,7 @@ def run_conformance(
     with_faults: bool = True,
     shrink: bool = True,
     optimize: bool = False,
+    family: Optional[str] = None,
 ) -> ConformanceReport:
     """Sweep *count* seeded cases and (optionally) the fault self-check.
 
@@ -351,12 +352,16 @@ def run_conformance(
     counts for CI.  ``optimize=True`` runs the sweep on the IR
     pass-pipeline output instead of the raw networks — the same gate,
     now also certifying the optimizer.  (The fault self-check always
-    runs unoptimized: its mutants are Network-level edits.)
+    runs unoptimized: its mutants are Network-level edits.)  *family*
+    pins every case to one generator family (e.g. ``"kernels"``) so a
+    sweep can target one construction surface; the fault self-check
+    inherits the pin, proving the harness keeps its teeth on that
+    family's victims too.
     """
     oracles = default_oracles(include_grl=include_grl)
     report = ConformanceReport(seed=seed, count=count)
     for offset in range(count):
-        case = generate_case(seed + offset, smoke=smoke)
+        case = generate_case(seed + offset, smoke=smoke, family=family)
         run, mismatches = run_case(
             case, oracles=oracles, shrink=shrink, optimize=optimize
         )
@@ -370,7 +375,7 @@ def run_conformance(
         report.mismatches.extend(mismatches)
     if with_faults:
         report.fault_report = run_fault_selfcheck(
-            seed, smoke=smoke, shrink=shrink
+            seed, smoke=smoke, shrink=shrink, family=family
         )
     return report
 
@@ -386,6 +391,7 @@ def run_fault_selfcheck(
     attempts: int = 12,
     smoke: bool = False,
     shrink: bool = True,
+    family: Optional[str] = None,
 ) -> FaultSelfCheckReport:
     """Prove the diff has teeth: inject each fault class until caught.
 
@@ -394,7 +400,8 @@ def run_fault_selfcheck(
     reference.  A structurally injected fault can be semantically inert
     on a given case (an equivalent mutant), so up to *attempts* cases
     are tried before declaring the class undetected.  Each detection's
-    witness volley is shrunk to a minimal reproducer.
+    witness volley is shrunk to a minimal reproducer.  *family* pins the
+    victim cases to one generator family (kernel-built victims, etc.).
     """
     classes = list(classes) if classes is not None else list(FAULT_CLASSES)
     report = FaultSelfCheckReport()
@@ -409,7 +416,7 @@ def run_fault_selfcheck(
                 + attempt * 104729
                 + zlib.crc32(fault.name.encode()) % 1000
             )
-            case = generate_case(case_seed, smoke=smoke)
+            case = generate_case(case_seed, smoke=smoke, family=family)
             rng = random.Random(case_seed ^ 0xFA417)
             faulted = fault.build(case, rng)
             detection.attempts = attempt + 1

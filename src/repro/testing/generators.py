@@ -11,11 +11,16 @@ Two generator layers:
 * :func:`random_layered_network` — layered DAGs over the raw primitives
   with size/depth knobs, occasionally emitting zero-source min/max
   constants (the lattice identities, a known cross-backend hazard);
+* :func:`random_kernel_network` — random series compositions drawn from
+  the :mod:`repro.kernels` standard library (interval arithmetic,
+  latches, barriers, routers, accumulators), stages chained by port
+  renaming so composed kernel networks are fuzzed as first-class
+  citizens;
 * :func:`generate_case` — draws a whole case from one integer seed,
   mixing layered DAGs with the paper's composite constructions (SRM0
   sorting-network neurons, τ-WTA / k-WTA inhibition, micro-weight
-  programmable synapses) so the sweep also covers deep, structured,
-  parameterized networks.
+  programmable synapses) and composed kernels, so the sweep also covers
+  deep, structured, parameterized networks.
 
 Everything is a pure function of its seed — a failing case id is a
 complete reproduction recipe.
@@ -45,6 +50,7 @@ FAMILIES: tuple[tuple[str, int], ...] = (
     ("wta", 1),
     ("kwta", 1),
     ("microweight", 1),
+    ("kernels", 2),
 )
 
 
@@ -122,6 +128,58 @@ def random_layered_network(
 
 
 # ---------------------------------------------------------------------------
+# Random kernel compositions
+# ---------------------------------------------------------------------------
+
+def random_kernel_network(
+    *,
+    seed: int,
+    max_stages: int = 4,
+    smoke: bool = False,
+    name: Optional[str] = None,
+) -> Network:
+    """A random series composition from the s-t kernel stdlib.
+
+    Draws 2..*max_stages* kernels from :data:`repro.kernels.KERNELS`
+    (each with a registry-declared parameter variant), renames every
+    stage's outputs to unique labels, and renames each input either to a
+    distinct earlier output (wiring it in) or to a fresh exposed name.
+    The stages then flow through :func:`repro.kernels.compose` — so the
+    conformance sweep fuzzes exactly the composition surface users get,
+    including its unified-input and export-all-outputs semantics.
+    """
+    from ..kernels import KERNELS, build_kernel, compose
+
+    rng = random.Random(seed)
+    n_stages = rng.randint(2, 2 if smoke else max_stages)
+    stages = []
+    available: list[str] = []
+    for index in range(n_stages):
+        kernel_name = rng.choice(list(KERNELS))
+        variant = dict(rng.choice(KERNELS[kernel_name].variants))
+        kernel = build_kernel(kernel_name, **variant)
+        out_map = {port: f"s{index}_{port}" for port in kernel.outputs}
+        # Bind inputs to *distinct* earlier outputs (renamed ports must
+        # stay unique); unbound inputs get fresh exposed names.
+        pool = list(available)
+        rng.shuffle(pool)
+        in_map = {}
+        for port in kernel.inputs:
+            if pool and rng.random() < 0.7:
+                in_map[port] = pool.pop()
+            else:
+                in_map[port] = f"s{index}_in_{port}"
+        stages.append(
+            kernel.renamed(
+                inputs=in_map, outputs=out_map, name=f"s{index}-{kernel_name}"
+            )
+        )
+        available.extend(out_map.values())
+    composed = compose(*stages, name=name or f"kernels(seed={seed})")
+    return composed.network(name=name or f"kernels(seed={seed})")
+
+
+# ---------------------------------------------------------------------------
 # Adversarial volleys
 # ---------------------------------------------------------------------------
 
@@ -177,15 +235,27 @@ def _pick_family(rng: random.Random) -> str:
     return rng.choice(names)
 
 
-def generate_case(seed: int, *, smoke: bool = False) -> ConformanceCase:
+def generate_case(
+    seed: int, *, smoke: bool = False, family: Optional[str] = None
+) -> ConformanceCase:
     """Draw one conformance case from an integer seed.
 
     *smoke* shrinks every size knob so a CI smoke sweep stays under a
     few seconds while still crossing each family and each adversarial
-    volley shape.
+    volley shape.  *family* pins the case family instead of drawing it
+    from the weighted mix (``python -m repro conformance --family``) —
+    the seed still drives every other choice.
     """
     rng = random.Random(seed)
-    family = _pick_family(rng)
+    known = [name for name, _ in FAMILIES]
+    if family is None:
+        family = _pick_family(rng)
+    elif family not in known:
+        raise ValueError(
+            f"unknown family {family!r}; known: {', '.join(known)}"
+        )
+    else:
+        _pick_family(rng)  # keep the rng stream aligned with mixed draws
     params: dict[str, Time] = {}
 
     if family == "layered":
@@ -219,6 +289,10 @@ def generate_case(seed: int, *, smoke: bool = False) -> ConformanceCase:
     elif family == "kwta":
         n_lines = rng.randint(4, 4 if smoke else 6)
         network = build_k_wta_network(n_lines, rng.randint(1, n_lines - 1))
+    elif family == "kernels":
+        network = random_kernel_network(
+            seed=rng.randrange(2**31), smoke=smoke
+        )
     else:  # microweight
         n_inputs = 2
         max_weight = rng.randint(1, 2)

@@ -1,0 +1,36 @@
+"""The fault harness keeps its teeth on kernel-built victims.
+
+Re-runs the five fault classes (network mutation, plan reorder, spike
+jitter, line drop, stuck-at-zero) with every victim case pinned to the
+``kernels`` generator family — composed stdlib kernels, not hand-rolled
+DAGs.  Every class must be detected, its witness shrunk, and a pytest
+reproducer emitted.
+"""
+
+from repro.testing.conformance import run_fault_selfcheck
+from repro.testing.faults import FAULT_CLASSES
+
+
+class TestKernelVictims:
+    def test_all_five_classes_detected_and_shrunk(self):
+        report = run_fault_selfcheck(seed=0, smoke=True, family="kernels")
+        assert len(report.detections) == len(FAULT_CLASSES) == 5
+        assert report.ok, str(report)
+        for detection in report.detections:
+            assert detection.detected, detection.fault
+            # every victim really was a kernel composition
+            assert detection.case_name.startswith("kernels[")
+            # the witness was shrunk and a reproducer emitted
+            assert detection.witness is not None
+            assert detection.regression_test
+            assert "def test_" in detection.regression_test
+
+    def test_detection_is_deterministic_per_seed(self):
+        first = run_fault_selfcheck(seed=3, smoke=True, family="kernels")
+        second = run_fault_selfcheck(seed=3, smoke=True, family="kernels")
+        assert [d.witness for d in first.detections] == [
+            d.witness for d in second.detections
+        ]
+        assert [d.case_name for d in first.detections] == [
+            d.case_name for d in second.detections
+        ]

@@ -163,3 +163,74 @@ class TestCli:
         assert code == 0
         assert "fault self-check" not in out
         assert "verdict: OK" in out
+
+    def test_kernels_lists_registry(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "registered s-t kernels (9)" in out
+        for name in (
+            "interval-shift",
+            "interval-intersect",
+            "latch",
+            "barrier",
+            "router",
+            "accumulator",
+        ):
+            assert name in out
+
+    def test_kernels_demo_runs_all_backends(self, capsys):
+        assert main(["kernels", "--demo", "latch"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel latch" in out
+        assert "byte-identical across 5 backend(s)" in out
+        for backend in (
+            "interpreted",
+            "compiled-batch",
+            "event-driven",
+            "grl-circuit",
+            "native",
+        ):
+            assert backend in out
+        assert "function-table contract" in out
+        assert "q:" in out and "missed:" in out
+
+    def test_kernels_demo_no_grl(self, capsys):
+        assert main(["kernels", "--demo", "router", "--no-grl"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical across 4 backend(s)" in out
+
+    def test_kernels_demo_unknown_name(self, capsys):
+        assert main(["kernels", "--demo", "bogus"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown kernel" in out
+        assert "interval-shift" in out
+
+    def test_conformance_family_pin(self, capsys):
+        code = main(
+            [
+                "conformance",
+                "--seed",
+                "0",
+                "--count",
+                "2",
+                "--smoke",
+                "--family",
+                "kernels",
+                "--no-faults",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "zero cross-backend disagreements" in out
+
+    def test_conformance_family_unknown(self, capsys):
+        code = main(
+            ["conformance", "--count", "1", "--family", "bogus"]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown family" in out
+
+    def test_unknown_command_mentions_kernels(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "kernels" in capsys.readouterr().out
