@@ -27,6 +27,9 @@ Commands:
   keyed model registry.  See ``python -m repro serve --help``.
 * ``loadgen`` — drive a running server with seeded volleys and byte-check
   every response against a direct local ``evaluate_batch``.
+* ``top`` — live terminal dashboard for a running server: throughput,
+  queue gauges, per-stage latency quantiles, worker pool and
+  flight-recorder state (``--once`` for a single scriptable frame).
 * ``info`` — version and package inventory.
 
 Exit status is non-zero when a selfcheck, conformance, trace, or
@@ -573,11 +576,15 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.loadgen import loadgen_main
 
         return loadgen_main(args[1:])
+    if command == "top":
+        from .serve.top import top_main
+
+        return top_main(args[1:])
     if command == "info":
         return _info()
     print(
         f"unknown command {command!r}; try: info, selfcheck, conformance, "
-        "trace, ir, kernels, stats, serve, loadgen"
+        "trace, ir, kernels, stats, serve, loadgen, top"
     )
     return 2
 

@@ -20,9 +20,20 @@ batches where the compiled engine
 * :mod:`repro.serve.protocol` — the wire format (``∞`` is ``null``) and
   the canonical response encoding the byte-identity contract is stated
   over;
-* :mod:`repro.serve.stats` — batch-size histogram, latency quantiles,
-  and queue gauges, surfaced by ``python -m repro stats --json`` and the
-  server's ``metrics`` endpoint.
+* :mod:`repro.serve.stats` — batch-size histogram, per-model/per-stage/
+  per-outcome sliding-window latency histograms, and queue gauges,
+  surfaced by ``python -m repro stats --json``, the server's ``metrics``
+  endpoint, and the Prometheus-format ``metrics_text`` op;
+* :mod:`repro.serve.top` — ``python -m repro top``, a live terminal
+  dashboard polling a running server's ``metrics`` op.
+
+Request-scoped observability lives in :mod:`repro.obs.rtrace`: with
+tracing enabled every request carries a span tree (admission → batch
+wait → dispatch attempts → engine → response encode) under one trace id
+— client-supplied via the wire ``trace`` field or derived from the
+request counter — and finished traces land in the bounded flight
+recorder, dumped on worker crashes, deadline misses, overload bursts,
+or ``SIGUSR2``.
 
 The conformance contract: every served response is byte-identical to a
 direct ``evaluate_batch`` of the same volleys — including under injected
@@ -45,7 +56,13 @@ from .protocol import (
 )
 from .registry import ModelEntry, ModelRegistry
 from .service import TNNService
-from .stats import SERVE_STATS, reset_serve_stats, serve_stats_snapshot
+from .stats import (
+    PROMETHEUS_CONTENT_TYPE,
+    SERVE_STATS,
+    prometheus_text,
+    reset_serve_stats,
+    serve_stats_snapshot,
+)
 
 __all__ = [
     "Batch",
@@ -56,6 +73,7 @@ __all__ = [
     "MicroBatcher",
     "ModelEntry",
     "ModelRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "PROTOCOL",
     "PendingRequest",
     "ProcessWorkerPool",
@@ -69,6 +87,7 @@ __all__ = [
     "eval_request",
     "ok_response",
     "parse_request",
+    "prometheus_text",
     "reset_serve_stats",
     "serve_stats_snapshot",
 ]

@@ -73,6 +73,16 @@ class PendingRequest:
     #: Volley pre-encoded to int64 at admission (validation already pays
     #: for the conversion, so dispatch reuses it instead of re-encoding).
     encoded: Optional[tuple] = None
+    #: Display name of the target model (latency-histogram label).
+    model_name: str = ""
+    #: When the request was last handed to a worker (0.0 = never
+    #: dispatched); stage-latency attribution reads it at completion.
+    dispatched: float = 0.0
+    #: The request's span tree when request tracing is enabled
+    #: (:mod:`repro.obs.rtrace`); ``None`` costs the disabled path
+    #: nothing.  A crash-retried batch re-dispatches these same request
+    #: objects, so both attempts' spans land in one trace.
+    trace: "object | None" = None
 
     def expired(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -90,6 +100,10 @@ class Batch:
     requests: list[PendingRequest]
     opened: float
     attempts: int = 0
+    #: Worker-reported timing payload for the latest attempt (engine
+    #: wall clock + phase attribution), delivered just before the
+    #: completion callback; ``None`` when the executing pool sent none.
+    extras: "dict | None" = None
 
     @property
     def model_id(self) -> str:

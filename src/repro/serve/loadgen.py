@@ -78,6 +78,8 @@ async def run_loadgen(
     deadline_ms: Optional[int] = None,
     shutdown: bool = False,
     metrics_out: Optional[str] = None,
+    trace: bool = False,
+    report_out: Optional[str] = None,
 ) -> dict:
     """Drive the server; returns the run report (also printed by the CLI).
 
@@ -85,6 +87,12 @@ async def run_loadgen(
     (:func:`repro.kernels.demo_network` — a pure function of the name,
     so client and server fingerprints agree by construction) and the
     targeted served model defaults to ``kernel:<name>``.
+
+    With *trace* on, every request carries a deterministic trace id
+    (``lg<i>``) and the byte-check expects the echoed ``trace`` field in
+    each response — so the traced serving path is held to the exact same
+    byte-identity contract as the untraced one.  *report_out* writes the
+    run report as JSON (the CI overhead comparison reads two of these).
     """
     if kernel is not None:
         from ..kernels import demo_network
@@ -97,13 +105,17 @@ async def run_loadgen(
     arity = len(network.input_ids)
     volleys = demo_volleys(arity, requests, seed=seed)
 
+    trace_ids: list[Optional[str]] = [
+        f"lg{i}" if trace else None for i in range(requests)
+    ]
     expected_lines: list[Optional[str]] = [None] * requests
     if check:
         from ..network.compile_plan import decode_matrix, evaluate_batch
 
         direct = decode_matrix(evaluate_batch(network, volleys))
         expected_lines = [
-            canonical(ok_response(i, tuple(row))) for i, row in enumerate(direct)
+            canonical(ok_response(i, tuple(row), trace=trace_ids[i]))
+            for i, row in enumerate(direct)
         ]
 
     # Fingerprint handshake: the byte-check below is only meaningful if
@@ -134,7 +146,7 @@ async def run_loadgen(
             if i is None:
                 return
             message = eval_request(
-                i, model, volleys[i], deadline_ms=deadline_ms
+                i, model, volleys[i], deadline_ms=deadline_ms, trace=trace_ids[i]
             )
             start = time.perf_counter()
             reply = await _request(r, w, message)
@@ -210,7 +222,13 @@ async def run_loadgen(
         else 0.0,
         "engine": serve_info.get("engine"),
         "warmups": serve_info.get("warmups"),
+        "traced": trace,
     }
+    if report_out:
+        Path(report_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     return report
 
 
@@ -264,6 +282,19 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
         metavar="PATH",
         help="fetch the server metrics snapshot and write it here",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "attach a deterministic trace id to every request and "
+            "byte-check the echoed trace field"
+        ),
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        help="write the run report as JSON (for throughput comparisons)",
+    )
     args = parser.parse_args(argv)
     try:
         report = asyncio.run(
@@ -281,6 +312,8 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
                 deadline_ms=args.deadline_ms,
                 shutdown=args.shutdown,
                 metrics_out=args.metrics_out,
+                trace=args.trace,
+                report_out=args.report_out,
             )
         )
     except (LoadgenError, OSError, ValueError) as error:

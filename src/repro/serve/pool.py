@@ -42,10 +42,16 @@ import numpy as np
 
 from ..core.value import INF, Time
 from ..obs import metrics as _obs_metrics
+from ..obs import rtrace as _rtrace
 from .protocol import E_WORKER, ServeError
 
 #: Sentinel import kept local to the worker body; see _worker_main.
 from ..network.compile_plan import INF_I64
+
+#: A worker piggybacks its own metrics snapshot on every Nth eval reply
+#: (the frontend cannot see child-process registries otherwise; every
+#: reply would double the IPC payload for slow-moving counters).
+_METRICS_PIGGYBACK_EVERY = 16
 
 
 def _decode_params(params_enc: dict[str, int]) -> dict[str, Time]:
@@ -64,6 +70,14 @@ class Job:
     ``on_fail`` receives a human-readable reason.  Exactly one of the
     two is invoked, from the pool's collector thread (process pool) or
     the submitting thread (inline pool) — callbacks must be thread-safe.
+
+    ``want_spans`` asks the executing worker to time the engine run and
+    report it back: level 1 is wall clock only (two clock reads), level
+    2 additionally runs the engine under :mod:`repro.obs.profile` for
+    per-phase attribution (the priced path — the service samples it).
+    ``on_extras``, when set, receives that timing payload —
+    ``{"eval_s": float, "phases": {name: seconds}}`` — immediately
+    before ``on_done``/``on_fail``.
     """
 
     job_id: int
@@ -72,6 +86,8 @@ class Job:
     params_enc: dict[str, int]
     on_done: Callable[[np.ndarray], None]
     on_fail: Callable[[str], None]
+    want_spans: int = 0
+    on_extras: "Callable[[dict], None] | None" = None
 
 
 # ---------------------------------------------------------------------------
@@ -93,16 +109,28 @@ def _worker_main(
 
     * ``("eval", job_id, model_id, matrix, params_enc)`` →
       ``("ok", job_id, result)`` or ``("err", job_id, reason)``
+    * ``("eval", job_id, model_id, matrix, params_enc, want_spans)`` —
+      the extended form the pool sends — additionally piggybacks an
+      *extras* dict on the reply (``("ok", job_id, result, extras)``):
+      the worker's own metrics snapshot every
+      :data:`_METRICS_PIGGYBACK_EVERY` replies (so the frontend can
+      aggregate per-worker counters it otherwise cannot see), plus
+      engine span timings when *want_spans* is non-zero — wall clock at
+      level 1, wall clock + ``phase.*`` attribution deltas at level 2;
     * ``("load", model_id, document)`` → ``("loaded", model_id)``
     * ``("ping", token)`` → ``("pong", token)``
     * ``("crash",)`` → hard ``os._exit`` (fault-injection hook)
     * ``("stop",)`` → clean return
     """
+    import time as _time
+
     from ..ir.passes import optimize_program
     from ..ir.program import lower
     from ..native import compile_native, evaluate_batch_native
     from ..network import serialize
     from ..network.compile_plan import compile_plan, evaluate_batch
+    from ..obs import profile as _profile
+    from ..obs.metrics import METRICS as _worker_metrics
 
     warmups = {"int64": 0, "native": 0}
 
@@ -124,7 +152,28 @@ def _worker_main(
 
     evaluate = evaluate_batch_native if engine == "native" else evaluate_batch
     programs = {mid: load(mid, doc) for mid, doc in documents.items()}
+    # The compiled programs and warmed plans are immortal from here on;
+    # freeze them out of the cyclic GC so steady-state eval batches never
+    # pay a full collection that walks the model heap.
+    import gc as _gc
+
+    _gc.collect()
+    _gc.freeze()
     conn.send(("ready", os.getpid(), sorted(programs), dict(warmups)))
+    replies = 0
+
+    def build_extras(want_spans: int, eval_s: "float | None", phases: dict) -> dict:
+        extras: dict = {}
+        if want_spans and eval_s is not None:
+            extras["eval_s"] = eval_s
+            if phases:
+                extras["phases"] = phases
+        if replies % _METRICS_PIGGYBACK_EVERY == 0:
+            snapshot = _worker_metrics.snapshot()
+            snapshot["pid"] = os.getpid()
+            extras["metrics"] = snapshot
+        return extras
+
     while True:
         try:
             message = conn.recv()
@@ -132,17 +181,53 @@ def _worker_main(
             return
         op = message[0]
         if op == "eval":
-            _op, job_id, model_id, matrix, params_enc = message
+            job_id, model_id, matrix, params_enc = message[1:5]
+            # Legacy 5-tuple messages get the legacy 3-tuple reply;
+            # the pool always sends the extended 6-tuple form.
+            extended = len(message) > 5
+            want_spans = int(message[5]) if extended else 0
+            eval_s: "float | None" = None
+            phases: dict[str, float] = {}
             try:
                 program = programs.get(model_id)
                 if program is None:
                     raise KeyError(f"model {model_id[:12]} not loaded")
-                result = evaluate(
-                    program, matrix, params=_decode_params(params_enc)
-                )
-                conn.send(("ok", job_id, result))
+                if want_spans >= 2:
+                    # Sampled: run under the profiler for phase deltas.
+                    before = dict(_worker_metrics._timer_totals)
+                    started = _time.perf_counter()
+                    with _profile.profiled():
+                        result = evaluate(
+                            program, matrix, params=_decode_params(params_enc)
+                        )
+                    eval_s = _time.perf_counter() - started
+                    phases = {
+                        name[len("phase."):]: total - before.get(name, 0.0)
+                        for name, total in _worker_metrics._timer_totals.items()
+                        if name.startswith("phase.")
+                        and total - before.get(name, 0.0) > 0.0
+                    }
+                elif want_spans:
+                    # Every traced batch: wall clock only (two reads).
+                    started = _time.perf_counter()
+                    result = evaluate(
+                        program, matrix, params=_decode_params(params_enc)
+                    )
+                    eval_s = _time.perf_counter() - started
+                else:
+                    result = evaluate(
+                        program, matrix, params=_decode_params(params_enc)
+                    )
+                reply: tuple = ("ok", job_id, result)
+                if extended:
+                    reply += (build_extras(want_spans, eval_s, phases),)
+                conn.send(reply)
             except Exception as exc:  # noqa: BLE001 - reported to the parent
-                conn.send(("err", job_id, f"{type(exc).__name__}: {exc}"))
+                reply = ("err", job_id, f"{type(exc).__name__}: {exc}")
+                if extended:
+                    reply += (build_extras(False, None, {}),)
+                conn.send(reply)
+            replies += 1
         elif op == "load":
             _op, model_id, document = message
             programs[model_id] = load(model_id, document)
@@ -173,6 +258,9 @@ class _WorkerHandle:
     #: Per-engine plan warmup counts the worker reported at ready (and
     #: refreshes on every subsequent model load).
     warmups: dict[str, int] = field(default_factory=dict)
+    #: The worker's most recent piggybacked metrics snapshot (may lag
+    #: by up to :data:`_METRICS_PIGGYBACK_EVERY` replies).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def inflight(self) -> int:
@@ -307,6 +395,16 @@ class ProcessWorkerPool:
         with self._lock:
             return [dict(w.warmups) for w in self._workers]
 
+    def worker_metrics(self) -> list[dict]:
+        """Each worker's latest piggybacked metrics snapshot.
+
+        One entry per slot that has reported at least once; snapshots
+        may lag live state by up to :data:`_METRICS_PIGGYBACK_EVERY`
+        eval replies.
+        """
+        with self._lock:
+            return [dict(w.metrics) for w in self._workers if w.metrics]
+
     # -- dispatch -------------------------------------------------------------
     def submit(self, job: Job) -> None:
         """Send *job* to the least-loaded alive worker."""
@@ -320,7 +418,14 @@ class ProcessWorkerPool:
             worker.jobs[job.job_id] = job
             try:
                 worker.conn.send(
-                    ("eval", job.job_id, job.model_id, job.matrix, job.params_enc)
+                    (
+                        "eval",
+                        job.job_id,
+                        job.model_id,
+                        job.matrix,
+                        job.params_enc,
+                        job.want_spans,
+                    )
                 )
             except (OSError, BrokenPipeError):
                 # The pipe died under us; the collector will reap the
@@ -377,11 +482,16 @@ class ProcessWorkerPool:
     def _deliver(self, worker: _WorkerHandle, message: tuple) -> None:
         op = message[0]
         if op in ("ok", "err"):
-            _op, job_id, payload = message
+            job_id, payload = message[1], message[2]
+            extras = message[3] if len(message) > 3 else None
             with self._lock:
                 job = worker.jobs.pop(job_id, None)
+                if extras and "metrics" in extras:
+                    worker.metrics = extras["metrics"]
             if job is None:
                 return  # job already failed over after a crash race
+            if extras and job.on_extras is not None:
+                job.on_extras(extras)
             if op == "ok":
                 job.on_done(payload)
             else:
@@ -400,6 +510,7 @@ class ProcessWorkerPool:
             worker.jobs.clear()
             can_restart = not self._stopping and self._restarts < self._max_restarts
         _obs_metrics.METRICS.inc("serve.worker.failures", len(orphans))
+        _rtrace.FLIGHT.trip("worker-crash")
         worker.process.join(timeout=1.0)
         for job in orphans:
             job.on_fail(f"worker {worker.slot} crashed")
@@ -474,7 +585,13 @@ class InlineWorkerPool:
     def warmups(self) -> list[dict[str, int]]:
         return [dict(self._warmups)]
 
+    def worker_metrics(self) -> list[dict]:
+        """Inline execution shares the frontend registry: nothing extra."""
+        return []
+
     def submit(self, job: Job) -> None:
+        import time as _time
+
         from ..native import evaluate_batch_native
         from ..network.compile_plan import evaluate_batch
 
@@ -489,6 +606,7 @@ class InlineWorkerPool:
         evaluate = (
             evaluate_batch_native if self._engine == "native" else evaluate_batch
         )
+        started = _time.perf_counter() if job.want_spans else 0.0
         try:
             result = evaluate(
                 program, job.matrix, params=_decode_params(job.params_enc)
@@ -497,6 +615,8 @@ class InlineWorkerPool:
             _obs_metrics.METRICS.inc("serve.worker.failures")
             job.on_fail(f"{type(exc).__name__}: {exc}")
             return
+        if job.want_spans and job.on_extras is not None:
+            job.on_extras({"eval_s": _time.perf_counter() - started})
         job.on_done(result)
 
     def add_model(self, model_id: str, document: str) -> None:

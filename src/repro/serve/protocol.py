@@ -14,11 +14,20 @@ Operations
 ----------
 ``eval``
     ``{"op": "eval", "id": 7, "model": "demo", "volley": [3, null, 0]}``
-    with optional ``params`` (``{"name": 0 | null}``) and ``deadline_ms``
-    (a relative per-request deadline).  Reply: ``{"id": 7, "ok": true,
-    "outputs": [...]}`` or an error response.
+    with optional ``params`` (``{"name": 0 | null}``), ``deadline_ms``
+    (a relative per-request deadline), and ``trace`` (a client-chosen
+    trace id; echoed verbatim in the response and propagated through the
+    request-tracing spans, including across worker-crash retries).
+    Reply: ``{"id": 7, "ok": true, "outputs": [...]}`` or an error
+    response — plus ``"trace"`` when the request carried one.
 ``health`` / ``metrics`` / ``models``
     Introspection; replies carry ``ok: true`` plus the payload.
+``metrics_text``
+    The same telemetry in Prometheus text exposition format: the reply
+    is ``{"ok": true, "content_type": "text/plain; version=0.0.4",
+    "text": "..."}`` with one exposition document in ``text`` —
+    per-model/per-stage/per-outcome latency histograms, serve counters,
+    and gauges.
 ``shutdown``
     Ask the server to stop accepting work, drain, and exit.
 
@@ -63,7 +72,11 @@ ERROR_CODES = (
 )
 
 #: Request operations the server understands.
-OPS = ("eval", "health", "metrics", "models", "shutdown")
+OPS = ("eval", "health", "metrics", "metrics_text", "models", "shutdown")
+
+#: Longest accepted client-supplied trace id (a sanity bound, not a
+#: format: any non-empty string up to this length is a valid trace id).
+MAX_TRACE_ID = 128
 
 
 class ProtocolError(ValueError):
@@ -166,6 +179,7 @@ def eval_request(
     *,
     params: Optional[Mapping[str, Time]] = None,
     deadline_ms: Optional[int] = None,
+    trace: Optional[str] = None,
 ) -> dict[str, Any]:
     """An ``eval`` request message."""
     message: dict[str, Any] = {
@@ -178,19 +192,40 @@ def eval_request(
         message["params"] = params_to_wire(params)
     if deadline_ms is not None:
         message["deadline_ms"] = int(deadline_ms)
+    if trace is not None:
+        message["trace"] = trace
     return message
 
 
-def ok_response(req_id: Any, outputs: Sequence[Time]) -> dict[str, Any]:
-    """A successful ``eval`` response."""
-    return {"id": req_id, "ok": True, "outputs": volley_to_wire(outputs)}
+def ok_response(
+    req_id: Any, outputs: Sequence[Time], *, trace: Optional[str] = None
+) -> dict[str, Any]:
+    """A successful ``eval`` response (echoing the client trace id, if any)."""
+    message: dict[str, Any] = {
+        "id": req_id,
+        "ok": True,
+        "outputs": volley_to_wire(outputs),
+    }
+    if trace is not None:
+        message["trace"] = trace
+    return message
 
 
-def error_response(req_id: Any, code: str, message: str) -> dict[str, Any]:
+def error_response(
+    req_id: Any, code: str, message: str, *, trace: Optional[str] = None
+) -> dict[str, Any]:
     """An error response carrying a machine-readable *code*."""
     if code not in ERROR_CODES:
         raise ValueError(f"unknown serve error code {code!r}")
-    return {"id": req_id, "ok": False, "code": code, "error": message}
+    response: dict[str, Any] = {
+        "id": req_id,
+        "ok": False,
+        "code": code,
+        "error": message,
+    }
+    if trace is not None:
+        response["trace"] = trace
+    return response
 
 
 # ---------------------------------------------------------------------------
@@ -230,4 +265,14 @@ def parse_request(line: "str | bytes") -> dict[str, Any]:
             or deadline < 0
         ):
             raise ProtocolError("deadline_ms must be a non-negative integer")
+        trace = message.get("trace")
+        if trace is not None and (
+            not isinstance(trace, str)
+            or not trace
+            or len(trace) > MAX_TRACE_ID
+        ):
+            raise ProtocolError(
+                f"trace must be a non-empty string of at most "
+                f"{MAX_TRACE_ID} characters"
+            )
     return message

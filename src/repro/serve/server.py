@@ -24,11 +24,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import contextlib
+import gc
 import json
 import signal
 from pathlib import Path
+from time import monotonic
 from typing import Optional
 
+from ..obs import rtrace as _rtrace
 from .protocol import (
     E_BAD_REQUEST,
     PROTOCOL,
@@ -42,10 +45,16 @@ from .protocol import (
 from .service import TNNService
 
 
-async def _write(writer: asyncio.StreamWriter, lock: asyncio.Lock, message: dict) -> None:
+async def _write_line(
+    writer: asyncio.StreamWriter, lock: asyncio.Lock, data: bytes
+) -> None:
     async with lock:
-        writer.write(encode_line(message))
+        writer.write(data)
         await writer.drain()
+
+
+async def _write(writer: asyncio.StreamWriter, lock: asyncio.Lock, message: dict) -> None:
+    await _write_line(writer, lock, encode_line(message))
 
 
 async def _finish_eval(
@@ -56,34 +65,101 @@ async def _finish_eval(
 ) -> None:
     req_id = message.get("id")
     deadline_ms = message.get("deadline_ms")
+    # A client-supplied trace id is echoed on every response for this
+    # request; server-generated ids stay internal so untraced clients
+    # keep their byte-identity contract.
+    trace_id = message.get("trace")
     try:
         future = service.submit(
             message["model"],
             message["volley_times"],
             params=message["params_times"],
             deadline_s=None if deadline_ms is None else deadline_ms / 1e3,
+            trace_id=trace_id,
         )
     except ServeError as error:
-        await _write(writer, lock, error_response(req_id, error.code, error.message))
+        await _write(
+            writer,
+            lock,
+            error_response(req_id, error.code, error.message, trace=trace_id),
+        )
         return
     try:
         outputs = await asyncio.wrap_future(future)
     except ServeError as error:
-        await _write(writer, lock, error_response(req_id, error.code, error.message))
+        await _write(
+            writer,
+            lock,
+            error_response(req_id, error.code, error.message, trace=trace_id),
+        )
         return
-    await _write(writer, lock, ok_response(req_id, outputs))
+    trace = getattr(future, "rtrace", None)
+    if trace is None:
+        await _write(writer, lock, ok_response(req_id, outputs, trace=trace_id))
+        return
+    # Time the response encode as the trace's final span; the root is
+    # stretched to cover it so the recorded trace stays well-formed
+    # (the ring holds this same object, so the span is visible there).
+    start = monotonic()
+    data = encode_line(ok_response(req_id, outputs, trace=trace_id))
+    end = monotonic()
+    trace.graft("encode", start, end, 0)
+    trace.stretch(end)
+    await _write_line(writer, lock, data)
+
+
+def _merge_worker_metrics(snapshots: list[dict]) -> dict:
+    """Aggregate per-worker registry snapshots into one registry shape."""
+    counters: dict[str, int] = {}
+    timers: dict[str, dict] = {}
+    maxima: dict[str, int] = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, entry in snapshot.get("timers", {}).items():
+            slot = timers.setdefault(name, {"calls": 0, "total_s": 0.0})
+            slot["calls"] += entry.get("calls", 0)
+            slot["total_s"] += entry.get("total_s", 0.0)
+        for name, value in snapshot.get("maxima", {}).items():
+            maxima[name] = max(maxima.get(name, 0), value)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "timers": {name: timers[name] for name in sorted(timers)},
+        "maxima": dict(sorted(maxima.items())),
+    }
 
 
 def _metrics_payload(service: TNNService) -> dict:
     from ..network.compile_plan import plan_cache_info
     from ..obs.metrics import METRICS
 
+    per_worker = service.worker_metrics()
     return {
         "ok": True,
         "serve": service.stats(),
         "metrics": METRICS.snapshot(),
         "plan_cache": plan_cache_info(),
+        # The frontend cannot see child-process registries directly;
+        # workers piggyback snapshots on eval replies (so these may lag
+        # live state by a few batches).
+        "workers": {
+            "reporting": len(per_worker),
+            "per_worker": per_worker,
+            "merged": _merge_worker_metrics(per_worker),
+        },
     }
+
+
+def _metrics_text_payload(service: TNNService) -> dict:
+    from .stats import PROMETHEUS_CONTENT_TYPE, prometheus_text
+
+    text = prometheus_text(
+        extra_gauges={
+            "serve.pool.inflight": service.pool.inflight(),
+            "serve.pending": service.pending(),
+        }
+    )
+    return {"ok": True, "content_type": PROMETHEUS_CONTENT_TYPE, "text": text}
 
 
 async def _handle_connection(
@@ -132,6 +208,8 @@ async def _handle_connection(
                 )
             elif op == "metrics":
                 await _write(writer, lock, _metrics_payload(service))
+            elif op == "metrics_text":
+                await _write(writer, lock, _metrics_text_payload(service))
             elif op == "models":
                 await _write(
                     writer,
@@ -164,6 +242,7 @@ async def run_server_async(
     port: int = 0,
     metrics_out: Optional[str] = None,
     port_file: Optional[str] = None,
+    flight_out: Optional[str] = None,
     ready: Optional["asyncio.Future[int]"] = None,
 ) -> int:
     """Serve until a ``shutdown`` request or SIGINT/SIGTERM; returns 0.
@@ -171,7 +250,10 @@ async def run_server_async(
     *ready* (if given) resolves to the bound port once listening —
     in-process callers (tests, benchmarks) use it instead of polling;
     *port_file* writes the bound port to disk for shell callers using
-    ``--port 0``.
+    ``--port 0``.  *flight_out* is a path prefix: the flight recorder is
+    dumped to ``<prefix>.jsonl`` + ``<prefix>.trace.json`` on
+    ``SIGUSR2`` and (rate-limited) whenever a trip — worker crash,
+    deadline miss, overload burst — is observed.
     """
     shutdown = asyncio.Event()
     conn_tasks: set[asyncio.Task] = set()
@@ -181,12 +263,43 @@ async def run_server_async(
         conn_tasks.add(task)
         task.add_done_callback(conn_tasks.discard)
 
+    def _dump_flight(reason: str) -> None:
+        if not flight_out:
+            return
+        try:
+            paths = _rtrace.FLIGHT.dump_to(flight_out, reason=reason)
+            print(f"flight recorder dumped ({reason}): {paths}", flush=True)
+        except OSError as exc:
+            print(f"flight dump failed: {exc}", flush=True)
+
+    async def _watch_trips() -> None:
+        # Anomalies trip the recorder from service/pool threads; file
+        # I/O happens here, on the loop, rate-limited to one dump per
+        # watch interval.  dump_to itself trips "<reason>", so only
+        # *foreign* trip growth counts.
+        seen = sum(_rtrace.FLIGHT.stats()["trips"].values())
+        while True:
+            await asyncio.sleep(1.0)
+            trips = _rtrace.FLIGHT.stats()["trips"]
+            total = sum(trips.values())
+            if total > seen:
+                reason = max(trips, key=trips.get)
+                _dump_flight(f"trip:{reason}")
+                seen = sum(_rtrace.FLIGHT.stats()["trips"].values())
+
     server = await asyncio.start_server(_on_connection, host=host, port=port)
     bound_port = server.sockets[0].getsockname()[1]
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGINT, signal.SIGTERM):
         with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
             loop.add_signal_handler(signum, shutdown.set)
+    trip_watcher: Optional[asyncio.Task] = None
+    if flight_out:
+        with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+            loop.add_signal_handler(
+                signal.SIGUSR2, lambda: _dump_flight("sigusr2")
+            )
+        trip_watcher = asyncio.ensure_future(_watch_trips())
     if port_file:
         Path(port_file).write_text(f"{bound_port}\n", encoding="utf-8")
     if ready is not None and not ready.done():
@@ -204,6 +317,10 @@ async def run_server_async(
         for task in list(conn_tasks):
             task.cancel()
         await asyncio.gather(*conn_tasks, return_exceptions=True)
+    if trip_watcher is not None:
+        trip_watcher.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await trip_watcher
     if metrics_out:
         Path(metrics_out).write_text(
             json.dumps(_metrics_payload(service), indent=2, sort_keys=True) + "\n",
@@ -222,6 +339,8 @@ def build_service(args: argparse.Namespace) -> TNNService:
     from .pool import InlineWorkerPool, ProcessWorkerPool
     from .registry import ModelRegistry
 
+    if getattr(args, "rtrace", False):
+        _rtrace.enable_rtrace(True)
     registry = ModelRegistry()
     network, _volley = demo_column(args.model_seed, smoke=args.smoke)
     registry.register(network, name="demo")
@@ -327,6 +446,19 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write the bound port here once listening (for --port 0)",
     )
+    parser.add_argument(
+        "--rtrace",
+        action="store_true",
+        help="enable request-scoped span tracing (repro.obs.rtrace)",
+    )
+    parser.add_argument(
+        "--flight-out",
+        metavar="PREFIX",
+        help=(
+            "dump the flight recorder to PREFIX.jsonl + PREFIX.trace.json "
+            "on SIGUSR2 and on recorded anomalies"
+        ),
+    )
 
 
 def serve_main(argv: Optional[list[str]] = None) -> int:
@@ -342,6 +474,11 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
     add_serve_arguments(parser)
     args = parser.parse_args(argv)
     service = build_service(args)
+    # Model documents, compiled plans, and the service machinery live for
+    # the whole process; freezing them keeps full GC passes from scanning
+    # the model heap on every allocation-heavy traced burst.
+    gc.collect()
+    gc.freeze()
     try:
         return asyncio.run(
             run_server_async(
@@ -350,6 +487,7 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
                 port=args.port,
                 metrics_out=args.metrics_out,
                 port_file=args.port_file,
+                flight_out=args.flight_out,
             )
         )
     except KeyboardInterrupt:

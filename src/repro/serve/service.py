@@ -51,6 +51,7 @@ from ..network.compile_plan import (
 from ..network.graph import NetworkError
 from ..obs import metrics as _obs_metrics
 from ..obs import profile as _obs_profile
+from ..obs import rtrace as _rtrace
 from .batcher import Batch, BatchPolicy, MicroBatcher, PendingRequest
 from .protocol import (
     E_BAD_REQUEST,
@@ -64,6 +65,19 @@ from .protocol import (
 from .pool import Job
 from .registry import ModelEntry, ModelRegistry
 from .stats import SERVE_STATS
+
+
+#: Overload rejections within one second before the flight recorder is
+#: tripped with ``overload-burst`` (a lone rejection is backpressure
+#: working; a burst is an incident worth a dump).
+OVERLOAD_BURST_TRIP = 16
+
+#: Every Nth traced batch also runs the engine under the profiler so its
+#: trace carries ``engine.<phase>`` child spans.  Profiled evaluation is
+#: the priced path (see ``bench_obs_overhead``); sampling keeps traced
+#: serving inside the overhead bound while still attributing engine time
+#: to phases on a steady trickle of requests.
+PHASE_SAMPLE_EVERY = 8
 
 
 def _params_key(params: Mapping[str, Time]) -> str:
@@ -107,6 +121,9 @@ class TNNService:
         self._closed = False
         self._job_ids = itertools.count(1)
         self._req_ids = itertools.count(1)
+        self._overload_marks = 0
+        self._overload_window_start = 0.0
+        self._span_batches = 0  # traced batches seen (phase sampling)
         SERVE_STATS.bind_gauges(
             queue_depth=lambda: self._pending,
             workers_alive=self.pool.alive_count,
@@ -124,6 +141,7 @@ class TNNService:
         *,
         params: Optional[Mapping[str, Time]] = None,
         deadline_s: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> "Future[tuple[Time, ...]]":
         """Admit one volley; the future resolves to its output tuple.
 
@@ -131,6 +149,12 @@ class TNNService:
         rejections (overload, unknown model, malformed volley) and
         resolves the future with a :class:`ServeError` for asynchronous
         ones (deadline, worker failure).
+
+        *trace_id* names the request's span tree when request tracing is
+        on (:mod:`repro.obs.rtrace`); with tracing on and no client id,
+        the service derives one from its own request counter — which is
+        deterministic for a fresh service, so identical runs produce
+        identical canonical trace documents.
         """
         _obs_metrics.METRICS.inc("serve.requests")
         entry, encoded = self._validated(model, volley, params)
@@ -148,13 +172,39 @@ class TNNService:
             enqueued=now,
             deadline=deadline,
             encoded=encoded,
+            model_name=entry.name,
         )
+        if _rtrace._ENABLED:
+            trace = _rtrace.RequestTrace(
+                trace_id or f"t{request.req_id}", model=entry.name, now=now
+            )
+            trace.push("queue", now)
+            request.trace = trace
+            # Front-ends add post-resolution spans (response encode)
+            # without a side channel: the trace rides on the future.
+            request.future.rtrace = trace  # type: ignore[attr-defined]
         with self._cond:
             if self._closed:
                 _obs_metrics.METRICS.inc("serve.rejected.shutdown")
                 raise ServeError(E_SHUTDOWN, "service is shutting down")
             if self._pending >= self.max_pending:
                 _obs_metrics.METRICS.inc("serve.rejected.overloaded")
+                SERVE_STATS.observe_request(
+                    model=entry.name,
+                    outcome="overloaded",
+                    enqueued=now,
+                    dispatched=None,
+                    completed=now,
+                )
+                if now - self._overload_window_start > 1.0:
+                    self._overload_window_start = now
+                    self._overload_marks = 0
+                self._overload_marks += 1
+                if self._overload_marks == OVERLOAD_BURST_TRIP:
+                    _rtrace.FLIGHT.trip("overload-burst")
+                if request.trace is not None:
+                    request.trace.seal("overloaded", now)
+                    _rtrace.FLIGHT.record(request.trace)
                 raise ServeError(
                     E_OVERLOADED,
                     f"queue full ({self._pending}/{self.max_pending})",
@@ -240,6 +290,23 @@ class TNNService:
         if batch.attempts == 0:
             SERVE_STATS.observe_batch(len(live))
         batch.attempts += 1
+        want_spans = 0
+        attempt_no, n_live = batch.attempts, len(live)
+        for request in live:
+            request.dispatched = now
+            if request.trace is not None:
+                want_spans = 1
+                request.trace.pop("queue", now)
+                request.trace.push(
+                    "attempt", now, {"attempt": attempt_no, "batch": n_live}
+                )
+        if want_spans:
+            # Engine wall time (two clock reads in the worker) is cheap
+            # enough for every traced batch; the per-phase breakdown runs
+            # the engine under the profiler, so it is sampled.
+            self._span_batches += 1
+            if self._span_batches % PHASE_SAMPLE_EVERY == 1:
+                want_spans = 2
         matrix = np.array(
             [
                 request.encoded
@@ -259,6 +326,8 @@ class TNNService:
             params_enc=params_enc,
             on_done=lambda result, b=batch: self._on_done(b, result),
             on_fail=lambda reason, b=batch: self._on_fail(b, reason),
+            want_spans=want_spans,
+            on_extras=lambda extras, b=batch: self._on_extras(b, extras),
         )
         try:
             with _obs_profile.phase("serve.dispatch"):
@@ -273,21 +342,80 @@ class TNNService:
     # (_on_fail after the retry budget).  A retried batch releases
     # nothing until its final attempt resolves.
 
+    def _on_extras(self, batch: Batch, extras: dict) -> None:
+        """Stash the worker's timing payload for the completion callback."""
+        batch.extras = extras
+
+    def _close_attempt(
+        self,
+        request: PendingRequest,
+        batch: Batch,
+        now: float,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        """Close the open ``attempt`` span, grafting worker engine timings.
+
+        The worker reports *durations* (its clock domain is not ours);
+        the engine span is anchored to end at completion, so it is
+        duration-accurate and placement-approximate.
+        """
+        trace = request.trace
+        attempt_id = trace.pop("attempt", now, attrs or None)
+        eval_s = (batch.extras or {}).get("eval_s")
+        if not eval_s or attempt_id is None:
+            return
+        start = max(now - eval_s, trace.span_start(attempt_id))
+        engine = trace.graft("engine", start, now, attempt_id)
+        cursor = start
+        for name, seconds in (batch.extras.get("phases") or {}).items():
+            phase_end = min(cursor + seconds, now)
+            trace.graft(f"engine.{name}", cursor, phase_end, engine)
+            cursor = phase_end
+
+    def _finish_trace(
+        self,
+        request: PendingRequest,
+        outcome: str,
+        now: float,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        """Finish and flight-record the request's trace, if it has one."""
+        trace = request.trace
+        if trace is None:
+            return
+        if attrs:
+            trace.finish(outcome, now=now, **attrs)
+        else:
+            trace.seal(outcome, now)
+        _rtrace.FLIGHT.record(trace)
+
     def _on_done(self, batch: Batch, result: np.ndarray) -> None:
         now = monotonic()
         rows = decode_matrix(result)
         completed = 0
         for request, row in zip(batch.requests, rows):
             if request.expired(now):
+                if request.trace is not None:
+                    self._close_attempt(request, batch, now)
                 self._reject_deadline(request)
                 continue
-            SERVE_STATS.observe_latency(now - request.enqueued)
+            SERVE_STATS.observe_request(
+                model=request.model_name,
+                outcome="ok",
+                enqueued=request.enqueued,
+                dispatched=request.dispatched or None,
+                completed=now,
+            )
+            if request.trace is not None:
+                self._close_attempt(request, batch, now)
+                self._finish_trace(request, "ok", now)
             request.future.set_result(tuple(row))
             completed += 1
         _obs_metrics.METRICS.inc("serve.ok", completed)
         self._release(completed)
 
     def _on_fail(self, batch: Batch, reason: str) -> None:
+        now = monotonic()
         retry = False
         with self._cond:
             if batch.attempts < self.max_attempts and not self._closed:
@@ -296,8 +424,27 @@ class TNNService:
                 retry = True
         if retry:
             _obs_metrics.METRICS.inc("serve.retries")
+            for request in batch.requests:
+                if request.trace is not None:
+                    request.trace.pop("attempt", now, {"error": reason})
+                    # The retry re-enters the batch wait; its spans join
+                    # this same trace (one trace id, two attempts).
+                    request.trace.push("queue", now)
             return
+        _rtrace.FLIGHT.trip("worker-failure")
         for request in batch.requests:
+            SERVE_STATS.observe_request(
+                model=request.model_name,
+                outcome="worker-failure",
+                enqueued=request.enqueued,
+                dispatched=request.dispatched or None,
+                completed=now,
+            )
+            if request.trace is not None:
+                request.trace.pop("attempt", now, {"error": reason})
+                self._finish_trace(
+                    request, "worker-failure", now, {"error": reason}
+                )
             request.future.set_exception(
                 ServeError(
                     E_WORKER,
@@ -307,7 +454,17 @@ class TNNService:
         self._release(len(batch.requests))
 
     def _reject_deadline(self, request: PendingRequest) -> None:
+        now = monotonic()
         _obs_metrics.METRICS.inc("serve.rejected.deadline")
+        SERVE_STATS.observe_request(
+            model=request.model_name,
+            outcome="deadline",
+            enqueued=request.enqueued,
+            dispatched=request.dispatched or None,
+            completed=now,
+        )
+        _rtrace.FLIGHT.trip("deadline-miss")
+        self._finish_trace(request, "deadline", now)
         request.future.set_exception(
             ServeError(E_DEADLINE, f"request {request.req_id} missed its deadline")
         )
@@ -364,7 +521,16 @@ class TNNService:
                 "int64": sum(w.get("int64", 0) for w in per_worker),
                 "native": sum(w.get("native", 0) for w in per_worker),
             }
+        snapshot["rtrace"] = {
+            "enabled": _rtrace.rtrace_enabled(),
+            "flight": _rtrace.FLIGHT.stats(),
+        }
         return snapshot
+
+    def worker_metrics(self) -> list[dict]:
+        """Per-worker metrics snapshots piggybacked on eval replies."""
+        getter = getattr(self.pool, "worker_metrics", None)
+        return getter() if getter is not None else []
 
     # -- lifecycle ------------------------------------------------------------
     def register(self, network, *, name: Optional[str] = None) -> ModelEntry:

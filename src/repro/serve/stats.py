@@ -1,37 +1,49 @@
-"""Serving statistics: batch-size histogram, latency quantiles, gauges.
+"""Serving statistics: batch histogram, stage latency histograms, gauges.
 
 The general-purpose :class:`~repro.obs.metrics.MetricsRegistry` carries
 counters, accumulated timers and high-water marks — enough for "how many
-requests / how much time", but not for the two distribution-shaped
-questions a serving layer gets asked: *what batch sizes is the
-micro-batcher actually forming?* and *what are p50/p99 request
-latencies?*  This module adds exactly those two structures, plus the
-live gauges (queue depth, alive workers) that have no meaning as
+requests / how much time", but not for the distribution-shaped questions
+a serving layer gets asked: *what batch sizes is the micro-batcher
+actually forming?* and *what are p50/p99 latencies, per model, per
+stage, per outcome?*  This module adds exactly those structures, plus
+the live gauges (queue depth, alive workers) that have no meaning as
 monotone counters.
+
+Latency is recorded into **log-bucketed sliding-window histograms**
+(:class:`repro.obs.hist.HistogramVault`), keyed ``(model, stage,
+outcome)``:
+
+* stages — ``total`` (admission to completion), ``queue`` (admission to
+  dispatch), ``service`` (dispatch to completion);
+* outcomes — ``ok`` plus the failure modes (``deadline``,
+  ``overloaded``, ``worker-failure``), so rejected and deadline-missed
+  requests appear in the reported tail instead of vanishing from it
+  (the old fixed-size sample window observed completed requests only,
+  and over-weighted whatever burst happened last).
 
 Everything funnels into the module-level :data:`SERVE_STATS`;
 :func:`serve_stats_snapshot` is what ``python -m repro stats --json``,
-the server's ``metrics`` endpoint, and the CI artifact all render.
-Counter-shaped serve events (requests, rejections, retries, restarts)
-still go to :data:`repro.obs.metrics.METRICS` under ``serve.*`` so they
-appear beside every other subsystem's counters.
+the server's ``metrics`` endpoint, and the CI artifact all render, and
+:func:`prometheus_text` renders the same telemetry in Prometheus text
+exposition format for the ``metrics_text`` op.  Counter-shaped serve
+events (requests, rejections, retries, restarts) still go to
+:data:`repro.obs.metrics.METRICS` under ``serve.*`` so they appear
+beside every other subsystem's counters.
 """
 
 from __future__ import annotations
 
-import math
 import threading
-from collections import deque
 from typing import Callable, Optional
 
 from ..obs import metrics as _obs_metrics
+from ..obs.hist import HistogramVault
 
 #: Batch-size histogram bucket upper bounds (powers of two; last is open).
 BATCH_BUCKETS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
-#: Latency reservoir size: quantiles are computed over the most recent
-#: window of this many requests (a ring buffer, O(1) per observation).
-LATENCY_WINDOW = 8192
+#: The per-request lifecycle stages latency histograms are labelled by.
+STAGES = ("total", "queue", "service")
 
 
 class BatchHistogram:
@@ -73,44 +85,6 @@ class BatchHistogram:
         self._total_batches = self._total_rows = 0
 
 
-class LatencyWindow:
-    """Request latencies over a sliding window, with quantile readout."""
-
-    def __init__(self, capacity: int = LATENCY_WINDOW) -> None:
-        self._window: deque[float] = deque(maxlen=capacity)
-        self._count = 0
-        self._max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self._window.append(seconds)
-        self._count += 1
-        if seconds > self._max:
-            self._max = seconds
-
-    def quantile(self, q: float) -> float:
-        """The *q*-quantile (0..1) of the current window, in seconds."""
-        if not self._window:
-            return 0.0
-        ordered = sorted(self._window)
-        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
-        return ordered[index]
-
-    def snapshot(self) -> dict:
-        return {
-            "count": self._count,
-            "window": len(self._window),
-            "p50_ms": round(self.quantile(0.50) * 1e3, 3),
-            "p90_ms": round(self.quantile(0.90) * 1e3, 3),
-            "p99_ms": round(self.quantile(0.99) * 1e3, 3),
-            "max_ms": round(self._max * 1e3, 3),
-        }
-
-    def reset(self) -> None:
-        self._window.clear()
-        self._count = 0
-        self._max = 0.0
-
-
 class ServeStats:
     """The one bag of serving distributions and gauges.
 
@@ -123,7 +97,7 @@ class ServeStats:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.batch_sizes = BatchHistogram()
-        self.latency = LatencyWindow()
+        self.latency = HistogramVault()
         self._queue_depth: Optional[Callable[[], int]] = None
         self._workers_alive: Optional[Callable[[], int]] = None
 
@@ -134,9 +108,42 @@ class ServeStats:
         _obs_metrics.METRICS.inc("serve.batches")
         _obs_metrics.METRICS.inc("serve.batched_rows", size)
 
-    def observe_latency(self, seconds: float) -> None:
-        with self._lock:
-            self.latency.observe(seconds)
+    def observe_latency(
+        self,
+        seconds: float,
+        *,
+        model: str = "",
+        stage: str = "total",
+        outcome: str = "ok",
+    ) -> None:
+        """One latency observation (the vault owns its own lock)."""
+        self.latency.observe(seconds, model=model, stage=stage, outcome=outcome)
+
+    def observe_request(
+        self,
+        *,
+        model: str,
+        outcome: str,
+        enqueued: float,
+        dispatched: Optional[float],
+        completed: float,
+    ) -> None:
+        """Record every stage of one finished request in one call.
+
+        *dispatched* is ``None`` for requests that never reached a
+        worker (overload rejections, pre-dispatch deadline misses) —
+        those observe ``total`` only, under their failure outcome.
+        """
+        self.latency.observe(
+            completed - enqueued, model=model, stage="total", outcome=outcome
+        )
+        if dispatched is not None:
+            self.latency.observe(
+                dispatched - enqueued, model=model, stage="queue", outcome=outcome
+            )
+            self.latency.observe(
+                completed - dispatched, model=model, stage="service", outcome=outcome
+            )
 
     # -- gauges --------------------------------------------------------------
     def bind_gauges(
@@ -162,14 +169,22 @@ class ServeStats:
         with self._lock:
             queue_cb, workers_cb = self._queue_depth, self._workers_alive
             batch = self.batch_sizes.snapshot()
-            latency = self.latency.snapshot()
         metrics = _obs_metrics.METRICS
         return {
             "queue_depth": queue_cb() if queue_cb else 0,
             "queue_peak": metrics.maximum("serve.queue.peak"),
             "workers_alive": workers_cb() if workers_cb else 0,
             "batch_size": batch,
-            "latency": latency,
+            # The headline latency readout stays shaped like it always
+            # was (count/p50/p90/p99/max over successful requests), now
+            # computed from the windowed histogram instead of a sample
+            # reservoir.
+            "latency": self.latency.merged(stage="total", outcome="ok"),
+            "latency_by_stage": {
+                stage: self.latency.merged(stage=stage, outcome="ok")
+                for stage in STAGES
+            },
+            "latency_by_outcome": self.latency.snapshot(),
             "requests": metrics.counter("serve.requests"),
             "responses_ok": metrics.counter("serve.ok"),
             "rejected": {
@@ -186,7 +201,7 @@ class ServeStats:
     def reset(self) -> None:
         with self._lock:
             self.batch_sizes.reset()
-            self.latency.reset()
+        self.latency.reset()
 
 
 #: The process-wide serving stats every service instance writes to.
@@ -195,10 +210,72 @@ SERVE_STATS = ServeStats()
 
 def serve_stats_snapshot() -> dict:
     """Snapshot of :data:`SERVE_STATS` (queue depth, batch histogram,
-    latency quantiles, rejection/restart counters)."""
+    per-stage/per-outcome latency histograms, rejection/restart counters)."""
     return SERVE_STATS.snapshot()
 
 
 def reset_serve_stats() -> None:
     """Reset the serving distributions (counters live in ``repro.obs``)."""
     SERVE_STATS.reset()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (the `metrics_text` op)
+# ---------------------------------------------------------------------------
+
+#: The content type Prometheus scrapers expect for this format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _metric_name(raw: str) -> str:
+    """A ``serve.worker.failures``-style key as a Prometheus metric name."""
+    return "repro_" + raw.replace(".", "_").replace("-", "_")
+
+
+def prometheus_text(*, extra_gauges: Optional[dict] = None) -> str:
+    """The full telemetry set in Prometheus text exposition format.
+
+    Sections: every :data:`repro.obs.metrics.METRICS` counter/maximum
+    (timers as ``_seconds_total`` + ``_calls_total`` pairs), the serving
+    gauges and batch-size histogram, and one latency histogram series
+    per ``(model, stage, outcome)``.  *extra_gauges* lets the server
+    front-end add live values (e.g. per-worker in-flight counts).
+    """
+    stats = SERVE_STATS
+    metrics = _obs_metrics.METRICS.snapshot()
+    lines: list[str] = []
+
+    lines.append("# TYPE repro_counter_total counter")
+    for name, value in metrics["counters"].items():
+        lines.append(f"{_metric_name(name)}_total {value}")
+    for name, entry in metrics["timers"].items():
+        base = _metric_name(name)
+        lines.append(f"{base}_seconds_total {entry['total_s']}")
+        lines.append(f"{base}_calls_total {entry['calls']}")
+    for name, value in metrics["maxima"].items():
+        lines.append(f"{_metric_name(name)}_max {value}")
+
+    with stats._lock:
+        queue_cb, workers_cb = stats._queue_depth, stats._workers_alive
+        batch = stats.batch_sizes.snapshot()
+        counts = list(stats.batch_sizes._counts)
+    lines.append("# TYPE repro_serve_queue_depth gauge")
+    lines.append(f"repro_serve_queue_depth {queue_cb() if queue_cb else 0}")
+    lines.append("# TYPE repro_serve_workers_alive gauge")
+    lines.append(f"repro_serve_workers_alive {workers_cb() if workers_cb else 0}")
+    for name, value in (extra_gauges or {}).items():
+        lines.append(f"# TYPE {_metric_name(name)} gauge")
+        lines.append(f"{_metric_name(name)} {value}")
+
+    lines.append("# TYPE repro_serve_batch_size histogram")
+    cumulative = 0
+    for bound, count in zip(BATCH_BUCKETS, counts):
+        cumulative += count
+        lines.append(f'repro_serve_batch_size_bucket{{le="{bound}"}} {cumulative}')
+    cumulative += counts[-1]
+    lines.append(f'repro_serve_batch_size_bucket{{le="+Inf"}} {cumulative}')
+    lines.append(f"repro_serve_batch_size_count {batch['batches']}")
+    lines.append(f"repro_serve_batch_size_sum {batch['rows']}")
+
+    lines.extend(stats.latency.prometheus_lines())
+    return "\n".join(lines) + "\n"

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional, Sequence
 
 from ..core.value import Time
+from ..obs import rtrace as _rtrace
 from ..serve.protocol import ServeError, canonical, ok_response
 
 
@@ -60,6 +61,9 @@ class ServedReport:
     ok: int = 0
     mismatches: list[ServedMismatch] = field(default_factory=list)
     rejected: dict[str, int] = field(default_factory=dict)
+    #: Flight-recorder dump files written because this sweep failed
+    #: (see the *flight_dump* argument of :func:`check_served`).
+    flight_paths: list[str] = field(default_factory=list)
 
     @property
     def byte_identical(self) -> bool:
@@ -76,6 +80,8 @@ class ServedReport:
         ]
         for mismatch in self.mismatches[:5]:
             lines.append(f"  MISMATCH {mismatch.describe()}")
+        if self.flight_paths:
+            lines.append(f"  flight recorder dumped: {', '.join(self.flight_paths)}")
         if self.mismatches:
             lines.append("verdict: FAIL")
         else:
@@ -91,12 +97,20 @@ def check_served(
     params: Optional[Mapping[str, Time]] = None,
     deadline_s: Optional[float] = None,
     timeout_s: float = 30.0,
+    flight_dump: Optional[str] = None,
 ) -> ServedReport:
     """Submit every volley individually and diff against the direct path.
 
     All requests are submitted up front (so the micro-batcher actually
     coalesces them, exercising the split/merge path) and then awaited;
     the direct reference is computed with one ``evaluate_batch`` call.
+
+    *flight_dump* is a path prefix: when the sweep finds a mismatch (and
+    request tracing is on, so the recorder has traces to show), the
+    flight recorder is dumped to ``<prefix>.jsonl`` +
+    ``<prefix>.trace.json`` and the paths attached to the report — so a
+    conformance failure arrives with the span-level story of the
+    requests that led up to it.
     """
     volleys = [tuple(v) for v in volleys]
     direct = service.direct(model, volleys, params=params)
@@ -140,4 +154,11 @@ def check_served(
                     direct_line=direct_line,
                 )
             )
+    if report.mismatches and flight_dump:
+        try:
+            report.flight_paths = _rtrace.FLIGHT.dump_to(
+                flight_dump, reason="served-mismatch"
+            )
+        except OSError:
+            pass  # a failed dump must not mask the conformance verdict
     return report

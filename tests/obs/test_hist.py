@@ -1,0 +1,177 @@
+"""Tests for the log-bucketed sliding-window latency histograms."""
+
+import pytest
+
+from repro.obs.hist import (
+    BUCKET_BOUNDS_S,
+    DEFAULT_EPOCH_S,
+    HistogramVault,
+    LatencyHistogram,
+    merge_bucket_counts,
+)
+
+
+class TestBuckets:
+    def test_bounds_are_geometric_and_monotone(self):
+        assert BUCKET_BOUNDS_S[0] == pytest.approx(1e-4)
+        for low, high in zip(BUCKET_BOUNDS_S, BUCKET_BOUNDS_S[1:]):
+            assert high == pytest.approx(low * 2.0)
+        assert BUCKET_BOUNDS_S[-1] > 1.0  # covers second-scale latencies
+
+    def test_observation_lands_in_the_right_bucket(self):
+        h = LatencyHistogram(now=0.0)
+        h.observe(1.5e-4, now=0.0)  # between bound 0 (1e-4) and 1 (2e-4)
+        counts = h.window_counts(now=0.0)
+        assert counts[1] == 1 and sum(counts) == 1
+
+    def test_overflow_bucket_catches_slow_requests(self):
+        h = LatencyHistogram(now=0.0)
+        h.observe(60.0, now=0.0)
+        counts = h.window_counts(now=0.0)
+        assert counts[-1] == 1
+        # The overflow quantile floors at the largest finite bound.
+        assert h.quantile(0.99, now=0.0) == BUCKET_BOUNDS_S[-1]
+
+
+class TestQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        h = LatencyHistogram(now=0.0)
+        assert h.quantile(0.5, now=0.0) == 0.0
+        snap = h.snapshot(now=0.0)
+        assert snap["count"] == 0 and snap["p99_ms"] == 0.0
+
+    def test_quantile_interpolates_within_the_bucket(self):
+        h = LatencyHistogram(now=0.0)
+        for _ in range(100):
+            h.observe(3e-4, now=0.0)  # bucket (2e-4, 4e-4]
+        p50 = h.quantile(0.50, now=0.0)
+        assert 2e-4 < p50 <= 4e-4
+
+    def test_quantiles_are_ordered(self):
+        h = LatencyHistogram(now=0.0)
+        for i in range(200):
+            h.observe(1e-4 * (1 + i % 50), now=0.0)
+        p50, p90, p99 = (
+            h.quantile(q, now=0.0) for q in (0.50, 0.90, 0.99)
+        )
+        assert p50 <= p90 <= p99
+
+    def test_snapshot_shape(self):
+        h = LatencyHistogram(now=0.0)
+        h.observe(0.002, now=0.0)
+        snap = h.snapshot(now=0.0)
+        assert set(snap) == {
+            "count", "window", "sum_s", "p50_ms", "p90_ms", "p99_ms", "max_ms"
+        }
+        assert snap["count"] == snap["window"] == 1
+        assert snap["max_ms"] == pytest.approx(2.0)
+
+
+class TestEpochRotation:
+    def test_window_forgets_but_lifetime_does_not(self):
+        h = LatencyHistogram(epoch_s=1.0, n_epochs=3, now=0.0)
+        h.observe(0.001, now=0.0)
+        # After more than n_epochs * epoch_s, the observation has rotated out.
+        assert sum(h.window_counts(now=10.0)) == 0
+        assert h.count == 1  # lifetime count survives the window
+
+    def test_window_spans_recent_epochs(self):
+        h = LatencyHistogram(epoch_s=1.0, n_epochs=3, now=0.0)
+        h.observe(0.001, now=0.0)
+        h.observe(0.001, now=1.5)  # next epoch
+        # At t=2.2 both epochs are still inside the 3-epoch window.
+        assert sum(h.window_counts(now=2.2)) == 2
+
+    def test_idle_gap_snaps_forward_instead_of_spinning(self):
+        h = LatencyHistogram(epoch_s=1.0, n_epochs=3, now=0.0)
+        h.observe(0.001, now=0.0)
+        h.observe(0.002, now=1e6)  # a huge idle gap must not loop 1e6 times
+        assert sum(h.window_counts(now=1e6)) == 1
+
+    def test_burst_then_quiet_keeps_the_tail(self):
+        """The reservoir bias this design fixes: bursts must not evict."""
+        h = LatencyHistogram(epoch_s=10.0, n_epochs=6, now=0.0)
+        h.observe(1.0, now=0.0)  # one slow request
+        for _ in range(10_000):  # then a burst of fast ones, same window
+            h.observe(1e-4, now=1.0)
+        assert h.quantile(1.0, now=1.0) >= 0.5  # the tail is still there
+
+
+class TestVault:
+    def test_series_keyed_by_model_stage_outcome(self):
+        vault = HistogramVault()
+        vault.observe(0.001, model="a", stage="total", outcome="ok", now=0.0)
+        vault.observe(0.002, model="a", stage="total", outcome="deadline", now=0.0)
+        vault.observe(0.003, model="b", stage="queue", outcome="ok", now=0.0)
+        assert len(vault.series()) == 3
+        assert vault.get(model="a", stage="total", outcome="ok").count == 1
+        assert vault.get(model="z") is None
+
+    def test_merged_is_exact_bucket_summation(self):
+        vault = HistogramVault()
+        for _ in range(10):
+            vault.observe(1.5e-4, model="a", now=0.0)
+        for _ in range(10):
+            vault.observe(1.5e-4, model="b", now=0.0)
+        merged = vault.merged(stage="total", outcome="ok", now=0.0)
+        assert merged["count"] == 20 and merged["window"] == 20
+        # All mass in one bucket: the merged quantile stays in its range.
+        assert 0.1 < merged["p99_ms"] <= 0.2
+
+    def test_merged_filters_by_outcome(self):
+        vault = HistogramVault()
+        vault.observe(0.001, model="a", outcome="ok", now=0.0)
+        vault.observe(0.5, model="a", outcome="deadline", now=0.0)
+        ok_only = vault.merged(outcome="ok", now=0.0)
+        assert ok_only["count"] == 1
+        both = vault.merged(outcome=None, now=0.0)
+        assert both["count"] == 2
+
+    def test_nested_snapshot_shape(self):
+        vault = HistogramVault()
+        vault.observe(0.001, model="demo", stage="total", outcome="ok", now=0.0)
+        snap = vault.snapshot(now=0.0)
+        assert snap["demo"]["total"]["ok"]["count"] == 1
+
+    def test_reset(self):
+        vault = HistogramVault()
+        vault.observe(0.001, now=0.0)
+        vault.reset()
+        assert not vault.series()
+
+
+class TestPrometheusLines:
+    def test_exposition_format(self):
+        vault = HistogramVault()
+        for seconds in (1e-4, 2e-3, 0.5):
+            vault.observe(seconds, model="demo", now=0.0)
+        lines = vault.prometheus_lines(now=0.0)
+        assert lines[0].startswith("# HELP repro_serve_latency_seconds")
+        assert lines[1] == "# TYPE repro_serve_latency_seconds histogram"
+        buckets = [l for l in lines if "_bucket{" in l]
+        # One line per finite bound plus +Inf.
+        assert len(buckets) == len(BUCKET_BOUNDS_S) + 1
+        assert 'le="+Inf"' in buckets[-1]
+        # Cumulative counts are monotone and end at the total.
+        values = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert values == sorted(values)
+        assert values[-1] == 3
+        assert any(l.startswith("repro_serve_latency_seconds_count{") for l in lines)
+        assert any(l.startswith("repro_serve_latency_seconds_sum{") for l in lines)
+        assert 'model="demo"' in buckets[0]
+
+    def test_label_escaping(self):
+        vault = HistogramVault()
+        vault.observe(0.001, model='we"ird\\name', now=0.0)
+        lines = vault.prometheus_lines(now=0.0)
+        assert any('model="we\\"ird\\\\name"' in l for l in lines)
+
+
+def test_merge_bucket_counts():
+    a = [1] * (len(BUCKET_BOUNDS_S) + 1)
+    b = [2] * (len(BUCKET_BOUNDS_S) + 1)
+    assert merge_bucket_counts([a, b]) == [3] * (len(BUCKET_BOUNDS_S) + 1)
+
+
+def test_default_window_covers_about_a_minute():
+    assert DEFAULT_EPOCH_S * 6 == pytest.approx(60.0)
