@@ -30,6 +30,7 @@ from . import (
     neuron,
     obs,
     racelogic,
+    runtime,
     serve,
     testing,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "neuron",
     "obs",
     "racelogic",
+    "runtime",
     "serve",
     "testing",
     "__version__",

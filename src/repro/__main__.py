@@ -22,6 +22,9 @@ Commands:
   hit/miss record, optionally after exercising every backend once; with
   ``--json`` the serving-layer section (queue depth, batch histogram,
   latency quantiles) rides along.
+* ``runtime`` — the unified execution runtime: every registered engine
+  with capabilities and availability, the policy-resolved serving
+  engine, and the cache tiers (``--json`` for the full record).
 * ``serve`` — the asynchronous micro-batching inference service: TCP
   newline-delimited JSON, a sharded worker-process pool, fingerprint-
   keyed model registry.  See ``python -m repro serve --help``.
@@ -184,10 +187,32 @@ def _conformance(argv: list[str]) -> int:
             "kwta, microweight, kernels) instead of the weighted mix"
         ),
     )
+    parser.add_argument(
+        "--engines",
+        metavar="NAMES",
+        help=(
+            "comma-separated engine names or keys resolved through the "
+            "runtime registry (e.g. 'interpreted,native' or "
+            "'interpreted,auto'); default: every registered backend"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from .testing import run_conformance
 
+    oracles = None
+    if args.engines:
+        from .runtime.registry import AUTO, ENGINES
+
+        try:
+            oracles = [
+                ENGINES.resolve(AUTO) if name == AUTO else ENGINES.create(name)
+                for name in (n.strip() for n in args.engines.split(","))
+                if name
+            ]
+        except ValueError as error:
+            print(f"error: {error}")
+            return 2
     try:
         report = run_conformance(
             args.seed,
@@ -198,6 +223,7 @@ def _conformance(argv: list[str]) -> int:
             shrink=not args.no_shrink,
             optimize=args.optimize,
             family=args.family,
+            oracles=oracles,
         )
     except ValueError as error:
         print(f"error: {error}")
@@ -497,11 +523,11 @@ def _stats(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    from .network.compile_plan import clear_plan_cache, plan_cache_info
+    from . import runtime
     from .obs.metrics import METRICS, reset_metrics
 
     if args.clear_plan_cache:
-        clear_plan_cache()
+        runtime.clear_caches(results=False)
     if args.exercise:
         from .testing.oracles import run_backends
 
@@ -516,12 +542,15 @@ def _stats(argv: list[str]) -> int:
             "serve": serve_stats_snapshot(),
         }
         if args.plan_cache or args.clear_plan_cache:
-            payload["plan_cache"] = plan_cache_info()
+            # "cache" is the unified runtime surface; "plan_cache"
+            # keeps the pre-runtime shape for existing consumers.
+            payload["cache"] = runtime.cache_info()
+            payload["plan_cache"] = runtime.legacy_plan_cache_info()
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(METRICS.render())
         if args.plan_cache or args.clear_plan_cache:
-            info = plan_cache_info()
+            info = runtime.legacy_plan_cache_info()
             print("plan cache:")
             for key in sorted(info):
                 value = info[key]
@@ -531,9 +560,87 @@ def _stats(argv: list[str]) -> int:
                         print(f"    {sub:<20} {value[sub]}")
                 else:
                     print(f"  {key:<20} {value}")
+            result = runtime.cache_info()["result"]
+            print("result cache:")
+            for key in sorted(result):
+                print(f"  {key:<20} {result[key]}")
     if args.reset:
         reset_metrics()
         print("metrics reset")
+    return 0
+
+
+def _runtime(argv: list[str]) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro runtime",
+        description=(
+            "The unified execution runtime: every registered engine with "
+            "its capability descriptor and availability probe, the "
+            "policy-resolved serving engine, and the cache tiers "
+            "(plan namespaces + result cache)."
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        metavar="POLICY",
+        help="selection policy to resolve (default 'auto')",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    args = parser.parse_args(argv)
+
+    from . import runtime
+    from .runtime.registry import ENGINES
+
+    try:
+        selected = ENGINES.resolve(args.engine)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    if args.json:
+        payload = {
+            "engines": ENGINES.describe(),
+            "policy": args.engine,
+            "selected": selected.key,
+            "cache": runtime.cache_info(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"execution runtime: {len(ENGINES.names())} engines; "
+        f"policy {args.engine!r} -> {selected.name} (key {selected.key!r})"
+    )
+    for record in ENGINES.describe():
+        caps = record["capabilities"]
+        flags = ", ".join(sorted(k for k, v in caps.items() if v is True))
+        status = (
+            "available"
+            if record["available"] is None
+            else f"unavailable: {record['available']}"
+        )
+        print(f"  {record['name']:<15} key={record['key']:<12} {status}")
+        print(f"  {'':<15} capabilities: {flags or '-'}")
+    info = runtime.cache_info()
+    plan, result = info["plan"], info["result"]
+    print(
+        f"plan cache: {plan['entries']} entries / {plan['bytes']} bytes "
+        f"across {len(plan['namespaces'])} namespaces "
+        f"(budget: {plan['budget']})"
+    )
+    print(
+        f"result cache: {result['entries']} entries / {result['bytes']} "
+        f"bytes (hits {result['hits']}, misses {result['misses']}, "
+        f"evictions {result['evictions']})"
+    )
+    print(
+        f"native mode: {info['native_mode']} "
+        f"(numba available: {info['numba_available']})"
+    )
     return 0
 
 
@@ -568,6 +675,8 @@ def main(argv: list[str] | None = None) -> int:
         return _kernels(args[1:])
     if command == "stats":
         return _stats(args[1:])
+    if command == "runtime":
+        return _runtime(args[1:])
     if command == "serve":
         from .serve.server import serve_main
 
@@ -584,7 +693,7 @@ def main(argv: list[str] | None = None) -> int:
         return _info()
     print(
         f"unknown command {command!r}; try: info, selfcheck, conformance, "
-        "trace, ir, kernels, stats, serve, loadgen, top"
+        "trace, ir, kernels, stats, runtime, serve, loadgen, top"
     )
     return 2
 

@@ -47,8 +47,8 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 import weakref
-from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Optional, Union
@@ -526,83 +526,110 @@ class NativePlan:
 
 
 # ---------------------------------------------------------------------------
-# Plan cache (mirrors the int64 plan cache, separately counted)
+# Plan cache (the ``native`` namespace of the unified runtime tier)
 # ---------------------------------------------------------------------------
+
+# PR 9: the structural store moved into repro.runtime's shared tier
+# (separately namespaced and counted, one global budget); this module
+# keeps the weak identity memo and deprecation shims.
+from ..runtime.cache import PLAN_CACHE as _PLAN_CACHE  # noqa: E402
+
+_NATIVE_NAMESPACE = "native"
+_PLAN_CACHE.register_namespace(
+    _NATIVE_NAMESPACE, metric_prefix="native_plan_cache", limit=128
+)
 
 _NATIVE_MEMO: "weakref.WeakKeyDictionary[ProgramLike, NativePlan]" = (
     weakref.WeakKeyDictionary()
 )
-_NATIVE_LRU: "OrderedDict[str, NativePlan]" = OrderedDict()
-_DEFAULT_NATIVE_LRU_LIMIT = 128
-_NATIVE_LRU_LIMIT = _DEFAULT_NATIVE_LRU_LIMIT
 
 
 def set_native_plan_cache_limit(limit: int) -> int:
-    """Resize the native structural LRU; returns the previous limit."""
-    global _NATIVE_LRU_LIMIT
-    if limit < 1:
-        raise ValueError(f"native plan cache limit must be >= 1, got {limit}")
-    previous = _NATIVE_LRU_LIMIT
-    _NATIVE_LRU_LIMIT = limit
-    while len(_NATIVE_LRU) > _NATIVE_LRU_LIMIT:
-        _NATIVE_LRU.popitem(last=False)
-        _obs_metrics.METRICS.inc("native_plan_cache.evict")
-    return previous
+    """Resize the native structural LRU; returns the previous limit.
+
+    .. deprecated:: PR 9
+       Forwards to ``repro.runtime.PLAN_CACHE.set_namespace_limit``.
+    """
+    warnings.warn(
+        "repro.native.set_native_plan_cache_limit() is deprecated; use "
+        "repro.runtime.PLAN_CACHE.set_namespace_limit('native', limit)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _PLAN_CACHE.set_namespace_limit(_NATIVE_NAMESPACE, limit)
 
 
 def compile_native(source: "ProgramLike") -> NativePlan:
     """The memoized native plan for *source* (Network or Program).
 
     Identical caching discipline to :func:`~repro.network.compile_plan.
-    compile_plan` — weak identity memo, then the IR fingerprint LRU —
-    but a separate cache: a process typically holds both an int64 plan
-    and a native plan for the same fingerprint, and the two are
-    independently sized and counted (``native_plan_cache.*``).
+    compile_plan` — weak identity memo, then the IR fingerprint keyed
+    into the shared runtime tier — but a separate namespace: a process
+    typically holds both an int64 plan and a native plan for the same
+    fingerprint, and the two are independently sized and counted
+    (``native_plan_cache.*``).
     """
     plan = _NATIVE_MEMO.get(source)
     if plan is not None:
         _obs_metrics.METRICS.inc("native_plan_cache.hit.identity")
         return plan
     print_key = ensure_program(source).fingerprint()
-    plan = _NATIVE_LRU.get(print_key)
+    plan = _PLAN_CACHE.get(_NATIVE_NAMESPACE, print_key)
     if plan is None:
-        _obs_metrics.METRICS.inc("native_plan_cache.miss")
         with _obs_metrics.METRICS.timeit("native_plan.compile"):
             plan = NativePlan(source)
-        _NATIVE_LRU[print_key] = plan
-        if len(_NATIVE_LRU) > _NATIVE_LRU_LIMIT:
-            _NATIVE_LRU.popitem(last=False)
-            _obs_metrics.METRICS.inc("native_plan_cache.evict")
-    else:
-        _obs_metrics.METRICS.inc("native_plan_cache.hit.structural")
-        _NATIVE_LRU.move_to_end(print_key)
+        _PLAN_CACHE.put(_NATIVE_NAMESPACE, print_key, plan)
     _NATIVE_MEMO[source] = plan
     return plan
 
 
-def native_plan_cache_info() -> dict:
-    """Native-plan cache occupancy and lifetime hit/miss/evict counts."""
+def _native_cache_record() -> dict:
+    """The historical ``native_plan_cache_info()`` payload, warning-free."""
+    ns = _PLAN_CACHE.namespace_info(_NATIVE_NAMESPACE)
     return {
         "identity": len(_NATIVE_MEMO),
-        "structural": len(_NATIVE_LRU),
-        "limit": _NATIVE_LRU_LIMIT,
+        "structural": ns["entries"],
+        "limit": ns["limit"],
         "hits_identity": _obs_metrics.METRICS.counter(
             "native_plan_cache.hit.identity"
         ),
-        "hits_structural": _obs_metrics.METRICS.counter(
-            "native_plan_cache.hit.structural"
-        ),
-        "misses": _obs_metrics.METRICS.counter("native_plan_cache.miss"),
-        "evictions": _obs_metrics.METRICS.counter("native_plan_cache.evict"),
+        "hits_structural": ns["hits_structural"],
+        "misses": ns["misses"],
+        "evictions": ns["evictions"],
         "mode": native_mode(),
         "numba_available": _jit.NUMBA_AVAILABLE,
     }
 
 
+def native_plan_cache_info() -> dict:
+    """Native-plan cache occupancy and lifetime hit/miss/evict counts.
+
+    .. deprecated:: PR 9
+       Read ``repro.runtime.cache_info()`` instead.
+    """
+    warnings.warn(
+        "repro.native.native_plan_cache_info() is deprecated; use "
+        "repro.runtime.cache_info()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _native_cache_record()
+
+
 def clear_native_plan_cache() -> None:
-    """Drop every cached native plan (tests and memory-sensitive callers)."""
+    """Drop every cached native plan (tests and memory-sensitive callers).
+
+    .. deprecated:: PR 9
+       Use ``repro.runtime.clear_caches()``.
+    """
+    warnings.warn(
+        "repro.native.clear_native_plan_cache() is deprecated; use "
+        "repro.runtime.clear_caches()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     _NATIVE_MEMO.clear()
-    _NATIVE_LRU.clear()
+    _PLAN_CACHE.clear(_NATIVE_NAMESPACE)
 
 
 # ---------------------------------------------------------------------------

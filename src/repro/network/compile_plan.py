@@ -59,8 +59,8 @@ this engine.
 
 from __future__ import annotations
 
+import warnings
 import weakref
-from collections import OrderedDict
 from time import perf_counter as _perf_counter
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
@@ -478,99 +478,128 @@ def _build_groups(program: Program) -> list[_Group]:
 # Plan cache
 # ---------------------------------------------------------------------------
 
+# The structural store lives in the unified runtime tier (PR 9) under
+# the ``int64`` namespace — one LRU budget and byte accounting across
+# engines, reported by ``repro.runtime.cache_info()``.  This module
+# keeps only the weak identity memo, which bounds itself by object
+# lifetime, and deprecation shims over its historical cache API.
+from ..runtime.cache import PLAN_CACHE as _PLAN_CACHE  # noqa: E402
+
+_PLAN_NAMESPACE = "int64"
+_PLAN_CACHE.register_namespace(
+    _PLAN_NAMESPACE, metric_prefix="plan_cache", limit=128
+)
+
 #: Identity fast path: plans die with their networks/programs.
 _PLAN_MEMO: "weakref.WeakKeyDictionary[ProgramLike, CompiledPlan]" = (
     weakref.WeakKeyDictionary()
 )
 
-#: Structural cache: IR fingerprint -> plan, bounded LRU.
-_PLAN_LRU: "OrderedDict[str, CompiledPlan]" = OrderedDict()
-_DEFAULT_PLAN_LRU_LIMIT = 128
-_PLAN_LRU_LIMIT = _DEFAULT_PLAN_LRU_LIMIT
-
 
 def set_plan_cache_limit(limit: int) -> int:
     """Resize the structural LRU; returns the previous limit.
+
+    .. deprecated:: PR 9
+       Forwards to ``repro.runtime.PLAN_CACHE.set_namespace_limit``.
 
     Shrinking below the current occupancy evicts the least recently
     used plans immediately (counted in ``plan_cache.evict``).  The
     identity memo is unaffected — it is weak and bounds itself by
     object lifetime.
     """
-    global _PLAN_LRU_LIMIT
-    if limit < 1:
-        raise ValueError(f"plan cache limit must be >= 1, got {limit}")
-    previous = _PLAN_LRU_LIMIT
-    _PLAN_LRU_LIMIT = limit
-    while len(_PLAN_LRU) > _PLAN_LRU_LIMIT:
-        _PLAN_LRU.popitem(last=False)
-        _obs_metrics.METRICS.inc("plan_cache.evict")
-    return previous
+    warnings.warn(
+        "repro.network.set_plan_cache_limit() is deprecated; use "
+        "repro.runtime.PLAN_CACHE.set_namespace_limit('int64', limit)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _PLAN_CACHE.set_namespace_limit(_PLAN_NAMESPACE, limit)
 
 
 def compile_plan(source: "ProgramLike") -> CompiledPlan:
     """The memoized executable plan for *source* (Network or Program).
 
     Cached first by object identity (weakly — no leak), then by the IR
-    fingerprint, which :meth:`Network.fingerprint` and
-    :meth:`Program.fingerprint` compute identically — so a network, its
-    unoptimized lowering, and any structural twin (e.g. a serialization
-    round-trip) all share one plan, while an optimized program keys its
-    own entry.  Immutability of both types means a hit is always valid.
+    fingerprint in the runtime plan-cache tier, which
+    :meth:`Network.fingerprint` and :meth:`Program.fingerprint` compute
+    identically — so a network, its unoptimized lowering, and any
+    structural twin (e.g. a serialization round-trip) all share one
+    plan, while an optimized program keys its own entry.  Immutability
+    of both types means a hit is always valid.
     """
     plan = _PLAN_MEMO.get(source)
     if plan is not None:
         _obs_metrics.METRICS.inc("plan_cache.hit.identity")
         return plan
     print_key = ensure_program(source).fingerprint()
-    plan = _PLAN_LRU.get(print_key)
+    plan = _PLAN_CACHE.get(_PLAN_NAMESPACE, print_key)
     if plan is None:
-        _obs_metrics.METRICS.inc("plan_cache.miss")
         with _obs_metrics.METRICS.timeit("plan.compile"):
             plan = CompiledPlan(source)
-        _PLAN_LRU[print_key] = plan
-        if len(_PLAN_LRU) > _PLAN_LRU_LIMIT:
-            _PLAN_LRU.popitem(last=False)
-            _obs_metrics.METRICS.inc("plan_cache.evict")
-    else:
-        _obs_metrics.METRICS.inc("plan_cache.hit.structural")
-        _PLAN_LRU.move_to_end(print_key)
+        _PLAN_CACHE.put(_PLAN_NAMESPACE, print_key, plan)
     _PLAN_MEMO[source] = plan
     return plan
+
+
+def _plan_cache_record() -> dict:
+    """The historical ``plan_cache_info()`` payload, warning-free.
+
+    Kept as the internal feeder for the deprecation shim and for
+    endpoints that still publish the legacy ``plan_cache`` key
+    (``serve.server`` health/metrics, ``repro stats --json``).
+    """
+    from ..native.plan import _native_cache_record
+
+    ns = _PLAN_CACHE.namespace_info(_PLAN_NAMESPACE)
+    return {
+        "identity": len(_PLAN_MEMO),
+        "structural": ns["entries"],
+        "limit": ns["limit"],
+        "hits_identity": _obs_metrics.METRICS.counter("plan_cache.hit.identity"),
+        "hits_structural": ns["hits_structural"],
+        "misses": ns["misses"],
+        "evictions": ns["evictions"],
+        "native": _native_cache_record(),
+    }
 
 
 def plan_cache_info() -> dict:
     """Cache occupancy and lifetime hit/miss/evict counts, for diagnostics.
 
+    .. deprecated:: PR 9
+       Read ``repro.runtime.cache_info()`` instead — the unified surface
+       covering the plan tier, the result cache, and engine probes.
+
     Occupancy (``identity``, ``structural``) and ``limit`` reflect the
     current cache state; the ``hits_*``/``misses``/``evictions`` counts
     come from the runtime metrics registry and cover the life of the
     process (reset with :func:`repro.obs.reset_metrics`).  The nested
-    ``native`` key reports the native backend's separate plan cache
-    (:func:`repro.native.native_plan_cache_info`) with the same shape.
+    ``native`` key reports the native backend's plan-cache namespace
+    with the same shape.
     """
-    # Imported lazily: repro.native consumes this module's encoders, so
-    # a top-level import here would be circular.
-    from ..native.plan import native_plan_cache_info
-
-    return {
-        "identity": len(_PLAN_MEMO),
-        "structural": len(_PLAN_LRU),
-        "limit": _PLAN_LRU_LIMIT,
-        "hits_identity": _obs_metrics.METRICS.counter("plan_cache.hit.identity"),
-        "hits_structural": _obs_metrics.METRICS.counter(
-            "plan_cache.hit.structural"
-        ),
-        "misses": _obs_metrics.METRICS.counter("plan_cache.miss"),
-        "evictions": _obs_metrics.METRICS.counter("plan_cache.evict"),
-        "native": native_plan_cache_info(),
-    }
+    warnings.warn(
+        "repro.network.plan_cache_info() is deprecated; use "
+        "repro.runtime.cache_info()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _plan_cache_record()
 
 
 def clear_plan_cache() -> None:
-    """Drop every cached plan (tests and memory-sensitive callers)."""
+    """Drop every cached int64 plan (tests and memory-sensitive callers).
+
+    .. deprecated:: PR 9
+       Use ``repro.runtime.clear_caches()``.
+    """
+    warnings.warn(
+        "repro.network.clear_plan_cache() is deprecated; use "
+        "repro.runtime.clear_caches()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     _PLAN_MEMO.clear()
-    _PLAN_LRU.clear()
+    _PLAN_CACHE.clear(_PLAN_NAMESPACE)
 
 
 # ---------------------------------------------------------------------------

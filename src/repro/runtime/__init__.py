@@ -1,0 +1,114 @@
+"""The unified execution runtime: engine registry plus cache tiers.
+
+One seam for every layer (DESIGN.md §14).  The pieces:
+
+* :data:`ENGINES` / :class:`EngineRegistry` — all five backends
+  registered as :class:`~repro.runtime.engines.BackendEngine`
+  implementations with capability descriptors and an ``auto`` selection
+  policy; serve pools, conformance, and the CLI dispatch through it.
+* :data:`PLAN_CACHE` — the fingerprint-keyed plan-cache tier with
+  per-engine namespaces, byte accounting, and one LRU budget (the old
+  per-engine LRUs in ``compile_plan`` and ``native.plan`` now live
+  here).
+* :data:`RESULT_CACHE` — the bounded ``(fingerprint, volley digest) →
+  output row`` cache the serving stack consults ahead of admission.
+* :func:`cache_info` — the single cache-stats surface subsuming the
+  deprecated ``plan_cache_info()`` / ``native_plan_cache_info()`` pair.
+
+Import-weight discipline: importing ``repro.runtime`` loads only the
+cache tiers (stdlib + numpy), so low-level compilers can store plans
+through the tier without cycles.  The registry — which imports every
+backend — materializes lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .cache import PLAN_CACHE, PlanCacheTier, plan_nbytes
+from .result_cache import RESULT_CACHE, ResultCache, volley_digest
+
+__all__ = [
+    "AUTO",
+    "BackendEngine",
+    "ENGINES",
+    "Engine",
+    "EngineCapabilities",
+    "EngineRegistry",
+    "PLAN_CACHE",
+    "PlanCacheTier",
+    "RESULT_CACHE",
+    "ResultCache",
+    "cache_info",
+    "clear_caches",
+    "legacy_plan_cache_info",
+    "plan_nbytes",
+    "volley_digest",
+]
+
+#: Attributes resolved on demand to keep this package import-light.
+_LAZY = {
+    "AUTO": ("registry", "AUTO"),
+    "ENGINES": ("registry", "ENGINES"),
+    "EngineRegistry": ("registry", "EngineRegistry"),
+    "BackendEngine": ("engines", "BackendEngine"),
+    "Engine": ("engines", "Engine"),
+    "EngineCapabilities": ("engines", "EngineCapabilities"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{target[0]}", __name__), target[1])
+    globals()[name] = value
+    return value
+
+
+def cache_info() -> dict:
+    """One snapshot of every runtime cache.
+
+    The canonical replacement for the deprecated split
+    ``plan_cache_info()`` / ``native_plan_cache_info()`` surfaces:
+    the plan tier (totals, budget, per-engine namespaces), the result
+    cache, and the native execution mode probes.
+    """
+    from ..native import NUMBA_AVAILABLE
+    from ..native.plan import native_mode
+
+    return {
+        "plan": PLAN_CACHE.info(),
+        "result": RESULT_CACHE.info(),
+        "native_mode": native_mode(),
+        "numba_available": NUMBA_AVAILABLE,
+    }
+
+
+def legacy_plan_cache_info() -> dict:
+    """The pre-runtime ``plan_cache_info()`` payload, warning-free.
+
+    Health/metrics/stats endpoints keep their historical ``plan_cache``
+    key populated with this shape for one deprecation cycle; new callers
+    should read :func:`cache_info` instead.
+    """
+    from ..network.compile_plan import _plan_cache_record
+
+    return _plan_cache_record()
+
+
+def clear_caches(*, plans: bool = True, results: bool = True) -> None:
+    """Empty the runtime caches (plan tier + identity memos, results)."""
+    if plans:
+        # Module-path imports: ``repro.network`` re-exports a *function*
+        # named ``compile_plan``, which would shadow the module.
+        from ..native.plan import _NATIVE_MEMO
+        from ..network.compile_plan import _PLAN_MEMO
+
+        _PLAN_MEMO.clear()
+        _NATIVE_MEMO.clear()
+        PLAN_CACHE.clear()
+    if results:
+        RESULT_CACHE.clear()

@@ -1,0 +1,293 @@
+"""One plan-cache tier shared by every execution engine.
+
+Before PR 9 each batchable backend kept its own bounded LRU
+(``compile_plan._PLAN_LRU`` for the int64 engine,
+``native.plan._NATIVE_LRU`` for the native engine) with duplicated
+eviction logic and split stats surfaces.  :class:`PlanCacheTier` folds
+them into one fingerprint-keyed store:
+
+* Every engine registers a **namespace** carrying its legacy metric
+  prefix (``plan_cache`` / ``native_plan_cache`` — the counter names are
+  load-bearing for dashboards and tests) and a per-namespace entry cap
+  that behaves exactly like the old per-engine LRU limit.
+* The tier additionally enforces one **global budget** — max entries
+  and/or max resident bytes across *all* namespaces — with LRU eviction
+  in global recency order.  Byte sizes come from :func:`plan_nbytes`,
+  a conservative walker over the plan's ndarray payloads.
+* Engine modules keep their ``WeakKeyDictionary`` identity memos in
+  front of the tier: identity hits never reach here, so the
+  ``*.hit.identity`` counters stay owned by the engines.
+
+The module is deliberately light (stdlib + obs.metrics only) so
+low-level compilers can import it without touching the engine registry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..obs import metrics as _obs_metrics
+
+#: Sentinel for "leave this knob unchanged" in keyword setters, where
+#: ``None`` is a meaningful value (= unlimited).
+_UNSET = object()
+
+#: Flat per-entry overhead charged on top of the walked payload bytes
+#: (dict slots, key strings, bookkeeping).
+_ENTRY_OVERHEAD = 64
+
+
+def plan_nbytes(value: Any) -> int:
+    """Estimated resident bytes of one cached plan.
+
+    Recursively sums ``ndarray.nbytes`` over the object graph (dicts,
+    sequences, instance ``__dict__``s), deduplicating shared arrays by
+    identity.  Scalars and strings are ignored — plans are array-heavy,
+    and the budget only needs to be honest about the big allocations.
+    """
+    seen: set[int] = set()
+
+    def walk(obj: Any) -> int:
+        if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+            return 0
+        oid = id(obj)
+        if oid in seen:
+            return 0
+        seen.add(oid)
+        nbytes = getattr(obj, "nbytes", None)
+        if isinstance(nbytes, int) and hasattr(obj, "dtype"):
+            return nbytes
+        if isinstance(obj, dict):
+            return sum(walk(v) for v in obj.values())
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            return sum(walk(v) for v in obj)
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is not None:
+            return sum(walk(v) for v in attrs.values())
+        return 0
+
+    return _ENTRY_OVERHEAD + walk(value)
+
+
+@dataclass
+class _Namespace:
+    """Per-engine bookkeeping: metric prefix, entry cap, occupancy."""
+
+    name: str
+    metric_prefix: str
+    limit: int = 128
+    entries: int = 0
+    nbytes: int = 0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+
+
+class PlanCacheTier:
+    """Fingerprint-keyed plan storage with namespaces and one budget.
+
+    Keys are ``(namespace, fingerprint)``; recency is **global** — a hit
+    in any namespace refreshes the entry against both its namespace cap
+    and the tier-wide budget.  All operations are thread-safe (serving
+    workers and the batcher thread compile concurrently).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple[str, str], _Entry]" = OrderedDict()
+        self._namespaces: dict[str, _Namespace] = {}
+        self._max_entries: Optional[int] = None
+        self._max_bytes: Optional[int] = None
+
+    # -- namespaces -----------------------------------------------------
+
+    def register_namespace(
+        self, name: str, *, metric_prefix: str, limit: int = 128
+    ) -> None:
+        """Declare an engine namespace (idempotent across reimports)."""
+        with self._lock:
+            if name in self._namespaces:
+                return
+            self._namespaces[name] = _Namespace(
+                name=name, metric_prefix=metric_prefix, limit=limit
+            )
+
+    def _ns(self, name: str) -> _Namespace:
+        ns = self._namespaces.get(name)
+        if ns is None:
+            raise KeyError(f"unregistered plan-cache namespace {name!r}")
+        return ns
+
+    def namespaces(self) -> list[str]:
+        with self._lock:
+            return list(self._namespaces)
+
+    # -- lookup / insert ------------------------------------------------
+
+    def get(self, namespace: str, fingerprint: str) -> Optional[Any]:
+        """The cached plan, counting ``<prefix>.hit.structural``/``.miss``."""
+        ns = self._ns(namespace)
+        with self._lock:
+            entry = self._entries.get((namespace, fingerprint))
+            if entry is None:
+                _obs_metrics.METRICS.inc(f"{ns.metric_prefix}.miss")
+                return None
+            self._entries.move_to_end((namespace, fingerprint))
+            _obs_metrics.METRICS.inc(f"{ns.metric_prefix}.hit.structural")
+            return entry.value
+
+    def put(
+        self,
+        namespace: str,
+        fingerprint: str,
+        value: Any,
+        *,
+        nbytes: Optional[int] = None,
+    ) -> Any:
+        """Insert (or refresh) a plan, then enforce caps and budgets."""
+        ns = self._ns(namespace)
+        size = plan_nbytes(value) if nbytes is None else int(nbytes)
+        with self._lock:
+            key = (namespace, fingerprint)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                ns.entries -= 1
+                ns.nbytes -= old.nbytes
+            self._entries[key] = _Entry(value=value, nbytes=size)
+            ns.entries += 1
+            ns.nbytes += size
+            self._enforce(ns)
+        return value
+
+    # -- eviction -------------------------------------------------------
+
+    def _evict(self, key: tuple[str, str]) -> None:
+        # Lock held.  The evict counter uses the *evicted* entry's own
+        # namespace prefix, so global-budget pressure is attributed to
+        # whichever engine's plan actually left the cache.
+        entry = self._entries.pop(key)
+        ns = self._namespaces[key[0]]
+        ns.entries -= 1
+        ns.nbytes -= entry.nbytes
+        _obs_metrics.METRICS.inc(f"{ns.metric_prefix}.evict")
+
+    def _enforce(self, ns: Optional[_Namespace] = None) -> None:
+        # Lock held.  Namespace cap first (legacy LRU semantics), then
+        # the global entry/byte budgets in global recency order.
+        if ns is not None:
+            while ns.entries > ns.limit:
+                self._evict(next(k for k in self._entries if k[0] == ns.name))
+        while (
+            self._max_entries is not None
+            and len(self._entries) > self._max_entries
+        ):
+            self._evict(next(iter(self._entries)))
+        while (
+            self._max_bytes is not None
+            and self._entries
+            and sum(n.nbytes for n in self._namespaces.values()) > self._max_bytes
+        ):
+            self._evict(next(iter(self._entries)))
+
+    # -- knobs ----------------------------------------------------------
+
+    def set_namespace_limit(self, namespace: str, limit: int) -> int:
+        """Resize one namespace's entry cap, trimming immediately.
+
+        Returns the previous cap (the legacy ``set_plan_cache_limit``
+        contract, so shims can forward without translation).
+        """
+        if limit < 1:
+            raise ValueError(f"cache limit must be >= 1, got {limit}")
+        ns = self._ns(namespace)
+        with self._lock:
+            previous = ns.limit
+            ns.limit = int(limit)
+            self._enforce(ns)
+            return previous
+
+    def set_budget(
+        self, *, max_entries: Any = _UNSET, max_bytes: Any = _UNSET
+    ) -> tuple[Optional[int], Optional[int]]:
+        """Set the tier-wide budget; ``None`` lifts a bound.
+
+        Returns the previous ``(max_entries, max_bytes)`` pair.  Passing
+        only one keyword leaves the other bound untouched.
+        """
+        with self._lock:
+            previous = (self._max_entries, self._max_bytes)
+            if max_entries is not _UNSET:
+                if max_entries is not None and max_entries < 1:
+                    raise ValueError(
+                        f"cache limit must be >= 1, got {max_entries}"
+                    )
+                self._max_entries = max_entries
+            if max_bytes is not _UNSET:
+                if max_bytes is not None and max_bytes < 1:
+                    raise ValueError(f"cache limit must be >= 1, got {max_bytes}")
+                self._max_bytes = max_bytes
+            self._enforce()
+            return previous
+
+    def clear(self, namespace: Optional[str] = None) -> int:
+        """Drop every entry (or one namespace's); returns the count.
+
+        Clearing is not eviction: no ``.evict`` counters fire, matching
+        the legacy ``clear_plan_cache`` behaviour.
+        """
+        with self._lock:
+            if namespace is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                for ns in self._namespaces.values():
+                    ns.entries = ns.nbytes = 0
+                return dropped
+            ns = self._ns(namespace)
+            keys = [k for k in self._entries if k[0] == namespace]
+            for key in keys:
+                entry = self._entries.pop(key)
+                ns.entries -= 1
+                ns.nbytes -= entry.nbytes
+            return len(keys)
+
+    # -- introspection --------------------------------------------------
+
+    def namespace_info(self, namespace: str) -> dict:
+        """Occupancy + counters for one namespace (legacy-shape feeder)."""
+        ns = self._ns(namespace)
+        counter = _obs_metrics.METRICS.counter
+        with self._lock:
+            return {
+                "entries": ns.entries,
+                "bytes": ns.nbytes,
+                "limit": ns.limit,
+                "hits_structural": counter(f"{ns.metric_prefix}.hit.structural"),
+                "misses": counter(f"{ns.metric_prefix}.miss"),
+                "evictions": counter(f"{ns.metric_prefix}.evict"),
+            }
+
+    def info(self) -> dict:
+        """The whole tier: totals, budget, and every namespace."""
+        with self._lock:
+            namespaces = {
+                name: self.namespace_info(name) for name in self._namespaces
+            }
+            return {
+                "entries": len(self._entries),
+                "bytes": sum(ns.nbytes for ns in self._namespaces.values()),
+                "budget": {
+                    "max_entries": self._max_entries,
+                    "max_bytes": self._max_bytes,
+                },
+                "namespaces": namespaces,
+            }
+
+
+#: The process-wide tier every engine compiles through.
+PLAN_CACHE = PlanCacheTier()

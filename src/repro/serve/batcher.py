@@ -78,6 +78,9 @@ class PendingRequest:
     #: When the request was last handed to a worker (0.0 = never
     #: dispatched); stage-latency attribution reads it at completion.
     dispatched: float = 0.0
+    #: Result-cache key (canonical volley digest) when the service has
+    #: the cache armed; ``None`` disables store-on-completion.
+    digest: Optional[str] = None
     #: The request's span tree when request tracing is enabled
     #: (:mod:`repro.obs.rtrace`); ``None`` costs the disabled path
     #: nothing.  A crash-retried batch re-dispatches these same request

@@ -3,12 +3,14 @@
 Each worker is a separate OS process that, at startup, rebuilds every
 registered model from its serialized document (verifying the embedded
 fingerprint), lowers it to the IR, runs the optimizer pass pipeline, and
-**warms** both execution engines — the compiled int64 plan
-(:meth:`repro.network.compile_plan.CompiledPlan.warm`) and the native
-arena plan (:meth:`repro.native.NativePlan.warm`) — so the first real
+**warms** every batchable engine in the runtime registry
+(:meth:`~repro.runtime.engines.BackendEngine.warm`) — so the first real
 request never pays compilation, first-touch, or JIT cost.  The
-``engine`` option ("native", the default, or "int64") selects which
-engine answers eval messages; per-engine warmup counts are reported per
+``engine`` option is a policy resolved through
+:data:`repro.runtime.ENGINES` — ``"auto"`` (the default: best available
+batchable engine) or an explicit key like ``"native"`` / ``"int64"`` —
+and selects which engine answers eval messages; per-engine warmup
+counts are reported per
 worker through :meth:`ProcessWorkerPool.warmups`.  Work arrives as already-encoded ``(B, n_inputs)``
 int64 matrices (the micro-batcher's output) and leaves as the engine's
 raw ``(B, n_outputs)`` result, keeping the IPC payload two NumPy arrays
@@ -95,15 +97,16 @@ class Job:
 # ---------------------------------------------------------------------------
 
 def _worker_main(
-    conn, documents: dict[str, str], optimize: bool, engine: str = "native"
+    conn, documents: dict[str, str], optimize: bool, engine: str = "auto"
 ) -> None:
     """The worker loop: load + warm every model, then serve eval messages.
 
     Runs in a child process (or, for unit tests, a plain thread with the
     other pipe end held by the test).  *engine* selects the evaluation
-    backend for ``eval`` messages — ``"native"`` (the fused arena
-    kernels, default) or ``"int64"`` (the compiled batch engine).  Both
-    engines are compiled and warmed at load time regardless, so
+    backend for ``eval`` messages, resolved through the runtime engine
+    registry — an engine key (``"native"``, ``"int64"``) or the
+    ``"auto"`` policy (best available batchable engine).  Every
+    batchable engine is compiled and warmed at load time regardless, so
     switching engines never costs a request its latency budget; the
     per-engine warmup counts ride back on the ready message.  Messages:
 
@@ -126,13 +129,14 @@ def _worker_main(
 
     from ..ir.passes import optimize_program
     from ..ir.program import lower
-    from ..native import compile_native, evaluate_batch_native
     from ..network import serialize
-    from ..network.compile_plan import compile_plan, evaluate_batch
     from ..obs import profile as _profile
     from ..obs.metrics import METRICS as _worker_metrics
+    from ..runtime.registry import ENGINES
 
-    warmups = {"int64": 0, "native": 0}
+    backends = ENGINES.serving_engines()
+    evaluate = ENGINES.resolve(engine).evaluate
+    warmups = {backend.key: 0 for backend in backends}
 
     def load(model_id: str, document: str):
         network = serialize.loads(document)
@@ -144,13 +148,10 @@ def _worker_main(
         program = lower(network)
         if optimize:
             program, _report = optimize_program(program)
-        compile_plan(program).warm()
-        warmups["int64"] += 1
-        compile_native(program).warm()
-        warmups["native"] += 1
+        for backend in backends:
+            backend.warm(program)
+            warmups[backend.key] += 1
         return program
-
-    evaluate = evaluate_batch_native if engine == "native" else evaluate_batch
     programs = {mid: load(mid, doc) for mid, doc in documents.items()}
     # The compiled programs and warmed plans are immortal from here on;
     # freeze them out of the cyclic GC so steady-state eval batches never
@@ -276,17 +277,19 @@ class ProcessWorkerPool:
         *,
         n_workers: int = 2,
         optimize: bool = True,
-        engine: str = "native",
+        engine: str = "auto",
         max_restarts: int = 8,
         start_timeout: float = 60.0,
     ):
         if n_workers < 1:
             raise ValueError(f"need at least one worker, got {n_workers}")
-        if engine not in ("native", "int64"):
-            raise ValueError(f"engine must be 'native' or 'int64', got {engine!r}")
+        from ..runtime.registry import ENGINES
+
+        # Resolve the policy once, in the parent: workers inherit the
+        # pinned key so a restart can never flip engines mid-flight.
         self._documents = dict(documents)
         self._optimize = optimize
-        self._engine = engine
+        self._engine = ENGINES.resolve(engine).key
         self._max_restarts = max_restarts
         self._start_timeout = start_timeout
         self._lock = threading.Lock()
@@ -548,14 +551,16 @@ class InlineWorkerPool:
         documents: dict[str, str],
         *,
         optimize: bool = True,
-        engine: str = "native",
+        engine: str = "auto",
     ):
-        if engine not in ("native", "int64"):
-            raise ValueError(f"engine must be 'native' or 'int64', got {engine!r}")
+        from ..runtime.registry import ENGINES
+
         self._optimize = optimize
-        self._engine = engine
+        self._backends = ENGINES.serving_engines()
+        self._engine_impl = ENGINES.resolve(engine)
+        self._engine = self._engine_impl.key
         self._programs = {}
-        self._warmups = {"int64": 0, "native": 0}
+        self._warmups = {backend.key: 0 for backend in self._backends}
         for model_id, document in documents.items():
             self.add_model(model_id, document)
         self._stopping = False
@@ -592,9 +597,6 @@ class InlineWorkerPool:
     def submit(self, job: Job) -> None:
         import time as _time
 
-        from ..native import evaluate_batch_native
-        from ..network.compile_plan import evaluate_batch
-
         if self._stopping:
             raise ServeError(E_WORKER, "pool is shutting down")
         program = self._programs.get(job.model_id)
@@ -603,9 +605,7 @@ class InlineWorkerPool:
             job.on_fail(f"model {job.model_id[:12]} not loaded")
             return
         _obs_metrics.METRICS.inc("serve.pool.submits")
-        evaluate = (
-            evaluate_batch_native if self._engine == "native" else evaluate_batch
-        )
+        evaluate = self._engine_impl.evaluate
         started = _time.perf_counter() if job.want_spans else 0.0
         try:
             result = evaluate(
@@ -622,18 +622,15 @@ class InlineWorkerPool:
     def add_model(self, model_id: str, document: str) -> None:
         from ..ir.passes import optimize_program
         from ..ir.program import lower
-        from ..native import compile_native
         from ..network import serialize
-        from ..network.compile_plan import compile_plan
 
         network = serialize.loads(document)
         program = lower(network)
         if self._optimize:
             program, _report = optimize_program(program)
-        compile_plan(program).warm()
-        self._warmups["int64"] += 1
-        compile_native(program).warm()
-        self._warmups["native"] += 1
+        for backend in self._backends:
+            backend.warm(program)
+            self._warmups[backend.key] += 1
         self._programs[model_id] = program
 
     def inject_crash(self, slot: int) -> None:

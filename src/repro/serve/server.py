@@ -130,7 +130,7 @@ def _merge_worker_metrics(snapshots: list[dict]) -> dict:
 
 
 def _metrics_payload(service: TNNService) -> dict:
-    from ..network.compile_plan import plan_cache_info
+    from .. import runtime
     from ..obs.metrics import METRICS
 
     per_worker = service.worker_metrics()
@@ -138,7 +138,11 @@ def _metrics_payload(service: TNNService) -> dict:
         "ok": True,
         "serve": service.stats(),
         "metrics": METRICS.snapshot(),
-        "plan_cache": plan_cache_info(),
+        # The unified runtime surface (plan tier + result cache +
+        # engine probes); "plan_cache" keeps the pre-runtime shape for
+        # one deprecation cycle of external scrapers.
+        "cache": runtime.cache_info(),
+        "plan_cache": runtime.legacy_plan_cache_info(),
         # The frontend cannot see child-process registries directly;
         # workers piggyback snapshots on eval replies (so these may lag
         # live state by a few batches).
@@ -151,14 +155,26 @@ def _metrics_payload(service: TNNService) -> dict:
 
 
 def _metrics_text_payload(service: TNNService) -> dict:
+    from .. import runtime
     from .stats import PROMETHEUS_CONTENT_TYPE, prometheus_text
 
-    text = prometheus_text(
-        extra_gauges={
-            "serve.pool.inflight": service.pool.inflight(),
-            "serve.pending": service.pending(),
-        }
-    )
+    info = runtime.cache_info()
+    gauges = {
+        "serve.pool.inflight": service.pool.inflight(),
+        "serve.pending": service.pending(),
+        "cache.plan.entries": info["plan"]["entries"],
+        "cache.plan.bytes": info["plan"]["bytes"],
+        "cache.result.entries": info["result"]["entries"],
+        "cache.result.bytes": info["result"]["bytes"],
+        "cache.result.hits": info["result"]["hits"],
+        "cache.result.misses": info["result"]["misses"],
+        "cache.result.evictions": info["result"]["evictions"],
+    }
+    for name, ns in info["plan"]["namespaces"].items():
+        gauges[f"cache.plan.{name}.hits"] = ns["hits_structural"]
+        gauges[f"cache.plan.{name}.misses"] = ns["misses"]
+        gauges[f"cache.plan.{name}.evictions"] = ns["evictions"]
+    text = prometheus_text(extra_gauges=gauges)
     return {"ok": True, "content_type": PROMETHEUS_CONTENT_TYPE, "text": text}
 
 
@@ -361,6 +377,10 @@ def build_service(args: argparse.Namespace) -> TNNService:
         pool = ProcessWorkerPool(
             documents, n_workers=args.workers, engine=args.engine
         )
+    if getattr(args, "result_cache_entries", None):
+        from ..runtime import RESULT_CACHE
+
+        RESULT_CACHE.configure(max_entries=args.result_cache_entries)
     return TNNService(
         registry,
         pool,
@@ -371,6 +391,7 @@ def build_service(args: argparse.Namespace) -> TNNService:
         default_deadline_s=(
             None if args.deadline_ms is None else args.deadline_ms / 1e3
         ),
+        result_cache=not getattr(args, "no_result_cache", False),
     )
 
 
@@ -387,12 +408,28 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="evaluate in-process instead of in worker processes",
     )
+    from ..runtime.registry import AUTO, ENGINES
+
     parser.add_argument(
         "--engine",
-        choices=("native", "int64"),
-        default="native",
-        help="evaluation backend: fused native kernels (default) or the "
-        "compiled int64 engine",
+        choices=(AUTO, *ENGINES.serving_keys()),
+        default=AUTO,
+        help="evaluation backend policy resolved through the runtime "
+        "engine registry: 'auto' (default) picks the best available "
+        "batchable engine; an explicit key pins one",
+    )
+    parser.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the (fingerprint, volley) result cache "
+        "(armed by default; repeats then always re-evaluate)",
+    )
+    parser.add_argument(
+        "--result-cache-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rebound the result cache to N entries (default 4096)",
     )
     parser.add_argument(
         "--max-batch", type=int, default=64, help="micro-batch size trigger"

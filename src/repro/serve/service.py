@@ -62,6 +62,7 @@ from .protocol import (
     ServeError,
     time_to_wire,
 )
+from ..runtime.result_cache import RESULT_CACHE, volley_digest
 from .pool import Job
 from .registry import ModelEntry, ModelRegistry
 from .stats import SERVE_STATS
@@ -102,6 +103,7 @@ class TNNService:
         max_pending: int = 1024,
         default_deadline_s: Optional[float] = None,
         max_attempts: int = 2,
+        result_cache: bool = False,
     ):
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -109,6 +111,13 @@ class TNNService:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.registry = registry
         self.pool = pool
+        #: Answer repeated ``(fingerprint, volley, params)`` triples
+        #: straight from :data:`repro.runtime.RESULT_CACHE`, ahead of
+        #: admission.  Off by default because the cache is
+        #: process-global: embedded services and unit tests opt in
+        #: explicitly; the CLI server arms it (``--no-result-cache`` to
+        #: disable).
+        self.result_cache_enabled = bool(result_cache)
         self.policy = policy or BatchPolicy()
         self.max_pending = max_pending
         self.default_deadline_s = default_deadline_s
@@ -159,7 +168,19 @@ class TNNService:
         _obs_metrics.METRICS.inc("serve.requests")
         entry, encoded = self._validated(model, volley, params)
         params = dict(params or {})
+        params_key = _params_key(params)
         now = monotonic()
+        digest: Optional[str] = None
+        if self.result_cache_enabled:
+            # Ahead of admission: a hit never takes a queue slot, never
+            # wakes the flusher, never touches the pool.  The key is
+            # total over everything that affects the answer (program
+            # fingerprint + encoded volley + canonical params), so the
+            # cached row is byte-identical to recomputation.
+            digest = volley_digest(encoded, params_key)
+            cached = RESULT_CACHE.get(entry.model_id, digest)
+            if cached is not None:
+                return self._resolve_from_cache(entry, cached, trace_id, now)
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         deadline = None if deadline_s is None else now + deadline_s
@@ -167,12 +188,13 @@ class TNNService:
             req_id=next(self._req_ids),
             model_id=entry.model_id,
             volley=tuple(volley),
-            params_key=_params_key(params),
+            params_key=params_key,
             params=params,
             enqueued=now,
             deadline=deadline,
             encoded=encoded,
             model_name=entry.name,
+            digest=digest,
         )
         if _rtrace._ENABLED:
             trace = _rtrace.RequestTrace(
@@ -222,6 +244,43 @@ class TNNService:
             if full is not None or opened:
                 self._cond.notify_all()
         return request.future
+
+    def _resolve_from_cache(
+        self,
+        entry: ModelEntry,
+        cached: tuple,
+        trace_id: Optional[str],
+        now: float,
+    ) -> "Future[tuple[Time, ...]]":
+        """Answer a request straight from the result cache.
+
+        The cached row was produced by a worker evaluation of the same
+        ``(fingerprint, encoded volley, params)`` triple, so resolving
+        with it is byte-identical to dispatching.  Deadlines are moot —
+        the answer is immediate — and the request never counts against
+        ``max_pending``.
+        """
+        _obs_metrics.METRICS.inc("serve.result_cache.served")
+        _obs_metrics.METRICS.inc("serve.ok")
+        SERVE_STATS.observe_request(
+            model=entry.name,
+            outcome="ok",
+            enqueued=now,
+            dispatched=None,
+            completed=now,
+        )
+        future: "Future[tuple[Time, ...]]" = Future()
+        if _rtrace._ENABLED:
+            trace = _rtrace.RequestTrace(
+                trace_id or f"t{next(self._req_ids)}", model=entry.name, now=now
+            )
+            trace.push("result-cache", now)
+            trace.pop("result-cache", now)
+            trace.seal("ok", now)
+            _rtrace.FLIGHT.record(trace)
+            future.rtrace = trace  # type: ignore[attr-defined]
+        future.set_result(cached)
+        return future
 
     def _validated(
         self,
@@ -409,7 +468,12 @@ class TNNService:
             if request.trace is not None:
                 self._close_attempt(request, batch, now)
                 self._finish_trace(request, "ok", now)
-            request.future.set_result(tuple(row))
+            result = tuple(row)
+            if request.digest is not None:
+                # Store before resolving: a client that resubmits the
+                # moment its future fires already sees the hit.
+                RESULT_CACHE.put(request.model_id, request.digest, result)
+            request.future.set_result(result)
             completed += 1
         _obs_metrics.METRICS.inc("serve.ok", completed)
         self._release(completed)
@@ -516,11 +580,15 @@ class TNNService:
         warmups = getattr(self.pool, "warmups", None)
         if warmups is not None:
             per_worker = warmups()
-            snapshot["warmups"] = {
-                "per_worker": per_worker,
-                "int64": sum(w.get("int64", 0) for w in per_worker),
-                "native": sum(w.get("native", 0) for w in per_worker),
-            }
+            totals: dict[str, int] = {}
+            for worker in per_worker:
+                for key, count in worker.items():
+                    totals[key] = totals.get(key, 0) + count
+            snapshot["warmups"] = {"per_worker": per_worker, **totals}
+        snapshot["result_cache"] = {
+            "enabled": self.result_cache_enabled,
+            **RESULT_CACHE.info(),
+        }
         snapshot["rtrace"] = {
             "enabled": _rtrace.rtrace_enabled(),
             "flight": _rtrace.FLIGHT.stats(),

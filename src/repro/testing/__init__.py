@@ -49,7 +49,14 @@ from .generators import (
     random_kernel_network,
     random_layered_network,
 )
-from .served import ServedMismatch, ServedReport, check_served
+from .served import (
+    CachePoisonFault,
+    CacheSelfCheckReport,
+    ServedMismatch,
+    ServedReport,
+    check_served,
+    run_served_cache_selfcheck,
+)
 from .oracles import (
     BackendOracle,
     BackendRun,
@@ -77,6 +84,8 @@ from .shrink import (
 __all__ = [
     "BackendOracle",
     "BackendRun",
+    "CachePoisonFault",
+    "CacheSelfCheckReport",
     "CompiledBatchOracle",
     "ConformanceCase",
     "ConformanceReport",
@@ -112,6 +121,7 @@ __all__ = [
     "run_case",
     "run_conformance",
     "run_fault_selfcheck",
+    "run_served_cache_selfcheck",
     "saturate",
     "saturate_outputs",
     "shrink_network",

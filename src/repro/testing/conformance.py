@@ -343,6 +343,7 @@ def run_conformance(
     shrink: bool = True,
     optimize: bool = False,
     family: Optional[str] = None,
+    oracles: Optional[Sequence[BackendOracle]] = None,
 ) -> ConformanceReport:
     """Sweep *count* seeded cases and (optionally) the fault self-check.
 
@@ -356,9 +357,14 @@ def run_conformance(
     pins every case to one generator family (e.g. ``"kernels"``) so a
     sweep can target one construction surface; the fault self-check
     inherits the pin, proving the harness keeps its teeth on that
-    family's victims too.
+    family's victims too.  *oracles* pins an explicit backend list (the
+    CLI ``--engines`` path resolves it through the runtime registry);
+    when given, ``include_grl`` is ignored.
     """
-    oracles = default_oracles(include_grl=include_grl)
+    if oracles is None:
+        oracles = default_oracles(include_grl=include_grl)
+    else:
+        oracles = list(oracles)
     report = ConformanceReport(seed=seed, count=count)
     for offset in range(count):
         case = generate_case(seed + offset, smoke=smoke, family=family)

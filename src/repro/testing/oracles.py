@@ -1,15 +1,16 @@
-"""Backend-oracle registry for differential conformance testing.
+"""Backend-oracle adapter over the unified engine registry.
 
 The repository carries five executable semantics for the same network
-language — the interpreted big-int walk
-(:func:`repro.network.simulator.evaluate_all_interpreted`), the compiled
-int64 batch engine (:mod:`repro.network.compile_plan`), the operational
-event-driven simulator (:mod:`repro.network.events`), the gate-level
-GRL circuit model (:mod:`repro.racelogic.compile`) and the native
-arena backend (:mod:`repro.native`).  The paper's claims
-are that these all denote the *same* bounded s-t function, so each is
-wrapped here as a :class:`BackendOracle` with a uniform interface: a
-volley batch in, one spike-time tuple per volley out.
+language — the interpreted big-int walk, the compiled int64 batch
+engine, the operational event-driven simulator, the gate-level GRL
+circuit model, and the native arena backend.  Since PR 9 they live in
+:mod:`repro.runtime.engines` and register with
+:data:`repro.runtime.ENGINES` — the exact objects the serving stack
+dispatches through.  This module keeps the historical conformance
+surface (``register_oracle`` / ``oracle_names`` / ``default_oracles`` /
+``run_backends`` and the ``*Oracle`` class names) as a thin adapter, so
+differential testing exercises the production dispatch path rather than
+a parallel registry.
 
 Comparison semantics
 --------------------
@@ -26,91 +27,73 @@ Partiality
 ----------
 Not every backend can run every case.  The GRL oracle compiles to a CMOS
 netlist (zero-source min/max constants have no gate realization) and
-simulates cycle-by-cycle (near-sentinel spike times would need ``~2**63``
-cycles), so it declares structural limits via
-:meth:`BackendOracle.supports_network` and per-volley limits via
-:meth:`BackendOracle.supports_volley`.  The registry never silently
-drops a backend — skips carry a human-readable reason into the report.
+simulates cycle-by-cycle, so it declares structural limits via
+``supports_network`` and per-volley limits via ``supports_volley``.  The
+registry never silently drops a backend — skips carry a human-readable
+reason into the report.
 
 Adding a backend
 ----------------
-Subclass :class:`BackendOracle`, implement :meth:`BackendOracle.run`
-(and the ``supports_*`` hooks if partial), then decorate with
+Subclass :class:`BackendOracle` (=
+:class:`~repro.runtime.engines.BackendEngine`), implement ``run`` (and
+the ``supports_*`` hooks if partial), then decorate with
 :func:`register_oracle`.  ``default_oracles()`` instantiates every
 registered backend; the conformance CLI picks it up automatically.
-
-The Engine protocol
--------------------
-Every oracle accepts a :data:`~repro.ir.program.ProgramLike` — a raw
-:class:`~repro.network.graph.Network` or an already-lowered (and
-possibly optimized) :class:`~repro.ir.program.Program`.  The structural
-:class:`Engine` protocol spells out that contract; :func:`run_backends`
-exploits it to lower and optimize *once* and hand the same ``Program``
-to all five backends (``optimize=True``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional
 
 from ..core.value import INF, Infinity, Time
 from ..ir.passes import optimize_program
 from ..ir.program import Program, ProgramLike, ensure_program
-from ..network.compile_plan import (
-    MAX_FINITE,
-    decode_matrix,
-    evaluate_batch,
+from ..network.compile_plan import MAX_FINITE
+from ..runtime.engines import (
+    BackendEngine,
+    CompiledBatchEngine,
+    Engine,
+    EngineCapabilities,
+    EventDrivenEngine,
+    GRLCircuitEngine,
+    InterpretedEngine,
+    NativeEngine,
+    Outputs,
+    Volley,
 )
-from ..native import evaluate_batch_native
-from ..network.events import EventSimulator
-from ..network.graph import Network
-from ..network.simulator import evaluate_all_interpreted
-from ..obs.trace import RecordingSink, TraceEvent
+from ..runtime.registry import ENGINES
 
-Volley = tuple[Time, ...]
-Outputs = tuple[Time, ...]
+__all__ = [
+    "BackendOracle",
+    "BackendRun",
+    "CompiledBatchOracle",
+    "Engine",
+    "EngineCapabilities",
+    "EventDrivenOracle",
+    "GRLCircuitOracle",
+    "InterpretedOracle",
+    "NativeOracle",
+    "Outputs",
+    "Volley",
+    "default_oracles",
+    "oracle_names",
+    "register_oracle",
+    "run_backends",
+    "saturate",
+    "saturate_outputs",
+]
 
-
-@runtime_checkable
-class Engine(Protocol):
-    """The structural contract every backend oracle satisfies.
-
-    One executable semantics of the s-t language, consuming a
-    :data:`~repro.ir.program.ProgramLike` (a ``Network`` or a lowered
-    ``Program``) — the dispatch surface :func:`run_backends` and the
-    conformance harness are written against.
-    """
-
-    name: str
-
-    def supports_network(self, network: ProgramLike) -> Optional[str]:
-        """``None`` if the engine can run *network*, else a skip reason."""
-        ...
-
-    def supports_volley(self, volley: Volley) -> bool:
-        """True if the engine can run this particular volley."""
-        ...
-
-    def run(
-        self,
-        network: ProgramLike,
-        volleys: Sequence[Volley],
-        params: Optional[Mapping[str, Time]] = None,
-    ) -> list[Outputs]:
-        """Raw output tuples (output-name order) per volley."""
-        ...
-
-    def trace(
-        self,
-        network: ProgramLike,
-        volley: Volley,
-        params: Optional[Mapping[str, Time]] = None,
-    ) -> Optional[list[TraceEvent]]:
-        """Canonical spike trace of one volley, or ``None`` if untraceable."""
-        ...
+#: Historical names — the oracle classes ARE the runtime engines, so a
+#: conformance-registered backend and a serving-dispatched backend are
+#: one object with one behaviour.
+BackendOracle = BackendEngine
+InterpretedOracle = InterpretedEngine
+CompiledBatchOracle = CompiledBatchEngine
+EventDrivenOracle = EventDrivenEngine
+GRLCircuitOracle = GRLCircuitEngine
+NativeOracle = NativeEngine
 
 
 def saturate(value: Time) -> Time:
@@ -125,256 +108,36 @@ def saturate_outputs(outputs: Sequence[Time]) -> Outputs:
     return tuple(saturate(v) for v in outputs)
 
 
-class BackendOracle:
-    """One executable semantics of the network language.
-
-    The stock implementation of the :class:`Engine` protocol.
-    Subclasses implement :meth:`run`; partial backends override
-    :meth:`supports_network` / :meth:`supports_volley`.  ``run`` returns
-    *raw* outputs — canonicalization (sentinel saturation) is applied
-    uniformly by :func:`run_backends`, never per backend.
-    """
-
-    #: Registry key and report label; subclasses must override.
-    name: str = "abstract"
-
-    def supports_network(self, network: ProgramLike) -> Optional[str]:
-        """``None`` if the backend can run *network*, else a skip reason."""
-        return None
-
-    def supports_volley(self, volley: Volley) -> bool:
-        """True if the backend can run this particular volley."""
-        return True
-
-    def run(
-        self,
-        network: ProgramLike,
-        volleys: Sequence[Volley],
-        params: Optional[Mapping[str, Time]] = None,
-    ) -> list[Outputs]:
-        """Raw output tuples (``network.output_names`` order) per volley."""
-        raise NotImplementedError
-
-    def trace(
-        self,
-        network: ProgramLike,
-        volley: Volley,
-        params: Optional[Mapping[str, Time]] = None,
-    ) -> Optional[list[TraceEvent]]:
-        """The canonical spike trace of one volley, or ``None``.
-
-        ``None`` means the backend cannot trace this case (unsupported
-        network/volley, or no tracing support at all — the base).  A
-        returned trace is already canonical (sorted, sentinel-saturated),
-        so two backends that agree on fire times return *equal* lists.
-        """
-        return None
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
-        return f"<oracle {self.name}>"
-
-
 # ---------------------------------------------------------------------------
-# Registry
+# Registry adapter
 # ---------------------------------------------------------------------------
 
-_REGISTRY: "OrderedDict[str, Callable[[], BackendOracle]]" = OrderedDict()
-
-
-def register_oracle(factory: Callable[[], BackendOracle]) -> Callable[[], BackendOracle]:
+def register_oracle(
+    factory: Callable[[], BackendOracle]
+) -> Callable[[], BackendOracle]:
     """Register a backend factory (usable as a class decorator).
 
-    The factory's product must carry a unique ``name``; registration
-    order is preserved and becomes the report column order.
+    Forwards to :meth:`repro.runtime.EngineRegistry.register` on the
+    process-wide :data:`~repro.runtime.ENGINES` registry: the factory's
+    product must carry a unique ``name``; registration order is
+    preserved and becomes the report column order.
     """
-    probe = factory()
-    if probe.name in _REGISTRY:
-        raise ValueError(f"oracle {probe.name!r} already registered")
-    _REGISTRY[probe.name] = factory
-    return factory
+    return ENGINES.register(factory)
 
 
 def oracle_names() -> list[str]:
     """Registered backend names, in registration order."""
-    return list(_REGISTRY)
+    return ENGINES.names()
 
 
 def default_oracles(*, include_grl: bool = True) -> list[BackendOracle]:
     """Fresh instances of every registered backend.
 
-    ``include_grl=False`` drops the gate-level model — useful when the
-    sweep is dominated by cycle-accurate simulation time.
+    ``include_grl=False`` drops cycle-accurate gate-level models — the
+    filter keys on the ``cycle_accurate`` capability, not the name —
+    useful when the sweep is dominated by cycle simulation time.
     """
-    oracles = [factory() for factory in _REGISTRY.values()]
-    if not include_grl:
-        oracles = [o for o in oracles if o.name != "grl-circuit"]
-    return oracles
-
-
-# ---------------------------------------------------------------------------
-# The four stock backends
-# ---------------------------------------------------------------------------
-
-@register_oracle
-class InterpretedOracle(BackendOracle):
-    """The pure-Python reference walk (arbitrary-precision ints)."""
-
-    name = "interpreted"
-
-    def run(self, network, volleys, params=None):
-        names = network.input_names
-        out_ids = list(network.outputs.values())
-        results: list[Outputs] = []
-        for volley in volleys:
-            values = evaluate_all_interpreted(
-                network, dict(zip(names, volley)), params=params
-            )
-            results.append(tuple(values[nid] for nid in out_ids))
-        return results
-
-    def trace(self, network, volley, params=None):
-        sink = RecordingSink()
-        evaluate_all_interpreted(
-            network,
-            dict(zip(network.input_names, volley)),
-            params=params,
-            sink=sink,
-        )
-        return sink.canonical()
-
-
-@register_oracle
-class CompiledBatchOracle(BackendOracle):
-    """The level-fused int64 batch engine, one compiled call per batch."""
-
-    name = "compiled-batch"
-
-    def run(self, network, volleys, params=None):
-        matrix = evaluate_batch(network, list(volleys), params=params)
-        return [tuple(row) for row in decode_matrix(matrix)]
-
-    def trace(self, network, volley, params=None):
-        sink = RecordingSink()
-        evaluate_batch(network, [tuple(volley)], params=params, sink=sink)
-        return sink.canonical()
-
-
-@register_oracle
-class EventDrivenOracle(BackendOracle):
-    """The operational simulator: spikes as discrete scheduled events."""
-
-    name = "event-driven"
-
-    def run(self, network, volleys, params=None):
-        simulator = EventSimulator(network)
-        names = network.input_names
-        out_names = network.output_names
-        results: list[Outputs] = []
-        for volley in volleys:
-            outcome = simulator.run(dict(zip(names, volley)), params=params)
-            results.append(tuple(outcome.outputs[n] for n in out_names))
-        return results
-
-    def trace(self, network, volley, params=None):
-        sink = RecordingSink()
-        EventSimulator(network).run(
-            dict(zip(network.input_names, volley)), params=params, sink=sink
-        )
-        return sink.canonical()
-
-
-@register_oracle
-class GRLCircuitOracle(BackendOracle):
-    """The cycle-accurate CMOS model, where a gate netlist exists.
-
-    Partial on two axes: zero-source min/max constants have no gate
-    realization, and simulation cost is ``O(cycles × gates)`` with
-    ``cycles ≈ latest finite spike + flip-flop count``, so both the
-    netlist size and the volley's latest spike are budgeted.
-    """
-
-    name = "grl-circuit"
-
-    def __init__(self, *, max_time: int = 32, max_gates: int = 400):
-        self.max_time = max_time
-        self.max_gates = max_gates
-
-    def supports_network(self, network: ProgramLike) -> Optional[str]:
-        program = ensure_program(network)
-        if program.const_ids:
-            # The IR declares which nodes are lattice-identity constants;
-            # this oracle no longer pattern-matches them itself.
-            node = program.nodes[program.const_ids[0]]
-            return (
-                f"zero-source {node.kind} (node {node.id}) has no "
-                "CMOS gate realization"
-            )
-        # DFF chains dominate the netlist: one flip-flop per inc unit.
-        gates = len(program.nodes) + sum(
-            n.amount - 1 for n in program.nodes if n.kind == "inc"
-        )
-        if gates > self.max_gates:
-            return f"netlist too large for cycle simulation ({gates} gates)"
-        return None
-
-    def supports_volley(self, volley: Volley) -> bool:
-        return all(
-            isinstance(v, Infinity) or v <= self.max_time for v in volley
-        )
-
-    def run(self, network, volleys, params=None):
-        from ..racelogic.compile import GRLExecutor
-
-        executor = GRLExecutor(network)
-        names = network.input_names
-        out_names = network.output_names
-        results: list[Outputs] = []
-        for volley in volleys:
-            outputs = executor.outputs(
-                dict(zip(names, volley)), params=params
-            )
-            results.append(tuple(outputs[n] for n in out_names))
-        return results
-
-    def trace(self, network, volley, params=None):
-        from ..racelogic.compile import GRLExecutor
-
-        volley = tuple(volley)
-        if self.supports_network(network) is not None:
-            return None
-        if not self.supports_volley(volley):
-            return None
-        sink = RecordingSink()
-        GRLExecutor(network).run(
-            dict(zip(network.input_names, volley)), params=params, sink=sink
-        )
-        return sink.canonical()
-
-
-@register_oracle
-class NativeOracle(BackendOracle):
-    """The native arena backend: fused level-kernels, optional Numba JIT.
-
-    Execution strategy (fused NumPy vs the Numba row interpreter)
-    follows ``REPRO_NATIVE`` at run time, so one conformance invocation
-    pins down whichever mode the environment selects — CI runs both.
-    Traces are emitted post-hoc from the complete value vector, which is
-    byte-identical to the incremental backends because the canonical
-    trace is a pure function of fire times.
-    """
-
-    name = "native"
-
-    def run(self, network, volleys, params=None):
-        matrix = evaluate_batch_native(network, list(volleys), params=params)
-        return [tuple(row) for row in decode_matrix(matrix)]
-
-    def trace(self, network, volley, params=None):
-        sink = RecordingSink()
-        evaluate_batch_native(
-            network, [tuple(volley)], params=params, sink=sink
-        )
-        return sink.canonical()
+    return ENGINES.create_all(include_cycle_accurate=include_grl)
 
 
 # ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@ from typing import Mapping, Optional, Sequence
 
 from ..core.value import Time
 from ..obs import rtrace as _rtrace
+from ..runtime.result_cache import RESULT_CACHE
 from ..serve.protocol import ServeError, canonical, ok_response
 
 
@@ -98,12 +99,21 @@ def check_served(
     deadline_s: Optional[float] = None,
     timeout_s: float = 30.0,
     flight_dump: Optional[str] = None,
+    repeat: int = 1,
 ) -> ServedReport:
     """Submit every volley individually and diff against the direct path.
 
     All requests are submitted up front (so the micro-batcher actually
     coalesces them, exercising the split/merge path) and then awaited;
     the direct reference is computed with one ``evaluate_batch`` call.
+
+    *repeat* sweeps the volley list that many times in one report.
+    Rounds are awaited sequentially (requests within a round are still
+    submitted up front), so with the service's result cache armed,
+    rounds after the first are served from the ``(fingerprint, volley)``
+    cache — and every cached response is still byte-checked against the
+    direct evaluation, so a stale or corrupted cache entry surfaces as a
+    mismatch exactly like a wrong worker answer would.
 
     *flight_dump* is a path prefix: when the sweep finds a mismatch (and
     request tracing is on, so the recorder has traces to show), the
@@ -112,48 +122,56 @@ def check_served(
     conformance failure arrives with the span-level story of the
     requests that led up to it.
     """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
     volleys = [tuple(v) for v in volleys]
     direct = service.direct(model, volleys, params=params)
-    report = ServedReport(total=len(volleys))
+    report = ServedReport(total=len(volleys) * repeat)
 
-    futures = []
-    for volley in volleys:
-        try:
-            futures.append(
-                service.submit(
-                    model, volley, params=params, deadline_s=deadline_s
-                )
-            )
-        except ServeError as error:
-            futures.append(error)
-
-    for index, (volley, row, outcome) in enumerate(zip(volleys, direct, futures)):
-        direct_line = canonical(ok_response(index, row))
-        if isinstance(outcome, ServeError):
-            error: Optional[ServeError] = outcome
-            served_row = None
-        else:
+    for round_no in range(repeat):
+        futures = []
+        for volley in volleys:
             try:
-                served_row = outcome.result(timeout=timeout_s)
-                error = None
-            except ServeError as exc:
-                served_row = None
-                error = exc
-        if error is not None:
-            report.rejected[error.code] = report.rejected.get(error.code, 0) + 1
-            continue
-        served_line = canonical(ok_response(index, served_row))
-        if served_line == direct_line:
-            report.ok += 1
-        else:
-            report.mismatches.append(
-                ServedMismatch(
-                    index=index,
-                    volley=volley,
-                    served_line=served_line,
-                    direct_line=direct_line,
+                futures.append(
+                    service.submit(
+                        model, volley, params=params, deadline_s=deadline_s
+                    )
                 )
-            )
+            except ServeError as error:
+                futures.append(error)
+
+        for offset, (volley, row, outcome) in enumerate(
+            zip(volleys, direct, futures)
+        ):
+            index = round_no * len(volleys) + offset
+            direct_line = canonical(ok_response(index, row))
+            if isinstance(outcome, ServeError):
+                error: Optional[ServeError] = outcome
+                served_row = None
+            else:
+                try:
+                    served_row = outcome.result(timeout=timeout_s)
+                    error = None
+                except ServeError as exc:
+                    served_row = None
+                    error = exc
+            if error is not None:
+                report.rejected[error.code] = (
+                    report.rejected.get(error.code, 0) + 1
+                )
+                continue
+            served_line = canonical(ok_response(index, served_row))
+            if served_line == direct_line:
+                report.ok += 1
+            else:
+                report.mismatches.append(
+                    ServedMismatch(
+                        index=index,
+                        volley=volley,
+                        served_line=served_line,
+                        direct_line=direct_line,
+                    )
+                )
     if report.mismatches and flight_dump:
         try:
             report.flight_paths = _rtrace.FLIGHT.dump_to(
@@ -162,3 +180,113 @@ def check_served(
         except OSError:
             pass  # a failed dump must not mask the conformance verdict
     return report
+
+
+# ---------------------------------------------------------------------------
+# Result-cache poisoning (the serving-layer fault class)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CachePoisonFault:
+    """Corrupt one cached result row; the byte-check must notice.
+
+    The serving-layer analogue of the :mod:`repro.testing.faults` menu:
+    instead of splicing a mutant into a backend, :meth:`inject` reaches
+    into the shared :data:`~repro.runtime.result_cache.RESULT_CACHE` and
+    perturbs the head spike of one cached output row.  A subsequent
+    :func:`check_served` sweep that serves the poisoned entry must
+    report a mismatch — proving cached responses travel through the same
+    byte-identity gate as freshly computed ones.
+    """
+
+    name: str = "result-cache-poison"
+    description: str = "corrupt one cached output row in the result cache"
+
+    def inject(self) -> Optional[tuple]:
+        """Corrupt one cached row; returns the poisoned key or ``None``.
+
+        ``None`` means the cache held no poisonable entry (empty, or
+        only empty rows) — the self-check then counts the fault as not
+        applicable rather than undetected.
+        """
+        return RESULT_CACHE.poison()
+
+
+@dataclass
+class CacheSelfCheckReport:
+    """Outcome of one warm → poison → re-sweep cycle."""
+
+    #: The warm-up sweep (result cache cold, every answer computed).
+    warm: ServedReport
+    #: The post-poison sweep (served from the corrupted cache).
+    poisoned: ServedReport
+    #: Cache key whose row was corrupted, or ``None`` if nothing
+    #: poisonable was cached (the check is then vacuous and not ok).
+    poisoned_key: Optional[tuple] = None
+
+    @property
+    def detected(self) -> bool:
+        """True when the poisoned sweep surfaced at least one mismatch."""
+        return self.poisoned_key is not None and not self.poisoned.byte_identical
+
+    @property
+    def ok(self) -> bool:
+        """Warm sweep byte-identical AND the poison was detected."""
+        return self.warm.byte_identical and self.detected
+
+    def summary(self) -> str:
+        lines = [
+            f"warm sweep: {self.warm.ok}/{self.warm.total} byte-identical",
+        ]
+        if self.poisoned_key is None:
+            lines.append("poison: nothing poisonable was cached")
+        else:
+            lines.append(
+                f"poison: corrupted {self.poisoned_key!r}; post-poison sweep "
+                f"found {len(self.poisoned.mismatches)} mismatch(es)"
+            )
+        lines.append("verdict: OK" if self.ok else "verdict: FAIL")
+        return "\n".join(lines)
+
+
+def run_served_cache_selfcheck(
+    service,
+    model: str,
+    volleys: Sequence[Sequence[Time]],
+    *,
+    params: Optional[Mapping[str, Time]] = None,
+    timeout_s: float = 30.0,
+    fault: Optional[CachePoisonFault] = None,
+) -> CacheSelfCheckReport:
+    """Prove the byte-identity gate catches a corrupted cache entry.
+
+    Three steps against a service whose result cache is armed:
+
+    1. **warm** — one :func:`check_served` sweep fills the result cache;
+       every response must be byte-identical (the cache stores only
+       verified-correct rows);
+    2. **poison** — :meth:`CachePoisonFault.inject` corrupts the head
+       spike of one cached row in place;
+    3. **re-sweep** — the same volleys again; the corrupted entry is now
+       served from cache and the diff against direct evaluation must
+       flag it.
+
+    The returned report is ``ok`` only when the warm sweep was clean AND
+    the poisoned sweep was *not* byte-identical — i.e. the harness
+    demonstrably detects cache corruption rather than silently serving
+    it.
+    """
+    if not getattr(service, "result_cache_enabled", False):
+        raise ValueError(
+            "run_served_cache_selfcheck needs a service with the result "
+            "cache armed (TNNService(result_cache=True))"
+        )
+    fault = fault or CachePoisonFault()
+    warm = check_served(
+        service, model, volleys, params=params, timeout_s=timeout_s
+    )
+    key = fault.inject()
+    poisoned = check_served(
+        service, model, volleys, params=params, timeout_s=timeout_s
+    )
+    return CacheSelfCheckReport(warm=warm, poisoned=poisoned, poisoned_key=key)

@@ -1,0 +1,187 @@
+"""PlanCacheTier: namespaces, per-engine caps, and the global budget."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import METRICS
+from repro.runtime.cache import PLAN_CACHE, PlanCacheTier, plan_nbytes
+
+
+def fresh_tier(prefix):
+    """A private tier with two namespaces carrying unique metric prefixes.
+
+    Metric counters are process-global, so every test namespace gets its
+    own prefix and assertions read absolute values of those counters.
+    """
+    tier = PlanCacheTier()
+    tier.register_namespace("alpha", metric_prefix=f"{prefix}.alpha", limit=3)
+    tier.register_namespace("beta", metric_prefix=f"{prefix}.beta", limit=3)
+    return tier
+
+
+class TestNamespaces:
+    def test_register_is_idempotent(self):
+        tier = fresh_tier("tier_idem")
+        tier.set_namespace_limit("alpha", 7)
+        # Re-registering must not reset the resized limit.
+        tier.register_namespace(
+            "alpha", metric_prefix="tier_idem.other", limit=3
+        )
+        assert tier.namespace_info("alpha")["limit"] == 7
+
+    def test_unregistered_namespace_raises(self):
+        tier = fresh_tier("tier_unreg")
+        with pytest.raises(KeyError, match="unregistered"):
+            tier.get("gamma", "fp")
+        with pytest.raises(KeyError, match="unregistered"):
+            tier.put("gamma", "fp", object())
+
+    def test_namespaces_listing(self):
+        tier = fresh_tier("tier_list")
+        assert tier.namespaces() == ["alpha", "beta"]
+
+
+class TestLookup:
+    def test_hit_and_miss_counters(self):
+        tier = fresh_tier("tier_hits")
+        assert tier.get("alpha", "fp0") is None
+        plan = object()
+        assert tier.put("alpha", "fp0", plan, nbytes=10) is plan
+        assert tier.get("alpha", "fp0") is plan
+        assert METRICS.counter("tier_hits.alpha.miss") == 1
+        assert METRICS.counter("tier_hits.alpha.hit.structural") == 1
+
+    def test_same_fingerprint_different_namespace_is_distinct(self):
+        tier = fresh_tier("tier_split")
+        a, b = object(), object()
+        tier.put("alpha", "fp", a, nbytes=1)
+        tier.put("beta", "fp", b, nbytes=1)
+        assert tier.get("alpha", "fp") is a
+        assert tier.get("beta", "fp") is b
+
+
+class TestNamespaceCap:
+    def test_lru_eviction_within_namespace(self):
+        tier = fresh_tier("tier_nscap")
+        for i in range(3):
+            tier.put("alpha", f"fp{i}", i, nbytes=1)
+        tier.get("alpha", "fp0")  # refresh fp0; fp1 is now LRU
+        tier.put("alpha", "fp3", 3, nbytes=1)
+        assert tier.namespace_info("alpha")["entries"] == 3
+        assert tier.get("alpha", "fp1") is None  # evicted
+        assert tier.get("alpha", "fp0") == 0  # survived the refresh
+        assert METRICS.counter("tier_nscap.alpha.evict") == 1
+
+    def test_cap_does_not_touch_other_namespace(self):
+        tier = fresh_tier("tier_nsiso")
+        tier.put("beta", "fpB", "plan", nbytes=1)
+        for i in range(5):
+            tier.put("alpha", f"fp{i}", i, nbytes=1)
+        assert tier.namespace_info("alpha")["entries"] == 3
+        assert tier.get("beta", "fpB") == "plan"
+        assert METRICS.counter("tier_nsiso.beta.evict") == 0
+
+
+class TestGlobalBudget:
+    def test_max_entries_across_namespaces(self):
+        tier = fresh_tier("tier_gent")
+        tier.set_budget(max_entries=4)
+        tier.put("alpha", "a0", 0, nbytes=1)
+        tier.put("alpha", "a1", 1, nbytes=1)
+        tier.put("beta", "b0", 2, nbytes=1)
+        tier.put("beta", "b1", 3, nbytes=1)
+        tier.put("beta", "b2", 4, nbytes=1)  # pushes a0 (global LRU) out
+        assert tier.info()["entries"] == 4
+        assert tier.get("alpha", "a0") is None
+        # The eviction is attributed to the namespace that lost the plan.
+        assert METRICS.counter("tier_gent.alpha.evict") == 1
+        assert METRICS.counter("tier_gent.beta.evict") == 0
+
+    def test_max_bytes_evicts_until_under_budget(self):
+        tier = fresh_tier("tier_gbyte")
+        tier.set_budget(max_bytes=100)
+        tier.put("alpha", "big0", "x", nbytes=60)
+        tier.put("alpha", "big1", "y", nbytes=60)  # 120 > 100: big0 leaves
+        info = tier.info()
+        assert info["entries"] == 1
+        assert info["bytes"] == 60
+        assert tier.get("alpha", "big1") == "y"
+
+    def test_set_budget_returns_previous_and_lifts_with_none(self):
+        tier = fresh_tier("tier_knob")
+        assert tier.set_budget(max_entries=8, max_bytes=1000) == (None, None)
+        assert tier.set_budget(max_entries=None) == (8, 1000)
+        assert tier.info()["budget"] == {"max_entries": None, "max_bytes": 1000}
+
+    def test_budget_validation(self):
+        tier = fresh_tier("tier_val")
+        with pytest.raises(ValueError, match=">= 1"):
+            tier.set_budget(max_entries=0)
+        with pytest.raises(ValueError, match=">= 1"):
+            tier.set_budget(max_bytes=-5)
+
+
+class TestKnobs:
+    def test_set_namespace_limit_returns_previous_and_trims(self):
+        tier = fresh_tier("tier_limit")
+        for i in range(3):
+            tier.put("alpha", f"fp{i}", i, nbytes=1)
+        assert tier.set_namespace_limit("alpha", 1) == 3
+        assert tier.namespace_info("alpha")["entries"] == 1
+        assert tier.get("alpha", "fp2") == 2  # most recent survives
+        with pytest.raises(ValueError, match=">= 1"):
+            tier.set_namespace_limit("alpha", 0)
+
+    def test_clear_fires_no_evict_counters(self):
+        tier = fresh_tier("tier_clear")
+        tier.put("alpha", "a", 1, nbytes=5)
+        tier.put("beta", "b", 2, nbytes=5)
+        assert tier.clear("alpha") == 1
+        assert tier.get("beta", "b") == 2
+        assert tier.clear() == 1
+        info = tier.info()
+        assert info["entries"] == 0 and info["bytes"] == 0
+        assert METRICS.counter("tier_clear.alpha.evict") == 0
+        assert METRICS.counter("tier_clear.beta.evict") == 0
+
+
+class TestInfoShape:
+    def test_info_shape(self):
+        tier = fresh_tier("tier_shape")
+        tier.put("alpha", "fp", "plan", nbytes=12)
+        info = tier.info()
+        assert set(info) == {"entries", "bytes", "budget", "namespaces"}
+        assert set(info["budget"]) == {"max_entries", "max_bytes"}
+        assert set(info["namespaces"]) == {"alpha", "beta"}
+        assert set(info["namespaces"]["alpha"]) == {
+            "entries",
+            "bytes",
+            "limit",
+            "hits_structural",
+            "misses",
+            "evictions",
+        }
+        assert info["namespaces"]["alpha"]["bytes"] == 12
+
+
+class TestPlanNbytes:
+    def test_counts_ndarrays_through_containers_and_objects(self):
+        class Plan:
+            def __init__(self):
+                self.kernels = [np.zeros(4, dtype=np.int64)]
+                self.meta = {"table": np.zeros((2, 2), dtype=np.int64)}
+
+        size = plan_nbytes(Plan())
+        assert size >= 64 + 4 * 8 + 4 * 8
+
+    def test_shared_arrays_counted_once(self):
+        arr = np.zeros(100, dtype=np.int64)
+        assert plan_nbytes([arr, arr]) == plan_nbytes([arr])
+
+    def test_scalars_cost_only_overhead(self):
+        assert plan_nbytes({"a": 1, "b": "text"}) == 64
+
+
+class TestSharedSingleton:
+    def test_engine_namespaces_are_registered(self):
+        assert {"int64", "native"} <= set(PLAN_CACHE.namespaces())

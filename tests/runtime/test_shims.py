@@ -1,0 +1,100 @@
+"""Legacy cache entry points forward to the runtime tier (with warnings)."""
+
+import pytest
+
+from repro import runtime
+from repro.native import (
+    clear_native_plan_cache,
+    native_plan_cache_info,
+    set_native_plan_cache_limit,
+)
+from repro.network import (
+    clear_plan_cache,
+    plan_cache_info,
+    set_plan_cache_limit,
+)
+from repro.runtime.cache import PLAN_CACHE
+
+LEGACY_KEYS = {
+    "identity",
+    "structural",
+    "limit",
+    "hits_identity",
+    "hits_structural",
+    "misses",
+    "evictions",
+}
+
+
+class TestPlanCacheShims:
+    def test_plan_cache_info_warns_and_keeps_legacy_shape(self):
+        with pytest.warns(DeprecationWarning, match="runtime"):
+            info = plan_cache_info()
+        assert LEGACY_KEYS <= set(info)
+        assert LEGACY_KEYS <= set(info["native"])
+
+    def test_set_plan_cache_limit_warns_and_forwards_to_the_tier(self):
+        with pytest.warns(DeprecationWarning):
+            previous = set_plan_cache_limit(64)
+        try:
+            assert PLAN_CACHE.namespace_info("int64")["limit"] == 64
+        finally:
+            with pytest.warns(DeprecationWarning):
+                assert set_plan_cache_limit(previous) == 64
+
+    def test_set_plan_cache_limit_validation_message_is_preserved(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match=">= 1"):
+                set_plan_cache_limit(0)
+
+    def test_clear_plan_cache_warns_and_empties_the_namespace(self):
+        with pytest.warns(DeprecationWarning):
+            clear_plan_cache()
+        assert PLAN_CACHE.namespace_info("int64")["entries"] == 0
+
+
+class TestNativePlanCacheShims:
+    def test_native_plan_cache_info_warns_and_keeps_legacy_shape(self):
+        with pytest.warns(DeprecationWarning, match="runtime"):
+            info = native_plan_cache_info()
+        assert LEGACY_KEYS <= set(info)
+        assert "mode" in info and "numba_available" in info
+
+    def test_set_native_plan_cache_limit_warns_and_forwards(self):
+        with pytest.warns(DeprecationWarning):
+            previous = set_native_plan_cache_limit(32)
+        try:
+            assert PLAN_CACHE.namespace_info("native")["limit"] == 32
+        finally:
+            with pytest.warns(DeprecationWarning):
+                set_native_plan_cache_limit(previous)
+
+    def test_clear_native_plan_cache_warns_and_empties_the_namespace(self):
+        with pytest.warns(DeprecationWarning):
+            clear_native_plan_cache()
+        assert PLAN_CACHE.namespace_info("native")["entries"] == 0
+
+
+class TestRuntimeSurface:
+    def test_cache_info_is_the_unified_record(self):
+        info = runtime.cache_info()
+        assert set(info) == {"plan", "result", "native_mode", "numba_available"}
+        assert {"entries", "bytes", "budget", "namespaces"} <= set(info["plan"])
+        assert {"int64", "native"} <= set(info["plan"]["namespaces"])
+        assert {"hits", "misses", "evictions"} <= set(info["result"])
+
+    def test_legacy_plan_cache_info_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            info = runtime.legacy_plan_cache_info()
+        assert LEGACY_KEYS <= set(info)
+
+    def test_clear_caches_empties_both_tiers(self):
+        from repro.runtime.result_cache import RESULT_CACHE
+
+        RESULT_CACHE.put("fp-shim", "digest", (1, 2))
+        runtime.clear_caches()
+        assert RESULT_CACHE.get("fp-shim", "digest") is None
+        assert runtime.cache_info()["plan"]["entries"] == 0
