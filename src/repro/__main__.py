@@ -25,6 +25,10 @@ Commands:
 * ``runtime`` — the unified execution runtime: every registered engine
   with capabilities and availability, the policy-resolved serving
   engine, and the cache tiers (``--json`` for the full record).
+* ``train`` — online STDP through the training plane, locally: stream
+  the seeded classification scenario (or an NDJSON ``--source``) through
+  ingestion → trainer → snapshot → promote and report the holdout
+  accuracy-vs-steps curve; ``--show`` queries a saved lineage document.
 * ``serve`` — the asynchronous micro-batching inference service: TCP
   newline-delimited JSON, a sharded worker-process pool, fingerprint-
   keyed model registry.  See ``python -m repro serve --help``.
@@ -536,10 +540,12 @@ def _stats(argv: list[str]) -> int:
 
     if args.json:
         from .serve.stats import serve_stats_snapshot
+        from .train import training_stats_snapshot
 
         payload = {
             "metrics": METRICS.snapshot(),
             "serve": serve_stats_snapshot(),
+            "training": training_stats_snapshot(),
         }
         if args.plan_cache or args.clear_plan_cache:
             # "cache" is the unified runtime surface; "plan_cache"
@@ -568,6 +574,207 @@ def _stats(argv: list[str]) -> int:
         reset_metrics()
         print("metrics reset")
     return 0
+
+
+def _train(argv: list[str]) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro train",
+        description=(
+            "Online STDP training through the training plane, locally: "
+            "bootstrap the seeded latency-coded classification scenario "
+            "(repro.train.scenario) onto an in-process service, stream "
+            "its training split (or an NDJSON --source) through the "
+            "ingestion queue, snapshot on cadence, and report the "
+            "holdout accuracy-vs-steps curve the lineage records.  The "
+            "same plane runs against live traffic via "
+            "`python -m repro serve --train`; query a saved provenance "
+            "chain with --show."
+        ),
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized scenario cut"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=25,
+        metavar="N",
+        help="compile/register/promote every N presentations",
+    )
+    parser.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="passes over the training stream",
+    )
+    parser.add_argument(
+        "--source",
+        metavar="PATH",
+        help="replay an NDJSON training stream instead of the scenario split",
+    )
+    parser.add_argument(
+        "--lineage-out",
+        metavar="PATH",
+        help="write the lineage document (JSON) here",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable run report"
+    )
+    parser.add_argument(
+        "--show",
+        metavar="PATH",
+        help="print a saved lineage document and exit (no training)",
+    )
+    args = parser.parse_args(argv)
+
+    from .train import ModelLineage
+
+    if args.show:
+        try:
+            lineage = ModelLineage.load(args.show)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: {error}")
+            return 2
+        doc = lineage.describe()
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"lineage {doc['alias']!r}: {doc['snapshots']} snapshot(s), "
+            f"{doc['total_steps']} applied step(s), head "
+            f"{(doc['head'] or '?')[:12]}"
+        )
+        for record in doc["records"]:
+            accuracy = (
+                f"accuracy {record['accuracy']:.3f}"
+                if record["accuracy"] is not None
+                else "accuracy -"
+            )
+            parent = (record["parent"] or "seed")[:12]
+            print(
+                f"  {parent} -> {record['child'][:12]}  "
+                f"+{record['steps']} steps ({record['total_steps']} total)  "
+                f"{accuracy}"
+            )
+        return 0
+
+    from .serve.batcher import BatchPolicy
+    from .serve.pool import InlineWorkerPool
+    from .serve.registry import ModelRegistry
+    from .serve.service import TNNService
+    from .train import TrainingPlane, classification_scenario, file_source
+
+    scenario = classification_scenario(smoke=args.smoke, seed=args.seed)
+    if args.source:
+        try:
+            items = list(file_source(args.source))
+        except (OSError, ValueError) as error:
+            print(f"error: {error}")
+            return 2
+        n_inputs = scenario.column.n_inputs
+        for item in items:
+            if len(item.volley) != n_inputs:
+                print(
+                    f"error: {args.source}: scenario column takes "
+                    f"{n_inputs} lines, got {len(item.volley)}"
+                )
+                return 2
+    else:
+        items = scenario.items()
+
+    registry = ModelRegistry()
+    service = TNNService(
+        registry,
+        InlineWorkerPool(registry.documents()),
+        policy=BatchPolicy(max_batch=8, max_wait_s=0.001),
+    )
+    alias = f"{scenario.name}@live"
+    plane = TrainingPlane(
+        service,
+        scenario.column,
+        alias=alias,
+        trainer=scenario.make_trainer(),
+        snapshot_every=args.snapshot_every,
+        probe=scenario.probe,
+        model_name=scenario.name,
+    )
+    service.training = plane
+    try:
+        seed_model = plane.bootstrap()
+        untrained = plane.last_accuracy
+        if not args.json:
+            print(
+                f"scenario {scenario.name!r}: {len(items)} training "
+                f"volley(s) x {args.epochs} epoch(s), "
+                f"{len(scenario.holdout)} holdout"
+            )
+            print(
+                f"  seed {seed_model[:12]} @ {alias}: "
+                f"holdout accuracy {untrained:.3f}"
+            )
+        for _epoch in range(max(1, args.epochs)):
+            for item in items:
+                plane.train_step(item)
+        plane.snapshot()  # fold any sub-cadence remainder (dedups if unchanged)
+        doc = plane.lineage.describe()
+        if args.lineage_out:
+            plane.lineage.save(args.lineage_out)
+        stats = plane.stats()
+        curve = [
+            {
+                "steps": record["total_steps"],
+                "accuracy": record["accuracy"],
+                "model": record["child"],
+            }
+            for record in doc["records"]
+        ]
+        report = {
+            "scenario": scenario.name,
+            "alias": alias,
+            "seed": args.seed,
+            "seed_model": seed_model,
+            "final_model": plane.live_fingerprint,
+            "untrained_accuracy": untrained,
+            "final_accuracy": plane.last_accuracy,
+            "presented": stats["presented"],
+            "applied": stats["applied"],
+            "snapshots": stats["snapshots"],
+            "promotions": stats["promotions"],
+            "curve": curve,
+        }
+    finally:
+        service.close()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for point in curve[1:]:
+            accuracy = (
+                f"{point['accuracy']:.3f}"
+                if point["accuracy"] is not None
+                else "-"
+            )
+            print(
+                f"  step {point['steps']:>5}: holdout accuracy {accuracy} "
+                f"({point['model'][:12]})"
+            )
+        print(
+            f"  final {report['final_model'][:12]}: "
+            f"{report['untrained_accuracy']:.3f} -> "
+            f"{report['final_accuracy']:.3f} over {report['applied']} "
+            f"applied step(s), {report['snapshots']} snapshot(s)"
+        )
+        if args.lineage_out:
+            print(f"wrote {args.lineage_out}")
+    improved = (
+        report["final_accuracy"] is not None
+        and report["untrained_accuracy"] is not None
+        and report["final_accuracy"] >= report["untrained_accuracy"]
+    )
+    return 0 if improved else 1
 
 
 def _runtime(argv: list[str]) -> int:
@@ -677,6 +884,8 @@ def main(argv: list[str] | None = None) -> int:
         return _stats(args[1:])
     if command == "runtime":
         return _runtime(args[1:])
+    if command == "train":
+        return _train(args[1:])
     if command == "serve":
         from .serve.server import serve_main
 
@@ -693,7 +902,7 @@ def main(argv: list[str] | None = None) -> int:
         return _info()
     print(
         f"unknown command {command!r}; try: info, selfcheck, conformance, "
-        "trace, ir, kernels, stats, runtime, serve, loadgen, top"
+        "trace, ir, kernels, stats, runtime, train, serve, loadgen, top"
     )
     return 2
 

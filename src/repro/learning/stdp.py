@@ -173,11 +173,22 @@ class STDPTrainer:
         rule: LearningRule | None = None,
         *,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
         homeostasis: Optional[Homeostasis] = None,
     ):
+        """*seed* and *rng* both pin the tie-break stream; pass at most one.
+
+        Given the same seed, the same initial column, and the same
+        volley sequence, training is bit-reproducible: the only
+        nondeterminism in the update path is the tie-break draw, and it
+        comes from this stream.  The default (seed 0) keeps historical
+        behaviour.
+        """
+        if rng is not None and seed is not None:
+            raise ValueError("pass either rng= or seed=, not both")
         self.column = column
         self.rule = rule or STDPRule()
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(0 if seed is None else seed)
         self.homeostasis = homeostasis
         self.steps_taken = 0
 

@@ -41,6 +41,7 @@ __all__ = [
     "ResultCache",
     "cache_info",
     "clear_caches",
+    "evict_fingerprint",
     "legacy_plan_cache_info",
     "plan_nbytes",
     "volley_digest",
@@ -97,6 +98,21 @@ def legacy_plan_cache_info() -> dict:
     from ..network.compile_plan import _plan_cache_record
 
     return _plan_cache_record()
+
+
+def evict_fingerprint(fingerprint: str) -> dict[str, int]:
+    """Purge one retired model from every runtime cache.
+
+    The registry calls this when a model is removed or superseded by a
+    hot-swap promotion: cached plans and result rows keyed on the
+    retired fingerprint must never be served again.  Returns the purge
+    counts (``{"plans": n, "results": n}``); the per-cache
+    ``*.evict.retired`` counters record the same event for dashboards.
+    """
+    return {
+        "plans": PLAN_CACHE.evict_fingerprint(fingerprint),
+        "results": RESULT_CACHE.evict_fingerprint(fingerprint),
+    }
 
 
 def clear_caches(*, plans: bool = True, results: bool = True) -> None:

@@ -195,6 +195,25 @@ class PlanCacheTier:
         ):
             self._evict(next(iter(self._entries)))
 
+    def evict_fingerprint(self, fingerprint: str) -> int:
+        """Drop one model's plan from every namespace; returns the count.
+
+        The retirement twin of capacity eviction: when a model leaves
+        the serving registry its compiled plans are dead weight in every
+        engine's namespace at once.  Counted per namespace as
+        ``<prefix>.evict.retired`` (distinct from ``.evict``, which
+        dashboards read as capacity pressure).
+        """
+        with self._lock:
+            keys = [key for key in self._entries if key[1] == fingerprint]
+            for key in keys:
+                entry = self._entries.pop(key)
+                ns = self._namespaces[key[0]]
+                ns.entries -= 1
+                ns.nbytes -= entry.nbytes
+                _obs_metrics.METRICS.inc(f"{ns.metric_prefix}.evict.retired")
+            return len(keys)
+
     # -- knobs ----------------------------------------------------------
 
     def set_namespace_limit(self, namespace: str, limit: int) -> int:
@@ -270,6 +289,7 @@ class PlanCacheTier:
                 "hits_structural": counter(f"{ns.metric_prefix}.hit.structural"),
                 "misses": counter(f"{ns.metric_prefix}.miss"),
                 "evictions": counter(f"{ns.metric_prefix}.evict"),
+                "retired": counter(f"{ns.metric_prefix}.evict.retired"),
             }
 
     def info(self) -> dict:

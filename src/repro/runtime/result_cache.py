@@ -122,6 +122,27 @@ class ResultCache:
                 self._nbytes -= _row_nbytes(evicted)
                 _obs_metrics.METRICS.inc("result_cache.evict")
 
+    def evict_fingerprint(self, fingerprint: str) -> int:
+        """Drop every cached row of one model; returns the count.
+
+        Called when a model is retired from the serving registry
+        (removal, or hot-swap promotion that supersedes it): a retired
+        fingerprint's rows must never be served again, and keeping them
+        would let a later re-registration of the same structure start
+        from rows the operator believed gone.  Counted separately from
+        capacity eviction as ``result_cache.evict.retired``.
+        """
+        with self._lock:
+            keys = [key for key in self._entries if key[0] == fingerprint]
+            for key in keys:
+                row = self._entries.pop(key)
+                self._nbytes -= _row_nbytes(row)
+            if keys:
+                _obs_metrics.METRICS.inc(
+                    "result_cache.evict.retired", len(keys)
+                )
+            return len(keys)
+
     # -- fault injection ------------------------------------------------
 
     def poison(self) -> Optional[tuple[str, str]]:
@@ -201,6 +222,7 @@ class ResultCache:
                 "hits": counter("result_cache.hit"),
                 "misses": counter("result_cache.miss"),
                 "evictions": counter("result_cache.evict"),
+                "retired": counter("result_cache.evict.retired"),
             }
 
 

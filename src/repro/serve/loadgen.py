@@ -52,11 +52,17 @@ async def _request(reader, writer, message: dict) -> dict:
     return json.loads(line)
 
 
+#: Stream read limit: ``model_doc`` responses carry whole serialized
+#: network documents, which easily exceed asyncio's 64 KiB default
+#: readline bound.
+_READ_LIMIT = 16 << 20
+
+
 async def _open(host: str, port: int, *, attempts: int = 40, delay: float = 0.25):
     """Connect with retries (the server may still be warming workers)."""
     for attempt in range(attempts):
         try:
-            return await asyncio.open_connection(host, port)
+            return await asyncio.open_connection(host, port, limit=_READ_LIMIT)
         except OSError:
             if attempt == attempts - 1:
                 raise
@@ -80,6 +86,8 @@ async def run_loadgen(
     metrics_out: Optional[str] = None,
     trace: bool = False,
     report_out: Optional[str] = None,
+    train_every: int = 0,
+    promote_at: Optional[int] = None,
 ) -> dict:
     """Drive the server; returns the run report (also printed by the CLI).
 
@@ -94,6 +102,22 @@ async def run_loadgen(
     byte-identity contract as the untraced one.  *report_out* writes the
     run report as JSON (the CI overhead comparison reads two of these).
     """
+    if train_every:
+        return await run_loadgen_live(
+            host=host,
+            port=port,
+            requests=requests,
+            concurrency=concurrency,
+            seed=seed,
+            model=model,
+            check=check,
+            deadline_ms=deadline_ms,
+            shutdown=shutdown,
+            metrics_out=metrics_out,
+            report_out=report_out,
+            train_every=train_every,
+            promote_at=promote_at,
+        )
     if kernel is not None:
         from ..kernels import demo_network
 
@@ -232,6 +256,235 @@ async def run_loadgen(
     return report
 
 
+async def run_loadgen_live(
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    requests: int = 500,
+    concurrency: int = 32,
+    seed: int = 0,
+    model: str = "demo",
+    check: bool = True,
+    deadline_ms: Optional[int] = None,
+    shutdown: bool = False,
+    metrics_out: Optional[str] = None,
+    report_out: Optional[str] = None,
+    train_every: int = 4,
+    promote_at: Optional[int] = None,
+) -> dict:
+    """Mixed eval/train load against a server running a training plane.
+
+    Every ``train_every``-th request is a ``train`` op feeding the
+    plane's queue; the rest are evals against the training alias.  The
+    served model *evolves mid-run* (snapshots hot-swap the alias), so
+    the byte-check cannot pre-compute one oracle: every eval carries
+    ``want_model_id``, responses are grouped by the fingerprint that
+    actually served them, and each group is checked byte-for-byte
+    against a direct evaluation of the network rebuilt from that
+    fingerprint's ``model_doc`` — retired versions included (the server
+    archives their documents).  With *promote_at*, one client-driven
+    ``promote`` of the alias to the current lineage head is issued
+    mid-run, exercising the wire promotion path under load.
+    """
+    reader, writer = await _open(host, port)
+    metrics_reply = await _request(reader, writer, {"op": "metrics"})
+    training = metrics_reply.get("serve", {}).get("training")
+    if training is None:
+        raise LoadgenError(
+            "server is not running a training plane (start it with --train)"
+        )
+    if model == "demo":
+        model = training["alias"]
+    models_reply = await _request(reader, writer, {"op": "models"})
+    live = models_reply.get("aliases", {}).get(model)
+    by_id = {m["id"]: m for m in models_reply.get("models", [])}
+    if live is None or live not in by_id:
+        raise LoadgenError(f"alias {model!r} is not serving a model")
+    arity = len(by_id[live]["inputs"])
+
+    volleys = demo_volleys(arity, requests, seed=seed)
+    train_volleys = demo_volleys(
+        arity, requests, seed=seed + 1, silence_probability=0.05
+    )
+    is_train = [
+        train_every > 0 and i % train_every == train_every - 1
+        for i in range(requests)
+    ]
+
+    results: list[Optional[dict]] = [None] * requests
+    latencies: list[float] = [0.0] * requests
+    index_iter = iter(range(requests))
+    index_lock = asyncio.Lock()
+    promotion: dict = {}
+
+    async def promote_now(r, w) -> None:
+        lineage = await _request(r, w, {"op": "lineage", "id": "lg-lineage"})
+        head = lineage.get("lineage", {}).get("head")
+        if not head:
+            return
+        reply = await _request(
+            r, w,
+            {"op": "promote", "id": "lg-promote", "alias": model, "model": head},
+        )
+        promotion.update(reply)
+
+    async def worker(conn) -> None:
+        r, w = conn
+        while True:
+            async with index_lock:
+                i = next(index_iter, None)
+            if i is None:
+                return
+            if promote_at is not None and i == promote_at:
+                await promote_now(r, w)
+            if is_train[i]:
+                message = {
+                    "op": "train",
+                    "id": i,
+                    "volley": volley_to_wire(train_volleys[i]),
+                }
+            else:
+                message = eval_request(
+                    i, model, volleys[i], deadline_ms=deadline_ms
+                )
+                if check:
+                    message["want_model_id"] = True
+            start = time.perf_counter()
+            reply = await _request(r, w, message)
+            latencies[i] = time.perf_counter() - start
+            if reply.get("id") != i:
+                raise LoadgenError(
+                    f"response id {reply.get('id')!r} for request {i}"
+                )
+            results[i] = reply
+
+    connections = [(reader, writer)]
+    for _ in range(max(0, concurrency - 1)):
+        connections.append(await _open(host, port))
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(conn) for conn in connections))
+    elapsed = time.perf_counter() - started
+
+    ok = rejected_overload = rejected_deadline = failed = mismatches = 0
+    train_ops = train_accepted = train_dropped = 0
+    first_mismatch: Optional[str] = None
+    by_fingerprint: dict[str, list[int]] = {}
+    for i, reply in enumerate(results):
+        if reply is None:
+            raise LoadgenError(f"request {i} never completed")
+        if is_train[i]:
+            train_ops += 1
+            if not reply.get("ok"):
+                failed += 1
+                if first_mismatch is None:
+                    first_mismatch = f"train op {i} failed: {canonical(reply)}"
+            elif reply.get("accepted"):
+                train_accepted += 1
+            else:
+                train_dropped += 1
+            continue
+        if reply.get("ok"):
+            ok += 1
+            if check:
+                fingerprint = reply.get("model")
+                if not fingerprint:
+                    raise LoadgenError(
+                        f"response {i} carries no model fingerprint"
+                    )
+                by_fingerprint.setdefault(fingerprint, []).append(i)
+        elif reply.get("code") == "overloaded":
+            rejected_overload += 1
+        elif reply.get("code") == "deadline":
+            rejected_deadline += 1
+        else:
+            failed += 1
+            if first_mismatch is None:
+                first_mismatch = f"request {i} failed: {canonical(reply)}"
+
+    if check and by_fingerprint:
+        from ..network import serialize
+        from ..network.compile_plan import decode_matrix, evaluate_batch
+
+        for fingerprint, indices in sorted(by_fingerprint.items()):
+            doc_reply = await _request(
+                reader, writer, {"op": "model_doc", "model": fingerprint}
+            )
+            if not doc_reply.get("ok"):
+                raise LoadgenError(
+                    f"model_doc for served fingerprint "
+                    f"{fingerprint[:12]} failed: {canonical(doc_reply)}"
+                )
+            version = serialize.loads(doc_reply["document"])
+            if version.fingerprint() != fingerprint:
+                raise LoadgenError(
+                    f"document for {fingerprint[:12]} rebuilds to "
+                    f"{version.fingerprint()[:12]}"
+                )
+            direct = decode_matrix(
+                evaluate_batch(version, [volleys[i] for i in indices])
+            )
+            for i, row in zip(indices, direct):
+                expected = canonical(
+                    ok_response(i, tuple(row), model=fingerprint)
+                )
+                got = canonical(results[i])
+                if got != expected:
+                    mismatches += 1
+                    if first_mismatch is None:
+                        first_mismatch = (
+                            f"request {i} volley {volley_to_wire(volleys[i])} "
+                            f"on {fingerprint[:12]}: served {got} != direct "
+                            f"{expected}"
+                        )
+
+    metrics_reply = await _request(reader, writer, {"op": "metrics"})
+    serve_info = metrics_reply.get("serve", {})
+    if metrics_out:
+        Path(metrics_out).write_text(
+            json.dumps(metrics_reply, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if shutdown:
+        await _request(reader, writer, {"op": "shutdown"})
+    for r, w in connections:
+        w.close()
+
+    done = sorted(latencies[:requests])
+    report = {
+        "requests": requests,
+        "concurrency": concurrency,
+        "ok": ok,
+        "rejected_overloaded": rejected_overload,
+        "rejected_deadline": rejected_deadline,
+        "failed": failed,
+        "checked": check,
+        "mismatches": mismatches,
+        "first_mismatch": first_mismatch,
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(requests / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(done[len(done) // 2] * 1e3, 3) if done else 0.0,
+        "p99_ms": round(done[min(len(done) - 1, int(len(done) * 0.99))] * 1e3, 3)
+        if done
+        else 0.0,
+        "engine": serve_info.get("engine"),
+        "warmups": serve_info.get("warmups"),
+        "traced": False,
+        "alias": model,
+        "train_ops": train_ops,
+        "train_accepted": train_accepted,
+        "train_dropped": train_dropped,
+        "models_served": len(by_fingerprint),
+        "promotion": promotion or None,
+        "training": serve_info.get("training"),
+    }
+    if report_out:
+        Path(report_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return report
+
+
 def loadgen_main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro loadgen",
@@ -295,6 +548,27 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
         metavar="PATH",
         help="write the run report as JSON (for throughput comparisons)",
     )
+    parser.add_argument(
+        "--train-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "live mode: make every Nth request a train op against the "
+            "server's training plane (requires serve --train); evals are "
+            "byte-checked per served fingerprint via model_doc"
+        ),
+    )
+    parser.add_argument(
+        "--promote-at",
+        type=int,
+        default=None,
+        metavar="I",
+        help=(
+            "live mode: at request index I, promote the training alias "
+            "to the current lineage head mid-run"
+        ),
+    )
     args = parser.parse_args(argv)
     try:
         report = asyncio.run(
@@ -314,6 +588,8 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
                 metrics_out=args.metrics_out,
                 trace=args.trace,
                 report_out=args.report_out,
+                train_every=args.train_every,
+                promote_at=args.promote_at,
             )
         )
     except (LoadgenError, OSError, ValueError) as error:
@@ -326,6 +602,17 @@ def loadgen_main(argv: Optional[list[str]] = None) -> int:
         f"in {report['elapsed_s']}s — {report['qps']} req/s, "
         f"p50 {report['p50_ms']}ms, p99 {report['p99_ms']}ms"
     )
+    if report.get("train_ops"):
+        print(
+            f"training: {report['train_accepted']}/{report['train_ops']} "
+            f"train ops accepted ({report['train_dropped']} dropped), "
+            f"{report['models_served']} model version(s) served"
+            + (
+                f", promoted to {report['promotion']['model'][:12]}"
+                if report.get("promotion")
+                else ""
+            )
+        )
     if report["checked"]:
         if report["mismatches"]:
             print(

@@ -33,11 +33,13 @@ configurations that isolate scheduling cost from process cost.
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing as mp
 import multiprocessing.connection as mp_connection
 import os
 import threading
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import Callable
 
 import numpy as np
@@ -295,6 +297,9 @@ class ProcessWorkerPool:
         self._lock = threading.Lock()
         self._stopping = False
         self._restarts = 0
+        self._ping_tokens = itertools.count(1)
+        #: Outstanding warm-barrier pings: token -> (worker, event).
+        self._pongs: dict[int, tuple[_WorkerHandle, threading.Event]] = {}
         # Prefer fork where available (fast, shares the warm parent
         # image); spawn elsewhere.  The worker body is a module-level
         # function, so both start methods work.
@@ -449,6 +454,41 @@ class ProcessWorkerPool:
                     except (OSError, BrokenPipeError):
                         worker.alive = False
 
+    def wait_warm(self, timeout: float = 30.0) -> bool:
+        """Barrier: every alive worker has drained its message backlog.
+
+        Worker pipes are FIFO, so a ``pong`` proves the worker already
+        processed every ``load`` sent before the ping — newly shipped
+        models are rebuilt, verified, and engine-warmed.  The hot-swap
+        promotion path calls this *before* flipping an alias, so the
+        first admission routed to the new fingerprint never pays
+        rebuild cost and can never race an unloaded model.  Returns
+        ``False`` on timeout (a worker that died mid-barrier does not
+        stall it: its replacement reloads every document before
+        reporting ready, which preserves the warm guarantee).
+        """
+        events = []
+        with self._lock:
+            for worker in self._workers:
+                if not worker.alive:
+                    continue
+                token = next(self._ping_tokens)
+                event = threading.Event()
+                self._pongs[token] = (worker, event)
+                try:
+                    worker.conn.send(("ping", token))
+                except (OSError, BrokenPipeError):
+                    worker.alive = False
+                    del self._pongs[token]
+                    continue
+                events.append(event)
+        deadline = monotonic() + timeout
+        warm = True
+        for event in events:
+            if not event.wait(timeout=max(0.0, deadline - monotonic())):
+                warm = False
+        return warm
+
     def inject_crash(self, slot: int) -> None:
         """Make worker *slot* die abruptly (fault-injection hook)."""
         with self._lock:
@@ -503,7 +543,11 @@ class ProcessWorkerPool:
         elif op == "loaded" and len(message) > 2:
             with self._lock:
                 worker.warmups = dict(message[2])
-        # "pong" acknowledgements need no parent-side action.
+        elif op == "pong":
+            with self._lock:
+                pending = self._pongs.pop(message[1], None)
+            if pending is not None:
+                pending[1].set()
 
     def _reap(self, worker: _WorkerHandle) -> None:
         """A worker pipe broke: fail its jobs over, then try to restart."""
@@ -511,6 +555,13 @@ class ProcessWorkerPool:
             worker.alive = False
             orphans = list(worker.jobs.values())
             worker.jobs.clear()
+            # Release warm-barrier waiters pinned on the dead worker: its
+            # replacement reloads every document before reporting ready,
+            # so the barrier's guarantee holds without the pong.
+            for token in [
+                t for t, (w, _) in self._pongs.items() if w is worker
+            ]:
+                self._pongs.pop(token)[1].set()
             can_restart = not self._stopping and self._restarts < self._max_restarts
         _obs_metrics.METRICS.inc("serve.worker.failures", len(orphans))
         _rtrace.FLIGHT.trip("worker-crash")
@@ -632,6 +683,10 @@ class InlineWorkerPool:
             backend.warm(program)
             self._warmups[backend.key] += 1
         self._programs[model_id] = program
+
+    def wait_warm(self, timeout: float = 30.0) -> bool:
+        """Loads are synchronous in-process: always already warm."""
+        return True
 
     def inject_crash(self, slot: int) -> None:
         raise RuntimeError("inline pool has no crashable workers")

@@ -28,6 +28,28 @@ Operations
     "text": "..."}`` with one exposition document in ``text`` —
     per-model/per-stage/per-outcome latency histograms, serve counters,
     and gauges.
+``train``
+    ``{"op": "train", "id": 3, "volley": [3, null, 0], "label": 1}``
+    (``label`` optional) — feed one volley to the training plane's
+    bounded queue.  Reply ``{"id": 3, "ok": true, "accepted": true}``;
+    ``accepted: false`` means the queue was full and the volley dropped
+    (training backpressure is visible, never blocking).  Requires the
+    server to run with a training plane (``--train``); otherwise
+    ``bad-request``.
+``lineage``
+    The training plane's model provenance chain (see
+    :mod:`repro.train.lineage`); with optional ``"model"``, just the
+    chain up to that fingerprint.
+``promote``
+    ``{"op": "promote", "id": 9, "alias": "digits@live", "model":
+    "<fingerprint>"}`` — atomically hot-swap the alias to an
+    already-registered model (warm-before-flip; see
+    :meth:`repro.serve.service.TNNService.promote`).  ``retire`` (bool,
+    default true) controls whether the superseded model is purged.
+``model_doc``
+    The serialized network document of a registered (or recently
+    retired) model, so a client can rebuild it locally and byte-check
+    responses against the exact version that served them.
 ``shutdown``
     Ask the server to stop accepting work, drain, and exit.
 
@@ -72,7 +94,18 @@ ERROR_CODES = (
 )
 
 #: Request operations the server understands.
-OPS = ("eval", "health", "metrics", "metrics_text", "models", "shutdown")
+OPS = (
+    "eval",
+    "health",
+    "lineage",
+    "metrics",
+    "metrics_text",
+    "model_doc",
+    "models",
+    "promote",
+    "shutdown",
+    "train",
+)
 
 #: Longest accepted client-supplied trace id (a sanity bound, not a
 #: format: any non-empty string up to this length is a valid trace id).
@@ -198,9 +231,18 @@ def eval_request(
 
 
 def ok_response(
-    req_id: Any, outputs: Sequence[Time], *, trace: Optional[str] = None
+    req_id: Any,
+    outputs: Sequence[Time],
+    *,
+    trace: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> dict[str, Any]:
-    """A successful ``eval`` response (echoing the client trace id, if any)."""
+    """A successful ``eval`` response (echoing the client trace id, if any).
+
+    *model* is the fingerprint that actually served the request —
+    attached when the client asked with ``want_model_id`` so responses
+    stay attributable across hot-swap promotions.
+    """
     message: dict[str, Any] = {
         "id": req_id,
         "ok": True,
@@ -208,6 +250,8 @@ def ok_response(
     }
     if trace is not None:
         message["trace"] = trace
+    if model is not None:
+        message["model"] = model
     return message
 
 
@@ -275,4 +319,34 @@ def parse_request(line: "str | bytes") -> dict[str, Any]:
                 f"trace must be a non-empty string of at most "
                 f"{MAX_TRACE_ID} characters"
             )
+        if not isinstance(message.get("want_model_id", False), bool):
+            raise ProtocolError("want_model_id must be a boolean")
+    elif op == "train":
+        if "id" not in message:
+            raise ProtocolError("train request needs an 'id'")
+        message["volley_times"] = volley_from_wire(message.get("volley"))
+        label = message.get("label")
+        if label is not None and (
+            isinstance(label, bool) or not isinstance(label, int)
+        ):
+            raise ProtocolError(f"label must be an integer, got {label!r}")
+    elif op == "promote":
+        if "id" not in message:
+            raise ProtocolError("promote request needs an 'id'")
+        for field in ("alias", "model"):
+            if not isinstance(message.get(field), str) or not message[field]:
+                raise ProtocolError(
+                    f"promote request needs a non-empty string {field!r}"
+                )
+        if not isinstance(message.get("retire", True), bool):
+            raise ProtocolError("retire must be a boolean")
+    elif op == "model_doc":
+        if not isinstance(message.get("model"), str) or not message["model"]:
+            raise ProtocolError(
+                "model_doc request needs a non-empty string 'model'"
+            )
+    elif op == "lineage":
+        model = message.get("model")
+        if model is not None and (not isinstance(model, str) or not model):
+            raise ProtocolError("lineage 'model' must be a non-empty string")
     return message

@@ -17,10 +17,23 @@ it).  That one choice buys three properties:
 Human-friendly **aliases** ("demo") map onto fingerprints; lookups
 accept an alias, a full fingerprint, or an unambiguous fingerprint
 prefix (≥ 8 hex chars).
+
+Aliases are also the registry's **versioning seam** (the training
+plane's hot-swap mechanism): :meth:`ModelRegistry.promote` atomically
+repoints an alias at an already-registered fingerprint, so admissions
+before the flip resolve the old model and admissions after it resolve
+the new one — there is no in-between state.  :meth:`ModelRegistry.
+remove` retires a model outright and purges its compiled plans and
+cached result rows from the runtime caches
+(:func:`repro.runtime.evict_fingerprint`), so a retired fingerprint can
+never be served from stale cache state.  All registry operations are
+thread-safe: the training plane registers snapshots and promotes while
+the service admits requests.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Optional
 
@@ -85,17 +98,30 @@ class ModelRegistry:
     """Fingerprint-keyed model store with alias and prefix lookup."""
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._by_id: dict[str, ModelEntry] = {}
         self._aliases: dict[str, str] = {}
 
     def __len__(self) -> int:
-        return len(self._by_id)
+        with self._lock:
+            return len(self._by_id)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._by_id
 
     def ids(self) -> list[str]:
-        return list(self._by_id)
+        with self._lock:
+            return list(self._by_id)
 
     def entries(self) -> list[ModelEntry]:
-        return list(self._by_id.values())
+        with self._lock:
+            return list(self._by_id.values())
+
+    def aliases(self) -> dict[str, str]:
+        """The live ``alias -> fingerprint`` map (a snapshot copy)."""
+        with self._lock:
+            return dict(self._aliases)
 
     def register(
         self,
@@ -111,8 +137,12 @@ class ModelRegistry:
         here rather than shipping a document workers would reject.
         """
         fingerprint = network.fingerprint()
-        entry = self._by_id.get(fingerprint)
+        with self._lock:
+            entry = self._by_id.get(fingerprint)
         if entry is None:
+            # Build outside the lock: serialization and the optimizer
+            # pipeline can take hundreds of milliseconds on a trained
+            # column, and admissions must keep resolving meanwhile.
             document = serialize.dumps(network, indent=None)
             rebuilt = serialize.loads(document)
             if rebuilt.fingerprint() != fingerprint:
@@ -132,27 +162,68 @@ class ModelRegistry:
                 document=document,
                 optimized=optimize,
             )
-            self._by_id[fingerprint] = entry
-        if name:
-            self._aliases[name] = fingerprint
+        with self._lock:
+            entry = self._by_id.setdefault(fingerprint, entry)
+            if name:
+                self._aliases[name] = fingerprint
         return entry
 
     def resolve(self, key: str) -> ModelEntry:
         """Entry for an alias, fingerprint, or unambiguous prefix."""
-        if key in self._aliases:
-            return self._by_id[self._aliases[key]]
-        if key in self._by_id:
-            return self._by_id[key]
-        if len(key) >= MIN_PREFIX:
-            hits = [fp for fp in self._by_id if fp.startswith(key)]
-            if len(hits) == 1:
-                return self._by_id[hits[0]]
-            if len(hits) > 1:
-                raise ServeError(
-                    E_NO_MODEL, f"model prefix {key!r} is ambiguous ({len(hits)})"
-                )
+        with self._lock:
+            if key in self._aliases:
+                return self._by_id[self._aliases[key]]
+            if key in self._by_id:
+                return self._by_id[key]
+            if len(key) >= MIN_PREFIX:
+                hits = [fp for fp in self._by_id if fp.startswith(key)]
+                if len(hits) == 1:
+                    return self._by_id[hits[0]]
+                if len(hits) > 1:
+                    raise ServeError(
+                        E_NO_MODEL,
+                        f"model prefix {key!r} is ambiguous ({len(hits)})",
+                    )
         raise ServeError(E_NO_MODEL, f"no model named {key!r}")
+
+    def promote(self, alias: str, key: str) -> tuple[Optional[str], str]:
+        """Atomically repoint *alias* at the model *key* resolves to.
+
+        Returns ``(previous fingerprint or None, new fingerprint)``.
+        The flip happens under the registry lock, so every admission
+        resolves either entirely-old or entirely-new — in-flight
+        requests admitted before the flip keep the entry they already
+        resolved and complete on it.  The target must already be
+        registered (and therefore already shipped to and warmed by the
+        worker pool); promoting is pure metadata.
+        """
+        entry = self.resolve(key)
+        with self._lock:
+            previous = self._aliases.get(alias)
+            self._aliases[alias] = entry.model_id
+        return previous, entry.model_id
+
+    def remove(self, key: str) -> ModelEntry:
+        """Retire a model: drop its entry, aliases, and cached state.
+
+        Every runtime-cache entry keyed on the retired fingerprint
+        (compiled plans in each engine namespace, memoized result rows)
+        is purged — a retired model must never be served, not even from
+        cache.  Returns the removed entry.
+        """
+        from .. import runtime
+
+        entry = self.resolve(key)
+        with self._lock:
+            self._by_id.pop(entry.model_id, None)
+            for alias in [
+                a for a, fp in self._aliases.items() if fp == entry.model_id
+            ]:
+                del self._aliases[alias]
+        runtime.evict_fingerprint(entry.model_id)
+        return entry
 
     def documents(self) -> dict[str, str]:
         """``model_id -> serialized document`` — the worker-pool payload."""
-        return {fp: entry.document for fp, entry in self._by_id.items()}
+        with self._lock:
+            return {fp: entry.document for fp, entry in self._by_id.items()}

@@ -34,6 +34,7 @@ from typing import Optional
 from ..obs import rtrace as _rtrace
 from .protocol import (
     E_BAD_REQUEST,
+    E_NO_MODEL,
     PROTOCOL,
     ProtocolError,
     ServeError,
@@ -93,15 +94,30 @@ async def _finish_eval(
             error_response(req_id, error.code, error.message, trace=trace_id),
         )
         return
+    # The fingerprint resolved at admission, reported back when the
+    # client asked: under hot-swap promotion an alias's meaning moves
+    # between admissions, and byte-conformance is only checkable
+    # against the version that actually served the request.
+    model_id = (
+        getattr(future, "model_id", None)
+        if message.get("want_model_id")
+        else None
+    )
     trace = getattr(future, "rtrace", None)
     if trace is None:
-        await _write(writer, lock, ok_response(req_id, outputs, trace=trace_id))
+        await _write(
+            writer,
+            lock,
+            ok_response(req_id, outputs, trace=trace_id, model=model_id),
+        )
         return
     # Time the response encode as the trace's final span; the root is
     # stretched to cover it so the recorded trace stays well-formed
     # (the ring holds this same object, so the span is visible there).
     start = monotonic()
-    data = encode_line(ok_response(req_id, outputs, trace=trace_id))
+    data = encode_line(
+        ok_response(req_id, outputs, trace=trace_id, model=model_id)
+    )
     end = monotonic()
     trace.graft("encode", start, end, 0)
     trace.stretch(end)
@@ -174,8 +190,92 @@ def _metrics_text_payload(service: TNNService) -> dict:
         gauges[f"cache.plan.{name}.hits"] = ns["hits_structural"]
         gauges[f"cache.plan.{name}.misses"] = ns["misses"]
         gauges[f"cache.plan.{name}.evictions"] = ns["evictions"]
+    if service.training is not None:
+        training = service.training.stats()
+        gauges["training.presented"] = training["presented"]
+        gauges["training.applied"] = training["applied"]
+        gauges["training.snapshots"] = training["snapshots"]
+        gauges["training.promotions"] = training["promotions"]
+        gauges["training.queue.depth"] = training["queue"]["depth"]
+        gauges["training.queue.dropped"] = training["queue"]["dropped"]
+        if training["last_accuracy"] is not None:
+            gauges["training.last_accuracy"] = training["last_accuracy"]
     text = prometheus_text(extra_gauges=gauges)
     return {"ok": True, "content_type": PROMETHEUS_CONTENT_TYPE, "text": text}
+
+
+def _handle_train(service: TNNService, message: dict) -> dict:
+    """Feed one wire volley to the training plane's queue (non-blocking)."""
+    from ..train.ingest import TrainingItem
+
+    req_id = message.get("id")
+    plane = service.training
+    if plane is None:
+        return error_response(
+            req_id, E_BAD_REQUEST, "server is not running a training plane"
+        )
+    volley = message["volley_times"]
+    n_inputs = plane.incremental.column.n_inputs
+    if len(volley) != n_inputs:
+        return error_response(
+            req_id,
+            E_BAD_REQUEST,
+            f"training column takes {n_inputs} lines, got {len(volley)}",
+        )
+    accepted = plane.ingest(
+        TrainingItem(volley=volley, label=message.get("label"))
+    )
+    return {"id": req_id, "ok": True, "accepted": accepted}
+
+
+def _handle_lineage(service: TNNService, message: dict) -> dict:
+    """The training plane's provenance chain (optionally one model's)."""
+    req_id = message.get("id")
+    plane = service.training
+    if plane is None:
+        return error_response(
+            req_id, E_BAD_REQUEST, "server is not running a training plane"
+        )
+    document = plane.lineage.describe()
+    target = message.get("model")
+    if target is not None:
+        try:
+            document["records"] = [
+                record.to_json() for record in plane.lineage.chain(target)
+            ]
+        except KeyError as exc:
+            return error_response(req_id, E_NO_MODEL, str(exc.args[0]))
+    response = {"ok": True, "lineage": document}
+    if req_id is not None:
+        response["id"] = req_id
+    return response
+
+
+def _handle_promote(service: TNNService, message: dict) -> dict:
+    """Hot-swap an alias (runs in an executor; the warm barrier blocks)."""
+    req_id = message.get("id")
+    try:
+        summary = service.promote(
+            message["alias"],
+            message["model"],
+            retire=message.get("retire", True),
+        )
+    except ServeError as error:
+        return error_response(req_id, error.code, error.message)
+    return {"id": req_id, "ok": True, **summary}
+
+
+def _handle_model_doc(service: TNNService, message: dict) -> dict:
+    """A model's serialized document (live or recently retired)."""
+    req_id = message.get("id")
+    try:
+        fingerprint, document = service.document(message["model"])
+    except ServeError as error:
+        return error_response(req_id, error.code, error.message)
+    response = {"ok": True, "model": fingerprint, "document": document}
+    if req_id is not None:
+        response["id"] = req_id
+    return response
 
 
 async def _handle_connection(
@@ -236,8 +336,23 @@ async def _handle_connection(
                             entry.describe()
                             for entry in service.registry.entries()
                         ],
+                        "aliases": service.registry.aliases(),
                     },
                 )
+            elif op == "train":
+                await _write(writer, lock, _handle_train(service, message))
+            elif op == "lineage":
+                await _write(writer, lock, _handle_lineage(service, message))
+            elif op == "promote":
+                # The warm barrier inside promote blocks on worker
+                # round-trips; run it off the event loop so concurrent
+                # eval traffic keeps flowing through the flip.
+                response = await asyncio.get_running_loop().run_in_executor(
+                    None, _handle_promote, service, message
+                )
+                await _write(writer, lock, response)
+            elif op == "model_doc":
+                await _write(writer, lock, _handle_model_doc(service, message))
             else:  # shutdown
                 await _write(
                     writer, lock, {"ok": True, "status": "shutting-down"}
@@ -259,6 +374,7 @@ async def run_server_async(
     metrics_out: Optional[str] = None,
     port_file: Optional[str] = None,
     flight_out: Optional[str] = None,
+    lineage_out: Optional[str] = None,
     ready: Optional["asyncio.Future[int]"] = None,
 ) -> int:
     """Serve until a ``shutdown`` request or SIGINT/SIGTERM; returns 0.
@@ -337,6 +453,14 @@ async def run_server_async(
         trip_watcher.cancel()
         with contextlib.suppress(asyncio.CancelledError):
             await trip_watcher
+    if service.training is not None:
+        # Stop training before draining: a final snapshot folds any
+        # queued-but-unapplied volleys in, and the lineage document is
+        # complete when written.
+        service.training.stop()
+        if lineage_out:
+            service.training.lineage.save(lineage_out)
+            print(f"wrote training lineage to {lineage_out}", flush=True)
     if metrics_out:
         Path(metrics_out).write_text(
             json.dumps(_metrics_payload(service), indent=2, sort_keys=True) + "\n",
@@ -381,7 +505,7 @@ def build_service(args: argparse.Namespace) -> TNNService:
         from ..runtime import RESULT_CACHE
 
         RESULT_CACHE.configure(max_entries=args.result_cache_entries)
-    return TNNService(
+    service = TNNService(
         registry,
         pool,
         policy=BatchPolicy(
@@ -393,6 +517,24 @@ def build_service(args: argparse.Namespace) -> TNNService:
         ),
         result_cache=not getattr(args, "no_result_cache", False),
     )
+    if getattr(args, "train", False):
+        from ..train import TrainingPlane, classification_scenario
+
+        scenario = classification_scenario(
+            smoke=args.smoke, seed=getattr(args, "train_seed", 0)
+        )
+        plane = TrainingPlane(
+            service,
+            scenario.column,
+            alias=getattr(args, "train_alias", "digits@live"),
+            trainer=scenario.make_trainer(),
+            probe=scenario.probe,
+            snapshot_every=getattr(args, "snapshot_every", 50),
+            model_name=scenario.name,
+        )
+        service.training = plane
+        plane.start()  # bootstraps: registers + aliases the seed column
+    return service
 
 
 def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
@@ -484,6 +626,39 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
         help="write the bound port here once listening (for --port 0)",
     )
     parser.add_argument(
+        "--train",
+        action="store_true",
+        help=(
+            "run the online training plane: serve the seeded "
+            "classification scenario column under --train-alias, accept "
+            "'train' ops, snapshot + hot-swap as it learns"
+        ),
+    )
+    parser.add_argument(
+        "--train-alias",
+        default="digits@live",
+        metavar="ALIAS",
+        help="versioned alias the training plane promotes (default %(default)s)",
+    )
+    parser.add_argument(
+        "--train-seed",
+        type=int,
+        default=0,
+        help="seed of the training scenario and trainer",
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=50,
+        metavar="N",
+        help="training presentations between snapshots/promotions",
+    )
+    parser.add_argument(
+        "--lineage-out",
+        metavar="PATH",
+        help="write the training lineage document here on shutdown",
+    )
+    parser.add_argument(
         "--rtrace",
         action="store_true",
         help="enable request-scoped span tracing (repro.obs.rtrace)",
@@ -525,6 +700,7 @@ def serve_main(argv: Optional[list[str]] = None) -> int:
                 metrics_out=args.metrics_out,
                 port_file=args.port_file,
                 flight_out=args.flight_out,
+                lineage_out=getattr(args, "lineage_out", None),
             )
         )
     except KeyboardInterrupt:

@@ -36,6 +36,7 @@ from __future__ import annotations
 import itertools
 import json
 import threading
+from collections import OrderedDict
 from concurrent.futures import Future
 from time import monotonic
 from typing import Mapping, Optional, Sequence
@@ -122,6 +123,21 @@ class TNNService:
         self.max_pending = max_pending
         self.default_deadline_s = default_deadline_s
         self.max_attempts = max_attempts
+        #: The attached training plane (``repro.train``), if any.  The
+        #: server wires one in when launched with ``--train``; its
+        #: snapshot rides the ``stats()`` payload under ``"training"``.
+        self.training = None
+        #: Serialized documents of every model ever registered through
+        #: this service, surviving retirement — the ``model_doc`` op
+        #: serves from here so a client can still rebuild (and
+        #: byte-check against) a version that was hot-swapped away
+        #: while its responses were in flight.  Bounded FIFO.
+        self._document_archive: "OrderedDict[str, str]" = OrderedDict()
+        self._archive_limit = 512
+        # Models registered before the service existed (the usual CLI
+        # bootstrap order) are archived too, so retiring them later
+        # still leaves their documents fetchable.
+        self._document_archive.update(registry.documents())
 
         self._cond = threading.Condition()
         self._batcher = MicroBatcher(self.policy)
@@ -196,6 +212,12 @@ class TNNService:
             model_name=entry.name,
             digest=digest,
         )
+        # The resolved fingerprint rides on the future so front-ends can
+        # attribute the response to the exact model version that served
+        # it — under hot-swap promotion an alias's meaning changes
+        # between admissions, and byte-conformance is only well-defined
+        # against the fingerprint actually resolved at admission time.
+        request.future.model_id = entry.model_id  # type: ignore[attr-defined]
         if _rtrace._ENABLED:
             trace = _rtrace.RequestTrace(
                 trace_id or f"t{request.req_id}", model=entry.name, now=now
@@ -270,6 +292,7 @@ class TNNService:
             completed=now,
         )
         future: "Future[tuple[Time, ...]]" = Future()
+        future.model_id = entry.model_id  # type: ignore[attr-defined]
         if _rtrace._ENABLED:
             trace = _rtrace.RequestTrace(
                 trace_id or f"t{next(self._req_ids)}", model=entry.name, now=now
@@ -473,6 +496,12 @@ class TNNService:
                 # Store before resolving: a client that resubmits the
                 # moment its future fires already sees the hit.
                 RESULT_CACHE.put(request.model_id, request.digest, result)
+                if request.model_id not in self.registry:
+                    # The model was retired (hot-swap promotion) while
+                    # this request was in flight; the row must not
+                    # outlive the promotion's cache purge.  Put-then-
+                    # check keeps the window closed from both sides.
+                    RESULT_CACHE.evict_fingerprint(request.model_id)
             request.future.set_result(result)
             completed += 1
         _obs_metrics.METRICS.inc("serve.ok", completed)
@@ -589,6 +618,9 @@ class TNNService:
             "enabled": self.result_cache_enabled,
             **RESULT_CACHE.info(),
         }
+        snapshot["promotions"] = _obs_metrics.METRICS.counter("serve.promotions")
+        if self.training is not None:
+            snapshot["training"] = self.training.stats()
         snapshot["rtrace"] = {
             "enabled": _rtrace.rtrace_enabled(),
             "flight": _rtrace.FLIGHT.stats(),
@@ -605,9 +637,84 @@ class TNNService:
         """Register a model and ship it to the worker pool."""
         before = set(self.registry.ids())
         entry = self.registry.register(network, name=name)
+        with self._cond:
+            self._document_archive[entry.model_id] = entry.document
+            while len(self._document_archive) > self._archive_limit:
+                self._document_archive.popitem(last=False)
         if entry.model_id not in before:
             self.pool.add_model(entry.model_id, entry.document)
         return entry
+
+    def document(self, key: str) -> tuple[str, str]:
+        """``(fingerprint, serialized document)`` for *key*.
+
+        Resolves live models through the registry; retired fingerprints
+        (hot-swapped away) fall back to the bounded archive, by full
+        fingerprint or unambiguous prefix.  Raises
+        :class:`ServeError` (``no-such-model``) when neither knows it.
+        """
+        try:
+            entry = self.registry.resolve(key)
+            return entry.model_id, entry.document
+        except ServeError:
+            with self._cond:
+                if key in self._document_archive:
+                    return key, self._document_archive[key]
+                if len(key) >= 8:
+                    hits = [
+                        fp
+                        for fp in self._document_archive
+                        if fp.startswith(key)
+                    ]
+                    if len(hits) == 1:
+                        return hits[0], self._document_archive[hits[0]]
+            raise
+
+    def promote(self, alias: str, key: str, *, retire: bool = True) -> dict:
+        """Hot-swap *alias* to the model *key* resolves to — zero downtime.
+
+        The ordering is load-bearing:
+
+        1. resolve the target — it must already be registered (and
+           therefore shipped to the pool by :meth:`register`);
+        2. **warm barrier** — wait until every alive worker has drained
+           its load backlog (:meth:`~repro.serve.pool.ProcessWorkerPool.
+           wait_warm`), so the first admission routed to the new
+           fingerprint never pays rebuild or JIT cost;
+        3. **atomic flip** — :meth:`ModelRegistry.promote` repoints the
+           alias under the registry lock: admissions before the flip
+           resolved the old entry and complete on it (they hold the
+           entry reference and workers keep its program loaded);
+           admissions after resolve the new one;
+        4. **retire** — unless ``retire=False`` or another alias still
+           references it, the superseded fingerprint is removed and its
+           compiled plans and memoized result rows purged from the
+           runtime caches, so a retired model can never be served stale.
+
+        Returns a summary dict (``alias``, ``model``, ``previous``,
+        ``warmed``, ``retired``).
+        """
+        entry = self.registry.resolve(key)
+        wait_warm = getattr(self.pool, "wait_warm", None)
+        warmed = bool(wait_warm()) if wait_warm is not None else True
+        previous, current = self.registry.promote(alias, entry.model_id)
+        _obs_metrics.METRICS.inc("serve.promotions")
+        retired = None
+        if (
+            retire
+            and previous is not None
+            and previous != current
+            and previous not in self.registry.aliases().values()
+        ):
+            self.registry.remove(previous)
+            retired = previous
+        return {
+            "alias": alias,
+            "model": current,
+            "previous": previous,
+            "warmed": warmed,
+            "retired": retired,
+        }
 
     def close(self, *, drain: bool = True, timeout: float = 10.0) -> None:
         """Stop admission, optionally drain in-flight work, stop the pool."""

@@ -1,0 +1,157 @@
+"""Streaming ingestion: from the wire (or a file) into the trainer.
+
+The serving event loop must never block on training — a burst of
+``train`` ops competes with inference for nothing but a queue slot.
+:class:`TrainingQueue` is the seam: bounded, thread-safe, and lossy by
+design (a full queue *drops* the volley and counts it, mirroring the
+admission-control philosophy of the serving plane — backpressure is
+visible, buffering is never unbounded).
+
+Sources are plain iterables of :class:`TrainingItem`; :func:`file_source`
+replays an NDJSON file (one ``{"volley": [...], "label": n}`` object per
+line, ``null`` meaning ∞ exactly as on the serving wire), so a recorded
+training stream reproduces the same model bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..core.value import Time
+from ..obs import metrics as _obs_metrics
+from ..serve.protocol import volley_from_wire, volley_to_wire
+
+
+@dataclass(frozen=True)
+class TrainingItem:
+    """One training example: a volley, optionally labeled.
+
+    Labels never influence STDP (training is unsupervised); they feed
+    the accuracy probe's calibration set when present.
+    """
+
+    volley: tuple[Time, ...]
+    label: Optional[int] = None
+
+    def to_wire(self) -> dict:
+        payload: dict = {"volley": volley_to_wire(self.volley)}
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_wire(cls, raw: dict) -> "TrainingItem":
+        volley = volley_from_wire(raw.get("volley"))
+        label = raw.get("label")
+        if label is not None and not isinstance(label, int):
+            raise ValueError(f"label must be an integer, got {label!r}")
+        return cls(volley=volley, label=label)
+
+
+class TrainingQueue:
+    """Bounded handoff between ingestion threads and the trainer.
+
+    ``put`` never blocks: at capacity the item is dropped and
+    ``train.queue.dropped`` incremented — the producer (the serving
+    event loop) learns immediately and the response can say so.  ``get``
+    blocks the *trainer* thread with a timeout, which is the side that
+    is allowed to wait.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items: deque[TrainingItem] = deque()
+        self._accepted = 0
+        self._dropped = 0
+        self._closed = False
+
+    def put(self, item: TrainingItem) -> bool:
+        """Enqueue *item*; ``False`` means it was dropped (queue full)."""
+        with self._lock:
+            if self._closed or len(self._items) >= self.capacity:
+                self._dropped += 1
+                _obs_metrics.METRICS.inc("train.queue.dropped")
+                return False
+            self._items.append(item)
+            self._accepted += 1
+            _obs_metrics.METRICS.inc("train.queue.accepted")
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: Optional[float] = 0.1) -> Optional[TrainingItem]:
+        """Dequeue one item, or ``None`` on timeout / after close."""
+        with self._not_empty:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout=timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def drain(self, limit: Optional[int] = None) -> list[TrainingItem]:
+        """Dequeue up to *limit* items without blocking."""
+        with self._lock:
+            n = len(self._items) if limit is None else min(limit, len(self._items))
+            return [self._items.popleft() for _ in range(n)]
+
+    def close(self) -> None:
+        """Refuse new items and wake any blocked consumer."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "accepted": self._accepted,
+                "dropped": self._dropped,
+            }
+
+
+def file_source(path: str) -> Iterator[TrainingItem]:
+    """Replay an NDJSON training stream (one item per line).
+
+    Blank lines are skipped; malformed lines raise with the line number
+    so a corrupt recording fails loudly rather than training on noise.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+                yield TrainingItem.from_wire(raw)
+            except (ValueError, TypeError, KeyError) as exc:
+                raise ValueError(f"{path}:{lineno}: bad training item: {exc}")
+
+
+def save_items(items: Iterable[TrainingItem], path: str) -> int:
+    """Record a training stream as a replayable NDJSON file."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for item in items:
+            handle.write(json.dumps(item.to_wire(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def items_from_labeled(data: Sequence) -> list[TrainingItem]:
+    """Adapt :class:`repro.apps.datasets.LabeledVolley` rows to items."""
+    return [
+        TrainingItem(volley=tuple(row.volley), label=row.label) for row in data
+    ]

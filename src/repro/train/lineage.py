@@ -1,0 +1,141 @@
+"""Model lineage: the provenance chain online training leaves behind.
+
+Serving names models by structural fingerprint (see
+:mod:`repro.serve.registry`); online training *produces* fingerprints —
+every snapshot of the evolving column is a new immutable model.  The
+lineage is the append-only record tying them together: which fingerprint
+each snapshot grew from, how many STDP steps separate them, under which
+rule parameters, and what the accuracy probe said at snapshot time.
+
+That record is what makes a hot-swapped deployment auditable: given any
+served fingerprint, :meth:`ModelLineage.chain` walks back to the seed
+model, and the JSON document (``lineage`` op, ``--lineage-out``) ships
+the whole history as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+#: Format tag embedded in serialized lineage documents.
+FORMAT = "repro.lineage/1"
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """One snapshot edge: ``parent`` trained into ``child``.
+
+    ``parent`` is ``None`` for the seed model (the column as it was when
+    the plane started).  ``steps`` counts the STDP micro-steps applied
+    between the two snapshots; ``total_steps`` the cumulative count since
+    the seed.  ``accuracy`` is the holdout probe measured on the child at
+    snapshot time (``None`` when the plane has no probe).
+    """
+
+    parent: Optional[str]
+    child: str
+    steps: int
+    total_steps: int
+    rule: dict = field(default_factory=dict)
+    accuracy: Optional[float] = None
+    promoted: bool = False
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+class ModelLineage:
+    """Append-only, thread-safe chain of :class:`LineageRecord` edges.
+
+    The trainer thread appends while the server thread answers
+    ``lineage`` ops, so every read returns a snapshot copy.
+    """
+
+    def __init__(self, *, alias: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._records: list[LineageRecord] = []
+        self.alias = alias
+
+    def append(self, record: LineageRecord) -> None:
+        with self._lock:
+            if self._records and record.parent != self._records[-1].child:
+                raise ValueError(
+                    f"lineage break: record parent "
+                    f"{(record.parent or 'None')[:12]} does not extend head "
+                    f"{self._records[-1].child[:12]}"
+                )
+            self._records.append(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def records(self) -> list[LineageRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def head(self) -> Optional[str]:
+        """The newest child fingerprint, or ``None`` before any snapshot."""
+        with self._lock:
+            return self._records[-1].child if self._records else None
+
+    def chain(self, fingerprint: str) -> list[LineageRecord]:
+        """The edges from the seed up to *fingerprint* (inclusive).
+
+        Raises :class:`KeyError` when no snapshot produced that
+        fingerprint.
+        """
+        with self._lock:
+            by_child = {record.child: record for record in self._records}
+        if fingerprint not in by_child:
+            raise KeyError(f"no lineage record for {fingerprint[:12]}")
+        edges: list[LineageRecord] = []
+        cursor: Optional[str] = fingerprint
+        while cursor is not None and cursor in by_child:
+            record = by_child[cursor]
+            edges.append(record)
+            cursor = record.parent
+        edges.reverse()
+        return edges
+
+    # -- serialization ---------------------------------------------------
+
+    def describe(self) -> dict:
+        """The JSON shape the ``lineage`` op and the CLI report."""
+        records = self.records()
+        return {
+            "format": FORMAT,
+            "alias": self.alias,
+            "head": records[-1].child if records else None,
+            "snapshots": len(records),
+            "total_steps": records[-1].total_steps if records else 0,
+            "records": [record.to_json() for record in records],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.describe(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_json(cls, text: str) -> "ModelLineage":
+        payload = json.loads(text)
+        if payload.get("format") != FORMAT:
+            raise ValueError(
+                f"not a lineage document (format={payload.get('format')!r})"
+            )
+        lineage = cls(alias=payload.get("alias"))
+        for raw in payload.get("records", []):
+            lineage.append(LineageRecord(**raw))
+        return lineage
+
+    @classmethod
+    def load(cls, path: str) -> "ModelLineage":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -1,0 +1,82 @@
+"""The classifier and clusterer e2e paths under ``python -O``.
+
+The training plane leans on both apps (the scenario trains a
+``TNNClassifier`` column online), and production servers routinely run
+optimized — so neither pipeline may depend on ``assert`` statements for
+control flow.  Each pipeline is executed in two subprocesses, one plain
+and one with ``-O`` (asserts stripped), and the runs must be
+*bit-identical*: same learned weights, same label assignments, same
+accuracy — not merely both above chance.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+SCRIPT = """
+import hashlib
+import json
+
+from repro.apps.classifier import ClassifierConfig, TNNClassifier
+from repro.apps.clustering import TemporalClusterer, purity
+from repro.apps.datasets import embedded_patterns, latency_clusters
+
+_bases, data = embedded_patterns(
+    n_lines=16, n_patterns=3, presentations=48, active_lines=8,
+    window=8, jitter=1, dropout=0.05, noise_lines=1, seed=5,
+)
+clf = TNNClassifier(16, config=ClassifierConfig(n_neurons=6, epochs=3, seed=5))
+clf.fit(data)
+
+centers, cdata = latency_clusters(
+    n_lines=6, n_clusters=3, presentations=40, window=6, jitter=1, seed=3
+)
+clusterer = TemporalClusterer(6, 3, n_delays=8, seed=3)
+volleys = [item.volley for item in cdata]
+clusterer.train(volleys, epochs=2)
+assignments = [clusterer.assign(v) for v in volleys]
+
+print(json.dumps({
+    "clf_accuracy": clf.accuracy(data),
+    "clf_coverage": clf.coverage(data),
+    "clf_labels": {str(k): v for k, v in sorted(clf.neuron_labels.items())},
+    "clf_weights": hashlib.sha256(clf.column.weights.tobytes()).hexdigest(),
+    "cluster_purity": purity(assignments, [item.label for item in cdata]),
+    "cluster_weights": hashlib.sha256(
+        b"".join(n.weights.tobytes() for n in clusterer.neurons)
+    ).hexdigest(),
+}, sort_keys=True))
+"""
+
+
+def run_pipelines(optimize):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    flags = ["-O"] if optimize else []
+    proc = subprocess.run(
+        [sys.executable, *flags, "-c", SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+class TestOptimizeStability:
+    def test_pipelines_identical_with_and_without_O(self):
+        plain = run_pipelines(optimize=False)
+        optimized = run_pipelines(optimize=True)
+        assert plain == optimized
+
+    def test_accuracy_above_chance_under_O(self):
+        report = run_pipelines(optimize=True)
+        # Both problems have 3 classes: chance is 1/3.
+        assert report["clf_accuracy"] > 0.5
+        assert report["clf_coverage"] > 0.6
+        assert report["cluster_purity"] > 0.5

@@ -160,6 +160,7 @@ class TestInfoShape:
             "hits_structural",
             "misses",
             "evictions",
+            "retired",
         }
         assert info["namespaces"]["alpha"]["bytes"] == 12
 

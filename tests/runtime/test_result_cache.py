@@ -129,6 +129,7 @@ class TestInfoShape:
             "hits",
             "misses",
             "evictions",
+            "retired",
         }
         assert info["entries"] == 1
         assert info["max_entries"] == 16

@@ -2,9 +2,14 @@
 
 import asyncio
 import json
+import random
 
+import numpy as np
 import pytest
 
+from repro.learning.stdp import STDPRule
+from repro.neuron.column import Column
+from repro.neuron.response import ResponseFunction
 from repro.serve.batcher import BatchPolicy
 from repro.serve.demo import demo_column
 from repro.serve.loadgen import LoadgenError, run_loadgen
@@ -12,6 +17,7 @@ from repro.serve.pool import InlineWorkerPool
 from repro.serve.registry import ModelRegistry
 from repro.serve.server import run_server_async
 from repro.serve.service import TNNService
+from repro.train import TrainingPlane
 
 
 def make_service(model_seed=0):
@@ -81,6 +87,91 @@ class TestConformanceRun:
         assert report["ok"] == 20
         payload = json.loads(out.read_text())
         assert payload["ok"] and "serve" in payload
+
+
+def make_trained_service():
+    rng = random.Random(0)
+    column = Column(
+        np.array([[rng.randint(1, 3) for _ in range(8)] for _ in range(3)]),
+        threshold=6,
+        base_response=ResponseFunction.step(amplitude=1, width=8),
+    )
+    registry = ModelRegistry()
+    service = TNNService(
+        registry,
+        InlineWorkerPool(registry.documents()),
+        policy=BatchPolicy(max_batch=8, max_wait_s=0.001),
+    )
+    plane = TrainingPlane(
+        service,
+        column,
+        alias="tiny@live",
+        rule=STDPRule(a_plus=1, a_minus=1),
+        seed=3,
+        snapshot_every=5,
+        model_name="tiny",
+    )
+    service.training = plane
+    plane.start()
+    return service
+
+
+def drive_live(**loadgen_kwargs):
+    """One training server + one live-mode loadgen run in a single loop."""
+
+    async def main():
+        service = make_trained_service()
+        ready = asyncio.get_running_loop().create_future()
+        server_task = asyncio.ensure_future(
+            run_server_async(service, port=0, ready=ready)
+        )
+        port = await ready
+        loadgen_kwargs.setdefault("shutdown", True)
+        try:
+            report = await run_loadgen(port=port, **loadgen_kwargs)
+        except BaseException:
+            r, w = await asyncio.open_connection("127.0.0.1", port)
+            w.write(b'{"op":"shutdown"}\n')
+            await w.drain()
+            await r.readline()
+            w.close()
+            raise
+        finally:
+            service.training.stop()
+            await asyncio.wait_for(server_task, timeout=20)
+        return report
+
+    return asyncio.run(main())
+
+
+class TestLiveMode:
+    def test_mixed_stream_byte_identical_per_version(self):
+        report = drive_live(requests=60, concurrency=6, train_every=4)
+        assert report["train_ops"] == 15
+        assert report["train_accepted"] == 15
+        assert report["train_dropped"] == 0
+        assert report["ok"] == 45  # every non-train request served
+        assert report["failed"] == 0
+        assert report["mismatches"] == 0
+        # The plane snapshots every 5 applied volleys, so the stream
+        # spans at least one hot-swap; each served version byte-checked.
+        assert report["models_served"] >= 1
+        assert report["alias"] == "tiny@live"
+        assert report["training"]["alias"] == "tiny@live"
+
+    def test_promote_mid_run(self):
+        report = drive_live(
+            requests=40, concurrency=4, train_every=3, promote_at=20
+        )
+        assert report["failed"] == 0
+        assert report["mismatches"] == 0
+        assert report["promotion"] is not None
+        assert report["promotion"]["ok"] is True
+        assert report["promotion"]["alias"] == "tiny@live"
+
+    def test_requires_training_plane(self):
+        with pytest.raises(LoadgenError, match="training plane"):
+            drive(requests=8, concurrency=2, train_every=2)
 
 
 class TestFingerprintHandshake:

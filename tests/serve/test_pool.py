@@ -201,6 +201,41 @@ class TestProcessPool:
             ProcessWorkerPool(registry.documents(), n_workers=0)
 
 
+class TestWarmBarrier:
+    def test_wait_warm_idle_pool(self, registry):
+        pool = ProcessWorkerPool(registry.documents(), n_workers=2)
+        try:
+            assert pool.wait_warm(timeout=20.0)
+        finally:
+            pool.shutdown()
+
+    def test_wait_warm_after_load_serves_immediately(self, registry):
+        from repro.network import serialize
+
+        network, _ = demo_column(8, smoke=True)
+        pool = ProcessWorkerPool(registry.documents(), n_workers=2)
+        try:
+            pool.add_model(network.fingerprint(), serialize.dumps(network))
+            # The barrier orders behind the pipelined load on every
+            # worker (FIFO pipes), so a post-barrier eval cannot race it.
+            assert pool.wait_warm(timeout=20.0)
+            matrix = encoded_volleys(network, [(1, 2)])
+            done, box, on_done, on_fail = _completion_recorder()
+            pool.submit(
+                Job(1, network.fingerprint(), matrix, {}, on_done, on_fail)
+            )
+            assert done.wait(timeout=20)
+            np.testing.assert_array_equal(
+                box["result"], evaluate_batch(network, matrix)
+            )
+        finally:
+            pool.shutdown()
+
+    def test_inline_pool_is_always_warm(self, registry):
+        pool = InlineWorkerPool(registry.documents())
+        assert pool.wait_warm() is True
+
+
 class TestEngines:
     def test_ready_reports_warmups(self, registry):
         parent, child = mp.Pipe(duplex=True)

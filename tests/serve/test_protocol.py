@@ -111,10 +111,15 @@ class TestParseRequest:
         assert message["params_times"] == {}
 
     def test_all_ops_accepted(self):
+        required = {
+            "eval": {"id": 1, "model": "m", "volley": [1]},
+            "train": {"id": 1, "volley": [1]},
+            "promote": {"id": 1, "alias": "a@live", "model": "m"},
+            "model_doc": {"model": "m"},
+        }
         for op in OPS:
-            if op == "eval":
-                continue
-            assert parse_request(json.dumps({"op": op}))["op"] == op
+            message = {"op": op, **required.get(op, {})}
+            assert parse_request(json.dumps(message))["op"] == op
 
     @pytest.mark.parametrize(
         "raw",

@@ -133,6 +133,14 @@ class TestCli:
         assert serve["batch_size"]["rows"] >= 8
         assert serve["latency"]["count"] >= 8
 
+    def test_stats_json_training_section(self, capsys):
+        assert main(["stats", "--json"]) == 0
+        training = json.loads(capsys.readouterr().out)["training"]
+        for key in ("steps", "snapshots", "promotions", "last_accuracy"):
+            assert key in training
+        for key in ("accepted", "dropped", "depth"):
+            assert key in training["queue"]
+
     def test_serve_and_loadgen_help(self, capsys):
         import pytest
 
@@ -230,6 +238,47 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 2
         assert "unknown family" in out
+
+    def test_train_smoke_end_to_end(self, capsys, tmp_path):
+        lineage_path = tmp_path / "lineage.json"
+        code = main(
+            [
+                "train",
+                "--smoke",
+                "--lineage-out",
+                str(lineage_path),
+                "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["final_accuracy"] > report["untrained_accuracy"]
+        assert report["snapshots"] >= 2
+        assert report["curve"][0]["steps"] == 0  # the seed record
+        assert report["curve"][-1]["model"] == report["final_model"]
+
+        from repro.train import ModelLineage
+
+        lineage = ModelLineage.load(str(lineage_path))
+        assert lineage.head() == report["final_model"]
+
+        code = main(["train", "--show", str(lineage_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "lineage 'digits-smoke@live'" in out
+        assert report["final_model"][:12] in out
+
+    def test_train_source_arity_mismatch(self, capsys, tmp_path):
+        from repro.train import TrainingItem, save_items
+
+        bad = tmp_path / "bad.ndjson"
+        save_items([TrainingItem(volley=(0, 1))], str(bad))
+        assert main(["train", "--smoke", "--source", str(bad)]) == 2
+        assert "takes 10 lines" in capsys.readouterr().out
+
+    def test_train_show_missing_file(self, capsys, tmp_path):
+        assert main(["train", "--show", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().out
 
     def test_unknown_command_mentions_kernels(self, capsys):
         assert main(["bogus"]) == 2

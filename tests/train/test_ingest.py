@@ -1,0 +1,124 @@
+"""Tests for streaming ingestion: items, the bounded queue, file replay."""
+
+import threading
+
+import pytest
+
+from repro.core.value import INF
+from repro.obs.metrics import METRICS
+from repro.train.ingest import (
+    TrainingItem,
+    TrainingQueue,
+    file_source,
+    items_from_labeled,
+    save_items,
+)
+
+
+class TestTrainingItem:
+    def test_wire_roundtrip_with_infinity(self):
+        item = TrainingItem(volley=(3, INF, 0), label=2)
+        wire = item.to_wire()
+        assert wire == {"volley": [3, None, 0], "label": 2}
+        assert TrainingItem.from_wire(wire) == item
+
+    def test_unlabeled_omits_label(self):
+        item = TrainingItem(volley=(1,))
+        assert item.to_wire() == {"volley": [1]}
+        assert TrainingItem.from_wire({"volley": [1]}).label is None
+
+    def test_bad_label_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            TrainingItem.from_wire({"volley": [1], "label": "two"})
+
+    def test_bad_volley_rejected(self):
+        with pytest.raises(ValueError):
+            TrainingItem.from_wire({"volley": [-1]})
+
+
+class TestTrainingQueue:
+    def test_put_get_fifo(self):
+        queue = TrainingQueue(capacity=4)
+        items = [TrainingItem(volley=(i,)) for i in range(3)]
+        assert all(queue.put(item) for item in items)
+        assert [queue.get(timeout=0) for _ in range(3)] == items
+
+    def test_full_queue_drops_and_counts(self):
+        queue = TrainingQueue(capacity=2)
+        dropped_before = METRICS.counter("train.queue.dropped")
+        assert queue.put(TrainingItem(volley=(0,)))
+        assert queue.put(TrainingItem(volley=(1,)))
+        assert not queue.put(TrainingItem(volley=(2,)))  # dropped, not blocked
+        stats = queue.stats()
+        assert stats["depth"] == 2
+        assert stats["accepted"] == 2
+        assert stats["dropped"] == 1
+        assert METRICS.counter("train.queue.dropped") == dropped_before + 1
+
+    def test_get_times_out_empty(self):
+        queue = TrainingQueue()
+        assert queue.get(timeout=0.01) is None
+
+    def test_get_wakes_on_put(self):
+        queue = TrainingQueue()
+        got = []
+
+        def consumer():
+            got.append(queue.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        item = TrainingItem(volley=(7,))
+        queue.put(item)
+        thread.join(timeout=5.0)
+        assert got == [item]
+
+    def test_close_refuses_and_wakes(self):
+        queue = TrainingQueue()
+        queue.close()
+        assert not queue.put(TrainingItem(volley=(0,)))
+        assert queue.get(timeout=0) is None
+
+    def test_drain(self):
+        queue = TrainingQueue()
+        for i in range(5):
+            queue.put(TrainingItem(volley=(i,)))
+        assert len(queue.drain(limit=2)) == 2
+        assert len(queue.drain()) == 3
+        assert queue.depth() == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            TrainingQueue(capacity=0)
+
+
+class TestFileReplay:
+    def test_save_then_replay_is_identical(self, tmp_path):
+        path = str(tmp_path / "stream.ndjson")
+        items = [
+            TrainingItem(volley=(0, INF, 3), label=1),
+            TrainingItem(volley=(2, 2, 2)),
+        ]
+        assert save_items(items, path) == 2
+        assert list(file_source(path)) == items
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        path.write_text('{"volley":[1]}\n\n{"volley":[2]}\n')
+        assert len(list(file_source(str(path)))) == 2
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"volley":[1]}\n{"volley":[-4]}\n')
+        with pytest.raises(ValueError, match="bad.ndjson:2"):
+            list(file_source(str(path)))
+
+
+class TestLabeledAdapter:
+    def test_items_from_labeled(self):
+        from repro.apps.datasets import LabeledVolley
+        from repro.coding.volley import Volley
+
+        rows = [LabeledVolley(volley=Volley((1, INF)), label=0)]
+        items = items_from_labeled(rows)
+        assert items == [TrainingItem(volley=(1, INF), label=0)]

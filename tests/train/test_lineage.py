@@ -1,0 +1,83 @@
+"""Tests for the model lineage: chain integrity and the JSON artifact."""
+
+import pytest
+
+from repro.train.lineage import FORMAT, LineageRecord, ModelLineage
+
+A, B, C = "a" * 64, "b" * 64, "c" * 64
+
+
+def edge(parent, child, steps=10, total=10, accuracy=None):
+    return LineageRecord(
+        parent=parent,
+        child=child,
+        steps=steps,
+        total_steps=total,
+        rule={"rule": "STDPRule", "a_plus": 1},
+        accuracy=accuracy,
+        promoted=True,
+    )
+
+
+class TestChain:
+    def test_append_and_head(self):
+        lineage = ModelLineage(alias="m@live")
+        assert lineage.head() is None
+        lineage.append(edge(None, A, steps=0, total=0))
+        lineage.append(edge(A, B))
+        assert lineage.head() == B
+        assert len(lineage) == 2
+
+    def test_break_rejected(self):
+        lineage = ModelLineage()
+        lineage.append(edge(None, A, steps=0, total=0))
+        with pytest.raises(ValueError, match="lineage break"):
+            lineage.append(edge(C, B))  # C was never the head
+
+    def test_chain_walks_to_seed(self):
+        lineage = ModelLineage()
+        lineage.append(edge(None, A, steps=0, total=0))
+        lineage.append(edge(A, B, steps=5, total=5))
+        lineage.append(edge(B, C, steps=5, total=10))
+        chain = lineage.chain(C)
+        assert [record.child for record in chain] == [A, B, C]
+        assert chain[0].parent is None
+        # A mid-chain fingerprint yields its own prefix.
+        assert [record.child for record in lineage.chain(B)] == [A, B]
+
+    def test_unknown_fingerprint_raises(self):
+        lineage = ModelLineage()
+        with pytest.raises(KeyError):
+            lineage.chain(A)
+
+
+class TestSerialization:
+    def build(self):
+        lineage = ModelLineage(alias="digits@live")
+        lineage.append(edge(None, A, steps=0, total=0, accuracy=0.3))
+        lineage.append(edge(A, B, steps=50, total=50, accuracy=0.7))
+        return lineage
+
+    def test_describe_shape(self):
+        doc = self.build().describe()
+        assert doc["format"] == FORMAT
+        assert doc["alias"] == "digits@live"
+        assert doc["head"] == B
+        assert doc["snapshots"] == 2
+        assert doc["total_steps"] == 50
+        assert [r["accuracy"] for r in doc["records"]] == [0.3, 0.7]
+
+    def test_json_roundtrip(self):
+        original = self.build()
+        rebuilt = ModelLineage.from_json(original.to_json())
+        assert rebuilt.describe() == original.describe()
+
+    def test_save_load(self, tmp_path):
+        path = str(tmp_path / "lineage.json")
+        original = self.build()
+        original.save(path)
+        assert ModelLineage.load(path).describe() == original.describe()
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a lineage document"):
+            ModelLineage.from_json('{"format": "something/9"}')

@@ -1,0 +1,49 @@
+"""The shared online-training scenario: seeded, learnable, calibrated.
+
+These gates pin the workload the benchmark and the CI smoke job both
+consume: the untrained seed column sits near chance on the holdout
+split, and a couple of online passes lift it well above — if either
+drifts, the training plane's acceptance numbers stop meaning anything.
+"""
+
+import pytest
+
+from repro.train import classification_scenario
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return classification_scenario(smoke=True, seed=0)
+
+
+class TestScenarioShape:
+    def test_splits_and_arity(self, smoke):
+        assert len(smoke.train) == 90 and len(smoke.holdout) == 30
+        assert smoke.column.n_inputs == 10
+        assert {item.label for item in smoke.train} == {0, 1, 2}
+
+    def test_items_stream_matches_train_split(self, smoke):
+        items = smoke.items()
+        assert len(items) == len(smoke.train)
+        assert items[0].label == smoke.train[0].label
+        assert tuple(items[0].volley) == tuple(smoke.train[0].volley)
+
+    def test_same_seed_same_problem(self):
+        a = classification_scenario(smoke=True, seed=0)
+        b = classification_scenario(smoke=True, seed=0)
+        assert [tuple(i.volley) for i in a.holdout] == [
+            tuple(i.volley) for i in b.holdout
+        ]
+        assert (a.column.weights == b.column.weights).all()
+
+
+class TestOnlineLearning:
+    def test_training_lifts_holdout_accuracy_above_chance(self, smoke):
+        untrained = smoke.probe()
+        assert untrained < 0.45  # near chance (1/3) by construction
+        trainer = smoke.make_trainer()
+        trainer.train([item.volley for item in smoke.items()], epochs=1)
+        trainer.homeostasis.reset(smoke.column)
+        trained = smoke.probe()
+        assert trained > 0.6
+        assert trained > untrained + 0.2
